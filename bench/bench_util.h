@@ -1,0 +1,51 @@
+#ifndef RAFIKI_BENCH_BENCH_UTIL_H_
+#define RAFIKI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serving/simulator.h"
+
+namespace rafiki::bench {
+
+/// Prints a section header so bench output reads as a report.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints the standard serving time-series (one row per metrics window):
+/// the data behind the Figure 10/13/14/15/16 curves. `stride` subsamples
+/// rows to keep output readable.
+inline void PrintServingSeries(const std::string& label,
+                               const serving::ServingMetrics& metrics,
+                               int stride = 3) {
+  std::printf(
+      "%s: t_begin arrive/s processed/s overdue/s accuracy reward\n",
+      label.c_str());
+  for (size_t i = 0; i < metrics.windows.size();
+       i += static_cast<size_t>(stride)) {
+    const serving::WindowSample& w = metrics.windows[i];
+    std::printf("%s: %7.0f %8.1f %11.1f %9.1f %8.4f %6.2f\n", label.c_str(),
+                w.t_begin, w.arrived_per_sec, w.processed_per_sec,
+                w.overdue_per_sec, w.mean_accuracy, w.mean_reward);
+  }
+}
+
+/// Prints the run-level aggregates of a serving experiment.
+inline void PrintServingSummary(const std::string& label,
+                                const serving::ServingMetrics& metrics) {
+  std::printf(
+      "%s summary: arrived=%lld processed=%lld overdue=%lld (%.2f%%) "
+      "dropped=%lld accuracy=%.4f latency=%.3fs reward=%.0f\n",
+      label.c_str(), static_cast<long long>(metrics.total_arrived),
+      static_cast<long long>(metrics.total_processed),
+      static_cast<long long>(metrics.total_overdue),
+      100.0 * metrics.OverdueFraction(),
+      static_cast<long long>(metrics.total_dropped), metrics.mean_accuracy,
+      metrics.mean_latency, metrics.total_reward);
+}
+
+}  // namespace rafiki::bench
+
+#endif  // RAFIKI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+// Reproduces Figure 3: accuracy, inference time and memory footprint of
+// the 16 slim ConvNets (batch size 50, as in the paper). Our numbers come
+// from the calibrated catalog (DESIGN.md §1): the three models used in the
+// §7.2 serving experiments are pinned to the paper's stated throughputs;
+// the rest are digitized from the figure.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/profile.h"
+
+int main() {
+  using rafiki::model::ImageNetCatalog;
+  using rafiki::model::ModelProfile;
+
+  rafiki::bench::Section("Figure 3: ConvNet catalog (batch size 50)");
+  std::printf("%-22s %-18s %9s %12s %10s %12s\n", "model", "family",
+              "top1_acc", "c(50) [s]", "mem [MB]", "img/s@b=50");
+  for (const ModelProfile& p : ImageNetCatalog()) {
+    std::printf("%-22s %-18s %9.3f %12.3f %10.0f %12.1f\n", p.name.c_str(),
+                rafiki::model::FamilyToString(p.family), p.top1_accuracy,
+                p.BatchLatency(50), p.memory_mb, p.Throughput(50));
+  }
+
+  rafiki::bench::Section("Paper calibration checks (§7.2)");
+  auto v3 = rafiki::model::FindProfile("inception_v3").value();
+  std::printf("inception_v3 c(16)=%.3fs (paper: 0.07), c(64)=%.3fs "
+              "(paper: 0.23)\n",
+              v3.BatchLatency(16), v3.BatchLatency(64));
+  std::vector<ModelProfile> trio{
+      rafiki::model::FindProfile("inception_v3").value(),
+      rafiki::model::FindProfile("inception_v4").value(),
+      rafiki::model::FindProfile("inception_resnet_v2").value()};
+  std::printf("3-model max throughput=%.0f req/s (paper: 572), "
+              "min=%.0f req/s (paper: 128)\n",
+              rafiki::model::MaxThroughput(trio, 64),
+              rafiki::model::MinThroughput(trio, 64));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 11: scalability of distributed hyper-parameter tuning.
+//  (a) wall time (simulated minutes) to finish a fixed trial budget with
+//      1, 2, 4 and 8 workers — near-linear speedup;
+//  (b) best validation accuracy vs wall time per worker count — more
+//      workers reach high accuracy sooner.
+//
+// Wall time is virtual: each surrogate epoch costs a fixed number of
+// simulated seconds per worker (DESIGN.md decision 4), and the study's
+// wall clock is the max over workers — exactly how parallel trials overlap
+// on the paper's GPUs. Plain Study is used so trial lengths are i.i.d.
+// across worker counts (CoStudy's sequential checkpoint sharing changes
+// the per-trial epoch counts and would confound the scaling measurement).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/tuning_bench.h"
+
+int main() {
+  using rafiki::bench::SearchKind;
+  const int64_t kTrials = 64;
+  const uint64_t kSeed = 11;
+
+  struct Run {
+    int workers;
+    rafiki::tuning::StudyStats stats;
+  };
+  std::vector<Run> runs;
+  for (int workers : {1, 2, 4, 8}) {
+    runs.push_back({workers,
+                    rafiki::bench::RunTuning(
+                        "fig11_w" + std::to_string(workers),
+                        SearchKind::kRandom, /*collaborative=*/false,
+                        kTrials, workers, kSeed)});
+  }
+
+  rafiki::bench::Section(
+      "Figure 11a: wall time (simulated minutes) for 64 trials");
+  double base = runs.front().stats.sim_seconds;
+  std::printf("workers wall_minutes speedup ideal\n");
+  for (const Run& r : runs) {
+    std::printf("%7d %12.1f %7.2f %5d\n", r.workers,
+                r.stats.sim_seconds / 60.0, base / r.stats.sim_seconds,
+                r.workers);
+  }
+
+  rafiki::bench::Section(
+      "Figure 11b: best accuracy vs wall time (simulated minutes)");
+  for (const Run& r : runs) {
+    std::string label = std::to_string(r.workers) + "w";
+    // Subsample the progress log to ~12 points per run.
+    size_t stride = r.stats.progress.size() / 12 + 1;
+    std::printf("%s: wall_minutes best_accuracy\n", label.c_str());
+    for (size_t i = 0; i < r.stats.progress.size(); i += stride) {
+      const rafiki::tuning::ProgressPoint& p = r.stats.progress[i];
+      std::printf("%s: %8.1f %8.4f\n", label.c_str(), p.sim_seconds / 60.0,
+                  p.best_performance);
+    }
+    std::printf("%s: %8.1f %8.4f (final)\n", label.c_str(),
+                r.stats.sim_seconds / 60.0, r.stats.best_performance);
+  }
+
+  rafiki::bench::Section("Paper-vs-measured (Figure 11)");
+  std::printf("speedup 1->8 workers: %.2fx (paper: ~linear, i.e. ~8x)\n",
+              base / runs.back().stats.sim_seconds);
+  return 0;
+}

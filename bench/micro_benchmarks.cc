@@ -1,0 +1,184 @@
+// Component micro-benchmarks (google-benchmark): throughput/latency of the
+// substrate pieces every experiment leans on — tensor GEMM, the parameter
+// server, the message bus, the GP fit behind Bayesian optimization, batch
+// policy decisions, and ensemble voting.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "model/prediction_sim.h"
+#include "model/profile.h"
+#include "nn/loss.h"
+#include "nn/net.h"
+#include "nn/sgd.h"
+#include "ps/parameter_server.h"
+#include "cluster/message_bus.h"
+#include "serving/greedy_batch.h"
+#include "serving/rl_scheduler.h"
+#include "tensor/tensor.h"
+#include "tuning/gaussian_process.h"
+#include "tuning/hyperspace.h"
+
+namespace rafiki {
+namespace {
+
+void BM_TensorMatMul(benchmark::State& state) {
+  auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatMul)->Arg(32)->Arg(128);
+
+void BM_TensorSoftmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor logits = Tensor::Randn({64, 1000}, rng);
+  for (auto _ : state) {
+    Tensor p = logits.SoftmaxRows();
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_TensorSoftmax);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::Net net = nn::MakeMlp({32, 64, 10}, 0.1f, 0.0f, rng);
+  nn::SgdOptions options;
+  nn::Sgd sgd(options);
+  Tensor x = Tensor::Randn({32, 32}, rng);
+  std::vector<int64_t> labels(32);
+  for (size_t i = 0; i < 32; ++i) labels[i] = static_cast<int64_t>(i % 10);
+  for (auto _ : state) {
+    net.ZeroGrad();
+    nn::LossResult loss = nn::SoftmaxCrossEntropy(net.Forward(x, true),
+                                                  labels);
+    net.Backward(loss.grad);
+    sgd.Step(net.Params());
+  }
+}
+BENCHMARK(BM_MlpTrainStep);
+
+void BM_ParameterServerPutGet(benchmark::State& state) {
+  ps::ParameterServer ps;
+  Rng rng(4);
+  Tensor value = Tensor::Randn({64, 64}, rng);
+  ps::ParamMeta meta;
+  int i = 0;
+  for (auto _ : state) {
+    std::string name = "p" + std::to_string(i++ % 128);
+    benchmark::DoNotOptimize(ps.Put("bench", name, value, meta));
+    auto got = ps.Get("bench", name);
+    benchmark::DoNotOptimize(got.ok());
+  }
+}
+BENCHMARK(BM_ParameterServerPutGet);
+
+void BM_MessageBusRoundTrip(benchmark::State& state) {
+  cluster::MessageBus bus;
+  (void)bus.RegisterEndpoint("bench");
+  cluster::Message msg;
+  msg.type = cluster::MessageType::kReport;
+  msg.str_fields["trial"] = "1|lr:f:0.1;momentum:f:0.9";
+  for (auto _ : state) {
+    (void)bus.Send("bench", msg);
+    auto got = bus.TryReceive("bench");
+    benchmark::DoNotOptimize(got.has_value());
+  }
+}
+BENCHMARK(BM_MessageBusRoundTrip);
+
+void BM_GaussianProcessFit(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::vector<double>> x(n, std::vector<double>(5));
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& v : x[i]) v = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  for (auto _ : state) {
+    tuning::GaussianProcess gp(tuning::GpOptions{});
+    benchmark::DoNotOptimize(gp.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_GaussianProcessFit)->Arg(50)->Arg(200);
+
+void BM_HyperSpaceSample(benchmark::State& state) {
+  tuning::HyperSpace space;
+  (void)space.AddRangeKnob("lr", tuning::KnobDtype::kFloat, 1e-4, 1.0, true);
+  (void)space.AddRangeKnob("mom", tuning::KnobDtype::kFloat, 0.0, 1.0);
+  (void)space.AddCategoricalKnob("whiten", {"pca", "zca"});
+  Rng rng(6);
+  for (auto _ : state) {
+    auto t = space.Sample(rng);
+    benchmark::DoNotOptimize(t.ok());
+  }
+}
+BENCHMARK(BM_HyperSpaceSample);
+
+void BM_GreedyPolicyDecision(benchmark::State& state) {
+  static const std::vector<int64_t> kBatches{16, 32, 48, 64};
+  static const std::vector<model::ModelProfile> kModels{
+      model::FindProfile("inception_v3").value()};
+  serving::GreedyBatchPolicy policy(0);
+  serving::ServingObs obs;
+  obs.now = 100.0;
+  obs.tau = 0.56;
+  obs.batch_sizes = &kBatches;
+  obs.models = &kModels;
+  obs.queue_len = 40;
+  obs.queue_waits = {0.5, 0.4, 0.3};
+  obs.busy_remaining = {0.0};
+  for (auto _ : state) {
+    serving::ServingAction a = policy.Decide(obs);
+    benchmark::DoNotOptimize(a.process);
+  }
+}
+BENCHMARK(BM_GreedyPolicyDecision);
+
+void BM_RlPolicyDecision(benchmark::State& state) {
+  static const std::vector<int64_t> kBatches{16, 32, 48, 64};
+  static const std::vector<model::ModelProfile> kModels{
+      model::FindProfile("inception_v3").value(),
+      model::FindProfile("inception_v4").value(),
+      model::FindProfile("inception_resnet_v2").value()};
+  static const auto& table = *new model::EnsembleAccuracyTable(
+      kModels, model::PredictionSimOptions{}, 2000);
+  serving::RlSchedulerOptions options;
+  serving::RlSchedulerPolicy policy(3, kBatches, &table, options);
+  serving::ServingObs obs;
+  obs.now = 100.0;
+  obs.tau = 0.56;
+  obs.batch_sizes = &kBatches;
+  obs.models = &kModels;
+  obs.queue_len = 40;
+  obs.queue_waits = {0.5, 0.4, 0.3};
+  obs.busy_remaining = {0.0, 0.0, 0.0};
+  for (auto _ : state) {
+    serving::ServingAction a = policy.Decide(obs);
+    benchmark::DoNotOptimize(a.process);
+  }
+}
+BENCHMARK(BM_RlPolicyDecision);
+
+void BM_EnsembleVote(benchmark::State& state) {
+  std::vector<model::ModelProfile> models{
+      model::FindProfile("inception_v3").value(),
+      model::FindProfile("inception_v4").value(),
+      model::FindProfile("inception_resnet_v2").value(),
+      model::FindProfile("resnet_v2_101").value()};
+  model::PredictionSimulator sim(models, model::PredictionSimOptions{});
+  for (auto _ : state) {
+    double acc = sim.EnsembleAccuracy(0b1111, 64);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EnsembleVote);
+
+}  // namespace
+}  // namespace rafiki

@@ -1,0 +1,73 @@
+#ifndef RAFIKI_BENCH_SERVING_BENCH_H_
+#define RAFIKI_BENCH_SERVING_BENCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "model/prediction_sim.h"
+#include "model/profile.h"
+#include "serving/greedy_batch.h"
+#include "serving/rl_scheduler.h"
+#include "serving/simulator.h"
+#include "serving/sine_arrival.h"
+
+namespace rafiki::bench {
+
+/// §7.2.1 single model: inception_v3.
+inline std::vector<model::ModelProfile> SingleModelSet() {
+  return {model::FindProfile("inception_v3").value()};
+}
+
+/// §7.2.2 model list M: {inception_v3, inception_v4, inception_resnet_v2}.
+inline std::vector<model::ModelProfile> TripleModelSet() {
+  return {model::FindProfile("inception_v3").value(),
+          model::FindProfile("inception_v4").value(),
+          model::FindProfile("inception_resnet_v2").value()};
+}
+
+/// The paper's serving configuration: B = {16,32,48,64},
+/// tau = 2 * c_v3(64) = 0.56 s, cycle period T = 500 * tau.
+inline serving::ServingSimOptions PaperSimOptions(double duration,
+                                                  double beta = 1.0) {
+  serving::ServingSimOptions options;
+  options.tau = 0.56;
+  options.batch_sizes = {16, 32, 48, 64};
+  options.duration_seconds = duration;
+  options.metrics_window = 10.0;
+  options.beta = beta;
+  return options;
+}
+
+inline double PaperPeriod() { return 500.0 * 0.56; }  // 280 s
+
+/// Trains an RL scheduler online for `train_seconds` of simulated time
+/// (the paper evaluates RL after it has run for hours of simulated time —
+/// Figures 10/13-16 show windows at t ~ 13500-24000 s), then evaluates it
+/// for `eval_seconds` with a fresh arrival stream.
+inline serving::ServingMetrics TrainThenEvalRl(
+    serving::RlSchedulerPolicy& rl,
+    const std::vector<model::ModelProfile>& models,
+    const model::EnsembleAccuracyTable* table, double target_rate,
+    double train_seconds, double eval_seconds, double beta,
+    uint64_t seed) {
+  serving::ServingSimulator train_sim(models, table,
+                                      PaperSimOptions(train_seconds, beta));
+  serving::SineArrivalProcess train_arrivals(target_rate, PaperPeriod(),
+                                             seed);
+  rl.set_explore(true);
+  train_sim.Run(rl, train_arrivals);
+
+  // Evaluate the learned policy greedily (it still receives Feedback and
+  // keeps learning online, as the paper's deployed system does).
+  rl.set_explore(false);
+  serving::ServingSimulator eval_sim(models, table,
+                                     PaperSimOptions(eval_seconds, beta));
+  serving::SineArrivalProcess eval_arrivals(target_rate, PaperPeriod(),
+                                            seed + 1);
+  return eval_sim.Run(rl, eval_arrivals);
+}
+
+}  // namespace rafiki::bench
+
+#endif  // RAFIKI_BENCH_SERVING_BENCH_H_

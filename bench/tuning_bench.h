@@ -1,0 +1,136 @@
+#ifndef RAFIKI_BENCH_TUNING_BENCH_H_
+#define RAFIKI_BENCH_TUNING_BENCH_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cluster/message_bus.h"
+#include "common/stats.h"
+#include "ps/parameter_server.h"
+#include "trainer/surrogate.h"
+#include "tuning/bayes_opt.h"
+#include "tuning/study.h"
+#include "tuning/trial_advisor.h"
+
+namespace rafiki::bench {
+
+/// The §7.1.1 search space: group-3 optimization hyper-parameters of the
+/// fixed 8-conv-layer CIFAR-10 network (learning rate, momentum, weight
+/// decay, dropout, weight-init stddev).
+inline tuning::HyperSpace MakeCifarSpace() {
+  tuning::HyperSpace space;
+  RAFIKI_CHECK_OK(space.AddRangeKnob("learning_rate",
+                                     tuning::KnobDtype::kFloat, 1e-4, 1.0,
+                                     /*log_scale=*/true));
+  RAFIKI_CHECK_OK(space.AddRangeKnob("momentum", tuning::KnobDtype::kFloat,
+                                     0.0, 0.999));
+  RAFIKI_CHECK_OK(space.AddRangeKnob("weight_decay",
+                                     tuning::KnobDtype::kFloat, 1e-6, 1e-1,
+                                     /*log_scale=*/true));
+  RAFIKI_CHECK_OK(space.AddRangeKnob("dropout", tuning::KnobDtype::kFloat,
+                                     0.0, 0.7));
+  RAFIKI_CHECK_OK(space.AddRangeKnob("init_std", tuning::KnobDtype::kFloat,
+                                     1e-3, 1.0, /*log_scale=*/true));
+  return space;
+}
+
+enum class SearchKind { kRandom, kBayesOpt };
+
+/// Builds an advisor of the requested kind over `space`.
+inline std::unique_ptr<tuning::TrialAdvisor> MakeAdvisor(
+    SearchKind kind, const tuning::HyperSpace* space, int64_t max_trials,
+    uint64_t seed) {
+  if (kind == SearchKind::kRandom) {
+    return std::make_unique<tuning::RandomSearchAdvisor>(space, max_trials,
+                                                         seed);
+  }
+  tuning::BayesOptOptions options;
+  options.max_trials = max_trials;
+  options.num_init_random = 10;
+  options.candidates_per_step = 256;
+  options.seed = seed;
+  return std::make_unique<tuning::BayesOptAdvisor>(space, options);
+}
+
+/// Runs one Study/CoStudy over the surrogate CIFAR trainer and returns its
+/// statistics.
+inline tuning::StudyStats RunTuning(const std::string& name, SearchKind kind,
+                                    bool collaborative, int64_t trials,
+                                    int workers, uint64_t seed) {
+  tuning::HyperSpace space = MakeCifarSpace();
+  std::unique_ptr<tuning::TrialAdvisor> advisor =
+      MakeAdvisor(kind, &space, trials, seed);
+  trainer::SurrogateOptions surrogate;
+  surrogate.seed = seed + 1;
+  trainer::SurrogateFactory factory(surrogate);
+  cluster::MessageBus bus;
+  ps::ParameterServer ps;
+
+  tuning::StudyConfig config;
+  config.max_trials = trials;
+  config.max_epochs_per_trial = 50;
+  config.collaborative = collaborative;
+  config.delta = 0.005;  // CIFAR-10 head-room sizing, §4.2.2
+  config.alpha_init = 0.8;
+  config.alpha_decay = 0.97;
+  config.alpha_min = 0.05;
+  config.early_stop_patience = 5;
+  config.early_stop_min_delta = 0.002;
+  return tuning::RunStudy(name, config, advisor.get(), &factory, &bus, &ps,
+                          nullptr, workers, seed);
+}
+
+/// (a)-panel: per-trial final accuracy scatter (trial index vs accuracy).
+inline void PrintTrialScatter(const std::string& label,
+                              const tuning::StudyStats& stats, int stride) {
+  std::printf("%s scatter: trial_index accuracy epochs warm_started\n",
+              label.c_str());
+  for (size_t i = 0; i < stats.trials.size();
+       i += static_cast<size_t>(stride)) {
+    const tuning::TrialRecord& t = stats.trials[i];
+    std::printf("%s scatter: %4zu %8.4f %4d %d\n", label.c_str(), i,
+                t.performance, t.epochs, t.warm_started ? 1 : 0);
+  }
+}
+
+/// (b)-panel: accuracy histogram over all finished trials.
+inline void PrintAccuracyHistogram(const std::string& label,
+                                   const tuning::StudyStats& stats) {
+  Histogram hist(0.0, 1.0, 10);
+  for (const tuning::TrialRecord& t : stats.trials) {
+    hist.Add(t.performance);
+  }
+  std::printf("%s histogram: bucket_lo count\n", label.c_str());
+  for (size_t b = 0; b < hist.num_buckets(); ++b) {
+    std::printf("%s histogram: %4.1f %5zu\n", label.c_str(), hist.BucketLo(b),
+                hist.BucketCount(b));
+  }
+  std::printf("%s trials with accuracy > 0.5: %zu / %zu\n", label.c_str(),
+              hist.CountAtLeast(0.5), hist.total());
+}
+
+/// (c)-panel: best-so-far accuracy vs cumulative training epochs.
+inline void PrintProgressCurve(const std::string& label,
+                               const tuning::StudyStats& stats, int stride) {
+  std::printf("%s curve: total_epochs best_accuracy sim_minutes\n",
+              label.c_str());
+  for (size_t i = 0; i < stats.progress.size();
+       i += static_cast<size_t>(stride)) {
+    const tuning::ProgressPoint& p = stats.progress[i];
+    std::printf("%s curve: %6lld %8.4f %8.1f\n", label.c_str(),
+                static_cast<long long>(p.cumulative_epochs),
+                p.best_performance, p.sim_seconds / 60.0);
+  }
+  if (!stats.progress.empty()) {
+    const tuning::ProgressPoint& last = stats.progress.back();
+    std::printf("%s curve: %6lld %8.4f %8.1f (final)\n", label.c_str(),
+                static_cast<long long>(last.cumulative_epochs),
+                last.best_performance, last.sim_seconds / 60.0);
+  }
+}
+
+}  // namespace rafiki::bench
+
+#endif  // RAFIKI_BENCH_TUNING_BENCH_H_

@@ -1,0 +1,76 @@
+#include "cluster/message_bus.h"
+
+#include "common/string_util.h"
+
+namespace rafiki::cluster {
+
+Status MessageBus::RegisterEndpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = endpoints_.try_emplace(name, nullptr);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("endpoint '%s' exists", name.c_str()));
+  }
+  it->second = std::make_shared<Mailbox>();
+  return Status::OK();
+}
+
+Status MessageBus::RemoveEndpoint(const std::string& name) {
+  std::shared_ptr<Mailbox> box;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) {
+      return Status::NotFound(StrFormat("no endpoint '%s'", name.c_str()));
+    }
+    box = it->second;
+    endpoints_.erase(it);
+  }
+  box->Close();
+  return Status::OK();
+}
+
+Status MessageBus::Send(const std::string& to, Message message) {
+  std::shared_ptr<Mailbox> box = Find(to);
+  if (box == nullptr) {
+    return Status::NotFound(StrFormat("no endpoint '%s'", to.c_str()));
+  }
+  box->Push(std::move(message));
+  return Status::OK();
+}
+
+std::optional<Message> MessageBus::Receive(const std::string& name) {
+  std::shared_ptr<Mailbox> box = Find(name);
+  if (box == nullptr) return std::nullopt;
+  return box->Pop();
+}
+
+std::optional<Message> MessageBus::TryReceive(const std::string& name) {
+  std::shared_ptr<Mailbox> box = Find(name);
+  if (box == nullptr) return std::nullopt;
+  return box->TryPop();
+}
+
+void MessageBus::CloseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, box] : endpoints_) box->Close();
+}
+
+bool MessageBus::HasEndpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.count(name) > 0;
+}
+
+size_t MessageBus::QueueDepth(const std::string& name) const {
+  std::shared_ptr<Mailbox> box = Find(name);
+  return box == nullptr ? 0 : box->size();
+}
+
+std::shared_ptr<MessageBus::Mailbox> MessageBus::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+}  // namespace rafiki::cluster

@@ -1,0 +1,55 @@
+#ifndef RAFIKI_CLUSTER_MESSAGE_BUS_H_
+#define RAFIKI_CLUSTER_MESSAGE_BUS_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cluster/message.h"
+#include "common/blocking_queue.h"
+#include "common/status.h"
+
+namespace rafiki::cluster {
+
+/// Named mailboxes connecting masters and workers — the in-process stand-in
+/// for the RPC channels between Docker containers in the paper's deployment
+/// (§6.1). Sending to a missing endpoint fails with NotFound (the node is
+/// dead), which the protocol layers treat like a dropped RPC.
+class MessageBus {
+ public:
+  /// Creates a mailbox. AlreadyExists if the name is taken.
+  Status RegisterEndpoint(const std::string& name);
+
+  /// Removes a mailbox, waking any blocked receiver.
+  Status RemoveEndpoint(const std::string& name);
+
+  /// Delivers `message` to `to`'s mailbox.
+  Status Send(const std::string& to, Message message);
+
+  /// Blocks until a message arrives at `name` or the endpoint is closed.
+  /// nullopt means closed-and-drained.
+  std::optional<Message> Receive(const std::string& name);
+
+  /// Non-blocking receive.
+  std::optional<Message> TryReceive(const std::string& name);
+
+  /// Closes every endpoint (used at shutdown).
+  void CloseAll();
+
+  bool HasEndpoint(const std::string& name) const;
+  size_t QueueDepth(const std::string& name) const;
+
+ private:
+  using Mailbox = BlockingQueue<Message>;
+
+  std::shared_ptr<Mailbox> Find(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+};
+
+}  // namespace rafiki::cluster
+
+#endif  // RAFIKI_CLUSTER_MESSAGE_BUS_H_

@@ -1,0 +1,39 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace rafiki {
+namespace {
+
+double MonotonicSeconds() {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace
+
+RealClock::RealClock() : origin_(MonotonicSeconds()) {}
+
+double RealClock::Now() const { return MonotonicSeconds() - origin_; }
+
+void RealClock::Sleep(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void SimClock::Advance(double seconds) {
+  RAFIKI_CHECK_GE(seconds, 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += seconds;
+}
+
+void SimClock::AdvanceTo(double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RAFIKI_CHECK_GE(t, now_);
+  now_ = t;
+}
+
+}  // namespace rafiki

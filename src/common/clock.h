@@ -1,0 +1,59 @@
+#ifndef RAFIKI_COMMON_CLOCK_H_
+#define RAFIKI_COMMON_CLOCK_H_
+
+#include <memory>
+#include <mutex>
+
+namespace rafiki {
+
+/// Time source abstraction. Serving experiments run against a discrete-event
+/// `SimClock` (a 1500-simulated-second run completes in well under a minute
+/// of real time), while the same policy code can run against `RealClock`.
+/// Times are seconds as double, matching the paper's units (tau = 0.56s...).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time, in seconds.
+  virtual double Now() const = 0;
+  /// Blocks (real clock) or advances virtual time (sim clock) by `seconds`.
+  virtual void Sleep(double seconds) = 0;
+};
+
+/// Wall-clock time (monotonic).
+class RealClock : public Clock {
+ public:
+  RealClock();
+  double Now() const override;
+  void Sleep(double seconds) override;
+
+ private:
+  double origin_;
+};
+
+/// Virtual clock advanced explicitly by the discrete-event simulator.
+/// Thread-safe.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(double start = 0.0) : now_(start) {}
+
+  double Now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void Sleep(double seconds) override { Advance(seconds); }
+
+  /// Moves time forward; negative advances are a programming error.
+  void Advance(double seconds);
+
+  /// Jumps to an absolute time >= Now().
+  void AdvanceTo(double t);
+
+ private:
+  mutable std::mutex mu_;
+  double now_;
+};
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_CLOCK_H_

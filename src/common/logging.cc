@@ -1,0 +1,85 @@
+#include "common/logging.h"
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace rafiki {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+char SeverityChar(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return 'D';
+    case LogSeverity::kInfo:
+      return 'I';
+    case LogSeverity::kWarning:
+      return 'W';
+    case LogSeverity::kError:
+      return 'E';
+    case LogSeverity::kFatal:
+      return 'F';
+  }
+  return '?';
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(
+      g_min_severity.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << SeverityChar(severity) << " [" << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const bool enabled =
+      static_cast<int>(severity_) >=
+          g_min_severity.load(std::memory_order_relaxed) ||
+      severity_ == LogSeverity::kFatal;
+  if (enabled) {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    // Best-effort stack trace so fatal invariant violations are debuggable
+    // in the field (mangled frames; feed through c++filt).
+    void* frames[32];
+    int depth = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, depth, /*stderr=*/2);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace rafiki

@@ -1,0 +1,86 @@
+#ifndef RAFIKI_COMMON_LOGGING_H_
+#define RAFIKI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rafiki {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum severity that is emitted; defaults to kInfo. Thread-safe.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace rafiki
+
+#define RAFIKI_LOG_DEBUG ::rafiki::LogSeverity::kDebug
+#define RAFIKI_LOG_INFO ::rafiki::LogSeverity::kInfo
+#define RAFIKI_LOG_WARNING ::rafiki::LogSeverity::kWarning
+#define RAFIKI_LOG_ERROR ::rafiki::LogSeverity::kError
+#define RAFIKI_LOG_FATAL ::rafiki::LogSeverity::kFatal
+
+/// RAFIKI_LOG(INFO) << "message"; Severity below the configured minimum is
+/// evaluated but discarded (FATAL always aborts).
+#define RAFIKI_LOG(severity)                                          \
+  ::rafiki::internal::LogMessage(RAFIKI_LOG_##severity, __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check, usable in headers. Expands to a
+/// statement; extra context can be streamed: RAFIKI_CHECK(x) << "detail".
+/// The `while` executes at most once because ~LogMessage aborts on FATAL.
+#define RAFIKI_CHECK(cond)                                          \
+  while (!(cond))                                                   \
+  ::rafiki::internal::LogMessage(RAFIKI_LOG_FATAL, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define RAFIKI_CHECK_OP_(a, b, op)                                         \
+  RAFIKI_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define RAFIKI_CHECK_EQ(a, b) RAFIKI_CHECK_OP_(a, b, ==)
+#define RAFIKI_CHECK_NE(a, b) RAFIKI_CHECK_OP_(a, b, !=)
+#define RAFIKI_CHECK_LT(a, b) RAFIKI_CHECK_OP_(a, b, <)
+#define RAFIKI_CHECK_LE(a, b) RAFIKI_CHECK_OP_(a, b, <=)
+#define RAFIKI_CHECK_GT(a, b) RAFIKI_CHECK_OP_(a, b, >)
+#define RAFIKI_CHECK_GE(a, b) RAFIKI_CHECK_OP_(a, b, >=)
+
+/// Fatal unless the Status expression is OK.
+#define RAFIKI_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::rafiki::Status _rafiki_chk_status_ = (expr);                  \
+    RAFIKI_CHECK(_rafiki_chk_status_.ok())                          \
+        << _rafiki_chk_status_.ToString();                          \
+  } while (0)
+
+#endif  // RAFIKI_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef RAFIKI_COMMON_RESULT_H_
+#define RAFIKI_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace rafiki {
+
+/// Either a value of type T or a non-OK Status, akin to absl::StatusOr /
+/// arrow::Result. Accessing the value of an errored Result is a fatal
+/// programming error (the process aborts), so callers must check `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicitly constructible from a value (success)...
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// ...or from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    RAFIKI_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RAFIKI_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    RAFIKI_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    RAFIKI_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rafiki
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`.
+#define RAFIKI_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  RAFIKI_ASSIGN_OR_RETURN_IMPL_(                       \
+      RAFIKI_STATUS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define RAFIKI_STATUS_CONCAT_INNER_(a, b) a##b
+#define RAFIKI_STATUS_CONCAT_(a, b) RAFIKI_STATUS_CONCAT_INNER_(a, b)
+
+#define RAFIKI_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value()
+
+#endif  // RAFIKI_COMMON_RESULT_H_

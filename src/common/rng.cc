@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Rng::LogUniform(double lo, double hi) {
+  RAFIKI_CHECK_GT(lo, 0.0);
+  RAFIKI_CHECK_GT(hi, lo);
+  double u = Uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+Rng Rng::Fork() { return Rng(SplitMix64(engine_())); }
+
+}  // namespace rafiki

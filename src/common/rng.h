@@ -1,0 +1,74 @@
+#ifndef RAFIKI_COMMON_RNG_H_
+#define RAFIKI_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rafiki {
+
+/// Deterministic, explicitly-seeded random number generator used everywhere
+/// stochastic behaviour is needed. Every experiment takes a seed so runs are
+/// reproducible; `Fork()` derives decorrelated child streams (one per
+/// worker / per trial) without the children sharing state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Index in [0, n); n must be > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Gaussian sample with the given mean and standard deviation.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p < 0 ? 0 : (p > 1 ? 1 : p));
+    return dist(engine_);
+  }
+
+  /// Log-uniform double in [lo, hi); lo, hi must be positive.
+  double LogUniform(double lo, double hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator. Uses SplitMix64 on the parent
+  /// stream so forked streams do not overlap in practice.
+  Rng Fork();
+
+  /// Raw 64-bit draw.
+  uint64_t Next64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_RNG_H_

@@ -1,0 +1,99 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace rafiki {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStat::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.4f sd=%.4f min=%.4f max=%.4f",
+                count_, mean(), stddev(), min(), max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  RAFIKI_CHECK_GT(hi, lo);
+  RAFIKI_CHECK_GT(buckets, 0u);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  double idx = (x - lo_) / width_;
+  auto i = static_cast<long>(std::floor(idx));
+  if (i < 0) i = 0;
+  if (i >= static_cast<long>(counts_.size()))
+    i = static_cast<long>(counts_.size()) - 1;
+  ++counts_[static_cast<size_t>(i)];
+  samples_.push_back(x);
+  ++total_;
+}
+
+double Histogram::BucketLo(size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+size_t Histogram::CountAtLeast(double threshold) const {
+  return static_cast<size_t>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [&](double v) { return v >= threshold; }));
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%.2f,%.2f): %zu\n", BucketLo(i),
+                  BucketLo(i) + width_, counts_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+}  // namespace rafiki

@@ -1,0 +1,79 @@
+#ifndef RAFIKI_COMMON_STATS_H_
+#define RAFIKI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rafiki {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bucket histogram over [lo, hi); out-of-range samples land in
+/// the first/last bucket. Used for the Figure 8(b)/9(b) accuracy histograms.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t BucketCount(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  /// Inclusive lower edge of bucket i.
+  double BucketLo(size_t i) const;
+  size_t total() const { return total_; }
+  /// Count of samples with value >= threshold.
+  size_t CountAtLeast(double threshold) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  std::vector<double> samples_;  // retained for CountAtLeast exactness
+  size_t total_ = 0;
+};
+
+/// Exponentially-weighted moving average, used for rate estimation in the
+/// serving scheduler state.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void Add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_STATS_H_

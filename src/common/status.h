@@ -1,0 +1,101 @@
+#ifndef RAFIKI_COMMON_STATUS_H_
+#define RAFIKI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rafiki {
+
+/// Canonical error codes, mirroring the subset used across the codebase.
+/// Library code never throws; fallible operations return `Status` or
+/// `Result<T>` (see result.h), in the style of RocksDB/Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnavailable = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
+  kInternal = 9,
+  kUnimplemented = 10,
+};
+
+/// Human-readable name for a status code ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace rafiki
+
+/// Propagates a non-OK Status to the caller.
+#define RAFIKI_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::rafiki::Status _rafiki_status_ = (expr);      \
+    if (!_rafiki_status_.ok()) return _rafiki_status_; \
+  } while (0)
+
+#endif  // RAFIKI_COMMON_STATUS_H_

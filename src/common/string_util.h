@@ -1,0 +1,25 @@
+#ifndef RAFIKI_COMMON_STRING_UTIL_H_
+#define RAFIKI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rafiki {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_STRING_UTIL_H_

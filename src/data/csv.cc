@@ -1,0 +1,106 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace rafiki::data {
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  RAFIKI_CHECK_EQ(dataset.x.rank(), 2u) << "CSV export needs [n, d] data";
+  int64_t n = dataset.size();
+  int64_t d = dataset.x.dim(1);
+  std::string out;
+  out.reserve(static_cast<size_t>(n * (d + 1) * 12));
+  for (int64_t j = 0; j < d; ++j) {
+    out += StrFormat("x%lld,", static_cast<long long>(j));
+  }
+  out += "label\n";
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      out += StrFormat("%.9g,", dataset.x.at(i * d + j));
+    }
+    out += StrFormat("%lld\n", static_cast<long long>(
+                                   dataset.labels[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+Result<Dataset> DatasetFromCsv(const std::string& csv,
+                               int64_t expected_classes) {
+  std::vector<std::vector<float>> rows;
+  std::vector<int64_t> labels;
+  int64_t width = -1;
+  size_t line_no = 0;
+  for (const std::string& line : Split(csv, '\n')) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: need at least one feature and a label",
+                    line_no));
+    }
+    // Optional header: skip if the first field is not numeric.
+    char* end = nullptr;
+    std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str()) {
+      if (rows.empty()) continue;  // header
+      return Status::InvalidArgument(
+          StrFormat("line %zu: non-numeric field '%s'", line_no,
+                    fields[0].c_str()));
+    }
+    if (width < 0) {
+      width = static_cast<int64_t>(fields.size()) - 1;
+    } else if (static_cast<int64_t>(fields.size()) - 1 != width) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected %lld features, got %zu", line_no,
+                    static_cast<long long>(width), fields.size() - 1));
+    }
+    std::vector<float> row(static_cast<size_t>(width));
+    for (int64_t j = 0; j < width; ++j) {
+      const std::string& f = fields[static_cast<size_t>(j)];
+      end = nullptr;
+      row[static_cast<size_t>(j)] =
+          std::strtof(f.c_str(), &end);
+      if (end == f.c_str()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad feature '%s'", line_no, f.c_str()));
+      }
+    }
+    const std::string& label_field = fields.back();
+    end = nullptr;
+    long long label = std::strtoll(label_field.c_str(), &end, 10);
+    if (end == label_field.c_str() || label < 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: bad label '%s'", line_no,
+                    label_field.c_str()));
+    }
+    if (expected_classes > 0 && label >= expected_classes) {
+      return Status::OutOfRange(
+          StrFormat("line %zu: label %lld >= %lld classes", line_no, label,
+                    static_cast<long long>(expected_classes)));
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  Dataset out;
+  auto n = static_cast<int64_t>(rows.size());
+  out.x = Tensor({n, width});
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(rows[static_cast<size_t>(i)].begin(),
+              rows[static_cast<size_t>(i)].end(), out.x.data() + i * width);
+  }
+  out.labels = std::move(labels);
+  out.num_classes =
+      expected_classes > 0
+          ? expected_classes
+          : *std::max_element(out.labels.begin(), out.labels.end()) + 1;
+  return out;
+}
+
+}  // namespace rafiki::data

@@ -1,0 +1,28 @@
+#ifndef RAFIKI_DATA_CSV_H_
+#define RAFIKI_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace rafiki::data {
+
+/// CSV codecs for feature-vector datasets — the practical ingestion path a
+/// database user takes into `rafiki.import_*` when their data is tabular
+/// rather than images. Row format: `f1,f2,...,fd,label` with an integer
+/// class label in the last column. A header line is optional on read and
+/// always written as `x0,...,x<d-1>,label`.
+
+/// Renders the dataset as CSV text.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses CSV text into a dataset. Rows must be rectangular; labels must
+/// be non-negative integers. `num_classes` is inferred as max(label) + 1
+/// unless `expected_classes` > 0 (then out-of-range labels fail).
+Result<Dataset> DatasetFromCsv(const std::string& csv,
+                               int64_t expected_classes = 0);
+
+}  // namespace rafiki::data
+
+#endif  // RAFIKI_DATA_CSV_H_

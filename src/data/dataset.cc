@@ -1,0 +1,176 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rafiki::data {
+
+Dataset Dataset::Slice(int64_t begin, int64_t end) const {
+  RAFIKI_CHECK_GE(begin, 0);
+  RAFIKI_CHECK_LE(end, size());
+  RAFIKI_CHECK_LE(begin, end);
+  int64_t n = end - begin;
+  int64_t row = x.numel() / std::max<int64_t>(size(), 1);
+  Shape shape = x.shape();
+  shape[0] = n;
+  Dataset out;
+  out.num_classes = num_classes;
+  out.x = Tensor(shape);
+  std::copy(x.data() + begin * row, x.data() + end * row, out.x.data());
+  out.labels.assign(labels.begin() + begin, labels.begin() + end);
+  return out;
+}
+
+Dataset MakeSyntheticTask(const SyntheticTaskOptions& options) {
+  Rng rng(options.seed);
+  int64_t n = options.num_classes * options.samples_per_class;
+  Dataset out;
+  out.num_classes = options.num_classes;
+  out.x = Tensor({n, options.input_dim});
+  out.labels.resize(static_cast<size_t>(n));
+
+  // Random unit-ish centers scaled by `separation`.
+  std::vector<std::vector<double>> centers(
+      static_cast<size_t>(options.num_classes));
+  for (auto& c : centers) {
+    c.resize(static_cast<size_t>(options.input_dim));
+    double norm = 0.0;
+    for (double& v : c) {
+      v = rng.Gaussian();
+      norm += v * v;
+    }
+    norm = std::sqrt(std::max(norm, 1e-9));
+    for (double& v : c) v = v / norm * options.separation;
+  }
+
+  int64_t idx = 0;
+  for (int64_t k = 0; k < options.num_classes; ++k) {
+    for (int64_t s = 0; s < options.samples_per_class; ++s, ++idx) {
+      out.labels[static_cast<size_t>(idx)] = k;
+      float* row = out.x.data() + idx * options.input_dim;
+      for (int64_t d = 0; d < options.input_dim; ++d) {
+        row[d] = static_cast<float>(centers[static_cast<size_t>(k)]
+                                           [static_cast<size_t>(d)] +
+                                    rng.Gaussian(0.0, options.spread));
+      }
+    }
+  }
+  return out;
+}
+
+Dataset MakeSyntheticImages(const SyntheticImageOptions& options) {
+  Rng rng(options.seed);
+  int64_t n = options.num_classes * options.samples_per_class;
+  Dataset out;
+  out.num_classes = options.num_classes;
+  out.x = Tensor({n, options.channels, options.height, options.width});
+  out.labels.resize(static_cast<size_t>(n));
+
+  // One smooth sinusoidal template per (class, channel).
+  auto tmpl = [&](int64_t k, int64_t c, int64_t y, int64_t x) -> double {
+    double fy = 0.5 + 0.5 * static_cast<double>(k % 4);
+    double fx = 0.5 + 0.5 * static_cast<double>((k + c) % 3);
+    return std::sin(fy * y * 0.7 + k) * std::cos(fx * x * 0.5 + c);
+  };
+
+  int64_t idx = 0;
+  int64_t plane = options.height * options.width;
+  for (int64_t k = 0; k < options.num_classes; ++k) {
+    for (int64_t s = 0; s < options.samples_per_class; ++s, ++idx) {
+      out.labels[static_cast<size_t>(idx)] = k;
+      float* base = out.x.data() + idx * options.channels * plane;
+      for (int64_t c = 0; c < options.channels; ++c) {
+        for (int64_t y = 0; y < options.height; ++y) {
+          for (int64_t x = 0; x < options.width; ++x) {
+            base[c * plane + y * options.width + x] = static_cast<float>(
+                tmpl(k, c, y, x) + rng.Gaussian(0.0, options.noise));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DataSplits SplitDataset(const Dataset& dataset, double train_fraction,
+                        double validation_fraction, Rng& rng) {
+  RAFIKI_CHECK_GT(train_fraction, 0.0);
+  RAFIKI_CHECK_GE(validation_fraction, 0.0);
+  RAFIKI_CHECK_LE(train_fraction + validation_fraction, 1.0);
+  int64_t n = dataset.size();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  int64_t row = dataset.x.numel() / std::max<int64_t>(n, 1);
+  auto take = [&](int64_t begin, int64_t end) {
+    Dataset out;
+    out.num_classes = dataset.num_classes;
+    if (end == begin) return out;  // empty split: rank-0 tensor
+    Shape shape = dataset.x.shape();
+    shape[0] = end - begin;
+    out.x = Tensor(shape);
+    out.labels.resize(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t src = order[static_cast<size_t>(i)];
+      std::copy(dataset.x.data() + src * row,
+                dataset.x.data() + (src + 1) * row,
+                out.x.data() + (i - begin) * row);
+      out.labels[static_cast<size_t>(i - begin)] =
+          dataset.labels[static_cast<size_t>(src)];
+    }
+    return out;
+  };
+
+  int64_t n_train = static_cast<int64_t>(train_fraction * n);
+  int64_t n_val = static_cast<int64_t>(validation_fraction * n);
+  DataSplits splits;
+  splits.train = take(0, n_train);
+  splits.validation = take(n_train, n_train + n_val);
+  splits.test = take(n_train + n_val, n);
+  return splits;
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, int64_t batch_size,
+                             Rng rng)
+    : dataset_(dataset), batch_size_(batch_size), rng_(rng) {
+  RAFIKI_CHECK_GT(batch_size, 0);
+  order_.resize(static_cast<size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  rng_.Shuffle(order_);
+}
+
+bool BatchIterator::Next(Tensor* x, std::vector<int64_t>* labels) {
+  int64_t n = dataset_.size();
+  if (cursor_ >= n) return false;
+  int64_t end = std::min(cursor_ + batch_size_, n);
+  int64_t b = end - cursor_;
+  int64_t row = dataset_.x.numel() / std::max<int64_t>(n, 1);
+  Shape shape = dataset_.x.shape();
+  shape[0] = b;
+  *x = Tensor(shape);
+  labels->resize(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    int64_t src = order_[static_cast<size_t>(cursor_ + i)];
+    std::copy(dataset_.x.data() + src * row,
+              dataset_.x.data() + (src + 1) * row, x->data() + i * row);
+    (*labels)[static_cast<size_t>(i)] =
+        dataset_.labels[static_cast<size_t>(src)];
+  }
+  cursor_ = end;
+  return true;
+}
+
+void BatchIterator::Reset() {
+  cursor_ = 0;
+  rng_.Shuffle(order_);
+}
+
+int64_t BatchIterator::batches_per_epoch() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace rafiki::data

@@ -1,0 +1,299 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void CheckNchw(const Tensor& t) {
+  RAFIKI_CHECK_EQ(t.rank(), 4u) << "expected NCHW batch";
+}
+
+}  // namespace
+
+NormalizeOp::NormalizeOp(std::vector<float> channel_mean,
+                         std::vector<float> channel_std)
+    : mean_(std::move(channel_mean)), std_(std::move(channel_std)) {
+  RAFIKI_CHECK_EQ(mean_.size(), std_.size());
+  for (float s : std_) RAFIKI_CHECK_GT(s, 0.0f);
+}
+
+void NormalizeOp::Apply(Tensor* batch, Rng& rng) const {
+  CheckNchw(*batch);
+  int64_t n = batch->dim(0), c = batch->dim(1);
+  int64_t plane = batch->dim(2) * batch->dim(3);
+  RAFIKI_CHECK_EQ(static_cast<size_t>(c), mean_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* p = batch->data() + (i * c + ch) * plane;
+      float m = mean_[static_cast<size_t>(ch)];
+      float inv = 1.0f / std_[static_cast<size_t>(ch)];
+      for (int64_t j = 0; j < plane; ++j) p[j] = (p[j] - m) * inv;
+    }
+  }
+}
+
+PadCropOp::PadCropOp(int64_t pad) : pad_(pad) { RAFIKI_CHECK_GE(pad, 0); }
+
+void PadCropOp::Apply(Tensor* batch, Rng& rng) const {
+  CheckNchw(*batch);
+  if (pad_ == 0) return;
+  int64_t n = batch->dim(0), c = batch->dim(1);
+  int64_t h = batch->dim(2), w = batch->dim(3);
+  Tensor out(batch->shape());
+  for (int64_t i = 0; i < n; ++i) {
+    // Crop offset within the padded image, shared across channels.
+    int64_t oy = rng.UniformInt(0, 2 * pad_);
+    int64_t ox = rng.UniformInt(0, 2 * pad_);
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = batch->data() + (i * c + ch) * h * w;
+      float* dst = out.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          int64_t sy = y + oy - pad_;
+          int64_t sx = x + ox - pad_;
+          dst[y * w + x] = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                               ? src[sy * w + sx]
+                               : 0.0f;
+        }
+      }
+    }
+  }
+  *batch = std::move(out);
+}
+
+RandomFlipOp::RandomFlipOp(double p) : p_(p) {
+  RAFIKI_CHECK_GE(p, 0.0);
+  RAFIKI_CHECK_LE(p, 1.0);
+}
+
+void RandomFlipOp::Apply(Tensor* batch, Rng& rng) const {
+  CheckNchw(*batch);
+  int64_t n = batch->dim(0), c = batch->dim(1);
+  int64_t h = batch->dim(2), w = batch->dim(3);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!rng.Bernoulli(p_)) continue;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* p = batch->data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        std::reverse(p + y * w, p + (y + 1) * w);
+      }
+    }
+  }
+}
+
+RandomRotationOp::RandomRotationOp(double max_degrees)
+    : max_degrees_(max_degrees) {
+  RAFIKI_CHECK_GE(max_degrees, 0.0);
+}
+
+void RandomRotationOp::Apply(Tensor* batch, Rng& rng) const {
+  CheckNchw(*batch);
+  if (max_degrees_ == 0.0) return;
+  int64_t n = batch->dim(0), c = batch->dim(1);
+  int64_t h = batch->dim(2), w = batch->dim(3);
+  Tensor out(batch->shape());
+  for (int64_t i = 0; i < n; ++i) {
+    double theta =
+        rng.Uniform(-max_degrees_, max_degrees_) * kPi / 180.0;
+    double ct = std::cos(theta), st = std::sin(theta);
+    double cy = (h - 1) / 2.0, cx = (w - 1) / 2.0;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = batch->data() + (i * c + ch) * h * w;
+      float* dst = out.data() + (i * c + ch) * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          // Inverse-map the output pixel to the source image.
+          double dy = y - cy, dx = x - cx;
+          auto sy = static_cast<int64_t>(std::lround(ct * dy + st * dx + cy));
+          auto sx = static_cast<int64_t>(std::lround(-st * dy + ct * dx + cx));
+          dst[y * w + x] = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                               ? src[sy * w + sx]
+                               : 0.0f;
+        }
+      }
+    }
+  }
+  *batch = std::move(out);
+}
+
+namespace {
+
+/// Symmetric eigendecomposition by cyclic Jacobi rotations. `a` is [d, d]
+/// row-major and is destroyed; eigenvectors land in the columns of `v`.
+void JacobiEigen(std::vector<double>& a, std::vector<double>& v, int64_t d) {
+  v.assign(static_cast<size_t>(d * d), 0.0);
+  for (int64_t i = 0; i < d; ++i) v[static_cast<size_t>(i * d + i)] = 1.0;
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < d; ++p)
+      for (int64_t q = p + 1; q < d; ++q)
+        off += a[static_cast<size_t>(p * d + q)] *
+               a[static_cast<size_t>(p * d + q)];
+    if (off < 1e-18) break;
+    for (int64_t p = 0; p < d; ++p) {
+      for (int64_t q = p + 1; q < d; ++q) {
+        double apq = a[static_cast<size_t>(p * d + q)];
+        if (std::fabs(apq) < 1e-15) continue;
+        double app = a[static_cast<size_t>(p * d + p)];
+        double aqq = a[static_cast<size_t>(q * d + q)];
+        double phi = 0.5 * std::atan2(2.0 * apq, aqq - app);
+        double cph = std::cos(phi), sph = std::sin(phi);
+        for (int64_t k = 0; k < d; ++k) {
+          double akp = a[static_cast<size_t>(k * d + p)];
+          double akq = a[static_cast<size_t>(k * d + q)];
+          a[static_cast<size_t>(k * d + p)] = cph * akp - sph * akq;
+          a[static_cast<size_t>(k * d + q)] = sph * akp + cph * akq;
+        }
+        for (int64_t k = 0; k < d; ++k) {
+          double apk = a[static_cast<size_t>(p * d + k)];
+          double aqk = a[static_cast<size_t>(q * d + k)];
+          a[static_cast<size_t>(p * d + k)] = cph * apk - sph * aqk;
+          a[static_cast<size_t>(q * d + k)] = sph * apk + cph * aqk;
+        }
+        for (int64_t k = 0; k < d; ++k) {
+          double vkp = v[static_cast<size_t>(k * d + p)];
+          double vkq = v[static_cast<size_t>(k * d + q)];
+          v[static_cast<size_t>(k * d + p)] = cph * vkp - sph * vkq;
+          v[static_cast<size_t>(k * d + q)] = sph * vkp + cph * vkq;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Whitener::Whitener(const Tensor& train_features, WhitenKind kind,
+                   double epsilon)
+    : kind_(kind) {
+  RAFIKI_CHECK_EQ(train_features.rank(), 2u);
+  int64_t n = train_features.dim(0);
+  int64_t d = train_features.dim(1);
+  RAFIKI_CHECK_GT(n, 1);
+
+  mean_.assign(static_cast<size_t>(d), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      mean_[static_cast<size_t>(j)] += train_features.at(i * d + j);
+    }
+  }
+  for (float& m : mean_) m /= static_cast<float>(n);
+
+  // Covariance.
+  std::vector<double> cov(static_cast<size_t>(d * d), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      double xj = train_features.at(i * d + j) - mean_[static_cast<size_t>(j)];
+      for (int64_t k = j; k < d; ++k) {
+        double xk =
+            train_features.at(i * d + k) - mean_[static_cast<size_t>(k)];
+        cov[static_cast<size_t>(j * d + k)] += xj * xk;
+      }
+    }
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t k = j; k < d; ++k) {
+      double v = cov[static_cast<size_t>(j * d + k)] / (n - 1);
+      cov[static_cast<size_t>(j * d + k)] = v;
+      cov[static_cast<size_t>(k * d + j)] = v;
+    }
+  }
+
+  std::vector<double> vecs;
+  JacobiEigen(cov, vecs, d);
+  // Eigenvalues on the diagonal after rotation.
+  std::vector<double> evals(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j)
+    evals[static_cast<size_t>(j)] = cov[static_cast<size_t>(j * d + j)];
+
+  // PCA whitening: W = U diag(1/sqrt(l+eps)); ZCA: W = U diag(...) U^T.
+  transform_ = Tensor({d, d});
+  std::vector<double> scaled(static_cast<size_t>(d * d), 0.0);
+  for (int64_t j = 0; j < d; ++j) {
+    double s = 1.0 / std::sqrt(std::max(evals[static_cast<size_t>(j)], 0.0) +
+                               epsilon);
+    for (int64_t i = 0; i < d; ++i) {
+      scaled[static_cast<size_t>(i * d + j)] =
+          vecs[static_cast<size_t>(i * d + j)] * s;
+    }
+  }
+  if (kind == WhitenKind::kPca) {
+    for (int64_t i = 0; i < d; ++i)
+      for (int64_t j = 0; j < d; ++j)
+        transform_.at(i * d + j) =
+            static_cast<float>(scaled[static_cast<size_t>(i * d + j)]);
+  } else {
+    // ZCA: scaled * U^T.
+    for (int64_t i = 0; i < d; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        double acc = 0.0;
+        for (int64_t k = 0; k < d; ++k) {
+          acc += scaled[static_cast<size_t>(i * d + k)] *
+                 vecs[static_cast<size_t>(j * d + k)];
+        }
+        transform_.at(i * d + j) = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+void Whitener::Apply(Tensor* batch) const {
+  RAFIKI_CHECK_EQ(batch->rank(), 2u);
+  int64_t d = batch->dim(1);
+  RAFIKI_CHECK_EQ(d, transform_.dim(0));
+  Tensor centered = *batch;
+  int64_t b = batch->dim(0);
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      centered.at(i * d + j) -= mean_[static_cast<size_t>(j)];
+    }
+  }
+  *batch = MatMul(centered, transform_);
+}
+
+void Pipeline::Add(std::unique_ptr<PreprocessOp> op) {
+  ops_.push_back(std::move(op));
+}
+
+void Pipeline::Apply(Tensor* batch, Rng& rng) const {
+  for (const auto& op : ops_) op->Apply(batch, rng);
+}
+
+std::vector<std::string> Pipeline::OpNames() const {
+  std::vector<std::string> out;
+  out.reserve(ops_.size());
+  for (const auto& op : ops_) out.push_back(op->name());
+  return out;
+}
+
+void ComputeChannelStats(const Tensor& images, std::vector<float>* mean,
+                         std::vector<float>* stddev) {
+  RAFIKI_CHECK_EQ(images.rank(), 4u);
+  int64_t n = images.dim(0), c = images.dim(1);
+  int64_t plane = images.dim(2) * images.dim(3);
+  mean->assign(static_cast<size_t>(c), 0.0f);
+  stddev->assign(static_cast<size_t>(c), 0.0f);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const float* p = images.data() + (i * c + ch) * plane;
+      for (int64_t j = 0; j < plane; ++j) {
+        sum += p[j];
+        sq += static_cast<double>(p[j]) * p[j];
+      }
+    }
+    double cnt = static_cast<double>(n * plane);
+    double m = sum / cnt;
+    double var = std::max(sq / cnt - m * m, 1e-12);
+    (*mean)[static_cast<size_t>(ch)] = static_cast<float>(m);
+    (*stddev)[static_cast<size_t>(ch)] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+}  // namespace rafiki::data

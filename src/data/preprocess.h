@@ -1,0 +1,121 @@
+#ifndef RAFIKI_DATA_PREPROCESS_H_
+#define RAFIKI_DATA_PREPROCESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::data {
+
+/// Data-preprocessing operators — Table 1 group 1 of the paper (image
+/// rotation, image cropping, whitening {PCA, ZCA}, plus the standard
+/// CIFAR-10 pipeline of §7.1: per-channel standardization, 4-pixel pad +
+/// random crop, random horizontal flip).
+///
+/// Each op transforms a batch in place; stochastic ops draw from the Rng
+/// that is passed per call so trials stay reproducible.
+class PreprocessOp {
+ public:
+  virtual ~PreprocessOp() = default;
+  virtual void Apply(Tensor* batch, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Per-channel standardization of an NCHW batch using the provided
+/// statistics (computed once on the training set, as in the paper).
+class NormalizeOp : public PreprocessOp {
+ public:
+  NormalizeOp(std::vector<float> channel_mean,
+              std::vector<float> channel_std);
+  void Apply(Tensor* batch, Rng& rng) const override;
+  std::string name() const override { return "normalize"; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+/// Pads each image with `pad` zero pixels on every side, then takes a random
+/// crop back at the original size.
+class PadCropOp : public PreprocessOp {
+ public:
+  explicit PadCropOp(int64_t pad);
+  void Apply(Tensor* batch, Rng& rng) const override;
+  std::string name() const override { return "pad_crop"; }
+
+ private:
+  int64_t pad_;
+};
+
+/// Mirrors each image horizontally with probability p.
+class RandomFlipOp : public PreprocessOp {
+ public:
+  explicit RandomFlipOp(double p);
+  void Apply(Tensor* batch, Rng& rng) const override;
+  std::string name() const override { return "flip"; }
+
+ private:
+  double p_;
+};
+
+/// Rotates each image by a uniform angle in [-max_degrees, max_degrees]
+/// (nearest-neighbour resampling around the image center).
+class RandomRotationOp : public PreprocessOp {
+ public:
+  explicit RandomRotationOp(double max_degrees);
+  void Apply(Tensor* batch, Rng& rng) const override;
+  std::string name() const override { return "rotate"; }
+
+ private:
+  double max_degrees_;
+};
+
+/// Whitening method for feature-matrix datasets.
+enum class WhitenKind { kPca, kZca };
+
+/// Computes a whitening transform from [n, d] training features and applies
+/// it to batches (rank-2 only). Eigen-decomposition is done with a Jacobi
+/// sweep — d is small for the synthetic tasks.
+class Whitener {
+ public:
+  /// Fits on training features; `epsilon` regularizes small eigenvalues.
+  Whitener(const Tensor& train_features, WhitenKind kind,
+           double epsilon = 1e-5);
+
+  /// Applies x -> (x - mean) W to a [b, d] batch.
+  void Apply(Tensor* batch) const;
+
+  WhitenKind kind() const { return kind_; }
+  /// Covariance of transformed training data should be ~identity; exposed
+  /// for property tests.
+  const Tensor& transform() const { return transform_; }
+
+ private:
+  WhitenKind kind_;
+  std::vector<float> mean_;
+  Tensor transform_;  // [d, d]
+};
+
+/// An ordered preprocessing pipeline assembled from knob values.
+class Pipeline {
+ public:
+  void Add(std::unique_ptr<PreprocessOp> op);
+  void Apply(Tensor* batch, Rng& rng) const;
+  size_t size() const { return ops_.size(); }
+  std::vector<std::string> OpNames() const;
+
+ private:
+  std::vector<std::unique_ptr<PreprocessOp>> ops_;
+};
+
+/// Per-channel mean/std over an NCHW dataset (for NormalizeOp).
+void ComputeChannelStats(const Tensor& images, std::vector<float>* mean,
+                         std::vector<float>* stddev);
+
+}  // namespace rafiki::data
+
+#endif  // RAFIKI_DATA_PREPROCESS_H_

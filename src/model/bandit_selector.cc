@@ -1,0 +1,64 @@
+#include "model/bandit_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rafiki::model {
+
+BanditModelSelector::BanditModelSelector(std::vector<std::string> model_names,
+                                         double exploration)
+    : names_(std::move(model_names)), exploration_(exploration) {
+  RAFIKI_CHECK(!names_.empty());
+  pulls_.assign(names_.size(), 0);
+  sums_.assign(names_.size(), 0.0);
+}
+
+size_t BanditModelSelector::NextArm() const {
+  // Unexplored arms first.
+  for (size_t i = 0; i < pulls_.size(); ++i) {
+    if (pulls_[i] == 0) return i;
+  }
+  double best_ucb = -1e300;
+  size_t best = 0;
+  double log_total = std::log(static_cast<double>(total_pulls_));
+  for (size_t i = 0; i < pulls_.size(); ++i) {
+    double mean = sums_[i] / static_cast<double>(pulls_[i]);
+    double bonus = exploration_ *
+                   std::sqrt(log_total / static_cast<double>(pulls_[i]));
+    double ucb = mean + bonus;
+    if (ucb > best_ucb) {
+      best_ucb = ucb;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void BanditModelSelector::Record(size_t arm, double performance) {
+  RAFIKI_CHECK_LT(arm, pulls_.size());
+  ++pulls_[arm];
+  ++total_pulls_;
+  sums_[arm] += performance;
+}
+
+double BanditModelSelector::MeanPerformance(size_t arm) const {
+  RAFIKI_CHECK_LT(arm, pulls_.size());
+  if (pulls_[arm] == 0) return 0.0;
+  return sums_[arm] / static_cast<double>(pulls_[arm]);
+}
+
+int64_t BanditModelSelector::Pulls(size_t arm) const {
+  RAFIKI_CHECK_LT(arm, pulls_.size());
+  return pulls_[arm];
+}
+
+std::vector<size_t> BanditModelSelector::Ranking() const {
+  std::vector<size_t> order(names_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return MeanPerformance(a) > MeanPerformance(b);
+  });
+  return order;
+}
+
+}  // namespace rafiki::model

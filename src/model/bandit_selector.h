@@ -1,0 +1,58 @@
+#ifndef RAFIKI_MODEL_BANDIT_SELECTOR_H_
+#define RAFIKI_MODEL_BANDIT_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rafiki::model {
+
+/// The model-selection baseline Rafiki argues against in §4.1: Ease.ml
+/// converts model selection into a multi-armed bandit where every model
+/// (arm) gets training chances and under-performers are de-prioritized.
+/// Implemented here (UCB1 over observed validation performance) so the
+/// paper's design choice — a simple pick-diverse-top-models rule instead —
+/// can be compared against the bandit on equal footing (see
+/// registry_test.cc and the §4.1 discussion).
+class BanditModelSelector {
+ public:
+  /// `exploration` is the UCB confidence multiplier (sqrt-log bonus).
+  BanditModelSelector(std::vector<std::string> model_names,
+                      double exploration = 1.4);
+
+  /// Arm to train next: unexplored arms first (in order), then the
+  /// highest upper confidence bound.
+  size_t NextArm() const;
+
+  /// Records the validation performance of one training run of arm `i`.
+  void Record(size_t arm, double performance);
+
+  /// Mean observed performance of an arm (0 when unexplored).
+  double MeanPerformance(size_t arm) const;
+  int64_t Pulls(size_t arm) const;
+  int64_t TotalPulls() const { return total_pulls_; }
+
+  /// Arms ranked by mean performance (best first) — the post-budget
+  /// selection the bandit produces.
+  std::vector<size_t> Ranking() const;
+
+  const std::string& name(size_t arm) const {
+    RAFIKI_CHECK_LT(arm, names_.size());
+    return names_[arm];
+  }
+  size_t num_arms() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  double exploration_;
+  std::vector<int64_t> pulls_;
+  std::vector<double> sums_;
+  int64_t total_pulls_ = 0;
+};
+
+}  // namespace rafiki::model
+
+#endif  // RAFIKI_MODEL_BANDIT_SELECTOR_H_

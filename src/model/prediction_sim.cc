@@ -1,0 +1,204 @@
+#include "model/prediction_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace rafiki::model {
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation); accurate
+/// to ~1e-9, ample for calibrating correctness thresholds.
+double InverseNormalCdf(double p) {
+  RAFIKI_CHECK_GT(p, 0.0);
+  RAFIKI_CHECK_LT(p, 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+PredictionSimulator::PredictionSimulator(std::vector<ModelProfile> models,
+                                         PredictionSimOptions options)
+    : models_(std::move(models)), options_(options), rng_(options.seed) {
+  RAFIKI_CHECK(!models_.empty());
+  RAFIKI_CHECK_LE(models_.size(), 31u);
+  RAFIKI_CHECK_GE(options_.correlation, 0.0);
+  RAFIKI_CHECK_LE(options_.correlation, 1.0);
+  thresholds_.reserve(models_.size());
+  for (const ModelProfile& m : models_) {
+    thresholds_.push_back(InverseNormalCdf(m.top1_accuracy));
+  }
+}
+
+PredictionSimulator::Sample PredictionSimulator::Draw() {
+  Sample s;
+  s.truth = rng_.UniformInt(0, options_.num_classes - 1);
+  double z = rng_.Gaussian();
+  // One shared confusion label per request (never the truth).
+  int64_t confusion = rng_.UniformInt(0, options_.num_classes - 2);
+  if (confusion >= s.truth) ++confusion;
+  double rho = options_.correlation;
+  double ortho = std::sqrt(1.0 - rho * rho);
+  s.predictions.resize(models_.size());
+  for (size_t m = 0; m < models_.size(); ++m) {
+    double score = rho * z + ortho * rng_.Gaussian();
+    bool correct = score < thresholds_[m];
+    if (correct) {
+      s.predictions[m] = s.truth;
+    } else if (rng_.Bernoulli(options_.shared_confusion)) {
+      s.predictions[m] = confusion;
+    } else {
+      int64_t wrong = rng_.UniformInt(0, options_.num_classes - 2);
+      if (wrong >= s.truth) ++wrong;
+      s.predictions[m] = wrong;
+    }
+  }
+  return s;
+}
+
+int64_t PredictionSimulator::Vote(const Sample& sample, uint32_t mask,
+                                  bool random_tie) {
+  std::map<int64_t, int> votes;
+  for (size_t m = 0; m < models_.size(); ++m) {
+    if (mask & (1u << m)) ++votes[sample.predictions[m]];
+  }
+  RAFIKI_CHECK(!votes.empty()) << "empty model selection";
+  int max_votes = 0;
+  for (const auto& [label, n] : votes) max_votes = std::max(max_votes, n);
+  std::vector<int64_t> tied;
+  for (const auto& [label, n] : votes) {
+    if (n == max_votes) tied.push_back(label);
+  }
+  if (tied.size() == 1) return tied.front();
+  if (random_tie) return tied[rng_.Index(tied.size())];
+  // Paper tie-break: prediction of the best-accuracy selected model whose
+  // prediction is among the tied labels.
+  double best_acc = -1.0;
+  int64_t best_label = tied.front();
+  for (size_t m = 0; m < models_.size(); ++m) {
+    if (!(mask & (1u << m))) continue;
+    if (std::find(tied.begin(), tied.end(), sample.predictions[m]) ==
+        tied.end()) {
+      continue;
+    }
+    if (models_[m].top1_accuracy > best_acc) {
+      best_acc = models_[m].top1_accuracy;
+      best_label = sample.predictions[m];
+    }
+  }
+  return best_label;
+}
+
+double PredictionSimulator::EnsembleAccuracy(uint32_t mask,
+                                             int64_t num_requests) {
+  RAFIKI_CHECK_GT(num_requests, 0);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    Sample s = Draw();
+    if (Vote(s, mask, /*random_tie=*/false) == s.truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(num_requests);
+}
+
+double PredictionSimulator::EnsembleAccuracyRandomTie(uint32_t mask,
+                                                      int64_t num_requests) {
+  RAFIKI_CHECK_GT(num_requests, 0);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < num_requests; ++i) {
+    Sample s = Draw();
+    if (Vote(s, mask, /*random_tie=*/true) == s.truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(num_requests);
+}
+
+EnsembleAccuracyTable::EnsembleAccuracyTable(std::vector<ModelProfile> models,
+                                             PredictionSimOptions options,
+                                             int64_t num_requests)
+    : num_models_(models.size()) {
+  RAFIKI_CHECK_LE(num_models_, 16u);
+  table_.assign(1u << num_models_, 0.0);
+  PredictionSimulator sim(std::move(models), options);
+  // One pass over shared samples keeps subset accuracies consistent.
+  std::vector<int64_t> correct(table_.size(), 0);
+  for (int64_t i = 0; i < num_requests; ++i) {
+    PredictionSimulator::Sample s = sim.Draw();
+    for (uint32_t mask = 1; mask < table_.size(); ++mask) {
+      // Reuse the simulator's voting logic via a small local copy.
+      // (Vote is private; replicate deterministically here.)
+      std::map<int64_t, int> votes;
+      for (size_t m = 0; m < num_models_; ++m) {
+        if (mask & (1u << m)) ++votes[s.predictions[m]];
+      }
+      int max_votes = 0;
+      for (const auto& [label, n] : votes) max_votes = std::max(max_votes, n);
+      std::vector<int64_t> tied;
+      for (const auto& [label, n] : votes) {
+        if (n == max_votes) tied.push_back(label);
+      }
+      int64_t decision;
+      if (tied.size() == 1) {
+        decision = tied.front();
+      } else {
+        double best_acc = -1.0;
+        decision = tied.front();
+        for (size_t m = 0; m < num_models_; ++m) {
+          if (!(mask & (1u << m))) continue;
+          if (std::find(tied.begin(), tied.end(), s.predictions[m]) ==
+              tied.end()) {
+            continue;
+          }
+          if (sim.models()[m].top1_accuracy > best_acc) {
+            best_acc = sim.models()[m].top1_accuracy;
+            decision = s.predictions[m];
+          }
+        }
+      }
+      if (decision == s.truth) ++correct[mask];
+    }
+  }
+  for (uint32_t mask = 1; mask < table_.size(); ++mask) {
+    table_[mask] =
+        static_cast<double>(correct[mask]) / static_cast<double>(num_requests);
+  }
+}
+
+double EnsembleAccuracyTable::Accuracy(uint32_t mask) const {
+  RAFIKI_CHECK_GT(mask, 0u);
+  RAFIKI_CHECK_LT(mask, table_.size());
+  return table_[mask];
+}
+
+}  // namespace rafiki::model

@@ -1,0 +1,72 @@
+#ifndef RAFIKI_MODEL_PROFILE_H_
+#define RAFIKI_MODEL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rafiki::model {
+
+/// Architecture family, used by the §4.1 model-selection heuristic to build
+/// a *diverse* ensemble ("models with similar performance but different
+/// architectures").
+enum class Family {
+  kInception,
+  kInceptionResnet,
+  kMobileNet,
+  kNasNet,
+  kResNet,
+  kVgg,
+};
+
+const char* FamilyToString(Family family);
+
+/// Per-model metadata replacing the TensorFlow-slim checkpoints behind
+/// Figure 3 of the paper. Latency follows the affine model
+/// c(b) = intercept + slope * b, which matches the two calibration points
+/// the paper gives for inception_v3 (c(16)=0.07s, c(64)=0.23s) and pins the
+/// multi-model throughput extremes of §7.2.2 (572 and 128 requests/second
+/// for {inception_v3, inception_v4, inception_resnet_v2}).
+struct ModelProfile {
+  std::string name;
+  Family family = Family::kResNet;
+  /// ImageNet top-1 validation accuracy.
+  double top1_accuracy = 0.0;
+  /// Latency model parameters, in seconds.
+  double latency_intercept = 0.0;
+  double latency_slope = 0.0;
+  /// Memory footprint at batch size 50 (Figure 3 y-axis bubble size).
+  double memory_mb = 0.0;
+
+  /// Inference time for one batch of size b: c(m, b) in the paper.
+  double BatchLatency(int64_t batch_size) const {
+    return latency_intercept + latency_slope * static_cast<double>(batch_size);
+  }
+
+  /// Throughput b / c(b) at the given batch size, requests/second.
+  double Throughput(int64_t batch_size) const {
+    return static_cast<double>(batch_size) / BatchLatency(batch_size);
+  }
+};
+
+/// The 16 ConvNets of Figure 3 with calibrated accuracy/latency/memory.
+const std::vector<ModelProfile>& ImageNetCatalog();
+
+/// Catalog lookup by name; NotFound if absent.
+Result<ModelProfile> FindProfile(const std::string& name);
+
+/// Maximum throughput of a model set: all models run asynchronously on
+/// different batches, so throughputs add (paper §7.2, r_u).
+double MaxThroughput(const std::vector<ModelProfile>& models,
+                     int64_t batch_size);
+
+/// Minimum throughput: all models run synchronously on the same batch, so
+/// the slowest model gates the rate (paper §7.2, r_l).
+double MinThroughput(const std::vector<ModelProfile>& models,
+                     int64_t batch_size);
+
+}  // namespace rafiki::model
+
+#endif  // RAFIKI_MODEL_PROFILE_H_

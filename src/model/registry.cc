@@ -1,0 +1,93 @@
+#include "model/registry.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace rafiki::model {
+
+TaskRegistry TaskRegistry::BuiltIn() {
+  TaskRegistry r;
+  for (const ModelProfile& p : ImageNetCatalog()) {
+    r.Register("ImageClassification", p);
+  }
+  // Non-vision tasks from Figure 2's table; profiles are nominal since the
+  // serving experiments only use the image-classification set.
+  auto nominal = [](std::string name, Family family, double acc, double c50,
+                    double mem) {
+    ModelProfile p;
+    p.name = std::move(name);
+    p.family = family;
+    p.top1_accuracy = acc;
+    p.latency_intercept = 0.2 * c50;
+    p.latency_slope = 0.8 * c50 / 50.0;
+    p.memory_mb = mem;
+    return p;
+  };
+  r.Register("ObjectDetection", nominal("yolo", Family::kVgg, 0.63, 0.09, 240));
+  r.Register("ObjectDetection", nominal("ssd", Family::kVgg, 0.65, 0.12, 210));
+  r.Register("ObjectDetection",
+             nominal("faster_rcnn", Family::kResNet, 0.70, 0.42, 520));
+  r.Register("SentimentAnalysis",
+             nominal("temporal_cnn", Family::kInception, 0.86, 0.03, 40));
+  r.Register("SentimentAnalysis",
+             nominal("fast_text", Family::kMobileNet, 0.84, 0.005, 12));
+  r.Register("SentimentAnalysis",
+             nominal("character_rnn", Family::kResNet, 0.87, 0.08, 65));
+  return r;
+}
+
+void TaskRegistry::Register(const std::string& task,
+                            const ModelProfile& profile) {
+  tasks_[task].push_back(profile);
+}
+
+Result<std::vector<ModelProfile>> TaskRegistry::ModelsForTask(
+    const std::string& task) const {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) {
+    return Status::NotFound(StrFormat("no task '%s'", task.c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::string> TaskRegistry::Tasks() const {
+  std::vector<std::string> out;
+  for (const auto& [task, models] : tasks_) out.push_back(task);
+  return out;
+}
+
+Result<std::vector<ModelProfile>> TaskRegistry::SelectDiverse(
+    const std::string& task, size_t count) const {
+  RAFIKI_ASSIGN_OR_RETURN(std::vector<ModelProfile> models,
+                          ModelsForTask(task));
+  if (count == 0) {
+    return Status::InvalidArgument("count must be positive");
+  }
+  std::sort(models.begin(), models.end(),
+            [](const ModelProfile& a, const ModelProfile& b) {
+              return a.top1_accuracy > b.top1_accuracy;
+            });
+  std::vector<ModelProfile> out;
+  std::set<Family> used;
+  // First pass: one model per family, best first.
+  for (const ModelProfile& m : models) {
+    if (out.size() >= count) break;
+    if (used.count(m.family)) continue;
+    used.insert(m.family);
+    out.push_back(m);
+  }
+  // Second pass: fill remaining slots with the next-best models.
+  for (const ModelProfile& m : models) {
+    if (out.size() >= count) break;
+    bool taken = std::any_of(out.begin(), out.end(),
+                             [&](const ModelProfile& o) {
+                               return o.name == m.name;
+                             });
+    if (!taken) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace rafiki::model

@@ -1,0 +1,45 @@
+#ifndef RAFIKI_MODEL_REGISTRY_H_
+#define RAFIKI_MODEL_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/profile.h"
+
+namespace rafiki::model {
+
+/// Registry of built-in models per task (Figure 2's table: image
+/// classification, object detection, sentiment analysis, ...). Every model
+/// is registered under a task with its meta data (training cost and past
+/// performance), as described in §4.1.
+class TaskRegistry {
+ public:
+  /// A registry pre-populated with the paper's built-in task table.
+  static TaskRegistry BuiltIn();
+
+  /// Registers a model name under a task, with its profile.
+  void Register(const std::string& task, const ModelProfile& profile);
+
+  /// All models registered under `task`; NotFound for unknown tasks.
+  Result<std::vector<ModelProfile>> ModelsForTask(
+      const std::string& task) const;
+
+  std::vector<std::string> Tasks() const;
+
+  /// The paper's simple model-selection strategy (§4.1): pick up to
+  /// `count` models with similar (top) performance but different
+  /// architecture families, to create a diverse ensemble set. Models are
+  /// considered in descending accuracy; a model is skipped if its family is
+  /// already represented, unless no new family can fill the quota.
+  Result<std::vector<ModelProfile>> SelectDiverse(const std::string& task,
+                                                  size_t count) const;
+
+ private:
+  std::map<std::string, std::vector<ModelProfile>> tasks_;
+};
+
+}  // namespace rafiki::model
+
+#endif  // RAFIKI_MODEL_REGISTRY_H_

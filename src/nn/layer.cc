@@ -1,0 +1,352 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace rafiki::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, float init_std,
+               Rng& rng, std::string name)
+    : in_features_(in_features),
+      out_features_(out_features),
+      name_(std::move(name)) {
+  weight_.name = name_ + "/weight";
+  weight_.value = Tensor::Randn({in_features, out_features}, rng, init_std);
+  weight_.grad = Tensor::Zeros({in_features, out_features});
+  bias_.name = name_ + "/bias";
+  bias_.value = Tensor::Zeros({1, out_features});
+  bias_.grad = Tensor::Zeros({1, out_features});
+}
+
+Tensor Linear::Forward(const Tensor& input, bool train) {
+  RAFIKI_CHECK_EQ(input.rank(), 2u);
+  RAFIKI_CHECK_EQ(input.dim(1), in_features_);
+  if (train) cached_input_ = input;
+  Tensor out = MatMul(input, weight_.value);
+  int64_t batch = out.dim(0);
+  for (int64_t r = 0; r < batch; ++r) {
+    for (int64_t c = 0; c < out_features_; ++c) {
+      out.at2(r, c) += bias_.value.at(c);
+    }
+  }
+  return out;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  RAFIKI_CHECK_GT(cached_input_.numel(), 0)
+      << "Backward without a training Forward";
+  // dW += x^T g ; db += colsum(g) ; dx = g W^T
+  weight_.grad.AddInPlace(MatMulTransA(cached_input_, grad_output));
+  int64_t batch = grad_output.dim(0);
+  for (int64_t r = 0; r < batch; ++r) {
+    for (int64_t c = 0; c < out_features_; ++c) {
+      bias_.grad.at(c) += grad_output.at2(r, c);
+    }
+  }
+  return MatMulTransB(grad_output, weight_.value);
+}
+
+Tensor Relu::Forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return input.Relu();
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  RAFIKI_CHECK(cached_input_.SameShape(grad_output));
+  Tensor out = grad_output;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    if (cached_input_.at(i) <= 0.0f) out.at(i) = 0.0f;
+  }
+  return out;
+}
+
+Dropout::Dropout(float rate, uint64_t seed, std::string name)
+    : rate_(rate), rng_(seed), name_(std::move(name)) {
+  RAFIKI_CHECK_GE(rate, 0.0f);
+  RAFIKI_CHECK_LT(rate, 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0f) return input;
+  mask_ = Tensor(input.shape());
+  float scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < mask_.numel(); ++i) {
+    mask_.at(i) = rng_.Bernoulli(rate_) ? 0.0f : scale;
+  }
+  return input.Hadamard(mask_);
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (mask_.numel() == 0) return grad_output;
+  return grad_output.Hadamard(mask_);
+}
+
+Conv2D::Conv2D(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t padding, float init_std, Rng& rng, std::string name)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      name_(std::move(name)) {
+  weight_.name = name_ + "/weight";
+  weight_.value =
+      Tensor::Randn({out_channels, in_channels, kernel, kernel}, rng,
+                    init_std);
+  weight_.grad = Tensor::Zeros(weight_.value.shape());
+  bias_.name = name_ + "/bias";
+  bias_.value = Tensor::Zeros({out_channels});
+  bias_.grad = Tensor::Zeros({out_channels});
+}
+
+namespace {
+
+/// Zero-padded read of NCHW tensor x at (n, c, h, w).
+inline float PaddedAt(const Tensor& x, int64_t n, int64_t c, int64_t h,
+                      int64_t w) {
+  if (h < 0 || w < 0 || h >= x.dim(2) || w >= x.dim(3)) return 0.0f;
+  return x.data()[((n * x.dim(1) + c) * x.dim(2) + h) * x.dim(3) + w];
+}
+
+}  // namespace
+
+Tensor Conv2D::Forward(const Tensor& input, bool train) {
+  RAFIKI_CHECK_EQ(input.rank(), 4u);
+  RAFIKI_CHECK_EQ(input.dim(1), in_channels_);
+  if (train) cached_input_ = input;
+  int64_t batch = input.dim(0);
+  int64_t h = input.dim(2), w = input.dim(3);
+  int64_t oh = h + 2 * padding_ - kernel_ + 1;
+  int64_t ow = w + 2 * padding_ - kernel_ + 1;
+  RAFIKI_CHECK_GT(oh, 0);
+  RAFIKI_CHECK_GT(ow, 0);
+  Tensor out({batch, out_channels_, oh, ow});
+  const float* wt = weight_.value.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      float b = bias_.value.at(oc);
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          double acc = b;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t ky = 0; ky < kernel_; ++ky) {
+              for (int64_t kx = 0; kx < kernel_; ++kx) {
+                float iv = PaddedAt(input, n, ic, y + ky - padding_,
+                                    x + kx - padding_);
+                float wv =
+                    wt[((oc * in_channels_ + ic) * kernel_ + ky) * kernel_ +
+                       kx];
+                acc += iv * wv;
+              }
+            }
+          }
+          po[((n * out_channels_ + oc) * oh + y) * ow + x] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output) {
+  RAFIKI_CHECK_GT(cached_input_.numel(), 0);
+  const Tensor& input = cached_input_;
+  int64_t batch = input.dim(0);
+  int64_t h = input.dim(2), w = input.dim(3);
+  int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  Tensor grad_input(input.shape());
+  const float* go = grad_output.data();
+  const float* wt = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gi = grad_input.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float g = go[((n * out_channels_ + oc) * oh + y) * ow + x];
+          if (g == 0.0f) continue;
+          bias_.grad.at(oc) += g;
+          for (int64_t ic = 0; ic < in_channels_; ++ic) {
+            for (int64_t ky = 0; ky < kernel_; ++ky) {
+              int64_t iy = y + ky - padding_;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel_; ++kx) {
+                int64_t ix = x + kx - padding_;
+                if (ix < 0 || ix >= w) continue;
+                int64_t widx =
+                    ((oc * in_channels_ + ic) * kernel_ + ky) * kernel_ + kx;
+                int64_t iidx = ((n * in_channels_ + ic) * h + iy) * w + ix;
+                gw[widx] += g * input.data()[iidx];
+                gi[iidx] += g * wt[widx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+BatchNorm::BatchNorm(int64_t features, std::string name, double momentum,
+                     double epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      name_(std::move(name)) {
+  RAFIKI_CHECK_GT(features, 0);
+  gamma_.name = name_ + "/gamma";
+  gamma_.value = Tensor::Full({1, features}, 1.0f);
+  gamma_.grad = Tensor::Zeros({1, features});
+  beta_.name = name_ + "/beta";
+  beta_.value = Tensor::Zeros({1, features});
+  beta_.grad = Tensor::Zeros({1, features});
+  running_mean_ = Tensor::Zeros({1, features});
+  running_var_ = Tensor::Full({1, features}, 1.0f);
+}
+
+Tensor BatchNorm::Forward(const Tensor& input, bool train) {
+  RAFIKI_CHECK_EQ(input.rank(), 2u);
+  RAFIKI_CHECK_EQ(input.dim(1), features_);
+  int64_t n = input.dim(0);
+  Tensor out(input.shape());
+  if (!train) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t d = 0; d < features_; ++d) {
+        float inv = 1.0f / std::sqrt(running_var_.at(d) +
+                                     static_cast<float>(epsilon_));
+        out.at2(i, d) = gamma_.value.at(d) *
+                            (input.at2(i, d) - running_mean_.at(d)) * inv +
+                        beta_.value.at(d);
+      }
+    }
+    return out;
+  }
+  RAFIKI_CHECK_GT(n, 1) << "batch norm needs batch > 1 in training";
+  cached_centered_ = Tensor(input.shape());
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_.assign(static_cast<size_t>(features_), 0.0);
+  for (int64_t d = 0; d < features_; ++d) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += input.at2(i, d);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double c = input.at2(i, d) - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(n);  // biased, as in the original paper
+    double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    cached_inv_std_[static_cast<size_t>(d)] = inv_std;
+    for (int64_t i = 0; i < n; ++i) {
+      float c = input.at2(i, d) - static_cast<float>(mean);
+      cached_centered_.at2(i, d) = c;
+      float xhat = c * static_cast<float>(inv_std);
+      cached_xhat_.at2(i, d) = xhat;
+      out.at2(i, d) = gamma_.value.at(d) * xhat + beta_.value.at(d);
+    }
+    running_mean_.at(d) = static_cast<float>(
+        momentum_ * running_mean_.at(d) + (1.0 - momentum_) * mean);
+    running_var_.at(d) = static_cast<float>(
+        momentum_ * running_var_.at(d) + (1.0 - momentum_) * var);
+  }
+  return out;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_output) {
+  RAFIKI_CHECK(cached_xhat_.SameShape(grad_output))
+      << "Backward without a training Forward";
+  int64_t n = grad_output.dim(0);
+  Tensor grad_input(grad_output.shape());
+  auto dn = static_cast<double>(n);
+  for (int64_t d = 0; d < features_; ++d) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double dy = grad_output.at2(i, d);
+      sum_dy += dy;
+      sum_dy_xhat += dy * cached_xhat_.at2(i, d);
+    }
+    gamma_.grad.at(d) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.at(d) += static_cast<float>(sum_dy);
+    double g = gamma_.value.at(d);
+    double inv_std = cached_inv_std_[static_cast<size_t>(d)];
+    for (int64_t i = 0; i < n; ++i) {
+      double dy = grad_output.at2(i, d);
+      double xhat = cached_xhat_.at2(i, d);
+      // dL/dx = gamma * inv_std * (dy - mean(dy) - xhat * mean(dy*xhat))
+      grad_input.at2(i, d) = static_cast<float>(
+          g * inv_std * (dy - sum_dy / dn - xhat * sum_dy_xhat / dn));
+    }
+  }
+  return grad_input;
+}
+
+MaxPool2D::MaxPool2D(int64_t window, std::string name)
+    : window_(window), name_(std::move(name)) {
+  RAFIKI_CHECK_GT(window, 0);
+}
+
+Tensor MaxPool2D::Forward(const Tensor& input, bool train) {
+  RAFIKI_CHECK_EQ(input.rank(), 4u);
+  int64_t n = input.dim(0), c = input.dim(1);
+  int64_t h = input.dim(2), w = input.dim(3);
+  RAFIKI_CHECK_EQ(h % window_, 0) << "height not divisible by window";
+  RAFIKI_CHECK_EQ(w % window_, 0) << "width not divisible by window";
+  int64_t oh = h / window_, ow = w / window_;
+  cached_input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(static_cast<size_t>(out.numel()), 0);
+  const float* in = input.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = in + (ni * c + ci) * h * w;
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x, ++oi) {
+          int64_t best_idx = (y * window_) * w + x * window_;
+          float best = plane[best_idx];
+          for (int64_t dy = 0; dy < window_; ++dy) {
+            for (int64_t dx = 0; dx < window_; ++dx) {
+              int64_t idx = (y * window_ + dy) * w + (x * window_ + dx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          po[oi] = best;
+          argmax_[static_cast<size_t>(oi)] =
+              (ni * c + ci) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_output) {
+  RAFIKI_CHECK_EQ(static_cast<size_t>(grad_output.numel()), argmax_.size())
+      << "Backward without matching Forward";
+  Tensor grad_input(cached_input_shape_);
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input.at(argmax_[static_cast<size_t>(i)]) += grad_output.at(i);
+  }
+  return grad_input;
+}
+
+Tensor Flatten::Forward(const Tensor& input, bool train) {
+  cached_shape_ = input.shape();
+  Tensor out = input;
+  int64_t batch = input.dim(0);
+  out.Reshape({batch, input.numel() / batch});
+  return out;
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  Tensor out = grad_output;
+  out.Reshape(cached_shape_);
+  return out;
+}
+
+}  // namespace rafiki::nn

@@ -1,0 +1,191 @@
+#ifndef RAFIKI_NN_LAYER_H_
+#define RAFIKI_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::nn {
+
+/// A named trainable parameter with its gradient accumulator.
+struct ParamTensor {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+/// Base class for differentiable layers. Layers cache whatever they need
+/// from `Forward` so that a following `Backward` can produce input
+/// gradients and accumulate parameter gradients; the trainer drives
+/// Forward -> loss -> Backward -> optimizer step.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` enables training-only behaviour
+  /// (e.g. dropout masking).
+  virtual Tensor Forward(const Tensor& input, bool train) = 0;
+
+  /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (possibly empty). Pointers remain valid for the
+  /// lifetime of the layer.
+  virtual std::vector<ParamTensor*> Params() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Fully-connected layer: y = x W + b for x [batch, in].
+class Linear : public Layer {
+ public:
+  /// `init_std` is the Gaussian weight-initialization stddev — one of the
+  /// paper's group-3 hyper-parameters (Table 1).
+  Linear(int64_t in_features, int64_t out_features, float init_std, Rng& rng,
+         std::string name = "linear");
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return name_; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ParamTensor weight_;  // [in, out]
+  ParamTensor bias_;    // [1, out]
+  Tensor cached_input_;
+  std::string name_;
+};
+
+/// Elementwise rectifier.
+class Relu : public Layer {
+ public:
+  explicit Relu(std::string name = "relu") : name_(std::move(name)) {}
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  Tensor cached_input_;
+  std::string name_;
+};
+
+/// Inverted dropout; identity at inference time. The drop rate is a group-3
+/// hyper-parameter in the paper's CIFAR-10 study.
+class Dropout : public Layer {
+ public:
+  Dropout(float rate, uint64_t seed, std::string name = "dropout");
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;
+  std::string name_;
+};
+
+/// 2-D convolution over NCHW input, stride 1, symmetric zero padding.
+/// Naive loops — used with small shapes in tests and the architecture-tuning
+/// warm-start demonstration (shape-matched parameter reuse, §4.2.2).
+class Conv2D : public Layer {
+ public:
+  Conv2D(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t padding, float init_std, Rng& rng,
+         std::string name = "conv");
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return name_; }
+
+  int64_t kernel() const { return kernel_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t padding_;
+  ParamTensor weight_;  // [out_c, in_c, k, k]
+  ParamTensor bias_;    // [out_c]
+  Tensor cached_input_;
+  std::string name_;
+};
+
+/// Batch normalization over [batch, features] activations: per-feature
+/// standardization with learned scale/shift, batch statistics during
+/// training and running statistics at inference — the normalization the
+/// paper's 8-layer CIFAR network relies on for trainability at the large
+/// learning rates the tuner explores.
+class BatchNorm : public Layer {
+ public:
+  BatchNorm(int64_t features, std::string name = "bn",
+            double momentum = 0.9, double epsilon = 1e-5);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> Params() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return name_; }
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  int64_t features_;
+  double momentum_;
+  double epsilon_;
+  ParamTensor gamma_;  // [1, features]
+  ParamTensor beta_;   // [1, features]
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Forward caches for backward.
+  Tensor cached_xhat_;
+  Tensor cached_centered_;
+  std::vector<double> cached_inv_std_;
+  std::string name_;
+};
+
+/// 2-D max pooling over NCHW input with square window and stride equal to
+/// the window size (the standard ConvNet downsampling the paper's 8-layer
+/// CIFAR network uses between stages).
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(int64_t window, std::string name = "maxpool");
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  int64_t window_;
+  Shape cached_input_shape_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+  std::string name_;
+};
+
+/// Collapses [N, ...] to [N, prod(...)].
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return name_; }
+
+ private:
+  Shape cached_shape_;
+  std::string name_;
+};
+
+}  // namespace rafiki::nn
+
+#endif  // RAFIKI_NN_LAYER_H_

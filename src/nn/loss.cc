@@ -1,0 +1,63 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki::nn {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int64_t>& labels) {
+  RAFIKI_CHECK_EQ(logits.rank(), 2u);
+  int64_t batch = logits.dim(0);
+  int64_t classes = logits.dim(1);
+  RAFIKI_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+
+  Tensor probs = logits.SoftmaxRows();
+  double loss = 0.0;
+  LossResult out;
+  out.grad = probs;
+  float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t r = 0; r < batch; ++r) {
+    int64_t y = labels[static_cast<size_t>(r)];
+    RAFIKI_CHECK_GE(y, 0);
+    RAFIKI_CHECK_LT(y, classes);
+    float p = probs.at2(r, y);
+    loss -= std::log(std::max(p, 1e-12f));
+    out.grad.at2(r, y) -= 1.0f;
+  }
+  out.grad.MulInPlace(inv_batch);
+  out.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return out;
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  RAFIKI_CHECK_EQ(logits.rank(), 2u);
+  RAFIKI_CHECK_EQ(static_cast<size_t>(logits.dim(0)), labels.size());
+  std::vector<int64_t> pred = logits.ArgmaxRows();
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return labels.empty()
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+LossResult MeanSquaredError(const Tensor& pred,
+                            const std::vector<float>& targets) {
+  RAFIKI_CHECK_EQ(static_cast<size_t>(pred.numel()), targets.size());
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  double loss = 0.0;
+  float inv_n = 1.0f / static_cast<float>(targets.size());
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    float d = pred.at(i) - targets[static_cast<size_t>(i)];
+    loss += static_cast<double>(d) * d;
+    out.grad.at(i) = 2.0f * d * inv_n;
+  }
+  out.loss = static_cast<float>(loss / static_cast<double>(targets.size()));
+  return out;
+}
+
+}  // namespace rafiki::nn

@@ -1,0 +1,33 @@
+#ifndef RAFIKI_NN_LOSS_H_
+#define RAFIKI_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rafiki::nn {
+
+/// Loss value plus the gradient with respect to the logits.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // same shape as the logits
+};
+
+/// Mean softmax cross-entropy over a batch of logits [batch, classes] with
+/// integer class labels. The returned gradient is already divided by the
+/// batch size.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int64_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Mean squared error between predictions [n] (or [n,1]) and targets; the
+/// gradient is 2*(pred-target)/n. Used by the RL critic.
+LossResult MeanSquaredError(const Tensor& pred,
+                            const std::vector<float>& targets);
+
+}  // namespace rafiki::nn
+
+#endif  // RAFIKI_NN_LOSS_H_

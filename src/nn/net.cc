@@ -1,0 +1,78 @@
+#include "nn/net.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace rafiki::nn {
+
+void Net::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Net::Forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, train);
+  return x;
+}
+
+void Net::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::vector<ParamTensor*> Net::Params() {
+  std::vector<ParamTensor*> out;
+  for (auto& layer : layers_) {
+    for (ParamTensor* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+void Net::ZeroGrad() {
+  for (ParamTensor* p : Params()) p->grad.Fill(0.0f);
+}
+
+std::vector<std::pair<std::string, Tensor>> Net::StateDict() {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (ParamTensor* p : Params()) out.emplace_back(p->name, p->value);
+  return out;
+}
+
+int Net::LoadStateShapeMatched(
+    const std::vector<std::pair<std::string, Tensor>>& state) {
+  int loaded = 0;
+  for (ParamTensor* p : Params()) {
+    for (const auto& [name, value] : state) {
+      if (name == p->name && value.shape() == p->value.shape()) {
+        p->value = value;
+        ++loaded;
+        break;
+      }
+    }
+  }
+  return loaded;
+}
+
+Net MakeMlp(const std::vector<int64_t>& dims, float init_std, float dropout,
+            Rng& rng) {
+  RAFIKI_CHECK_GE(dims.size(), 2u);
+  Net net;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    bool last = (i + 2 == dims.size());
+    net.Add(std::make_unique<Linear>(dims[i], dims[i + 1], init_std, rng,
+                                     StrFormat("fc%zu", i)));
+    if (!last) {
+      net.Add(std::make_unique<Relu>(StrFormat("relu%zu", i)));
+      if (dropout > 0.0f) {
+        net.Add(std::make_unique<Dropout>(dropout, rng.Next64(),
+                                          StrFormat("drop%zu", i)));
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace rafiki::nn

@@ -1,0 +1,61 @@
+#ifndef RAFIKI_NN_NET_H_
+#define RAFIKI_NN_NET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/layer.h"
+
+namespace rafiki::nn {
+
+/// A feed-forward stack of layers with shared forward/backward plumbing.
+/// This is the "model" that Rafiki trials train and the parameter server
+/// checkpoints.
+class Net {
+ public:
+  Net() = default;
+  Net(Net&&) = default;
+  Net& operator=(Net&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer);
+
+  Tensor Forward(const Tensor& input, bool train);
+  /// Backpropagates dL/d(output) through every layer; parameter grads
+  /// accumulate into each layer's ParamTensor::grad.
+  void Backward(const Tensor& grad_output);
+
+  /// All trainable parameters, in layer order.
+  std::vector<ParamTensor*> Params();
+
+  /// Sets every parameter gradient to zero (call before each minibatch).
+  void ZeroGrad();
+
+  /// Snapshot of parameter values, keyed by parameter name.
+  std::vector<std::pair<std::string, Tensor>> StateDict();
+
+  /// Loads values for every parameter whose name AND shape match an entry
+  /// in `state`; mismatched entries are skipped. Returns the number of
+  /// parameters loaded. This implements the paper's shape-matched
+  /// warm-start (§4.2.2): layers with identical configuration reuse
+  /// checkpointed values even when other layers differ.
+  int LoadStateShapeMatched(
+      const std::vector<std::pair<std::string, Tensor>>& state);
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds a multi-layer perceptron: Linear(+Dropout)+ReLU per hidden layer
+/// and a final Linear producing `dims.back()` logits. `dims` is
+/// {in, hidden..., out}.
+Net MakeMlp(const std::vector<int64_t>& dims, float init_std, float dropout,
+            Rng& rng);
+
+}  // namespace rafiki::nn
+
+#endif  // RAFIKI_NN_NET_H_

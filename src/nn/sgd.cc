@@ -1,0 +1,49 @@
+#include "nn/sgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rafiki::nn {
+
+double Sgd::CurrentLr() const {
+  double lr = options_.learning_rate * lr_scale_;
+  if (options_.decay_every_steps > 0) {
+    if (options_.exponential_decay) {
+      int k = steps_ / options_.decay_every_steps;
+      lr *= std::pow(options_.lr_decay, k);
+    } else if (options_.total_steps > 0) {
+      double frac =
+          std::min(1.0, static_cast<double>(steps_) /
+                            static_cast<double>(options_.total_steps));
+      double floor = options_.learning_rate * options_.min_lr_fraction;
+      lr = lr - frac * (lr - floor);
+    }
+  }
+  return lr;
+}
+
+void Sgd::Step(const std::vector<ParamTensor*>& params) {
+  double lr = CurrentLr();
+  for (ParamTensor* p : params) {
+    auto [it, inserted] =
+        velocity_.try_emplace(p->name, Tensor::Zeros(p->value.shape()));
+    Tensor& v = it->second;
+    if (!inserted && !v.SameShape(p->value)) {
+      // Parameter was re-shaped by a warm start across architectures;
+      // restart its velocity.
+      v = Tensor::Zeros(p->value.shape());
+    }
+    // g_eff = grad + weight_decay * w
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      float g = p->grad.at(i) +
+                static_cast<float>(options_.weight_decay) * p->value.at(i);
+      float vel = static_cast<float>(options_.momentum) * v.at(i) -
+                  static_cast<float>(lr) * g;
+      v.at(i) = vel;
+      p->value.at(i) += vel;
+    }
+  }
+  ++steps_;
+}
+
+}  // namespace rafiki::nn

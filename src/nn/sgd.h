@@ -1,0 +1,56 @@
+#ifndef RAFIKI_NN_SGD_H_
+#define RAFIKI_NN_SGD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace rafiki::nn {
+
+/// Stochastic gradient descent with momentum, L2 weight decay and a decaying
+/// learning-rate schedule — exactly the group-3 hyper-parameters the paper
+/// tunes in Section 7.1.1 (learning rate, momentum, weight decay), plus the
+/// decay rate/method discussed under Table 1.
+struct SgdOptions {
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  /// Multiplicative decay applied every `decay_every_steps` steps when
+  /// `exponential_decay` is true; otherwise a linear decay to
+  /// `learning_rate * min_lr_fraction` over `total_steps`.
+  double lr_decay = 1.0;
+  int decay_every_steps = 0;  // 0 disables scheduled decay
+  bool exponential_decay = true;
+  int total_steps = 0;
+  double min_lr_fraction = 0.01;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdOptions options) : options_(options) {}
+
+  /// Applies one update to every parameter: v = mu*v - lr*(g + wd*w);
+  /// w += v. Velocity buffers are keyed by parameter name.
+  void Step(const std::vector<ParamTensor*>& params);
+
+  /// Learning rate currently in effect (after schedule).
+  double CurrentLr() const;
+
+  /// Manually scales the base learning rate (used by plateau-driven decays).
+  void ScaleLr(double factor) { lr_scale_ *= factor; }
+
+  int steps() const { return steps_; }
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  SgdOptions options_;
+  std::unordered_map<std::string, Tensor> velocity_;
+  int steps_ = 0;
+  double lr_scale_ = 1.0;
+};
+
+}  // namespace rafiki::nn
+
+#endif  // RAFIKI_NN_SGD_H_

@@ -1,0 +1,190 @@
+#include "ps/parameter_server.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "storage/serialize.h"
+
+namespace rafiki::ps {
+
+Status ParameterServer::Put(const std::string& scope, const std::string& name,
+                            const Tensor& value, const ParamMeta& meta) {
+  if (scope.empty() || name.empty()) {
+    return Status::InvalidArgument("empty scope or name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = FullKey(scope, name);
+  Entry& e = entries_[key];
+  int64_t prev_version = e.meta.version;
+  e.value = value;
+  e.meta = meta;
+  e.meta.version = prev_version + 1;  // auto-increment across overwrites
+  e.in_cold_store = false;
+  return Status::OK();
+}
+
+Result<Tensor> ParameterServer::Get(const std::string& scope,
+                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = FullKey(scope, name);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound(StrFormat("no parameter '%s'", key.c_str()));
+  }
+  Entry& e = it->second;
+  ++e.accesses;
+  if (e.in_cold_store) {
+    RAFIKI_CHECK(cold_store_ != nullptr);
+    auto bytes = cold_store_->Get("ps/" + key);
+    if (!bytes.ok()) return bytes.status();
+    auto tensor = storage::DeserializeTensor(bytes.value());
+    if (!tensor.ok()) return tensor.status();
+    e.value = tensor.value();  // promote back to hot
+    e.in_cold_store = false;
+  }
+  return e.value;
+}
+
+Result<Tensor> ParameterServer::FetchShapeMatched(
+    const std::string& name_suffix, const Shape& shape,
+    const std::string& owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* best = nullptr;
+  std::string best_key;
+  for (auto& [key, e] : entries_) {
+    if (e.in_cold_store) continue;  // shape match only scans hot tier
+    if (key.size() < name_suffix.size() ||
+        key.compare(key.size() - name_suffix.size(), name_suffix.size(),
+                    name_suffix) != 0) {
+      continue;
+    }
+    if (e.value.shape() != shape) continue;
+    bool visible = e.meta.visibility == Visibility::kPublic ||
+                   e.meta.owner == owner;
+    if (!visible) continue;
+    if (best == nullptr || e.meta.accuracy > best->meta.accuracy) {
+      best = &e;
+      best_key = key;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound(
+        StrFormat("no shape-matched parameter for suffix '%s' shape %s",
+                  name_suffix.c_str(), ShapeToString(shape).c_str()));
+  }
+  ++const_cast<Entry*>(best)->accesses;
+  return best->value;
+}
+
+Status ParameterServer::PutModel(const std::string& scope,
+                                 const ModelCheckpoint& ckpt) {
+  if (scope.empty()) return Status::InvalidArgument("empty scope");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, value] : ckpt.params) {
+    std::string key = FullKey(scope, name);
+    Entry& e = entries_[key];
+    e.value = value;
+    e.meta = ckpt.meta;
+    e.in_cold_store = false;
+    names.push_back(name);
+  }
+  checkpoints_[scope] = std::move(names);
+  return Status::OK();
+}
+
+Result<ModelCheckpoint> ParameterServer::GetModel(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = checkpoints_.find(scope);
+  if (it == checkpoints_.end()) {
+    return Status::NotFound(StrFormat("no checkpoint '%s'", scope.c_str()));
+  }
+  ModelCheckpoint out;
+  for (const std::string& name : it->second) {
+    auto eit = entries_.find(FullKey(scope, name));
+    RAFIKI_CHECK(eit != entries_.end()) << "checkpoint index out of sync";
+    Entry& e = eit->second;
+    ++e.accesses;
+    if (e.in_cold_store) {
+      RAFIKI_CHECK(cold_store_ != nullptr);
+      auto bytes = cold_store_->Get("ps/" + eit->first);
+      if (!bytes.ok()) return bytes.status();
+      auto tensor = storage::DeserializeTensor(bytes.value());
+      if (!tensor.ok()) return tensor.status();
+      e.value = tensor.value();
+      e.in_cold_store = false;
+    }
+    out.params.emplace_back(name, e.value);
+    out.meta = e.meta;
+  }
+  return out;
+}
+
+Result<ModelCheckpoint> ParameterServer::BestModel(
+    const std::string& scope_prefix) {
+  std::vector<std::string> scopes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [scope, names] : checkpoints_) {
+      if (StartsWith(scope, scope_prefix)) scopes.push_back(scope);
+    }
+  }
+  const double kNone = -1.0;
+  double best_acc = kNone;
+  std::string best_scope;
+  for (const std::string& scope : scopes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = checkpoints_.find(scope);
+    if (it == checkpoints_.end() || it->second.empty()) continue;
+    auto eit = entries_.find(FullKey(scope, it->second.front()));
+    if (eit == entries_.end()) continue;
+    if (eit->second.meta.accuracy > best_acc) {
+      best_acc = eit->second.meta.accuracy;
+      best_scope = scope;
+    }
+  }
+  if (best_acc == kNone) {
+    return Status::NotFound(
+        StrFormat("no checkpoint with prefix '%s'", scope_prefix.c_str()));
+  }
+  return GetModel(best_scope);
+}
+
+size_t ParameterServer::SpillCold(size_t min_accesses) {
+  if (cold_store_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t spilled = 0;
+  for (auto& [key, e] : entries_) {
+    if (e.in_cold_store || e.accesses >= min_accesses) continue;
+    Status s =
+        cold_store_->Put("ps/" + key, storage::SerializeTensor(e.value));
+    if (!s.ok()) continue;  // store full; keep hot
+    e.value = Tensor();
+    e.in_cold_store = true;
+    ++spilled;
+  }
+  return spilled;
+}
+
+size_t ParameterServer::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t ParameterServer::num_hot_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    if (!e.in_cold_store) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> ParameterServer::ListScopes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [scope, names] : checkpoints_) out.push_back(scope);
+  return out;
+}
+
+}  // namespace rafiki::ps

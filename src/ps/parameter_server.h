@@ -1,0 +1,121 @@
+#ifndef RAFIKI_PS_PARAMETER_SERVER_H_
+#define RAFIKI_PS_PARAMETER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/blob_store.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::ps {
+
+/// Visibility of stored parameters (§6.2: "parameters trained for the same
+/// model but different datasets can be shared as long as the privacy
+/// setting is public").
+enum class Visibility { kPrivate, kPublic };
+
+/// Metadata attached to every stored parameter.
+struct ParamMeta {
+  int64_t version = 0;
+  /// Validation performance of the trial that produced this value; used by
+  /// CoStudy to keep only improving checkpoints and by FetchShapeMatched to
+  /// prefer the best-performing donor.
+  double accuracy = 0.0;
+  Visibility visibility = Visibility::kPrivate;
+  std::string owner;  // study or job that wrote it
+};
+
+/// A complete model checkpoint: named tensors + metadata.
+struct ModelCheckpoint {
+  std::vector<std::pair<std::string, Tensor>> params;
+  ParamMeta meta;
+};
+
+/// Rafiki's distributed in-memory parameter server (§3, §6.2).
+///
+/// Responsibilities reproduced from the paper:
+///  * persistent storage of trained parameters so inference workers can
+///    fetch them right after training ("instant model deployment");
+///  * CoStudy checkpoint sharing: workers `Put` model states gated by the
+///    master, new trials warm-start from the best checkpoint;
+///  * shape-matched fetch for architecture tuning (§4.2.2): a convolution
+///    layer in a new architecture is initialized from any stored tensor
+///    with the same name suffix and shape, preferring higher accuracy;
+///  * hot/cold tiering: frequently-accessed entries stay in memory, cold
+///    entries can be spilled to the blob store (HDFS stand-in).
+///
+/// Thread-safe; masters and workers on different threads share one instance.
+class ParameterServer {
+ public:
+  /// `cold_store` may be null (no spilling).
+  explicit ParameterServer(storage::BlobStore* cold_store = nullptr)
+      : cold_store_(cold_store) {}
+
+  /// Individual tensors ------------------------------------------------------
+
+  /// Stores `value` under `scope/name`. Version auto-increments per key.
+  Status Put(const std::string& scope, const std::string& name,
+             const Tensor& value, const ParamMeta& meta);
+
+  /// Fetches the latest value of `scope/name` (from memory or cold store).
+  Result<Tensor> Get(const std::string& scope, const std::string& name);
+
+  /// Best-accuracy public-or-same-owner tensor whose key ends in
+  /// `name_suffix` and whose shape equals `shape`. Implements the paper's
+  /// cross-architecture warm start.
+  Result<Tensor> FetchShapeMatched(const std::string& name_suffix,
+                                   const Shape& shape,
+                                   const std::string& owner);
+
+  /// Model checkpoints --------------------------------------------------------
+
+  /// Atomically stores a whole model state under `scope`.
+  Status PutModel(const std::string& scope, const ModelCheckpoint& ckpt);
+
+  /// Latest checkpoint stored under `scope`.
+  Result<ModelCheckpoint> GetModel(const std::string& scope);
+
+  /// Highest-accuracy checkpoint among all scopes with the given prefix
+  /// (e.g. all trials of one study). NotFound when none exists.
+  Result<ModelCheckpoint> BestModel(const std::string& scope_prefix);
+
+  /// Tiering -------------------------------------------------------------------
+
+  /// Moves entries accessed fewer than `min_accesses` times to the cold
+  /// store; returns the number spilled. No-op without a cold store.
+  size_t SpillCold(size_t min_accesses);
+
+  /// Introspection ---------------------------------------------------------------
+  size_t num_entries() const;
+  size_t num_hot_entries() const;
+  std::vector<std::string> ListScopes() const;
+
+ private:
+  struct Entry {
+    Tensor value;
+    ParamMeta meta;
+    size_t accesses = 0;
+    bool in_cold_store = false;
+  };
+
+  static std::string FullKey(const std::string& scope,
+                             const std::string& name) {
+    return scope + "/" + name;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  // scope -> ordered param names, so checkpoints round-trip losslessly.
+  std::map<std::string, std::vector<std::string>> checkpoints_;
+  storage::BlobStore* cold_store_;
+};
+
+}  // namespace rafiki::ps
+
+#endif  // RAFIKI_PS_PARAMETER_SERVER_H_

@@ -1,0 +1,203 @@
+#include "rafiki/gateway.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace rafiki::api {
+namespace {
+
+GatewayResponse Error(int status, const std::string& message) {
+  return GatewayResponse{status, "error=" + message};
+}
+
+GatewayResponse FromStatus(const Status& status) {
+  int code = 500;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      code = 400;
+      break;
+    case StatusCode::kNotFound:
+      code = 404;
+      break;
+    case StatusCode::kFailedPrecondition:
+      code = 409;
+      break;
+    default:
+      code = 500;
+  }
+  return Error(code, status.ToString());
+}
+
+}  // namespace
+
+std::string GatewayResponse::ToString() const {
+  return StrFormat("%d %s", status, body.c_str());
+}
+
+Gateway::Gateway(Rafiki* rafiki) : rafiki_(rafiki) {
+  RAFIKI_CHECK(rafiki != nullptr);
+}
+
+Result<GatewayRequest> Gateway::Parse(const std::string& raw_request) {
+  // "METHOD /path[?|space]params\n body..."
+  size_t newline = raw_request.find('\n');
+  std::string head = raw_request.substr(0, newline);
+  GatewayRequest out;
+  if (newline != std::string::npos) {
+    out.body = raw_request.substr(newline + 1);
+  }
+  std::vector<std::string> parts = Split(head, ' ');
+  if (parts.size() < 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument("request must be 'METHOD /path [params]'");
+  }
+  out.method = parts[0];
+  out.path = parts[1];
+  if (out.path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/'");
+  }
+  std::string params;
+  size_t qmark = out.path.find('?');
+  if (qmark != std::string::npos) {
+    params = out.path.substr(qmark + 1);
+    out.path = out.path.substr(0, qmark);
+  } else if (parts.size() >= 3) {
+    params = parts[2];
+  }
+  if (!params.empty()) {
+    for (const std::string& pair : Split(params, '&')) {
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("malformed parameter '%s'", pair.c_str()));
+      }
+      out.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+GatewayResponse Gateway::Handle(const std::string& raw_request) {
+  Result<GatewayRequest> parsed = Parse(raw_request);
+  if (!parsed.ok()) return FromStatus(parsed.status());
+  const GatewayRequest& request = *parsed;
+
+  if (request.method == "POST" && request.path == "/train") {
+    return Train(request);
+  }
+  if (request.method == "GET" && StartsWith(request.path, "/jobs/")) {
+    return JobStatus(request.path.substr(6));
+  }
+  if (request.method == "POST" && request.path == "/deploy") {
+    return Deploy(request);
+  }
+  if (request.method == "POST" && request.path == "/query") {
+    return Query(request);
+  }
+  if (request.method == "POST" && request.path == "/undeploy") {
+    return Undeploy(request);
+  }
+  return Error(404, StrFormat("no route %s %s", request.method.c_str(),
+                              request.path.c_str()));
+}
+
+GatewayResponse Gateway::Train(const GatewayRequest& request) {
+  auto it = request.params.find("dataset");
+  if (it == request.params.end()) {
+    return Error(400, "missing dataset parameter");
+  }
+  TrainConfig config;
+  config.dataset = it->second;
+  auto get_int = [&](const char* key, int64_t fallback) {
+    auto p = request.params.find(key);
+    return p == request.params.end()
+               ? fallback
+               : std::strtoll(p->second.c_str(), nullptr, 10);
+  };
+  config.hyper.max_trials = get_int("trials", 8);
+  config.hyper.max_epochs_per_trial =
+      static_cast<int>(get_int("epochs", 10));
+  config.num_workers = static_cast<int>(get_int("workers", 2));
+  config.hyper.collaborative = get_int("collaborative", 0) != 0;
+  config.seed = static_cast<uint64_t>(get_int("seed", 1));
+  auto adv = request.params.find("advisor");
+  if (adv != request.params.end()) {
+    if (adv->second == "grid") {
+      config.advisor = AdvisorKind::kGridSearch;
+    } else if (adv->second == "bayes") {
+      config.advisor = AdvisorKind::kBayesOpt;
+    } else if (adv->second == "random") {
+      config.advisor = AdvisorKind::kRandomSearch;
+    } else {
+      return Error(400, "advisor must be random|grid|bayes");
+    }
+  }
+  if (config.hyper.max_trials <= 0 || config.num_workers <= 0) {
+    return Error(400, "trials and workers must be positive");
+  }
+  Result<std::string> job = rafiki_->Train(config);
+  if (!job.ok()) return FromStatus(job.status());
+  return GatewayResponse{200, "job_id=" + *job};
+}
+
+GatewayResponse Gateway::JobStatus(const std::string& job_id) {
+  Result<JobInfo> info = rafiki_->GetJobInfo(job_id);
+  if (!info.ok()) return FromStatus(info.status());
+  return GatewayResponse{
+      200, StrFormat("done=%d&best=%.6f&trials=%lld", info->done ? 1 : 0,
+                     info->best_performance,
+                     static_cast<long long>(info->trials_finished))};
+}
+
+GatewayResponse Gateway::Deploy(const GatewayRequest& request) {
+  auto it = request.params.find("job");
+  if (it == request.params.end()) return Error(400, "missing job parameter");
+  Result<std::vector<ModelHandle>> models = rafiki_->GetModels(it->second);
+  if (!models.ok()) return FromStatus(models.status());
+  Result<std::string> deployed = rafiki_->Deploy(*models);
+  if (!deployed.ok()) return FromStatus(deployed.status());
+  return GatewayResponse{200, "job_id=" + *deployed};
+}
+
+GatewayResponse Gateway::Query(const GatewayRequest& request) {
+  auto it = request.params.find("job");
+  if (it == request.params.end()) return Error(400, "missing job parameter");
+  if (request.body.empty()) {
+    return Error(400, "missing feature body (comma-separated floats)");
+  }
+  std::vector<float> values;
+  for (const std::string& field : Split(request.body, ',')) {
+    if (field.empty()) return Error(400, "empty feature field");
+    char* end = nullptr;
+    float v = std::strtof(field.c_str(), &end);
+    if (end == field.c_str()) {
+      return Error(400, StrFormat("bad feature '%s'", field.c_str()));
+    }
+    values.push_back(v);
+  }
+  // Size must be read before the move: argument evaluation order is
+  // unspecified and GCC moves the by-value parameter first.
+  auto num_features = static_cast<int64_t>(values.size());
+  Tensor features({1, num_features}, std::move(values));
+  Result<Prediction> prediction = rafiki_->Query(it->second, features);
+  if (!prediction.ok()) return FromStatus(prediction.status());
+  std::vector<std::string> votes;
+  votes.reserve(prediction->votes.size());
+  for (int64_t v : prediction->votes) votes.push_back(std::to_string(v));
+  return GatewayResponse{
+      200, StrFormat("label=%lld&votes=%s",
+                     static_cast<long long>(prediction->label),
+                     Join(votes, ",").c_str())};
+}
+
+GatewayResponse Gateway::Undeploy(const GatewayRequest& request) {
+  auto it = request.params.find("job");
+  if (it == request.params.end()) return Error(400, "missing job parameter");
+  Status status = rafiki_->Undeploy(it->second);
+  if (!status.ok()) return FromStatus(status);
+  return GatewayResponse{200, "ok"};
+}
+
+}  // namespace rafiki::api

@@ -1,0 +1,64 @@
+#ifndef RAFIKI_RAFIKI_GATEWAY_H_
+#define RAFIKI_RAFIKI_GATEWAY_H_
+
+#include <map>
+#include <string>
+
+#include "rafiki/rafiki.h"
+
+namespace rafiki::api {
+
+/// A parsed gateway request: "METHOD /path key=value&key=value\nBODY".
+struct GatewayRequest {
+  std::string method;  // GET / POST
+  std::string path;    // e.g. /train, /jobs/job0, /query
+  std::map<std::string, std::string> params;
+  std::string body;    // e.g. comma-separated feature floats for /query
+};
+
+/// A gateway response: status code + compact key=value payload.
+struct GatewayResponse {
+  int status = 200;
+  std::string body;
+
+  std::string ToString() const;
+};
+
+/// The service front door of Figure 2 / Figure 18: application users
+/// (mobile apps, SQL UDFs — `curl -F image.jpg http://rafiki/api`) talk to
+/// Rafiki through a small request/response protocol rather than linking
+/// the library. This gateway implements that surface as a deterministic
+/// text protocol on top of the facade; a socket server would wrap
+/// `Handle()` verbatim.
+///
+/// Endpoints:
+///   POST /train    dataset=<name>&trials=N&workers=N&collaborative=0|1&
+///                  advisor=random|grid|bayes   -> job_id=...
+///   GET  /jobs/<job_id>                        -> done=0|1&best=...&trials=N
+///   POST /deploy   job=<job_id>                -> job_id=infer...
+///   POST /query    job=<infer_id>  body: "v1,v2,..." -> label=K&votes=...
+///   POST /undeploy job=<infer_id>              -> ok
+class Gateway {
+ public:
+  explicit Gateway(Rafiki* rafiki);
+
+  /// Parses and serves one request string; never throws, all errors map to
+  /// 4xx/5xx responses.
+  GatewayResponse Handle(const std::string& raw_request);
+
+  /// Request parser (exposed for tests).
+  static Result<GatewayRequest> Parse(const std::string& raw_request);
+
+ private:
+  GatewayResponse Train(const GatewayRequest& request);
+  GatewayResponse JobStatus(const std::string& job_id);
+  GatewayResponse Deploy(const GatewayRequest& request);
+  GatewayResponse Query(const GatewayRequest& request);
+  GatewayResponse Undeploy(const GatewayRequest& request);
+
+  Rafiki* rafiki_;
+};
+
+}  // namespace rafiki::api
+
+#endif  // RAFIKI_RAFIKI_GATEWAY_H_

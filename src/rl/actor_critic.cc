@@ -1,0 +1,263 @@
+#include "rl/actor_critic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace rafiki::rl {
+namespace {
+
+nn::SgdOptions MakeSgd(double lr) {
+  nn::SgdOptions o;
+  o.learning_rate = lr;
+  o.momentum = 0.9;
+  o.weight_decay = 0.0;
+  return o;
+}
+
+}  // namespace
+
+ActorCritic::ActorCritic(ActorCriticOptions options)
+    : options_(options),
+      rng_(options.seed),
+      policy_opt_(MakeSgd(options.policy_lr)),
+      value_opt_(MakeSgd(options.value_lr)) {
+  RAFIKI_CHECK_GT(options.state_dim, 0);
+  RAFIKI_CHECK_GT(options.num_actions, 1);
+  policy_ = nn::MakeMlp({options.state_dim, options.hidden,
+                         options.num_actions},
+                        /*init_std=*/0.1f, /*dropout=*/0.0f, rng_);
+  value_ = nn::MakeMlp({options.state_dim, options.hidden, 1},
+                       /*init_std=*/0.1f, /*dropout=*/0.0f, rng_);
+}
+
+Tensor ActorCritic::StatesToTensor(const std::vector<Step>& steps) const {
+  Tensor x({static_cast<int64_t>(steps.size()), options_.state_dim});
+  for (size_t i = 0; i < steps.size(); ++i) {
+    RAFIKI_CHECK_EQ(steps[i].state.size(),
+                    static_cast<size_t>(options_.state_dim));
+    for (int d = 0; d < options_.state_dim; ++d) {
+      x.at2(static_cast<int64_t>(i), d) =
+          static_cast<float>(steps[i].state[d]);
+    }
+  }
+  return x;
+}
+
+std::vector<double> ActorCritic::Probabilities(
+    const std::vector<double>& state) {
+  RAFIKI_CHECK_EQ(state.size(), static_cast<size_t>(options_.state_dim));
+  Tensor x({1, options_.state_dim});
+  for (int d = 0; d < options_.state_dim; ++d) {
+    x.at(d) = static_cast<float>(state[d]);
+  }
+  Tensor probs = policy_.Forward(x, /*train=*/false).SoftmaxRows();
+  std::vector<double> out(static_cast<size_t>(options_.num_actions));
+  for (int a = 0; a < options_.num_actions; ++a) out[a] = probs.at(a);
+  return out;
+}
+
+double ActorCritic::Value(const std::vector<double>& state) {
+  Tensor x({1, options_.state_dim});
+  for (int d = 0; d < options_.state_dim; ++d) {
+    x.at(d) = static_cast<float>(state[d]);
+  }
+  return value_.Forward(x, /*train=*/false).at(0);
+}
+
+int ActorCritic::ActMasked(const std::vector<double>& state,
+                           const std::vector<bool>& valid, bool explore) {
+  RAFIKI_CHECK_EQ(valid.size(), static_cast<size_t>(options_.num_actions));
+  std::vector<double> probs = Probabilities(state);
+  double total = 0.0;
+  for (size_t a = 0; a < probs.size(); ++a) {
+    if (!valid[a]) probs[a] = 0.0;
+    total += probs[a];
+  }
+  if (total <= 0.0) {
+    // All valid actions have ~zero mass (or none valid): fall back to a
+    // uniform draw over the valid set.
+    std::vector<int> candidates;
+    for (size_t a = 0; a < valid.size(); ++a) {
+      if (valid[a]) candidates.push_back(static_cast<int>(a));
+    }
+    if (candidates.empty()) return -1;
+    return candidates[rng_.Index(candidates.size())];
+  }
+  if (!explore) {
+    return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                            probs.begin());
+  }
+  if (rng_.Bernoulli(options_.explore_eps)) {
+    std::vector<int> candidates;
+    for (size_t a = 0; a < valid.size(); ++a) {
+      if (valid[a]) candidates.push_back(static_cast<int>(a));
+    }
+    return candidates[rng_.Index(candidates.size())];
+  }
+  double u = rng_.Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t a = 0; a < probs.size(); ++a) {
+    acc += probs[a];
+    if (u < acc) return static_cast<int>(a);
+  }
+  for (size_t a = probs.size(); a > 0; --a) {
+    if (valid[a - 1]) return static_cast<int>(a - 1);
+  }
+  return -1;
+}
+
+int ActorCritic::Act(const std::vector<double>& state, bool explore) {
+  std::vector<double> probs = Probabilities(state);
+  if (!explore) {
+    return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                            probs.begin());
+  }
+  if (rng_.Bernoulli(options_.explore_eps)) {
+    return static_cast<int>(rng_.Index(probs.size()));
+  }
+  double u = rng_.Uniform();
+  double acc = 0.0;
+  for (size_t a = 0; a < probs.size(); ++a) {
+    acc += probs[a];
+    if (u < acc) return static_cast<int>(a);
+  }
+  return options_.num_actions - 1;
+}
+
+void ActorCritic::Record(const std::vector<double>& state, int action,
+                         double reward) {
+  RAFIKI_CHECK_GE(action, 0);
+  RAFIKI_CHECK_LT(action, options_.num_actions);
+  buffer_.push_back(Step{state, action, reward});
+  if (static_cast<int>(buffer_.size()) >= options_.update_every) Update();
+}
+
+void ActorCritic::Flush() {
+  if (!buffer_.empty()) Update();
+}
+
+void ActorCritic::Update() {
+  size_t n = buffer_.size();
+  RAFIKI_CHECK_GT(n, 0u);
+
+  // Discounted returns, bootstrapping from V of the final state (the
+  // trajectory continues beyond the segment).
+  std::vector<double> returns(n);
+  double running = Value(buffer_.back().state);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    running = buffer_[i].reward + options_.gamma * running;
+    returns[i] = running;
+  }
+
+  Tensor states = StatesToTensor(buffer_);
+
+  // Critic update: V(s) -> returns.
+  value_.ZeroGrad();
+  Tensor v = value_.Forward(states, /*train=*/true);
+  std::vector<float> targets(n);
+  for (size_t i = 0; i < n; ++i) targets[i] = static_cast<float>(returns[i]);
+  nn::LossResult vloss = nn::MeanSquaredError(v, targets);
+  value_.Backward(vloss.grad);
+  value_opt_.Step(value_.Params());
+
+  // Advantages with the (pre-update) baseline.
+  std::vector<double> adv(n);
+  double adv_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    adv[i] = returns[i] - static_cast<double>(v.at(static_cast<int64_t>(i)));
+    adv_mean += adv[i];
+  }
+  adv_mean /= static_cast<double>(n);
+  double adv_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    adv[i] -= adv_mean;
+    adv_sq += adv[i] * adv[i];
+  }
+  double adv_std = std::sqrt(adv_sq / static_cast<double>(n) + 1e-8);
+  for (double& a : adv) a /= adv_std;
+
+  int A = options_.num_actions;
+  float inv_n = 1.0f / static_cast<float>(n);
+
+  if (options_.update_rule == PolicyUpdateRule::kReinforceBaseline) {
+    // Actor update via the surrogate objective (Equation 3):
+    // dL/dlogits = (softmax - onehot(a)) * advantage / n, plus an entropy
+    // bonus gradient softmax * (log softmax + H).
+    policy_.ZeroGrad();
+    Tensor logits = policy_.Forward(states, /*train=*/true);
+    Tensor probs = logits.SoftmaxRows();
+    Tensor grad(logits.shape());
+    for (size_t i = 0; i < n; ++i) {
+      auto r = static_cast<int64_t>(i);
+      double entropy = 0.0;
+      for (int a = 0; a < A; ++a) {
+        double p = probs.at2(r, a);
+        entropy -= p * std::log(std::max(p, 1e-12));
+      }
+      for (int a = 0; a < A; ++a) {
+        double p = probs.at2(r, a);
+        double g =
+            (p - (a == buffer_[i].action ? 1.0 : 0.0)) * adv[i] * inv_n;
+        // Entropy maximization: dH/dlogit_a = -p * (log p + H); we
+        // subtract coef * dH to ascend entropy.
+        double gh = -p * (std::log(std::max(p, 1e-12)) + entropy);
+        grad.at2(r, a) = static_cast<float>(
+            g - options_.entropy_coef * gh * inv_n);
+      }
+    }
+    policy_.Backward(grad);
+    policy_opt_.Step(policy_.Params());
+  } else {
+    // PPO-clip (Schulman et al., the paper's [24]): freeze the behaviour
+    // probabilities pi_old(a|s), then take several epochs maximizing
+    //   min(r * A, clip(r, 1-eps, 1+eps) * A),  r = pi(a|s) / pi_old(a|s).
+    Tensor old_logits = policy_.Forward(states, /*train=*/false);
+    Tensor old_probs = old_logits.SoftmaxRows();
+    std::vector<double> pi_old(n);
+    for (size_t i = 0; i < n; ++i) {
+      pi_old[i] = std::max<double>(
+          old_probs.at2(static_cast<int64_t>(i), buffer_[i].action), 1e-8);
+    }
+    for (int epoch = 0; epoch < options_.ppo_epochs; ++epoch) {
+      policy_.ZeroGrad();
+      Tensor logits = policy_.Forward(states, /*train=*/true);
+      Tensor probs = logits.SoftmaxRows();
+      Tensor grad(logits.shape());
+      for (size_t i = 0; i < n; ++i) {
+        auto r = static_cast<int64_t>(i);
+        int act = buffer_[i].action;
+        double p_act = std::max<double>(probs.at2(r, act), 1e-12);
+        double ratio = p_act / pi_old[i];
+        // Clipped-objective gradient gate: zero once the ratio has moved
+        // past the clip boundary in the advantage's direction.
+        bool clipped = (adv[i] > 0.0 && ratio > 1.0 + options_.ppo_clip) ||
+                       (adv[i] < 0.0 && ratio < 1.0 - options_.ppo_clip);
+        double scale = clipped ? 0.0 : ratio * adv[i];
+        double entropy = 0.0;
+        for (int a = 0; a < A; ++a) {
+          double p = probs.at2(r, a);
+          entropy -= p * std::log(std::max(p, 1e-12));
+        }
+        for (int a = 0; a < A; ++a) {
+          double p = probs.at2(r, a);
+          // d(log pi(act))/dlogit_a = onehot - softmax; loss = -scale*log.
+          double g = -scale * ((a == act ? 1.0 : 0.0) - p) * inv_n;
+          double gh = -p * (std::log(std::max(p, 1e-12)) + entropy);
+          grad.at2(r, a) = static_cast<float>(
+              g - options_.entropy_coef * gh * inv_n);
+        }
+      }
+      policy_.Backward(grad);
+      policy_opt_.Step(policy_.Params());
+    }
+  }
+
+  buffer_.clear();
+  ++updates_;
+}
+
+}  // namespace rafiki::rl

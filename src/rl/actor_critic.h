@@ -1,0 +1,98 @@
+#ifndef RAFIKI_RL_ACTOR_CRITIC_H_
+#define RAFIKI_RL_ACTOR_CRITIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/net.h"
+#include "nn/sgd.h"
+
+namespace rafiki::rl {
+
+/// Actor-critic policy-gradient learner (§2.4, Equations 1-3 with the
+/// baseline V(s_t) subtracted from the return) over a discrete action
+/// space. The policy pi_theta(a|s) and the value baseline V(s) are both
+/// small MLPs (as the paper describes), trained from n-step trajectory
+/// segments with discounted returns.
+/// Policy-update rule. The paper cites Schulman et al.'s proximal policy
+/// optimization as its actor-critic algorithm ([24] in §5.2), so kPpoClip
+/// is the default; kReinforceBaseline is the plain Equation 3 surrogate
+/// with the V(s) baseline.
+enum class PolicyUpdateRule { kReinforceBaseline, kPpoClip };
+
+struct ActorCriticOptions {
+  int state_dim = 16;
+  int num_actions = 4;
+  int hidden = 64;
+  double policy_lr = 1e-3;
+  double value_lr = 1e-3;
+  double gamma = 0.9;       // reward decay factor (Equation 1)
+  int update_every = 64;    // trajectory segment length n
+  double entropy_coef = 0.01;
+  /// Epsilon-greedy floor on exploration in addition to softmax sampling.
+  double explore_eps = 0.05;
+  PolicyUpdateRule update_rule = PolicyUpdateRule::kPpoClip;
+  /// PPO-only: clipping radius and optimization epochs per segment.
+  double ppo_clip = 0.2;
+  int ppo_epochs = 4;
+  uint64_t seed = 17;
+};
+
+class ActorCritic {
+ public:
+  explicit ActorCritic(ActorCriticOptions options);
+
+  /// Samples an action from pi(:|state). With `explore` false, returns the
+  /// argmax action.
+  int Act(const std::vector<double>& state, bool explore = true);
+
+  /// Samples from pi(:|state) restricted (and renormalized) to the actions
+  /// with valid[a] == true — standard action masking for states where some
+  /// actions are physically impossible. Returns -1 if none are valid.
+  int ActMasked(const std::vector<double>& state,
+                const std::vector<bool>& valid, bool explore = true);
+
+  /// Records the transition that followed the last Act with this state and
+  /// action; triggers a gradient update every `update_every` steps.
+  void Record(const std::vector<double>& state, int action, double reward);
+
+  /// Action probabilities at a state (for tests/inspection).
+  std::vector<double> Probabilities(const std::vector<double>& state);
+
+  /// Value estimate V(s).
+  double Value(const std::vector<double>& state);
+
+  /// Forces an update on whatever is buffered (e.g. at episode end).
+  void Flush();
+
+  int64_t updates() const { return updates_; }
+  const ActorCriticOptions& options() const { return options_; }
+
+  /// Adjusts the epsilon-uniform exploration floor (benches anneal it to 0
+  /// for evaluation while keeping softmax sampling).
+  void set_explore_eps(double eps) { options_.explore_eps = eps; }
+
+ private:
+  struct Step {
+    std::vector<double> state;
+    int action = 0;
+    double reward = 0.0;
+  };
+
+  Tensor StatesToTensor(const std::vector<Step>& steps) const;
+  void Update();
+
+  ActorCriticOptions options_;
+  Rng rng_;
+  nn::Net policy_;
+  nn::Net value_;
+  nn::Sgd policy_opt_;
+  nn::Sgd value_opt_;
+  std::vector<Step> buffer_;
+  int64_t updates_ = 0;
+};
+
+}  // namespace rafiki::rl
+
+#endif  // RAFIKI_RL_ACTOR_CRITIC_H_

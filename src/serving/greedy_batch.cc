@@ -1,0 +1,119 @@
+#include "serving/greedy_batch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rafiki::serving {
+
+int64_t LargestFeasibleBatch(const std::vector<int64_t>& batch_sizes,
+                             size_t queue_len) {
+  int64_t best = 0;
+  for (int64_t b : batch_sizes) {
+    if (b <= static_cast<int64_t>(queue_len)) best = std::max(best, b);
+  }
+  return best;
+}
+
+GreedyBatchPolicy::GreedyBatchPolicy(size_t model_index,
+                                     double backoff_delta_fraction)
+    : model_index_(model_index), backoff_fraction_(backoff_delta_fraction) {}
+
+ServingAction GreedyBatchPolicy::Decide(const ServingObs& obs) {
+  RAFIKI_CHECK(obs.batch_sizes != nullptr && obs.models != nullptr);
+  RAFIKI_CHECK_LT(model_index_, obs.models->size());
+  ServingAction wait;
+  if (obs.queue_len == 0) return wait;
+  if (obs.busy_remaining[model_index_] > 0.0) return wait;  // model busy
+
+  const model::ModelProfile& m = (*obs.models)[model_index_];
+  int64_t max_b = *std::max_element(obs.batch_sizes->begin(),
+                                    obs.batch_sizes->end());
+  uint32_t mask = 1u << model_index_;
+  if (static_cast<int64_t>(obs.queue_len) >= max_b) {
+    return ServingAction{true, mask, max_b};  // Alg. 3 line 3-5
+  }
+  int64_t b = LargestFeasibleBatch(*obs.batch_sizes, obs.queue_len);
+  // Queue shorter than min(B): flush a partial batch only under deadline
+  // pressure.
+  int64_t effective = b > 0 ? b : static_cast<int64_t>(obs.queue_len);
+  double oldest_wait = obs.queue_waits.empty() ? 0.0 : obs.queue_waits[0];
+  double delta = backoff_fraction_ * obs.tau;
+  if (m.BatchLatency(effective) + oldest_wait + delta >= obs.tau) {
+    return ServingAction{true, mask, effective};  // Alg. 3 line 8-10
+  }
+  return wait;
+}
+
+SyncEnsembleGreedyPolicy::SyncEnsembleGreedyPolicy(
+    double backoff_delta_fraction)
+    : backoff_fraction_(backoff_delta_fraction) {}
+
+ServingAction SyncEnsembleGreedyPolicy::Decide(const ServingObs& obs) {
+  ServingAction wait;
+  if (obs.queue_len == 0) return wait;
+  size_t n = obs.models->size();
+  uint32_t all = (1u << n) - 1;
+  // Synchronous: every model must be free.
+  for (size_t i = 0; i < n; ++i) {
+    if (obs.busy_remaining[i] > 0.0) return wait;
+  }
+  // Ensemble latency is gated by the slowest model.
+  auto ensemble_latency = [&](int64_t b) {
+    double worst = 0.0;
+    for (const model::ModelProfile& m : *obs.models) {
+      worst = std::max(worst, m.BatchLatency(b));
+    }
+    return worst;
+  };
+  int64_t max_b = *std::max_element(obs.batch_sizes->begin(),
+                                    obs.batch_sizes->end());
+  if (static_cast<int64_t>(obs.queue_len) >= max_b) {
+    return ServingAction{true, all, max_b};
+  }
+  int64_t b = LargestFeasibleBatch(*obs.batch_sizes, obs.queue_len);
+  int64_t effective = b > 0 ? b : static_cast<int64_t>(obs.queue_len);
+  double oldest_wait = obs.queue_waits.empty() ? 0.0 : obs.queue_waits[0];
+  double delta = backoff_fraction_ * obs.tau;
+  if (ensemble_latency(effective) + oldest_wait + delta >= obs.tau) {
+    return ServingAction{true, all, effective};
+  }
+  return wait;
+}
+
+AsyncNoEnsemblePolicy::AsyncNoEnsemblePolicy(double backoff_delta_fraction)
+    : backoff_fraction_(backoff_delta_fraction) {}
+
+ServingAction AsyncNoEnsemblePolicy::Decide(const ServingObs& obs) {
+  ServingAction wait;
+  if (obs.queue_len == 0) return wait;
+  size_t n = obs.models->size();
+  // Round-robin over FREE models so different batches land on different
+  // models concurrently (maximum throughput, no ensembling).
+  for (size_t probe = 0; probe < n; ++probe) {
+    size_t i = (next_model_ + probe) % n;
+    if (obs.busy_remaining[i] > 0.0) continue;
+    const model::ModelProfile& m = (*obs.models)[i];
+    uint32_t mask = 1u << i;
+    int64_t max_b = *std::max_element(obs.batch_sizes->begin(),
+                                      obs.batch_sizes->end());
+    if (static_cast<int64_t>(obs.queue_len) >= max_b) {
+      next_model_ = (i + 1) % n;
+      return ServingAction{true, mask, max_b};
+    }
+    int64_t b = LargestFeasibleBatch(*obs.batch_sizes, obs.queue_len);
+    int64_t effective = b > 0 ? b : static_cast<int64_t>(obs.queue_len);
+    double oldest_wait = obs.queue_waits.empty() ? 0.0 : obs.queue_waits[0];
+    double delta = backoff_fraction_ * obs.tau;
+    if (m.BatchLatency(effective) + oldest_wait + delta >= obs.tau) {
+      next_model_ = (i + 1) % n;
+      return ServingAction{true, mask, effective};
+    }
+    // This model could serve but the deadline test says wait; other models
+    // would decide the same (shared queue), so stop probing.
+    return wait;
+  }
+  return wait;
+}
+
+}  // namespace rafiki::serving

@@ -1,0 +1,67 @@
+#ifndef RAFIKI_SERVING_GREEDY_BATCH_H_
+#define RAFIKI_SERVING_GREEDY_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "serving/policy.h"
+
+namespace rafiki::serving {
+
+/// Algorithm 3: the greedy batching policy for a single inference model.
+///
+///   b = max(B)
+///   if len(q) >= b:            infer(q_{:b})
+///   else:
+///     b = max{b in B, b <= len(q)}
+///     if c(b) + w(q_0) + delta >= tau:  infer(q_{:b})
+///
+/// delta is the AIMD-style back-off constant (delta = 0.1 * tau in the
+/// paper). When the queue is shorter than min(B), the policy waits until
+/// the oldest request is about to overdue, then flushes a partial batch —
+/// these leftover flushes are the overdue spikes the paper attributes to
+/// "the mismatch of the queue size and the batch size" (Figures 13/14c).
+class GreedyBatchPolicy : public SchedulerPolicy {
+ public:
+  /// `model_index` selects which catalog entry this node serves.
+  GreedyBatchPolicy(size_t model_index, double backoff_delta_fraction = 0.1);
+
+  ServingAction Decide(const ServingObs& obs) override;
+  std::string name() const override { return "greedy"; }
+
+ private:
+  size_t model_index_;
+  double backoff_fraction_;
+};
+
+/// §7.2.2 baseline 1: runs ALL models synchronously on every batch
+/// (maximum-accuracy ensemble) with greedy batch sizing; the batch latency
+/// is the slowest model's c(m, b).
+class SyncEnsembleGreedyPolicy : public SchedulerPolicy {
+ public:
+  explicit SyncEnsembleGreedyPolicy(double backoff_delta_fraction = 0.1);
+
+  ServingAction Decide(const ServingObs& obs) override;
+  std::string name() const override { return "sync_ensemble_greedy"; }
+
+ private:
+  double backoff_fraction_;
+};
+
+/// §7.2.2 baseline 2: no ensembling — each batch goes to one (free) model,
+/// round-robin, with greedy batch sizing per that model's latency.
+class AsyncNoEnsemblePolicy : public SchedulerPolicy {
+ public:
+  explicit AsyncNoEnsemblePolicy(double backoff_delta_fraction = 0.1);
+
+  ServingAction Decide(const ServingObs& obs) override;
+  std::string name() const override { return "async_no_ensemble"; }
+
+ private:
+  double backoff_fraction_;
+  size_t next_model_ = 0;
+};
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_GREEDY_BATCH_H_

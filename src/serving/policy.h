@@ -1,0 +1,57 @@
+#ifndef RAFIKI_SERVING_POLICY_H_
+#define RAFIKI_SERVING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/profile.h"
+
+namespace rafiki::serving {
+
+/// What a scheduling policy observes at a decision point — the paper's
+/// state (§5.2): the queue status (waiting time of each queued request) and
+/// the model status (c(m, b) for every model and batch size, plus the time
+/// left for each model to finish its dispatched requests).
+struct ServingObs {
+  double now = 0.0;
+  double tau = 0.0;                            // latency SLO
+  const std::vector<int64_t>* batch_sizes = nullptr;      // B
+  const std::vector<model::ModelProfile>* models = nullptr;  // M
+  std::vector<double> queue_waits;             // oldest first, un-padded
+  size_t queue_len = 0;
+  std::vector<double> busy_remaining;          // per model, seconds (>= 0)
+};
+
+/// A scheduling decision: which models (ensemble selection bit-vector v)
+/// process the next batch of which size. `process == false` waits.
+struct ServingAction {
+  bool process = false;
+  uint32_t model_mask = 0;
+  int64_t batch_size = 0;
+};
+
+/// Interface shared by the greedy policy (Algorithm 3), the two baselines
+/// of §7.2.2, and the RL scheduler.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual ServingAction Decide(const ServingObs& obs) = 0;
+
+  /// Reward feedback (Equation 7) for the action returned by the matching
+  /// Decide call; no-op for non-learning policies.
+  virtual void Feedback(const ServingObs& obs, const ServingAction& action,
+                        double reward) {}
+
+  virtual std::string name() const = 0;
+};
+
+/// Largest batch size in B that is <= queue_len; 0 when queue_len is below
+/// min(B) (Algorithm 3 line 7).
+int64_t LargestFeasibleBatch(const std::vector<int64_t>& batch_sizes,
+                             size_t queue_len);
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_POLICY_H_

@@ -1,0 +1,76 @@
+#ifndef RAFIKI_SERVING_REQUEST_H_
+#define RAFIKI_SERVING_REQUEST_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rafiki::serving {
+
+/// One inference request as seen by the scheduler.
+struct Request {
+  int64_t id = 0;
+  double arrival_time = 0.0;
+};
+
+/// FIFO request queue (§5: "we process the requests in the queue
+/// sequentially following FIFO"). q_k in the paper is the k-th oldest
+/// request; q_{:k} the oldest k.
+class RequestQueue {
+ public:
+  /// Caps the queue; beyond it new requests are dropped (and counted), as
+  /// with any bounded serving system ("new requests have to be dropped",
+  /// §7.2).
+  explicit RequestQueue(size_t capacity = 100000) : capacity_(capacity) {}
+
+  /// Returns false (and counts a drop) when full.
+  bool Push(const Request& request) {
+    if (queue_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(request);
+    return true;
+  }
+
+  /// Removes and returns the oldest `n` requests (q_{:n}).
+  std::vector<Request> PopOldest(size_t n) {
+    RAFIKI_CHECK_LE(n, queue_.size());
+    std::vector<Request> out(queue_.begin(),
+                             queue_.begin() + static_cast<long>(n));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(n));
+    return out;
+  }
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  size_t dropped() const { return dropped_; }
+
+  /// Waiting time of the oldest request w(q_0); 0 when empty.
+  double OldestWait(double now) const {
+    return queue_.empty() ? 0.0 : now - queue_.front().arrival_time;
+  }
+
+  /// Waiting times of up to `max_count` oldest requests (the queue-status
+  /// feature vector of §5.2 before padding).
+  std::vector<double> Waits(double now, size_t max_count) const {
+    std::vector<double> out;
+    size_t n = std::min(max_count, queue_.size());
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(now - queue_[i].arrival_time);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<Request> queue_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_REQUEST_H_

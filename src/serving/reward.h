@@ -1,0 +1,24 @@
+#ifndef RAFIKI_SERVING_REWARD_H_
+#define RAFIKI_SERVING_REWARD_H_
+
+#include <cstdint>
+
+namespace rafiki::serving {
+
+/// Equation 7: the reward for dispatching one batch without ground-truth
+/// labels,
+///
+///   a(M[v]) * (b - beta * |{s in batch : l(s) > tau}|)
+///
+/// where a(M[v]) is the surrogate (validation) accuracy of the selected
+/// ensemble, b the batch size, and beta the accuracy/latency balance.
+inline double BatchReward(double ensemble_accuracy, int64_t batch_size,
+                          int64_t overdue_count, double beta) {
+  return ensemble_accuracy *
+         (static_cast<double>(batch_size) -
+          beta * static_cast<double>(overdue_count));
+}
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_REWARD_H_

@@ -1,0 +1,152 @@
+#include "serving/rl_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rafiki::serving {
+
+RlSchedulerPolicy::RlSchedulerPolicy(
+    size_t num_models, std::vector<int64_t> batch_sizes,
+    const model::EnsembleAccuracyTable* accuracy_table,
+    RlSchedulerOptions options)
+    : num_models_(num_models),
+      batch_sizes_(std::move(batch_sizes)),
+      accuracy_table_(accuracy_table),
+      options_(options) {
+  RAFIKI_CHECK_GT(num_models, 0u);
+  RAFIKI_CHECK_LE(num_models, 8u);
+  RAFIKI_CHECK(!batch_sizes_.empty());
+  if (num_models > 1) {
+    RAFIKI_CHECK(accuracy_table != nullptr)
+        << "multi-model scheduler needs a(M[v])";
+  }
+  num_actions_ = static_cast<int>(((1u << num_models_) - 1) *
+                                  batch_sizes_.size());
+  // State: queue waits + queue length + (multi-model only) c(m,b) matrix
+  // and per-model busy time (§7.2.1 removes model status for |M| = 1).
+  state_dim_ = options_.queue_feature_len + 1;
+  if (num_models_ > 1) {
+    state_dim_ += static_cast<int>(num_models_ * batch_sizes_.size());
+    state_dim_ += static_cast<int>(num_models_);
+  }
+  rl::ActorCriticOptions agent = options_.agent;
+  agent.state_dim = state_dim_;
+  agent.num_actions = num_actions_;
+  agent_ = std::make_unique<rl::ActorCritic>(agent);
+  max_batch_ = static_cast<double>(
+      *std::max_element(batch_sizes_.begin(), batch_sizes_.end()));
+}
+
+std::vector<double> RlSchedulerPolicy::Featurize(
+    const ServingObs& obs) const {
+  std::vector<double> f;
+  f.reserve(static_cast<size_t>(state_dim_));
+  // Queue status: waiting times normalized by tau, padded/truncated.
+  // Features are clamped so a deep backlog cannot saturate the MLP (the
+  // policy still sees "very late" but gradients stay well-scaled).
+  for (int i = 0; i < options_.queue_feature_len; ++i) {
+    double w = i < static_cast<int>(obs.queue_waits.size())
+                   ? obs.queue_waits[static_cast<size_t>(i)]
+                   : 0.0;
+    f.push_back(std::min(w / obs.tau, 4.0));
+  }
+  f.push_back(std::min(
+      static_cast<double>(obs.queue_len) / (2.0 * max_batch_), 4.0));
+  if (num_models_ > 1) {
+    // Model status: c(m, b) matrix (normalized by tau)...
+    for (size_t m = 0; m < num_models_; ++m) {
+      for (int64_t b : batch_sizes_) {
+        f.push_back((*obs.models)[m].BatchLatency(b) / obs.tau);
+      }
+    }
+    // ...and time left to finish already-dispatched requests.
+    for (size_t m = 0; m < num_models_; ++m) {
+      f.push_back(obs.busy_remaining[m] / obs.tau);
+    }
+  }
+  RAFIKI_CHECK_EQ(static_cast<int>(f.size()), state_dim_);
+  return f;
+}
+
+ServingAction RlSchedulerPolicy::DecodeAction(int action) const {
+  RAFIKI_CHECK_GE(action, 0);
+  RAFIKI_CHECK_LT(action, num_actions_);
+  int num_b = static_cast<int>(batch_sizes_.size());
+  uint32_t mask = static_cast<uint32_t>(action / num_b) + 1;  // skip v=0
+  int64_t batch = batch_sizes_[static_cast<size_t>(action % num_b)];
+  return ServingAction{true, mask, batch};
+}
+
+int RlSchedulerPolicy::EncodeAction(const ServingAction& action) const {
+  int num_b = static_cast<int>(batch_sizes_.size());
+  auto it = std::find(batch_sizes_.begin(), batch_sizes_.end(),
+                      action.batch_size);
+  RAFIKI_CHECK(it != batch_sizes_.end());
+  int b_idx = static_cast<int>(it - batch_sizes_.begin());
+  return static_cast<int>(action.model_mask - 1) * num_b + b_idx;
+}
+
+ServingAction RlSchedulerPolicy::Decide(const ServingObs& obs) {
+  if (obs.queue_len == 0) return ServingAction{};  // nothing to schedule
+
+  // Action masking: dispatching to a busy model is physically impossible
+  // (the paper's containers process one batch at a time), so restrict the
+  // policy to subsets of the free models and renormalize.
+  uint32_t free_mask = 0;
+  for (size_t m = 0; m < num_models_; ++m) {
+    if (obs.busy_remaining[m] <= 0.0) free_mask |= 1u << m;
+  }
+  if (free_mask == 0) return ServingAction{};  // everything busy
+
+  int num_b = static_cast<int>(batch_sizes_.size());
+  std::vector<bool> valid(static_cast<size_t>(num_actions_), false);
+  for (int a = 0; a < num_actions_; ++a) {
+    uint32_t mask = static_cast<uint32_t>(a / num_b) + 1;
+    valid[static_cast<size_t>(a)] = (mask & ~free_mask) == 0;
+  }
+
+  std::vector<double> state = Featurize(obs);
+  int a = agent_->ActMasked(state, valid, options_.explore);
+  if (a < 0) return ServingAction{};
+  return DecodeAction(a);
+}
+
+void RlSchedulerPolicy::Feedback(const ServingObs& obs,
+                                 const ServingAction& action, double reward) {
+  std::vector<double> state = Featurize(obs);
+  int64_t effective_batch = std::min<int64_t>(
+      action.batch_size, static_cast<int64_t>(obs.queue_len));
+  double shaped = reward;
+  if (options_.throughput_shaping > 0.0 && effective_batch > 0) {
+    // Requests already past the SLO at dispatch time.
+    int64_t o_pre = 0;
+    int64_t limit = std::min<int64_t>(
+        effective_batch, static_cast<int64_t>(obs.queue_waits.size()));
+    for (int64_t i = 0; i < limit; ++i) {
+      if (obs.queue_waits[static_cast<size_t>(i)] > obs.tau) ++o_pre;
+    }
+    if (o_pre > 0) {
+      double c_fastest = 1e300;
+      for (const model::ModelProfile& m : *obs.models) {
+        c_fastest = std::min(c_fastest, m.BatchLatency(effective_batch));
+      }
+      double c_chosen = 0.0;
+      for (size_t m = 0; m < num_models_; ++m) {
+        if (action.model_mask & (1u << m)) {
+          c_chosen = std::max(c_chosen,
+                              (*obs.models)[m].BatchLatency(effective_batch));
+        }
+      }
+      shaped += options_.throughput_shaping * static_cast<double>(o_pre) *
+                (c_fastest / std::max(c_chosen, 1e-9));
+    }
+  }
+  agent_->Record(state, EncodeAction(action), NormalizeReward(shaped));
+}
+
+double RlSchedulerPolicy::NormalizeReward(double raw_reward) const {
+  return raw_reward / max_batch_;
+}
+
+}  // namespace rafiki::serving

@@ -1,0 +1,177 @@
+#include "serving/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "serving/reward.h"
+
+namespace rafiki::serving {
+namespace {
+
+/// Per-window accumulators flushed into WindowSample points.
+struct WindowAccum {
+  int64_t arrived = 0;
+  int64_t processed = 0;
+  int64_t overdue = 0;
+  double accuracy_sum = 0.0;
+  double reward_sum = 0.0;
+  int64_t batches = 0;
+};
+
+}  // namespace
+
+ServingSimulator::ServingSimulator(
+    std::vector<model::ModelProfile> models,
+    const model::EnsembleAccuracyTable* accuracy_table,
+    ServingSimOptions options)
+    : models_(std::move(models)),
+      accuracy_table_(accuracy_table),
+      options_(std::move(options)) {
+  RAFIKI_CHECK(!models_.empty());
+  RAFIKI_CHECK(!options_.batch_sizes.empty());
+  if (models_.size() > 1) {
+    RAFIKI_CHECK(accuracy_table != nullptr);
+  }
+}
+
+ServingMetrics ServingSimulator::Run(SchedulerPolicy& policy,
+                                     SineArrivalProcess& arrivals) {
+  const double dt = options_.decision_interval;
+  const double duration = options_.duration_seconds;
+  const size_t num_models = models_.size();
+  const auto num_windows = static_cast<size_t>(
+      std::ceil(duration / options_.metrics_window));
+
+  RequestQueue queue(options_.queue_capacity);
+  std::vector<double> busy_until(num_models, 0.0);
+  std::vector<WindowAccum> windows(num_windows + 1);
+  ServingMetrics metrics;
+  double latency_sum = 0.0;
+  int64_t next_id = 0;
+  size_t prev_dropped = 0;
+
+  auto window_of = [&](double t) {
+    auto w = static_cast<size_t>(t / options_.metrics_window);
+    return std::min(w, num_windows);
+  };
+
+  for (double t = 0.0; t < duration; t += dt) {
+    // 1. New arrivals.
+    int64_t n = arrivals.Arrivals(t, dt);
+    for (int64_t i = 0; i < n; ++i) {
+      queue.Push(Request{next_id++, t});
+    }
+    metrics.total_arrived += n;
+    windows[window_of(t)].arrived += n;
+    // Queue drops are overdue-by-construction (no response within tau).
+    size_t dropped = queue.dropped();
+    if (dropped > prev_dropped) {
+      auto newly = static_cast<int64_t>(dropped - prev_dropped);
+      windows[window_of(t)].overdue += newly;
+      metrics.total_dropped += newly;
+      prev_dropped = dropped;
+    }
+
+    // 2. Decision sweep: at most one dispatch per model per instant.
+    for (size_t sweep = 0; sweep < num_models; ++sweep) {
+      if (queue.empty()) break;
+
+      ServingObs obs;
+      obs.now = t;
+      obs.tau = options_.tau;
+      obs.batch_sizes = &options_.batch_sizes;
+      obs.models = &models_;
+      obs.queue_len = queue.size();
+      obs.queue_waits = queue.Waits(t, 64);
+      obs.busy_remaining.resize(num_models);
+      for (size_t m = 0; m < num_models; ++m) {
+        obs.busy_remaining[m] = std::max(0.0, busy_until[m] - t);
+      }
+
+      ServingAction action = policy.Decide(obs);
+      if (!action.process || action.model_mask == 0) break;
+
+      // The simulator enforces physical constraints: selected models must
+      // be free, and the batch cannot exceed the queue.
+      bool any_busy = false;
+      for (size_t m = 0; m < num_models; ++m) {
+        if ((action.model_mask & (1u << m)) && obs.busy_remaining[m] > 0.0) {
+          any_busy = true;
+        }
+      }
+      if (any_busy) break;  // policy was already penalized in Decide
+
+      int64_t b_eff = std::min<int64_t>(action.batch_size,
+                                        static_cast<int64_t>(queue.size()));
+      if (b_eff <= 0) break;
+      std::vector<Request> batch = queue.PopOldest(
+          static_cast<size_t>(b_eff));
+
+      // Dispatch: every selected model processes the batch; the ensemble
+      // response is gated by the slowest selected model (§5.2).
+      double completion = t;
+      for (size_t m = 0; m < num_models; ++m) {
+        if (!(action.model_mask & (1u << m))) continue;
+        busy_until[m] = t + models_[m].BatchLatency(b_eff);
+        completion = std::max(completion, busy_until[m]);
+      }
+
+      double accuracy =
+          accuracy_table_ != nullptr
+              ? accuracy_table_->Accuracy(action.model_mask)
+              : models_.front().top1_accuracy;
+
+      int64_t overdue = 0;
+      for (const Request& r : batch) {
+        double latency = completion - r.arrival_time;
+        latency_sum += latency;
+        if (latency > options_.tau) ++overdue;
+      }
+
+      double reward = BatchReward(accuracy, b_eff, overdue, options_.beta);
+      policy.Feedback(obs, action, reward);
+
+      WindowAccum& w = windows[window_of(completion)];
+      w.processed += b_eff;
+      w.overdue += overdue;
+      w.accuracy_sum += accuracy * static_cast<double>(b_eff);
+      w.reward_sum += reward;
+      ++w.batches;
+
+      metrics.total_processed += b_eff;
+      metrics.total_overdue += overdue;
+      metrics.mean_accuracy += accuracy * static_cast<double>(b_eff);
+      metrics.total_reward += reward;
+    }
+  }
+
+  // Flush windows into samples.
+  for (size_t w = 0; w < num_windows; ++w) {
+    const WindowAccum& acc = windows[w];
+    WindowSample s;
+    s.t_begin = static_cast<double>(w) * options_.metrics_window;
+    s.arrived_per_sec =
+        static_cast<double>(acc.arrived) / options_.metrics_window;
+    s.processed_per_sec =
+        static_cast<double>(acc.processed) / options_.metrics_window;
+    s.overdue_per_sec =
+        static_cast<double>(acc.overdue) / options_.metrics_window;
+    s.mean_accuracy = acc.processed == 0
+                          ? 0.0
+                          : acc.accuracy_sum /
+                                static_cast<double>(acc.processed);
+    s.mean_reward = acc.batches == 0
+                        ? 0.0
+                        : acc.reward_sum / static_cast<double>(acc.batches);
+    metrics.windows.push_back(s);
+  }
+  if (metrics.total_processed > 0) {
+    metrics.mean_accuracy /= static_cast<double>(metrics.total_processed);
+    metrics.mean_latency =
+        latency_sum / static_cast<double>(metrics.total_processed);
+  }
+  return metrics;
+}
+
+}  // namespace rafiki::serving

@@ -1,0 +1,56 @@
+#include "serving/sine_arrival.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki::serving {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+SineArrivalProcess::SineArrivalProcess(double target_rate, double period,
+                                       uint64_t seed, double noise_stddev)
+    : target_(target_rate),
+      period_(period),
+      noise_stddev_(noise_stddev),
+      rng_(seed) {
+  RAFIKI_CHECK_GT(target_rate, 0.0);
+  RAFIKI_CHECK_GT(period, 0.0);
+  // Equations 8-9: peak = 1.1 r*, above-target arc = 20% of the cycle.
+  // sin threshold at the 20% arc edges: cos(0.2*pi).
+  // Derivation: b + gamma = 1.1 r* and b + gamma*s = r* with s the sine
+  // value at the 20%-arc edge => gamma (1 - s) = 0.1 r*.
+  double s = std::cos(0.2 * kPi);  // ~0.809
+  gamma_ = 0.1 * target_rate / (1.0 - s);
+  b_ = target_rate - gamma_ * s;
+  RAFIKI_CHECK_GE(b_ - gamma_, 0.0) << "negative arrival rate at trough";
+}
+
+double SineArrivalProcess::Rate(double t) const {
+  return gamma_ * std::sin(2.0 * kPi * t / period_) + b_;
+}
+
+int64_t SineArrivalProcess::Arrivals(double t, double delta) {
+  RAFIKI_CHECK_GE(delta, 0.0);
+  double phi = rng_.Gaussian(0.0, noise_stddev_);
+  double expected = delta * Rate(t) * (1.0 + phi);
+  if (expected < 0.0) expected = 0.0;
+  expected += residual_;
+  auto n = static_cast<int64_t>(std::floor(expected));
+  residual_ = expected - static_cast<double>(n);
+  return n;
+}
+
+double SineArrivalProcess::FractionAboveTarget(int samples) const {
+  int above = 0;
+  for (int i = 0; i < samples; ++i) {
+    double t = period_ * static_cast<double>(i) / samples;
+    if (Rate(t) > target_) ++above;
+  }
+  return static_cast<double>(above) / samples;
+}
+
+}  // namespace rafiki::serving

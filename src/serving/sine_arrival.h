@@ -1,0 +1,59 @@
+#ifndef RAFIKI_SERVING_SINE_ARRIVAL_H_
+#define RAFIKI_SERVING_SINE_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace rafiki::serving {
+
+/// The paper's request-arrival environment simulator (§7.2, Figure 12,
+/// Equations 8-9): a sine-modulated rate
+///
+///   r(t) = gamma * sin(2*pi*t / T) + b
+///
+/// calibrated against a target throughput r* (the serving system's maximum
+/// r_u or minimum r_l) such that
+///   * the rate exceeds r* for 20% of each cycle (Equation 8 — simulating
+///     periods of overwhelming load), and
+///   * the peak rate is 1.1 * r* (Equation 9 — so the queue does not fill
+///     up unboundedly).
+/// Solving both: gamma = (0.1 / (1 - cos(0.2*pi))) * r*,
+/// b = r* - gamma * cos(0.2*pi).
+///
+/// The number of new requests over a span delta is
+///   delta * r(t) * (1 + phi),  phi ~ N(0, 0.1)
+/// — the small noise prevents the RL algorithm from simply memorizing the
+/// sine function.
+class SineArrivalProcess {
+ public:
+  SineArrivalProcess(double target_rate, double period, uint64_t seed,
+                     double noise_stddev = 0.1);
+
+  /// Instantaneous (noise-free) rate at time t, requests/second.
+  double Rate(double t) const;
+
+  /// Number of requests arriving in [t, t + delta): noisy, integerized
+  /// with a fractional accumulator so no arrivals are lost to rounding.
+  int64_t Arrivals(double t, double delta);
+
+  double gamma() const { return gamma_; }
+  double offset() const { return b_; }
+  double peak_rate() const { return gamma_ + b_; }
+  double target_rate() const { return target_; }
+  /// Fraction of a cycle with rate above the target (~0.2 by calibration).
+  double FractionAboveTarget(int samples = 10000) const;
+
+ private:
+  double target_;
+  double period_;
+  double gamma_;
+  double b_;
+  double noise_stddev_;
+  Rng rng_;
+  double residual_ = 0.0;
+};
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_SINE_ARRIVAL_H_

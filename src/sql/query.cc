@@ -1,0 +1,143 @@
+#include "sql/query.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rafiki::sql {
+namespace {
+
+double AsDouble(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  return 0.0;
+}
+
+bool Numeric(const Value& v) {
+  return std::holds_alternative<int64_t>(v) ||
+         std::holds_alternative<double>(v);
+}
+
+}  // namespace
+
+Predicate ColumnCompare(const Table& table, const std::string& column,
+                        const std::string& op, const Value& constant) {
+  Result<size_t> idx = table.ColumnIndex(column);
+  RAFIKI_CHECK(idx.ok()) << idx.status().ToString();
+  size_t i = idx.value();
+  return [i, op, constant](const Row& row, const Table&) {
+    const Value& v = row[i];
+    if (ValueIsNull(v) || ValueIsNull(constant)) return false;
+    int cmp;
+    if (Numeric(v) && Numeric(constant)) {
+      double a = AsDouble(v), b = AsDouble(constant);
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      const std::string a = ValueToString(v), b = ValueToString(constant);
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+    if (op == "<") return cmp < 0;
+    if (op == "<=") return cmp <= 0;
+    if (op == ">") return cmp > 0;
+    if (op == ">=") return cmp >= 0;
+    if (op == "=" || op == "==") return cmp == 0;
+    if (op == "!=") return cmp != 0;
+    RAFIKI_LOG(FATAL) << "unknown comparison op '" << op << "'";
+    return false;
+  };
+}
+
+Query::Query(const Table* table) : table_(table) {
+  RAFIKI_CHECK(table != nullptr);
+}
+
+Query& Query::Select(SelectExpr expr) {
+  if (expr.alias.empty()) expr.alias = expr.column;
+  exprs_.push_back(std::move(expr));
+  return *this;
+}
+
+Query& Query::Where(Predicate predicate) {
+  predicates_.push_back(std::move(predicate));
+  return *this;
+}
+
+Query& Query::GroupByCount(size_t select_index) {
+  group_by_ = true;
+  group_index_ = select_index;
+  return *this;
+}
+
+Result<Query::ResultSet> Query::Execute() const {
+  if (exprs_.empty()) {
+    return Status::InvalidArgument("SELECT list is empty");
+  }
+  if (group_by_ && group_index_ >= exprs_.size()) {
+    return Status::InvalidArgument("GROUP BY index out of range");
+  }
+  // Resolve column indexes up front.
+  std::vector<size_t> col_idx(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    RAFIKI_ASSIGN_OR_RETURN(col_idx[e],
+                            table_->ColumnIndex(exprs_[e].column));
+  }
+
+  ResultSet out;
+  for (const SelectExpr& e : exprs_) out.column_names.push_back(e.alias);
+
+  // Scan -> filter -> project (UDFs run only on surviving rows, §8).
+  std::vector<Row> projected;
+  for (const Row& row : table_->rows()) {
+    bool pass = std::all_of(
+        predicates_.begin(), predicates_.end(),
+        [&](const Predicate& p) { return p(row, *table_); });
+    if (!pass) continue;
+    Row proj;
+    proj.reserve(exprs_.size());
+    for (size_t e = 0; e < exprs_.size(); ++e) {
+      Value v = row[col_idx[e]];
+      if (exprs_[e].udf) {
+        v = exprs_[e].udf(v);
+        ++out.udf_calls;
+      }
+      proj.push_back(std::move(v));
+    }
+    projected.push_back(std::move(proj));
+  }
+
+  if (!group_by_) {
+    out.rows = std::move(projected);
+    return out;
+  }
+
+  // GROUP BY <expr>, count(*). Keys ordered for deterministic output.
+  std::map<std::string, int64_t> counts;
+  std::map<std::string, Value> key_values;
+  for (const Row& row : projected) {
+    std::string key = ValueToString(row[group_index_]);
+    ++counts[key];
+    key_values.emplace(key, row[group_index_]);
+  }
+  out.column_names = {exprs_[group_index_].alias, "count(*)"};
+  for (const auto& [key, count] : counts) {
+    out.rows.push_back(Row{key_values.at(key), Value{count}});
+  }
+  return out;
+}
+
+std::string Query::ResultSet::ToString() const {
+  std::string s = Join(column_names, " | ") + "\n";
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(ValueToString(v));
+    s += Join(cells, " | ") + "\n";
+  }
+  return s;
+}
+
+}  // namespace rafiki::sql

@@ -1,0 +1,71 @@
+#include "sql/table.h"
+
+#include "common/string_util.h"
+
+namespace rafiki::sql {
+
+bool ValueIsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+std::string ValueToString(const Value& v) {
+  if (ValueIsNull(v)) return "NULL";
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return StrFormat("%g", std::get<double>(v));
+  }
+  return std::get<std::string>(v);
+}
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+Status Table::Insert(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table '%s' has %zu columns",
+                  row.size(), name_.c_str(), columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (ValueIsNull(v)) {
+      if (col.not_null) {
+        return Status::InvalidArgument(
+            StrFormat("NULL in NOT NULL column '%s'", col.name.c_str()));
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (col.type) {
+      case ColumnType::kInteger:
+        ok = std::holds_alternative<int64_t>(v);
+        break;
+      case ColumnType::kDouble:
+        ok = std::holds_alternative<double>(v) ||
+             std::holds_alternative<int64_t>(v);
+        break;
+      case ColumnType::kText:
+        ok = std::holds_alternative<std::string>(v);
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("type mismatch for column '%s'", col.name.c_str()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(
+      StrFormat("no column '%s' in table '%s'", name.c_str(), name_.c_str()));
+}
+
+}  // namespace rafiki::sql

@@ -1,0 +1,60 @@
+#ifndef RAFIKI_SQL_TABLE_H_
+#define RAFIKI_SQL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rafiki::sql {
+
+/// A cell value: NULL, integer, double, or text.
+using Value = std::variant<std::monostate, int64_t, double, std::string>;
+
+bool ValueIsNull(const Value& v);
+std::string ValueToString(const Value& v);
+
+/// Column type for schema checking.
+enum class ColumnType { kInteger, kDouble, kText };
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool not_null = false;
+};
+
+using Row = std::vector<Value>;
+
+/// A minimal in-memory relational table with schema validation — just
+/// enough of a database for the Section 8 case study (the food-logging
+/// application whose SQL query calls a Rafiki UDF). See query.h for the
+/// SELECT pipeline.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns);
+
+  /// Inserts one row; validates arity, types and NOT NULL constraints.
+  Status Insert(Row row);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Index of a column by name; NotFound otherwise.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rafiki::sql
+
+#endif  // RAFIKI_SQL_TABLE_H_

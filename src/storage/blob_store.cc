@@ -1,0 +1,84 @@
+#include "storage/blob_store.h"
+
+#include "common/string_util.h"
+
+namespace rafiki::storage {
+
+Status BlobStore::Put(const std::string& key, std::vector<uint8_t> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++puts_;
+  if (capacity_bytes_ != 0 && value.size() > capacity_bytes_) {
+    return Status::OutOfRange(
+        StrFormat("blob '%s' (%zu bytes) exceeds capacity %zu", key.c_str(),
+                  value.size(), capacity_bytes_));
+  }
+  auto it = blobs_.find(key);
+  size_t old = it == blobs_.end() ? 0 : it->second.size();
+  size_t next = used_bytes_ - old + value.size();
+  if (capacity_bytes_ != 0 && next > capacity_bytes_) {
+    return Status::OutOfRange(
+        StrFormat("store full: %zu + %zu > %zu", used_bytes_, value.size(),
+                  capacity_bytes_));
+  }
+  used_bytes_ = next;
+  blobs_[key] = std::move(value);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> BlobStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++gets_;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound(StrFormat("no blob '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+bool BlobStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.count(key) > 0;
+}
+
+Status BlobStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Status::NotFound(StrFormat("no blob '%s'", key.c_str()));
+  }
+  used_bytes_ -= it->second.size();
+  blobs_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> BlobStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = blobs_.lower_bound(prefix); it != blobs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+size_t BlobStore::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+size_t BlobStore::num_blobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.size();
+}
+
+size_t BlobStore::put_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return puts_;
+}
+
+size_t BlobStore::get_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gets_;
+}
+
+}  // namespace rafiki::storage

@@ -1,0 +1,58 @@
+#ifndef RAFIKI_STORAGE_BLOB_STORE_H_
+#define RAFIKI_STORAGE_BLOB_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rafiki::storage {
+
+/// Namespaced blob store standing in for HDFS (§6.2). Rafiki stores
+/// datasets and cold model parameters here; the parameter server spills
+/// infrequently-accessed parameters into it.
+///
+/// Keys are hierarchical strings ("datasets/food", "params/model1/fc0/w").
+/// Thread-safe. Capacity in bytes is enforced to exercise spill/eviction
+/// behaviour; 0 means unlimited.
+class BlobStore {
+ public:
+  explicit BlobStore(size_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Stores (overwrites) a blob. Fails with kOutOfRange if the value alone
+  /// exceeds capacity.
+  Status Put(const std::string& key, std::vector<uint8_t> value);
+
+  /// Fetches a blob copy.
+  Result<std::vector<uint8_t>> Get(const std::string& key) const;
+
+  bool Exists(const std::string& key) const;
+  Status Delete(const std::string& key);
+
+  /// All keys with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  size_t size_bytes() const;
+  size_t num_blobs() const;
+
+  /// Counters for tests/metrics.
+  size_t put_count() const;
+  size_t get_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+  mutable size_t puts_ = 0;
+  mutable size_t gets_ = 0;
+};
+
+}  // namespace rafiki::storage
+
+#endif  // RAFIKI_STORAGE_BLOB_STORE_H_

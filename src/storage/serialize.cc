@@ -1,0 +1,116 @@
+#include "storage/serialize.h"
+
+#include <cstring>
+
+namespace rafiki::storage {
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x52414654;   // "RAFT"
+constexpr uint32_t kDatasetMagic = 0x52414644;  // "RAFD"
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void AppendI64(std::vector<uint8_t>* out, int64_t v) {
+  auto u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out->push_back((u >> (8 * i)) & 0xff);
+}
+
+bool ReadU32(const std::vector<uint8_t>& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(in[*pos + i]) << (8 * i);
+  *pos += 4;
+  return true;
+}
+
+bool ReadI64(const std::vector<uint8_t>& in, size_t* pos, int64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) u |= static_cast<uint64_t>(in[*pos + i]) << (8 * i);
+  *pos += 8;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTensor(const Tensor& tensor) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + tensor.shape().size() * 8 +
+              static_cast<size_t>(tensor.numel()) * 4);
+  AppendU32(&out, kTensorMagic);
+  AppendU32(&out, static_cast<uint32_t>(tensor.rank()));
+  for (int64_t d : tensor.shape()) AppendI64(&out, d);
+  size_t data_bytes = static_cast<size_t>(tensor.numel()) * sizeof(float);
+  size_t offset = out.size();
+  out.resize(offset + data_bytes);
+  std::memcpy(out.data() + offset, tensor.data(), data_bytes);
+  return out;
+}
+
+Result<Tensor> DeserializeTensor(const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  uint32_t magic = 0, rank = 0;
+  if (!ReadU32(bytes, &pos, &magic) || magic != kTensorMagic) {
+    return Status::InvalidArgument("bad tensor magic");
+  }
+  if (!ReadU32(bytes, &pos, &rank) || rank > 8) {
+    return Status::InvalidArgument("bad tensor rank");
+  }
+  Shape shape(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    if (!ReadI64(bytes, &pos, &shape[i]) || shape[i] <= 0) {
+      return Status::InvalidArgument("bad tensor shape");
+    }
+  }
+  int64_t numel = rank == 0 ? 0 : ShapeNumel(shape);
+  size_t data_bytes = static_cast<size_t>(numel) * sizeof(float);
+  if (pos + data_bytes != bytes.size()) {
+    return Status::InvalidArgument("tensor payload size mismatch");
+  }
+  std::vector<float> values(static_cast<size_t>(numel));
+  std::memcpy(values.data(), bytes.data() + pos, data_bytes);
+  return Tensor(std::move(shape), std::move(values));
+}
+
+std::vector<uint8_t> SerializeDataset(const data::Dataset& dataset) {
+  std::vector<uint8_t> out;
+  AppendU32(&out, kDatasetMagic);
+  AppendI64(&out, dataset.num_classes);
+  AppendI64(&out, dataset.size());
+  for (int64_t label : dataset.labels) AppendI64(&out, label);
+  std::vector<uint8_t> xt = SerializeTensor(dataset.x);
+  out.insert(out.end(), xt.begin(), xt.end());
+  return out;
+}
+
+Result<data::Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  uint32_t magic = 0;
+  if (!ReadU32(bytes, &pos, &magic) || magic != kDatasetMagic) {
+    return Status::InvalidArgument("bad dataset magic");
+  }
+  data::Dataset out;
+  int64_t n = 0;
+  if (!ReadI64(bytes, &pos, &out.num_classes) || !ReadI64(bytes, &pos, &n) ||
+      n < 0) {
+    return Status::InvalidArgument("bad dataset header");
+  }
+  out.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!ReadI64(bytes, &pos, &out.labels[static_cast<size_t>(i)])) {
+      return Status::InvalidArgument("truncated labels");
+    }
+  }
+  std::vector<uint8_t> rest(bytes.begin() + static_cast<long>(pos),
+                            bytes.end());
+  RAFIKI_ASSIGN_OR_RETURN(out.x, DeserializeTensor(rest));
+  if (out.x.rank() > 0 && out.x.dim(0) != n) {
+    return Status::InvalidArgument("dataset row count mismatch");
+  }
+  return out;
+}
+
+}  // namespace rafiki::storage

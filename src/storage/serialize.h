@@ -1,0 +1,26 @@
+#ifndef RAFIKI_STORAGE_SERIALIZE_H_
+#define RAFIKI_STORAGE_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::storage {
+
+/// Binary (little-endian) codecs used to move tensors and datasets through
+/// the blob store — the wire format between Rafiki components (stand-in for
+/// the HDFS file formats in §6.2).
+
+std::vector<uint8_t> SerializeTensor(const Tensor& tensor);
+Result<Tensor> DeserializeTensor(const std::vector<uint8_t>& bytes);
+
+std::vector<uint8_t> SerializeDataset(const data::Dataset& dataset);
+Result<data::Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes);
+
+}  // namespace rafiki::storage
+
+#endif  // RAFIKI_STORAGE_SERIALIZE_H_

@@ -1,0 +1,258 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace rafiki {
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    RAFIKI_CHECK_GT(d, 0) << "shape dims must be positive";
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "(";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  RAFIKI_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()));
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data_[static_cast<size_t>(i)] =
+        static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+float& Tensor::at2(int64_t r, int64_t c) {
+  RAFIKI_CHECK_EQ(rank(), 2u);
+  RAFIKI_CHECK_LT(r, shape_[0]);
+  RAFIKI_CHECK_LT(c, shape_[1]);
+  return data_[static_cast<size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at2(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  RAFIKI_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::SubInPlace(const Tensor& other) {
+  RAFIKI_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::MulInPlace(float scalar) {
+  for (float& v : data_) v *= scalar;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& x) {
+  RAFIKI_CHECK(SameShape(x));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+}
+
+void Tensor::Reshape(Shape shape) {
+  RAFIKI_CHECK_EQ(ShapeNumel(shape), numel());
+  shape_ = std::move(shape);
+}
+
+Tensor Tensor::Add(const Tensor& other) const {
+  Tensor out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Tensor Tensor::Sub(const Tensor& other) const {
+  Tensor out = *this;
+  out.SubInPlace(other);
+  return out;
+}
+
+Tensor Tensor::Mul(float scalar) const {
+  Tensor out = *this;
+  out.MulInPlace(scalar);
+  return out;
+}
+
+Tensor Tensor::Hadamard(const Tensor& other) const {
+  RAFIKI_CHECK(SameShape(other));
+  Tensor out = *this;
+  for (size_t i = 0; i < out.data_.size(); ++i)
+    out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::Relu() const {
+  Tensor out = *this;
+  for (float& v : out.data_) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  return data_.empty() ? 0.0f
+                       : Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(s);
+}
+
+Tensor Tensor::SoftmaxRows() const {
+  RAFIKI_CHECK_EQ(rank(), 2u);
+  int64_t rows = shape_[0], cols = shape_[1];
+  Tensor out(shape_);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = *std::max_element(in, in + cols);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<int64_t> Tensor::ArgmaxRows() const {
+  RAFIKI_CHECK_EQ(rank(), 2u);
+  int64_t rows = shape_[0], cols = shape_[1];
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = data() + r * cols;
+    out[static_cast<size_t>(r)] =
+        std::max_element(in, in + cols) - in;
+  }
+  return out;
+}
+
+std::string Tensor::DebugString(int64_t max_elems) const {
+  std::string out = "Tensor" + ShapeToString(shape_) + " [";
+  int64_t n = std::min<int64_t>(numel(), max_elems);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%.4f", data_[static_cast<size_t>(i)]);
+  }
+  if (numel() > n) out += ", ...";
+  out += "]";
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RAFIKI_CHECK_EQ(a.rank(), 2u);
+  RAFIKI_CHECK_EQ(b.rank(), 2u);
+  RAFIKI_CHECK_EQ(a.dim(1), b.dim(0));
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      float av = pa[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  RAFIKI_CHECK_EQ(a.rank(), 2u);
+  RAFIKI_CHECK_EQ(b.rank(), 2u);
+  RAFIKI_CHECK_EQ(a.dim(0), b.dim(0));
+  int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t l = 0; l < k; ++l) {
+    const float* arow = pa + l * m;
+    const float* brow = pb + l * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  RAFIKI_CHECK_EQ(a.rank(), 2u);
+  RAFIKI_CHECK_EQ(b.rank(), 2u);
+  RAFIKI_CHECK_EQ(a.dim(1), b.dim(1));
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (int64_t l = 0; l < k; ++l) s += arow[l] * brow[l];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+}  // namespace rafiki

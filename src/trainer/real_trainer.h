@@ -1,0 +1,77 @@
+#ifndef RAFIKI_TRAINER_REAL_TRAINER_H_
+#define RAFIKI_TRAINER_REAL_TRAINER_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/net.h"
+#include "nn/sgd.h"
+#include "trainer/trainable.h"
+
+namespace rafiki::trainer {
+
+/// Actual SGD training of an MLP on an in-memory dataset — the "real"
+/// counterpart to the surrogate, proving the tuning stack drives genuine
+/// gradient descent end-to-end (used by integration tests and examples).
+///
+/// Consumes the same knob names as the surrogate (learning_rate, momentum,
+/// weight_decay, dropout, init_std) plus the architecture knob
+/// `hidden_units` (Table 1 group 2) — warm starts across different
+/// hidden_units exercise shape-matched parameter reuse.
+struct RealTrainerOptions {
+  int64_t batch_size = 32;
+  uint64_t seed = 31;
+};
+
+class RealTrainer : public Trainable {
+ public:
+  /// `train`/`validation` must outlive the trainer.
+  RealTrainer(const data::Dataset* train, const data::Dataset* validation,
+              RealTrainerOptions options);
+
+  Status InitRandom(const tuning::Trial& trial) override;
+  Status InitFromCheckpoint(const tuning::Trial& trial,
+                            const ps::ModelCheckpoint& ckpt) override;
+  Result<double> TrainEpoch() override;
+  ps::ModelCheckpoint Checkpoint() const override;
+  double EpochCostSeconds() const override;
+  std::string name() const override { return "real_mlp"; }
+
+  /// Validation accuracy without training (for tests).
+  Result<double> Evaluate();
+
+ private:
+  Status Build(const tuning::Trial& trial);
+
+  const data::Dataset* train_;
+  const data::Dataset* validation_;
+  RealTrainerOptions options_;
+  Rng rng_;
+  nn::Net net_;
+  std::unique_ptr<nn::Sgd> optimizer_;
+  int64_t num_params_ = 0;
+  double last_accuracy_ = 0.0;
+  bool built_ = false;
+};
+
+class RealTrainerFactory : public TrainerFactory {
+ public:
+  RealTrainerFactory(const data::Dataset* train,
+                     const data::Dataset* validation,
+                     RealTrainerOptions options)
+      : train_(train), validation_(validation), options_(options),
+        seed_rng_(options.seed) {}
+
+  std::unique_ptr<Trainable> Create(const tuning::Trial& trial) override;
+
+ private:
+  const data::Dataset* train_;
+  const data::Dataset* validation_;
+  RealTrainerOptions options_;
+  Rng seed_rng_;
+};
+
+}  // namespace rafiki::trainer
+
+#endif  // RAFIKI_TRAINER_REAL_TRAINER_H_

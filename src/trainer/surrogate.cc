@@ -1,0 +1,145 @@
+#include "trainer/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::trainer {
+namespace {
+
+/// Gaussian quality factor in log10-space around an optimum.
+double LogQuality(double value, double log10_opt, double width) {
+  if (value <= 0.0) return 0.0;
+  double d = std::log10(value) - log10_opt;
+  return std::exp(-0.5 * d * d / (width * width));
+}
+
+/// Gaussian quality factor in linear space.
+double LinQuality(double value, double opt, double width) {
+  double d = value - opt;
+  return std::exp(-0.5 * d * d / (width * width));
+}
+
+}  // namespace
+
+SurrogateTrainer::SurrogateTrainer(SurrogateOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void SurrogateTrainer::Configure(const tuning::Trial& trial) {
+  double lr = trial.GetDouble("learning_rate", 0.05);
+  double momentum = trial.GetDouble("momentum", 0.9);
+  double wd = trial.GetDouble("weight_decay", 5e-4);
+  double dropout = trial.GetDouble("dropout", 0.3);
+  double init_std = trial.GetDouble("init_std", 0.05);
+
+  // Divergence region: oversized learning rates or initializations blow up
+  // (the bottom band of Figure 8a).
+  diverged_ = lr >= 0.5 || init_std >= 0.5 || (lr >= 0.3 && momentum >= 0.95);
+  if (diverged_) {
+    asymptote_ = options_.diverged_accuracy;
+    return;
+  }
+
+  // Response surface: weighted mix of per-knob quality factors. Optima
+  // match common CIFAR-10 practice (lr ~0.05, wd ~3e-4, init ~0.05,
+  // momentum ~0.9, dropout ~0.3).
+  double q = 0.40 * LogQuality(lr, /*log10_opt=*/-1.3, 0.8) +
+             0.15 * LinQuality(momentum, 0.9, 0.25) +
+             0.15 * LogQuality(wd, -3.5, 1.0) +
+             0.10 * LinQuality(dropout, 0.3, 0.35) +
+             0.20 * LogQuality(init_std, -1.3, 0.8);
+  asymptote_ = options_.floor_accuracy +
+               (options_.peak_accuracy - options_.floor_accuracy) * q;
+}
+
+double SurrogateTrainer::Curve(double epochs) const {
+  if (diverged_) return asymptote_;
+  // First rise to 75% of the asymptote, a flat mid-training plateau, then
+  // the lr-decay rise (§4.2.2's "training loss stays in a plateau ...
+  // then drops suddenly when we decrease the learning rate").
+  double rise1 = 1.0 - std::exp(-epochs / options_.tau);
+  double rise2 = 1.0 / (1.0 + std::exp(-(epochs - options_.decay_epoch) / 2.0));
+  return asymptote_ * (0.75 * rise1 + 0.25 * rise2);
+}
+
+double SurrogateTrainer::InvertCurve(double accuracy) const {
+  if (accuracy <= 0.0) return 0.0;
+  for (double e = 0.0; e <= 200.0; e += 0.5) {
+    if (Curve(e) >= accuracy) return e;
+  }
+  return 200.0;
+}
+
+Status SurrogateTrainer::InitRandom(const tuning::Trial& trial) {
+  Configure(trial);
+  progress_epochs_ = 0.0;
+  last_accuracy_ = 0.0;
+  return Status::OK();
+}
+
+Status SurrogateTrainer::InitFromCheckpoint(const tuning::Trial& trial,
+                                            const ps::ModelCheckpoint& ckpt) {
+  Configure(trial);
+  if (diverged_) {
+    // A diverging configuration destroys even a good initialization.
+    progress_epochs_ = 0.0;
+    last_accuracy_ = 0.0;
+    return Status::OK();
+  }
+  double donor_accuracy = ckpt.meta.accuracy;
+  if (donor_accuracy < options_.poison_threshold) {
+    // Poisoned warm start (§4.2.2): a bad donor drags the achievable
+    // accuracy down — the phenomenon alpha-greedy exists to mitigate.
+    double deficit =
+        (options_.poison_threshold - donor_accuracy) / options_.poison_threshold;
+    asymptote_ = std::max(options_.diverged_accuracy,
+                          asymptote_ * (1.0 - 0.45 * deficit));
+    progress_epochs_ = 0.0;
+    last_accuracy_ = donor_accuracy;
+    return Status::OK();
+  }
+  // Pre-training head start: resume at the effective epoch whose accuracy
+  // matches the donor (capped slightly below this trial's own asymptote),
+  // plus a small transfer bonus for strong donors.
+  if (donor_accuracy > 0.6) {
+    asymptote_ = std::min(options_.peak_accuracy + 0.015,
+                          asymptote_ + 0.015);
+  }
+  double target = std::min(donor_accuracy, 0.98 * asymptote_);
+  progress_epochs_ = InvertCurve(target);
+  last_accuracy_ = target;
+  return Status::OK();
+}
+
+Result<double> SurrogateTrainer::TrainEpoch() {
+  progress_epochs_ += 1.0;
+  double acc = Curve(progress_epochs_) + rng_.Gaussian(0.0, options_.noise);
+  acc = std::clamp(acc, 0.0, 0.999);
+  last_accuracy_ = acc;
+  return acc;
+}
+
+ps::ModelCheckpoint SurrogateTrainer::Checkpoint() const {
+  ps::ModelCheckpoint ckpt;
+  // The surrogate's "parameters": its training state vector. Real model
+  // checkpoints flow through the same path with real tensors.
+  Tensor state({4});
+  state.at(0) = static_cast<float>(progress_epochs_);
+  state.at(1) = static_cast<float>(last_accuracy_);
+  state.at(2) = static_cast<float>(asymptote_);
+  state.at(3) = diverged_ ? 1.0f : 0.0f;
+  ckpt.params.emplace_back("surrogate/state", std::move(state));
+  ckpt.meta.accuracy = last_accuracy_;
+  return ckpt;
+}
+
+std::unique_ptr<Trainable> SurrogateFactory::Create(
+    const tuning::Trial& trial) {
+  SurrogateOptions opts = options_;
+  opts.seed = seed_rng_.Fork().Next64();
+  return std::make_unique<SurrogateTrainer>(opts);
+}
+
+}  // namespace rafiki::trainer

@@ -1,0 +1,104 @@
+#ifndef RAFIKI_TRAINER_SURROGATE_H_
+#define RAFIKI_TRAINER_SURROGATE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "trainer/trainable.h"
+
+namespace rafiki::trainer {
+
+/// Calibrated response-surface trainer standing in for the paper's
+/// hours-long 8-layer ConvNet runs on CIFAR-10 (§7.1).
+///
+/// Why this preserves the experiment (DESIGN.md §1): Figures 8/9/11 measure
+/// properties of the *tuning protocol* — how trial quality is distributed,
+/// how fast the best-so-far curve climbs per training epoch, and how
+/// checkpoint reuse (CoStudy) changes both. Those properties are driven by
+/// four phenomena of real SGD training that this surrogate reproduces:
+///
+///  1. a hyper-parameter response surface with a single broad optimum in
+///     log-space (learning rate, weight decay, init std) and flat-ish
+///     directions (momentum, dropout), plus a divergence region at extreme
+///     learning rates / init scales;
+///  2. epoch dynamics with a plateau: accuracy rises, stalls mid-training,
+///     and only climbs to its final value late (the paper's "loss stays in
+///     a plateau ... then drops when the learning rate decays"). Early
+///     stopping therefore truncates cold-started trials near the plateau;
+///  3. warm starts inherit the donor's achieved accuracy as a head start
+///     (pre-training, §4.2.2), letting trials push past the plateau;
+///  4. warm starts from *bad* checkpoints poison the trial (the paper's
+///     motivation for the alpha-greedy strategy).
+///
+/// All stochasticity is seeded per-trial, so studies are reproducible.
+struct SurrogateOptions {
+  /// Best achievable accuracy across the space (paper: ~93% on CIFAR-10
+  /// with the fixed 8-layer architecture).
+  double peak_accuracy = 0.93;
+  /// Worst non-diverged accuracy floor.
+  double floor_accuracy = 0.25;
+  /// Chance-level accuracy of diverged runs (10-class task).
+  double diverged_accuracy = 0.10;
+  /// Epoch observation noise.
+  double noise = 0.004;
+  /// Epoch at which the learning-rate-decay "second rise" is centered.
+  double decay_epoch = 25.0;
+  /// Time constant of the first rise.
+  double tau = 4.0;
+  /// Simulated seconds per epoch (Figure 11 accounting).
+  double epoch_cost_seconds = 25.0;
+  /// Accuracy below which a donor checkpoint drags the new trial down.
+  double poison_threshold = 0.35;
+  uint64_t seed = 99;
+};
+
+class SurrogateTrainer : public Trainable {
+ public:
+  explicit SurrogateTrainer(SurrogateOptions options);
+
+  Status InitRandom(const tuning::Trial& trial) override;
+  Status InitFromCheckpoint(const tuning::Trial& trial,
+                            const ps::ModelCheckpoint& ckpt) override;
+  Result<double> TrainEpoch() override;
+  ps::ModelCheckpoint Checkpoint() const override;
+  double EpochCostSeconds() const override {
+    return options_.epoch_cost_seconds;
+  }
+  std::string name() const override { return "surrogate_convnet"; }
+
+  /// Final accuracy this trial converges to (exposed for tests).
+  double asymptote() const { return asymptote_; }
+  bool diverged() const { return diverged_; }
+
+ private:
+  void Configure(const tuning::Trial& trial);
+  /// Noise-free accuracy after `epochs` effective epochs.
+  double Curve(double epochs) const;
+  /// Smallest effective epoch count whose curve value reaches `accuracy`.
+  double InvertCurve(double accuracy) const;
+
+  SurrogateOptions options_;
+  Rng rng_;
+  double asymptote_ = 0.0;
+  bool diverged_ = false;
+  double progress_epochs_ = 0.0;
+  double last_accuracy_ = 0.0;
+};
+
+/// Factory producing surrogate trainers with per-trial forked seeds.
+class SurrogateFactory : public TrainerFactory {
+ public:
+  explicit SurrogateFactory(SurrogateOptions options)
+      : options_(options), seed_rng_(options.seed) {}
+
+  std::unique_ptr<Trainable> Create(const tuning::Trial& trial) override;
+
+ private:
+  SurrogateOptions options_;
+  Rng seed_rng_;
+};
+
+}  // namespace rafiki::trainer
+
+#endif  // RAFIKI_TRAINER_SURROGATE_H_

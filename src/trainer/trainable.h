@@ -1,0 +1,55 @@
+#ifndef RAFIKI_TRAINER_TRAINABLE_H_
+#define RAFIKI_TRAINER_TRAINABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "ps/parameter_server.h"
+#include "tuning/hyperspace.h"
+
+namespace rafiki::trainer {
+
+/// What a tuning worker needs from a model under training: epoch-granular
+/// training with validation feedback, checkpointing to/from the parameter
+/// server, and a cost model so the simulated cluster can account for time.
+///
+/// Both the real SGD trainer and the calibrated surrogate implement this,
+/// so Study/CoStudy are agnostic to which one runs (DESIGN.md §1).
+class Trainable {
+ public:
+  virtual ~Trainable() = default;
+
+  /// Fresh random initialization for the given trial.
+  virtual Status InitRandom(const tuning::Trial& trial) = 0;
+
+  /// Warm start from a checkpoint (CoStudy, §4.2.2). Parameters whose
+  /// shapes do not match the new architecture are left at their random
+  /// values (shape-matched reuse).
+  virtual Status InitFromCheckpoint(const tuning::Trial& trial,
+                                    const ps::ModelCheckpoint& ckpt) = 0;
+
+  /// Runs one training epoch; returns the validation performance (accuracy
+  /// in [0, 1], larger is better).
+  virtual Result<double> TrainEpoch() = 0;
+
+  /// Current parameters + metadata for publication to the PS.
+  virtual ps::ModelCheckpoint Checkpoint() const = 0;
+
+  /// Simulated wall-clock cost of one epoch, in seconds (used by the
+  /// scalability experiment, Figure 11).
+  virtual double EpochCostSeconds() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Creates one Trainable per trial; each worker owns a factory.
+class TrainerFactory {
+ public:
+  virtual ~TrainerFactory() = default;
+  virtual std::unique_ptr<Trainable> Create(const tuning::Trial& trial) = 0;
+};
+
+}  // namespace rafiki::trainer
+
+#endif  // RAFIKI_TRAINER_TRAINABLE_H_

@@ -1,0 +1,83 @@
+#include "tuning/bayes_opt.h"
+
+#include "common/logging.h"
+
+namespace rafiki::tuning {
+
+BayesOptAdvisor::BayesOptAdvisor(const HyperSpace* space,
+                                 BayesOptOptions options)
+    : space_(space), options_(options), rng_(options.seed) {
+  RAFIKI_CHECK(space != nullptr);
+  RAFIKI_CHECK_GT(options.max_trials, 0);
+  RAFIKI_CHECK_GT(options.num_init_random, 0);
+  RAFIKI_CHECK_GT(options.candidates_per_step, 0);
+}
+
+std::optional<Trial> BayesOptAdvisor::SampleRandomLocked() {
+  Result<Trial> trial = space_->Sample(rng_);
+  if (!trial.ok()) {
+    RAFIKI_LOG(ERROR) << "sample failed: " << trial.status().ToString();
+    return std::nullopt;
+  }
+  Trial t = std::move(trial).value();
+  t.set_id(next_trial_id_++);
+  ++issued_;
+  return t;
+}
+
+std::optional<Trial> BayesOptAdvisor::Next(const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (issued_ >= options_.max_trials) return std::nullopt;
+
+  // Seed phase, or not enough observations yet to fit.
+  if (static_cast<int>(results_.size()) < options_.num_init_random) {
+    return SampleRandomLocked();
+  }
+
+  // Fit the GP to all observations in normalized coordinates.
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  xs.reserve(results_.size());
+  ys.reserve(results_.size());
+  double best_y = -1e300;
+  for (const TrialResult& r : results_) {
+    Result<std::vector<double>> x = space_->Normalize(r.trial);
+    if (!x.ok()) continue;
+    xs.push_back(std::move(x).value());
+    ys.push_back(r.performance);
+    best_y = std::max(best_y, r.performance);
+  }
+  if (xs.size() < 2) return SampleRandomLocked();
+
+  GaussianProcess gp(options_.gp);
+  Status fit = gp.Fit(xs, ys);
+  if (!fit.ok()) {
+    RAFIKI_LOG(WARNING) << "GP fit failed (" << fit.ToString()
+                        << "); falling back to random sampling";
+    return SampleRandomLocked();
+  }
+
+  // Maximize EI over random candidates.
+  size_t d = space_->num_knobs();
+  std::vector<double> best_point;
+  double best_ei = -1.0;
+  for (int c = 0; c < options_.candidates_per_step; ++c) {
+    std::vector<double> point(d);
+    for (size_t i = 0; i < d; ++i) point[i] = rng_.Uniform();
+    double ei = gp.ExpectedImprovement(point, best_y, options_.xi);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best_point = std::move(point);
+    }
+  }
+  if (best_point.empty()) return SampleRandomLocked();
+
+  Result<Trial> trial = space_->Denormalize(best_point);
+  if (!trial.ok()) return SampleRandomLocked();
+  Trial t = std::move(trial).value();
+  t.set_id(next_trial_id_++);
+  ++issued_;
+  return t;
+}
+
+}  // namespace rafiki::tuning

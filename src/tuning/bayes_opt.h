@@ -1,0 +1,43 @@
+#ifndef RAFIKI_TUNING_BAYES_OPT_H_
+#define RAFIKI_TUNING_BAYES_OPT_H_
+
+#include <optional>
+#include <string>
+
+#include "tuning/gaussian_process.h"
+#include "tuning/trial_advisor.h"
+
+namespace rafiki::tuning {
+
+/// Gaussian-process Bayesian optimization (Snoek et al.) as a TrialAdvisor:
+/// after `num_init_random` seed trials, each Next() fits a GP to all
+/// collected (trial, performance) pairs and maximizes expected improvement
+/// over random candidate points in the normalized space.
+struct BayesOptOptions {
+  int64_t max_trials = 100;
+  int num_init_random = 8;
+  int candidates_per_step = 512;
+  double xi = 0.01;  // EI exploration margin
+  GpOptions gp;
+  uint64_t seed = 13;
+};
+
+class BayesOptAdvisor : public AdvisorBase {
+ public:
+  BayesOptAdvisor(const HyperSpace* space, BayesOptOptions options);
+
+  std::optional<Trial> Next(const std::string& worker) override;
+  std::string name() const override { return "bayes_opt"; }
+
+ private:
+  std::optional<Trial> SampleRandomLocked();
+
+  const HyperSpace* space_;
+  BayesOptOptions options_;
+  int64_t issued_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rafiki::tuning
+
+#endif  // RAFIKI_TUNING_BAYES_OPT_H_

@@ -1,0 +1,128 @@
+#include "tuning/gaussian_process.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki::tuning {
+
+double NormalPdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double GaussianProcess::Kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  RAFIKI_CHECK_EQ(a.size(), b.size());
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  double l2 = options_.length_scale * options_.length_scale;
+  return options_.signal_variance * std::exp(-0.5 * d2 / l2);
+}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("GP fit needs matching non-empty x, y");
+  }
+  size_t n = x.size();
+  x_ = x;
+
+  // Standardize targets.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  // K + noise I, then Cholesky factorize in place (lower triangle).
+  std::vector<double> k(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = Kernel(x[i], x[j]);
+      if (i == j) v += options_.noise_variance;
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    double diag = k[c * n + c];
+    for (size_t r = 0; r < c; ++r) {
+      double l = k[c * n + r];
+      diag -= l * l;
+    }
+    if (diag <= 0.0) {
+      fitted_ = false;
+      return Status::FailedPrecondition("GP kernel not positive definite");
+    }
+    k[c * n + c] = std::sqrt(diag);
+    for (size_t r = c + 1; r < n; ++r) {
+      double acc = k[r * n + c];
+      for (size_t j = 0; j < c; ++j) acc -= k[r * n + j] * k[c * n + j];
+      k[r * n + c] = acc / k[c * n + c];
+    }
+  }
+  chol_ = std::move(k);
+
+  // alpha = K^{-1} y_std via forward + backward substitution.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = (y[i] - y_mean_) / y_std_;
+    for (size_t j = 0; j < i; ++j) acc -= chol_[i * n + j] * z[j];
+    z[i] = acc / chol_[i * n + i];
+  }
+  alpha_.assign(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double acc = z[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= chol_[j * n + i] * alpha_[j];
+    alpha_[i] = acc / chol_[i * n + i];
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void GaussianProcess::Predict(const std::vector<double>& x, double* mean,
+                              double* variance) const {
+  RAFIKI_CHECK(fitted_) << "Predict before Fit";
+  size_t n = x_.size();
+  std::vector<double> kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = Kernel(x, x_[i]);
+
+  double mu = 0.0;
+  for (size_t i = 0; i < n; ++i) mu += kstar[i] * alpha_[i];
+
+  // v = L^{-1} k*; var = k(x,x) - v.v
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = kstar[i];
+    for (size_t j = 0; j < i; ++j) acc -= chol_[i * n + j] * v[j];
+    v[i] = acc / chol_[i * n + i];
+  }
+  double var = Kernel(x, x);
+  for (size_t i = 0; i < n; ++i) var -= v[i] * v[i];
+  var = std::max(var, 1e-12);
+
+  *mean = mu * y_std_ + y_mean_;
+  *variance = var * y_std_ * y_std_;
+}
+
+double GaussianProcess::ExpectedImprovement(const std::vector<double>& x,
+                                            double best_y, double xi) const {
+  double mu = 0.0, var = 0.0;
+  Predict(x, &mu, &var);
+  double sigma = std::sqrt(var);
+  if (sigma < 1e-12) return std::max(0.0, mu - best_y - xi);
+  double z = (mu - best_y - xi) / sigma;
+  return (mu - best_y - xi) * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+}  // namespace rafiki::tuning

@@ -1,0 +1,64 @@
+#ifndef RAFIKI_TUNING_GAUSSIAN_PROCESS_H_
+#define RAFIKI_TUNING_GAUSSIAN_PROCESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace rafiki::tuning {
+
+/// Gaussian-process regression with an RBF kernel, the surrogate behind the
+/// paper's Bayesian-optimization TrialAdvisor (§2.2, §4.2, Figure 9).
+///
+///   k(x, x') = signal_variance * exp(-||x - x'||^2 / (2 * length_scale^2))
+///
+/// Targets are standardized internally; predictions are de-standardized.
+/// Exact inference via Cholesky — trial counts are O(100), so the O(n^3)
+/// fit is trivial.
+struct GpOptions {
+  double length_scale = 0.2;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-3;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpOptions options) : options_(options) {}
+
+  /// Fits the posterior to n points; x is n rows of dimension d.
+  /// FailedPrecondition if the kernel matrix is not positive definite.
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y);
+
+  /// Posterior mean and variance at one point. Must be fitted.
+  void Predict(const std::vector<double>& x, double* mean,
+               double* variance) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_points() const { return x_.size(); }
+
+  /// Expected improvement of a maximization problem at `x` over the
+  /// incumbent `best_y` with exploration bonus `xi`.
+  double ExpectedImprovement(const std::vector<double>& x, double best_y,
+                             double xi) const;
+
+ private:
+  double Kernel(const std::vector<double>& a,
+                const std::vector<double>& b) const;
+
+  GpOptions options_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> alpha_;         // K^{-1} (y - mean)
+  std::vector<double> chol_;          // lower-triangular L, row-major n x n
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+/// Standard normal pdf/cdf helpers (shared with the acquisition function).
+double NormalPdf(double z);
+double NormalCdf(double z);
+
+}  // namespace rafiki::tuning
+
+#endif  // RAFIKI_TUNING_GAUSSIAN_PROCESS_H_

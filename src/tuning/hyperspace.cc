@@ -1,0 +1,409 @@
+#include "tuning/hyperspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rafiki::tuning {
+
+double KnobValue::AsDouble() const {
+  if (is_double()) return std::get<double>(value_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(value_));
+  RAFIKI_LOG(FATAL) << "KnobValue: string is not numeric";
+  return 0.0;
+}
+
+int64_t KnobValue::AsInt() const {
+  if (is_int()) return std::get<int64_t>(value_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(value_));
+  RAFIKI_LOG(FATAL) << "KnobValue: string is not numeric";
+  return 0;
+}
+
+const std::string& KnobValue::AsString() const {
+  RAFIKI_CHECK(is_string()) << "KnobValue is not a string";
+  return std::get<std::string>(value_);
+}
+
+std::string KnobValue::ToString() const {
+  if (is_double()) return StrFormat("%.9g", std::get<double>(value_));
+  if (is_int())
+    return std::to_string(std::get<int64_t>(value_));
+  return std::get<std::string>(value_);
+}
+
+double Trial::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second.AsDouble();
+}
+
+int64_t Trial::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second.AsInt();
+}
+
+std::string Trial::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second.is_string() ? it->second.AsString()
+                                : it->second.ToString();
+}
+
+std::string Trial::DebugString() const {
+  std::string out = StrFormat("Trial#%lld{", static_cast<long long>(id_));
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=" + value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string Trial::Encode() const {
+  // Format: id|name:T:value;...  with T in {f,i,s}.
+  std::string out = std::to_string(id_) + "|";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) out += ";";
+    first = false;
+    char tag = value.is_double() ? 'f' : (value.is_int() ? 'i' : 's');
+    out += name + ":" + tag + ":" + value.ToString();
+  }
+  return out;
+}
+
+Result<Trial> Trial::Decode(const std::string& encoded) {
+  size_t bar = encoded.find('|');
+  if (bar == std::string::npos) {
+    return Status::InvalidArgument("trial encoding missing id separator");
+  }
+  Trial trial;
+  trial.set_id(std::strtoll(encoded.substr(0, bar).c_str(), nullptr, 10));
+  std::string body = encoded.substr(bar + 1);
+  if (body.empty()) return trial;
+  for (const std::string& field : Split(body, ';')) {
+    std::vector<std::string> parts = Split(field, ':');
+    if (parts.size() < 3 || parts[1].size() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("bad trial field '%s'", field.c_str()));
+    }
+    // Values may themselves contain ':', rejoin the tail.
+    std::string raw = parts[2];
+    for (size_t i = 3; i < parts.size(); ++i) raw += ":" + parts[i];
+    switch (parts[1][0]) {
+      case 'f':
+        trial.Set(parts[0], KnobValue(std::strtod(raw.c_str(), nullptr)));
+        break;
+      case 'i':
+        trial.Set(parts[0], KnobValue(static_cast<int64_t>(
+                                std::strtoll(raw.c_str(), nullptr, 10))));
+        break;
+      case 's':
+        trial.Set(parts[0], KnobValue(raw));
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("bad trial dtype tag '%c'", parts[1][0]));
+    }
+  }
+  return trial;
+}
+
+Status HyperSpace::CheckNewKnob(
+    const std::string& name, const std::vector<std::string>& depends) const {
+  if (name.empty()) return Status::InvalidArgument("empty knob name");
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists(StrFormat("knob '%s' exists", name.c_str()));
+  }
+  for (const std::string& dep : depends) {
+    if (dep == name) {
+      return Status::InvalidArgument(
+          StrFormat("knob '%s' depends on itself", name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Status HyperSpace::AddRangeKnob(const std::string& name, KnobDtype dtype,
+                                double min, double max, bool log_scale,
+                                std::vector<std::string> depends,
+                                KnobHook pre_hook, KnobHook post_hook) {
+  RAFIKI_RETURN_IF_ERROR(CheckNewKnob(name, depends));
+  if (dtype == KnobDtype::kString) {
+    return Status::InvalidArgument("range knobs must be numeric");
+  }
+  if (!(min < max)) {
+    return Status::InvalidArgument(
+        StrFormat("knob '%s': empty range [%g, %g)", name.c_str(), min, max));
+  }
+  if (log_scale && min <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("knob '%s': log scale needs positive min", name.c_str()));
+  }
+  Knob k;
+  k.name = name;
+  k.dtype = dtype;
+  k.categorical = false;
+  k.min = min;
+  k.max = max;
+  k.log_scale = log_scale;
+  k.depends = std::move(depends);
+  k.pre_hook = std::move(pre_hook);
+  k.post_hook = std::move(post_hook);
+  knobs_.push_back(std::move(k));
+  return Status::OK();
+}
+
+Status HyperSpace::AddCategoricalKnob(const std::string& name,
+                                      std::vector<std::string> categories,
+                                      std::vector<std::string> depends,
+                                      KnobHook pre_hook, KnobHook post_hook) {
+  RAFIKI_RETURN_IF_ERROR(CheckNewKnob(name, depends));
+  if (categories.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("knob '%s': no categories", name.c_str()));
+  }
+  Knob k;
+  k.name = name;
+  k.dtype = KnobDtype::kString;
+  k.categorical = true;
+  k.categories = std::move(categories);
+  k.depends = std::move(depends);
+  k.pre_hook = std::move(pre_hook);
+  k.post_hook = std::move(post_hook);
+  knobs_.push_back(std::move(k));
+  return Status::OK();
+}
+
+Status HyperSpace::AddNumericCategoricalKnob(
+    const std::string& name, std::vector<double> categories,
+    std::vector<std::string> depends, KnobHook pre_hook, KnobHook post_hook) {
+  RAFIKI_RETURN_IF_ERROR(CheckNewKnob(name, depends));
+  if (categories.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("knob '%s': no categories", name.c_str()));
+  }
+  Knob k;
+  k.name = name;
+  k.dtype = KnobDtype::kFloat;
+  k.categorical = true;
+  k.numeric_categories = std::move(categories);
+  k.depends = std::move(depends);
+  k.pre_hook = std::move(pre_hook);
+  k.post_hook = std::move(post_hook);
+  knobs_.push_back(std::move(k));
+  return Status::OK();
+}
+
+const Knob* HyperSpace::Find(const std::string& name) const {
+  for (const Knob& k : knobs_) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+Result<std::vector<const Knob*>> HyperSpace::TopologicalOrder() const {
+  // Kahn's algorithm over the depends DAG.
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < knobs_.size(); ++i) index[knobs_[i].name] = i;
+  std::vector<size_t> indegree(knobs_.size(), 0);
+  std::vector<std::vector<size_t>> out_edges(knobs_.size());
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    for (const std::string& dep : knobs_[i].depends) {
+      auto it = index.find(dep);
+      if (it == index.end()) {
+        return Status::FailedPrecondition(
+            StrFormat("knob '%s' depends on unknown knob '%s'",
+                      knobs_[i].name.c_str(), dep.c_str()));
+      }
+      out_edges[it->second].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<const Knob*> order;
+  // Process in declaration order for determinism.
+  std::sort(ready.begin(), ready.end());
+  while (!ready.empty()) {
+    size_t i = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(&knobs_[i]);
+    for (size_t j : out_edges[i]) {
+      if (--indegree[j] == 0) {
+        ready.insert(std::lower_bound(ready.begin(), ready.end(), j), j);
+      }
+    }
+  }
+  if (order.size() != knobs_.size()) {
+    return Status::FailedPrecondition("knob dependency cycle");
+  }
+  return order;
+}
+
+Result<Trial> HyperSpace::Sample(Rng& rng) const {
+  RAFIKI_ASSIGN_OR_RETURN(std::vector<const Knob*> order, TopologicalOrder());
+  Trial trial;
+  for (const Knob* k : order) {
+    if (k->pre_hook) k->pre_hook(&trial);
+    if (k->categorical) {
+      if (!k->numeric_categories.empty()) {
+        trial.Set(k->name,
+                  KnobValue(k->numeric_categories[rng.Index(
+                      k->numeric_categories.size())]));
+      } else {
+        trial.Set(k->name,
+                  KnobValue(k->categories[rng.Index(k->categories.size())]));
+      }
+    } else {
+      double v = k->log_scale ? rng.LogUniform(k->min, k->max)
+                              : rng.Uniform(k->min, k->max);
+      if (k->dtype == KnobDtype::kInt) {
+        trial.Set(k->name, KnobValue(static_cast<int64_t>(std::floor(v))));
+      } else {
+        trial.Set(k->name, KnobValue(v));
+      }
+    }
+    if (k->post_hook) k->post_hook(&trial);
+  }
+  return trial;
+}
+
+Status HyperSpace::Validate(const Trial& trial) const {
+  for (const Knob& k : knobs_) {
+    if (!trial.Has(k.name)) {
+      return Status::InvalidArgument(
+          StrFormat("trial missing knob '%s'", k.name.c_str()));
+    }
+    if (k.categorical) {
+      if (!k.numeric_categories.empty()) {
+        double v = trial.GetDouble(k.name);
+        bool found = std::any_of(
+            k.numeric_categories.begin(), k.numeric_categories.end(),
+            [&](double c) { return c == v; });
+        if (!found) {
+          return Status::OutOfRange(
+              StrFormat("knob '%s': %g not a category", k.name.c_str(), v));
+        }
+      } else {
+        std::string v = trial.GetString(k.name);
+        bool found = std::find(k.categories.begin(), k.categories.end(), v) !=
+                     k.categories.end();
+        if (!found) {
+          return Status::OutOfRange(StrFormat("knob '%s': '%s' not a category",
+                                              k.name.c_str(), v.c_str()));
+        }
+      }
+    } else {
+      double v = trial.GetDouble(k.name);
+      if (v < k.min || v >= k.max) {
+        // Integer knobs round down, allow v == max for the top bucket edge.
+        if (!(k.dtype == KnobDtype::kInt && v >= k.min && v <= k.max)) {
+          return Status::OutOfRange(StrFormat(
+              "knob '%s': %g outside [%g, %g)", k.name.c_str(), v, k.min,
+              k.max));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> HyperSpace::Normalize(const Trial& trial) const {
+  std::vector<double> out;
+  out.reserve(knobs_.size());
+  for (const Knob& k : knobs_) {
+    if (!trial.Has(k.name)) {
+      return Status::InvalidArgument(
+          StrFormat("trial missing knob '%s'", k.name.c_str()));
+    }
+    if (k.categorical) {
+      if (!k.numeric_categories.empty()) {
+        double v = trial.GetDouble(k.name);
+        auto it = std::find(k.numeric_categories.begin(),
+                            k.numeric_categories.end(), v);
+        size_t idx = it == k.numeric_categories.end()
+                         ? 0
+                         : static_cast<size_t>(
+                               it - k.numeric_categories.begin());
+        size_t n = k.numeric_categories.size();
+        out.push_back(n <= 1 ? 0.0
+                             : static_cast<double>(idx) /
+                                   static_cast<double>(n - 1));
+      } else {
+        std::string v = trial.GetString(k.name);
+        auto it = std::find(k.categories.begin(), k.categories.end(), v);
+        size_t idx = it == k.categories.end()
+                         ? 0
+                         : static_cast<size_t>(it - k.categories.begin());
+        size_t n = k.categories.size();
+        out.push_back(n <= 1 ? 0.0
+                             : static_cast<double>(idx) /
+                                   static_cast<double>(n - 1));
+      }
+    } else {
+      double v = trial.GetDouble(k.name);
+      double lo = k.log_scale ? std::log(k.min) : k.min;
+      double hi = k.log_scale ? std::log(k.max) : k.max;
+      double x = k.log_scale ? std::log(std::max(v, 1e-300)) : v;
+      double u = (x - lo) / (hi - lo);
+      out.push_back(std::clamp(u, 0.0, 1.0));
+    }
+  }
+  return out;
+}
+
+Result<Trial> HyperSpace::Denormalize(const std::vector<double>& point) const {
+  if (point.size() != knobs_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %zu dims, space has %zu", point.size(),
+                  knobs_.size()));
+  }
+  Trial trial;
+  for (size_t i = 0; i < knobs_.size(); ++i) {
+    const Knob& k = knobs_[i];
+    double u = std::clamp(point[i], 0.0, 1.0);
+    if (k.categorical) {
+      if (!k.numeric_categories.empty()) {
+        size_t n = k.numeric_categories.size();
+        size_t idx = std::min(
+            n - 1, static_cast<size_t>(std::lround(u * (n - 1))));
+        trial.Set(k.name, KnobValue(k.numeric_categories[idx]));
+      } else {
+        size_t n = k.categories.size();
+        size_t idx = std::min(
+            n - 1, static_cast<size_t>(std::lround(u * (n - 1))));
+        trial.Set(k.name, KnobValue(k.categories[idx]));
+      }
+    } else {
+      double lo = k.log_scale ? std::log(k.min) : k.min;
+      double hi = k.log_scale ? std::log(k.max) : k.max;
+      double x = lo + u * (hi - lo);
+      double v = k.log_scale ? std::exp(x) : x;
+      // Keep strictly inside [min, max).
+      v = std::min(v, std::nexttoward(k.max, k.min));
+      if (k.dtype == KnobDtype::kInt) {
+        trial.Set(k.name, KnobValue(static_cast<int64_t>(std::floor(v))));
+      } else {
+        trial.Set(k.name, KnobValue(v));
+      }
+    }
+  }
+  // Apply hooks in dependency order so derived adjustments still run.
+  auto order = TopologicalOrder();
+  if (order.ok()) {
+    for (const Knob* k : order.value()) {
+      if (k->post_hook) k->post_hook(&trial);
+    }
+  }
+  return trial;
+}
+
+}  // namespace rafiki::tuning

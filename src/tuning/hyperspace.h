@@ -1,0 +1,169 @@
+#ifndef RAFIKI_TUNING_HYPERSPACE_H_
+#define RAFIKI_TUNING_HYPERSPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rafiki::tuning {
+
+/// Value of one hyper-parameter in a trial: float, integer or categorical
+/// string (the three dtypes of the paper's HyperSpace API, Figure 4).
+class KnobValue {
+ public:
+  KnobValue() : value_(0.0) {}
+  explicit KnobValue(double v) : value_(v) {}
+  explicit KnobValue(int64_t v) : value_(v) {}
+  explicit KnobValue(std::string v) : value_(std::move(v)) {}
+
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+
+  /// Numeric access; ints widen to double.
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const KnobValue& a, const KnobValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<double, int64_t, std::string> value_;
+};
+
+/// One point in the hyper-parameter space H — "a trial" in the paper's
+/// terminology (§4.2.1).
+class Trial {
+ public:
+  Trial() = default;
+  explicit Trial(int64_t id) : id_(id) {}
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  void Set(const std::string& name, KnobValue value) {
+    values_[name] = std::move(value);
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Accessors fall back to `fallback` for absent knobs so trainers can be
+  /// robust to reduced spaces.
+  double GetDouble(const std::string& name, double fallback = 0.0) const;
+  int64_t GetInt(const std::string& name, int64_t fallback = 0) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  const std::map<std::string, KnobValue>& values() const { return values_; }
+
+  std::string DebugString() const;
+
+  /// Flat "k=v;k=v" encoding used to ship trials through cluster messages.
+  std::string Encode() const;
+  static Result<Trial> Decode(const std::string& encoded);
+
+ private:
+  int64_t id_ = -1;
+  std::map<std::string, KnobValue> values_;
+};
+
+/// Data type of a knob's domain.
+enum class KnobDtype { kFloat, kInt, kString };
+
+/// Hook invoked around the generation of one knob; may read already
+/// generated values and adjust the trial (the paper's example: a large
+/// learning rate post-adjusts the decay knob).
+using KnobHook = std::function<void(Trial*)>;
+
+/// Declaration of one tunable hyper-parameter.
+struct Knob {
+  std::string name;
+  KnobDtype dtype = KnobDtype::kFloat;
+  bool categorical = false;
+  // Range knobs: [min, max). log_scale samples log-uniformly (learning
+  // rates, weight decay...).
+  double min = 0.0;
+  double max = 1.0;
+  bool log_scale = false;
+  // Categorical knobs.
+  std::vector<std::string> categories;
+  std::vector<double> numeric_categories;
+  // Knobs whose values must be generated before this one.
+  std::vector<std::string> depends;
+  KnobHook pre_hook;
+  KnobHook post_hook;
+};
+
+/// The hyper-parameter space H (§4.2.1, Figure 4): an ordered collection of
+/// knobs with dependency edges. Mirrors the paper's API:
+///   add_range_knob(name, dtype, min, max, depends, pre_hook, post_hook)
+///   add_categorical_knob(name, dtype, list, depends, pre_hook, post_hook)
+class HyperSpace {
+ public:
+  /// Declares a range knob over [min, max). Fails on duplicate names or
+  /// empty ranges.
+  Status AddRangeKnob(const std::string& name, KnobDtype dtype, double min,
+                      double max, bool log_scale = false,
+                      std::vector<std::string> depends = {},
+                      KnobHook pre_hook = nullptr,
+                      KnobHook post_hook = nullptr);
+
+  /// Declares a categorical string knob.
+  Status AddCategoricalKnob(const std::string& name,
+                            std::vector<std::string> categories,
+                            std::vector<std::string> depends = {},
+                            KnobHook pre_hook = nullptr,
+                            KnobHook post_hook = nullptr);
+
+  /// Declares a categorical numeric knob (e.g. discrete layer counts).
+  Status AddNumericCategoricalKnob(const std::string& name,
+                                   std::vector<double> categories,
+                                   std::vector<std::string> depends = {},
+                                   KnobHook pre_hook = nullptr,
+                                   KnobHook post_hook = nullptr);
+
+  size_t num_knobs() const { return knobs_.size(); }
+  const std::vector<Knob>& knobs() const { return knobs_; }
+  const Knob* Find(const std::string& name) const;
+
+  /// Knobs ordered so every knob appears after all of its dependencies;
+  /// FailedPrecondition on cycles or missing dependencies.
+  Result<std::vector<const Knob*>> TopologicalOrder() const;
+
+  /// Draws one random trial (random search's generator; also the seeding
+  /// phase of Bayesian optimization). Runs hooks in dependency order.
+  Result<Trial> Sample(Rng& rng) const;
+
+  /// Checks every knob is present and within its domain.
+  Status Validate(const Trial& trial) const;
+
+  /// Encodes a trial as a point in [0,1]^d for the GP (categoricals map to
+  /// category index / (n-1); log-scale ranges are normalized in log space).
+  Result<std::vector<double>> Normalize(const Trial& trial) const;
+
+  /// Inverse of Normalize (clips into the domain).
+  Result<Trial> Denormalize(const std::vector<double>& point) const;
+
+ private:
+  Status CheckNewKnob(const std::string& name,
+                      const std::vector<std::string>& depends) const;
+
+  std::vector<Knob> knobs_;
+};
+
+}  // namespace rafiki::tuning
+
+#endif  // RAFIKI_TUNING_HYPERSPACE_H_

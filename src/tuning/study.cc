@@ -1,0 +1,504 @@
+#include "tuning/study.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rafiki::tuning {
+
+using cluster::Message;
+using cluster::MessageType;
+
+StudyMaster::StudyMaster(std::string study_name, StudyConfig config,
+                         TrialAdvisor* advisor, cluster::MessageBus* bus,
+                         storage::BlobStore* checkpoint_store)
+    : study_name_(std::move(study_name)),
+      config_(config),
+      advisor_(advisor),
+      bus_(bus),
+      checkpoint_store_(checkpoint_store),
+      alpha_(config.alpha_init) {
+  RAFIKI_CHECK(advisor != nullptr);
+  RAFIKI_CHECK(bus != nullptr);
+}
+
+bool StudyMaster::StopCriterion() const {
+  if (num_finished_ >= config_.max_trials) return true;
+  if (stats_.best_performance >= config_.target_performance) return true;
+  return false;
+}
+
+void StudyMaster::HandleRequest(const Message& msg) {
+  // A kRequest from a worker we believe is mid-trial means the worker was
+  // killed and restarted (stateless recovery, §6.3): its previous trial is
+  // lost; just hand out a new one.
+  active_workers_.erase(msg.from);
+  worker_progress_.erase(msg.from);
+
+  std::optional<Trial> trial;
+  if (!StopCriterion()) trial = advisor_->Next(msg.from);
+  if (!trial.has_value()) {
+    Message reply;
+    reply.type = MessageType::kNoMoreTrials;
+    reply.from = endpoint();
+    bus_->Send(msg.from, std::move(reply));
+    retired_workers_.insert(msg.from);
+    return;
+  }
+  Message reply;
+  reply.type = MessageType::kTrial;
+  reply.from = endpoint();
+  reply.trial_id = trial->id();
+  reply.str_fields["trial"] = trial->Encode();
+  reply.num_fields["alpha"] = alpha_;
+  bus_->Send(msg.from, std::move(reply));
+  active_workers_.insert(msg.from);
+  worker_progress_[msg.from] = WorkerProgress{-1.0, 0, trial->id()};
+  // Decay alpha once per issued trial (§4.2.2).
+  alpha_ = std::max(config_.alpha_min, alpha_ * config_.alpha_decay);
+}
+
+void StudyMaster::HandleReport(const Message& msg) {
+  Result<Trial> trial = Trial::Decode(msg.str_fields.count("trial")
+                                          ? msg.str_fields.at("trial")
+                                          : "");
+  if (!trial.ok()) {
+    RAFIKI_LOG(WARNING) << "dropping malformed report from " << msg.from;
+    return;
+  }
+  advisor_->Collect(msg.from, msg.performance, trial.value());
+
+  auto sim_it = msg.num_fields.find("sim_seconds");
+  if (sim_it != msg.num_fields.end()) {
+    worker_sim_seconds_[msg.from] = sim_it->second;
+  }
+
+  // Progress tracking for curves (Figures 8c/9c/11b).
+  stats_.total_epochs += 1;
+  if (msg.performance > stats_.best_performance) {
+    stats_.best_performance = msg.performance;
+    stats_.best_trial = trial.value();
+  }
+  double wall = 0.0;
+  for (const auto& [w, s] : worker_sim_seconds_) wall = std::max(wall, s);
+  stats_.sim_seconds = wall;
+  stats_.progress.push_back(
+      ProgressPoint{stats_.total_epochs, wall, stats_.best_performance});
+
+  WorkerProgress& wp = worker_progress_[msg.from];
+  bool improved = msg.performance > wp.best + config_.early_stop_min_delta;
+  if (improved) {
+    wp.best = msg.performance;
+    wp.stale_epochs = 0;
+  } else {
+    ++wp.stale_epochs;
+  }
+
+  if (config_.collaborative) {
+    // Algorithm 2 line 8-12: delta-gated publication, else early stop.
+    if (msg.performance - best_p_ > config_.delta) {
+      Message put;
+      put.type = MessageType::kPut;
+      put.from = endpoint();
+      put.trial_id = msg.trial_id;
+      bus_->Send(msg.from, std::move(put));
+      best_p_ = msg.performance;
+    } else if (wp.stale_epochs >= config_.early_stop_patience) {
+      Message stop;
+      stop.type = MessageType::kStop;
+      stop.from = endpoint();
+      stop.trial_id = msg.trial_id;
+      bus_->Send(msg.from, std::move(stop));
+      wp.stale_epochs = 0;  // avoid repeated kStop spam
+    }
+  } else {
+    // Plain Study still early-stops trials (§7.1: "we run each trial with
+    // early stopping"), it just never shares checkpoints mid-trial.
+    if (wp.stale_epochs >= config_.early_stop_patience) {
+      Message stop;
+      stop.type = MessageType::kStop;
+      stop.from = endpoint();
+      stop.trial_id = msg.trial_id;
+      bus_->Send(msg.from, std::move(stop));
+      wp.stale_epochs = 0;
+    }
+  }
+}
+
+void StudyMaster::HandleFinish(const Message& msg) {
+  ++num_finished_;
+  active_workers_.erase(msg.from);
+
+  Result<Trial> trial = Trial::Decode(msg.str_fields.count("trial")
+                                          ? msg.str_fields.at("trial")
+                                          : "");
+  if (trial.ok()) {
+    advisor_->Collect(msg.from, msg.performance, trial.value());
+    if (msg.performance > stats_.best_performance) {
+      stats_.best_performance = msg.performance;
+      stats_.best_trial = trial.value();
+    }
+  }
+
+  auto sim_it = msg.num_fields.find("sim_seconds");
+  if (sim_it != msg.num_fields.end()) {
+    worker_sim_seconds_[msg.from] = sim_it->second;
+  }
+  double wall = 0.0;
+  for (const auto& [w, s] : worker_sim_seconds_) wall = std::max(wall, s);
+  stats_.sim_seconds = wall;
+
+  TrialRecord rec;
+  rec.trial_id = msg.trial_id;
+  rec.performance = msg.performance;
+  auto epochs_it = msg.num_fields.find("epochs");
+  rec.epochs = epochs_it == msg.num_fields.end()
+                   ? 0
+                   : static_cast<int>(epochs_it->second);
+  auto warm_it = msg.num_fields.find("warm_started");
+  rec.warm_started =
+      warm_it != msg.num_fields.end() && warm_it->second > 0.5;
+  rec.worker = msg.from;
+  rec.cumulative_epochs = stats_.total_epochs;
+  rec.sim_seconds = wall;
+  stats_.trials.push_back(rec);
+
+  if (!config_.collaborative) {
+    // Algorithm 1 line 15-17: publish the parameters of the best finished
+    // trial so inference can deploy instantly.
+    if (advisor_->IsBest(msg.from)) {
+      Message put;
+      put.type = MessageType::kPut;
+      put.from = endpoint();
+      put.trial_id = msg.trial_id;
+      bus_->Send(msg.from, std::move(put));
+    }
+  }
+}
+
+Status StudyMaster::SaveCheckpoint() const {
+  if (checkpoint_store_ == nullptr) {
+    return Status::FailedPrecondition("no checkpoint store");
+  }
+  // Small state blob (§6.3): finished count, best perf, alpha, best trial.
+  std::string s = StrFormat("%lld|%.17g|%.17g|%.17g|",
+                            static_cast<long long>(num_finished_),
+                            stats_.best_performance, best_p_, alpha_);
+  s += stats_.best_trial.Encode();
+  return checkpoint_store_->Put("study/" + study_name_ + "/master_ckpt",
+                                std::vector<uint8_t>(s.begin(), s.end()));
+}
+
+Status StudyMaster::RestoreFromCheckpoint() {
+  if (checkpoint_store_ == nullptr) {
+    return Status::FailedPrecondition("no checkpoint store");
+  }
+  auto blob = checkpoint_store_->Get("study/" + study_name_ + "/master_ckpt");
+  if (!blob.ok()) return blob.status();
+  std::string s(blob.value().begin(), blob.value().end());
+  std::vector<std::string> parts = Split(s, '|');
+  if (parts.size() < 5) return Status::InvalidArgument("bad master ckpt");
+  num_finished_ = std::strtoll(parts[0].c_str(), nullptr, 10);
+  stats_.best_performance = std::strtod(parts[1].c_str(), nullptr);
+  best_p_ = std::strtod(parts[2].c_str(), nullptr);
+  alpha_ = std::strtod(parts[3].c_str(), nullptr);
+  // The trial encoding itself contains a '|'; rejoin the tail.
+  std::string trial_enc = parts[4];
+  for (size_t i = 5; i < parts.size(); ++i) trial_enc += "|" + parts[i];
+  Result<Trial> trial = Trial::Decode(trial_enc);
+  if (trial.ok()) stats_.best_trial = trial.value();
+  return Status::OK();
+}
+
+void StudyMaster::SaveCheckpointIfDue() {
+  if (checkpoint_store_ == nullptr || config_.checkpoint_every_events <= 0) {
+    return;
+  }
+  if (++events_since_checkpoint_ >= config_.checkpoint_every_events) {
+    events_since_checkpoint_ = 0;
+    Status s = SaveCheckpoint();
+    if (!s.ok()) {
+      RAFIKI_LOG(WARNING) << "master checkpoint failed: " << s.ToString();
+    }
+  }
+}
+
+void StudyMaster::Run(cluster::CancelToken& token) {
+  Status reg = bus_->RegisterEndpoint(endpoint());
+  if (!reg.ok() && reg.code() != StatusCode::kAlreadyExists) {
+    RAFIKI_LOG(ERROR) << "master cannot register: " << reg.ToString();
+    return;
+  }
+  // Event loop of Algorithms 1/2. Poll so container kills are honored.
+  while (!token.cancelled()) {
+    if (static_cast<int>(retired_workers_.size()) >= config_.num_workers &&
+        active_workers_.empty()) {
+      break;
+    }
+    std::optional<Message> msg = bus_->TryReceive(endpoint());
+    if (!msg.has_value()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    switch (msg->type) {
+      case MessageType::kRequest:
+        HandleRequest(*msg);
+        break;
+      case MessageType::kReport:
+        HandleReport(*msg);
+        break;
+      case MessageType::kFinish:
+        HandleFinish(*msg);
+        break;
+      case MessageType::kShutdown:
+        bus_->RemoveEndpoint(endpoint());
+        return;
+      default:
+        RAFIKI_LOG(WARNING) << "master ignoring " << msg->DebugString();
+    }
+    SaveCheckpointIfDue();
+  }
+  if (checkpoint_store_ != nullptr) SaveCheckpoint();
+  bus_->RemoveEndpoint(endpoint());
+}
+
+StudyWorker::StudyWorker(std::string study_name, std::string worker_name,
+                         StudyConfig config, trainer::TrainerFactory* factory,
+                         cluster::MessageBus* bus, ps::ParameterServer* ps,
+                         uint64_t seed)
+    : study_name_(std::move(study_name)),
+      worker_name_(std::move(worker_name)),
+      config_(config),
+      factory_(factory),
+      bus_(bus),
+      ps_(ps),
+      rng_(seed) {
+  RAFIKI_CHECK(factory != nullptr);
+  RAFIKI_CHECK(bus != nullptr);
+  RAFIKI_CHECK(ps != nullptr);
+}
+
+void StudyWorker::PublishCheckpoint(trainer::Trainable& trainable,
+                                    double performance) {
+  ps::ModelCheckpoint ckpt = trainable.Checkpoint();
+  ckpt.meta.accuracy = performance;
+  ckpt.meta.owner = "study/" + study_name_;
+  ckpt.meta.visibility = ps::Visibility::kPrivate;
+  Status s = ps_->PutModel(best_scope(), ckpt);
+  if (!s.ok()) {
+    RAFIKI_LOG(WARNING) << worker_name_
+                        << " checkpoint publish failed: " << s.ToString();
+  }
+}
+
+void StudyWorker::Run(cluster::CancelToken& token) {
+  Status reg = bus_->RegisterEndpoint(endpoint());
+  if (!reg.ok() && reg.code() != StatusCode::kAlreadyExists) {
+    RAFIKI_LOG(ERROR) << "worker cannot register: " << reg.ToString();
+    return;
+  }
+
+  while (!token.cancelled()) {
+    // Ask for work.
+    Message req;
+    req.type = MessageType::kRequest;
+    req.from = endpoint();
+    // The master may not have registered its endpoint yet (container
+    // start-up order is unspecified, as with real pods); retry briefly.
+    bool sent = false;
+    for (int attempt = 0; attempt < 20000 && !token.cancelled(); ++attempt) {
+      Message attempt_req = req;
+      if (bus_->Send(master_endpoint(), std::move(attempt_req)).ok()) {
+        sent = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (!sent) break;
+
+    // Wait for the assignment, honoring stray control messages from the
+    // previous trial (a late kPut still publishes: we keep the last model).
+    std::optional<Trial> assignment;
+    bool no_more = false;
+    while (!token.cancelled() && !assignment.has_value() && !no_more) {
+      std::optional<Message> msg = bus_->TryReceive(endpoint());
+      if (!msg.has_value()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      if (msg->type == MessageType::kTrial) {
+        Result<Trial> trial = Trial::Decode(msg->str_fields.at("trial"));
+        if (trial.ok()) {
+          assignment = trial.value();
+          double alpha = msg->num_fields.count("alpha")
+                             ? msg->num_fields.at("alpha")
+                             : 1.0;
+          assignment->Set("__alpha", KnobValue(alpha));
+        }
+      } else if (msg->type == MessageType::kNoMoreTrials ||
+                 msg->type == MessageType::kShutdown) {
+        no_more = true;
+      }
+      // kPut/kStop for the finished trial are ignored here; the checkpoint
+      // was already published on finish if it was best.
+    }
+    if (no_more || !assignment.has_value()) break;
+
+    double alpha = assignment->GetDouble("__alpha", 1.0);
+    Trial trial = *assignment;
+
+    // Build the trainable and choose initialization (alpha-greedy,
+    // §4.2.2): random with probability alpha, else warm start from the
+    // study's best checkpoint in the PS when one exists.
+    std::unique_ptr<trainer::Trainable> trainable = factory_->Create(trial);
+    bool warm_started = false;
+    if (config_.collaborative && !rng_.Bernoulli(alpha)) {
+      Result<ps::ModelCheckpoint> best = ps_->GetModel(best_scope());
+      if (best.ok()) {
+        Status s = trainable->InitFromCheckpoint(trial, best.value());
+        warm_started = s.ok();
+        if (!s.ok()) {
+          RAFIKI_LOG(WARNING) << "warm start failed: " << s.ToString();
+        }
+      }
+    }
+    if (!warm_started) {
+      Status s = trainable->InitRandom(trial);
+      if (!s.ok()) {
+        // Invalid trial (e.g. out-of-domain knob): report chance-level and
+        // move on, so one bad configuration cannot wedge the study.
+        RAFIKI_LOG(WARNING) << "init failed: " << s.ToString();
+        Message fin;
+        fin.type = MessageType::kFinish;
+        fin.from = endpoint();
+        fin.trial_id = trial.id();
+        fin.performance = 0.0;
+        fin.str_fields["trial"] = trial.Encode();
+        fin.num_fields["epochs"] = 0;
+        fin.num_fields["sim_seconds"] = sim_seconds_;
+        bus_->Send(master_endpoint(), std::move(fin));
+        continue;
+      }
+    }
+
+    // Train epoch by epoch, reporting and reacting to control messages.
+    double trial_best = 0.0;
+    int epochs = 0;
+    bool stopped = false;
+    bool put_pending = false;
+    for (; epochs < config_.max_epochs_per_trial && !token.cancelled();) {
+      Result<double> perf = trainable->TrainEpoch();
+      if (!perf.ok()) {
+        RAFIKI_LOG(WARNING) << "epoch failed: " << perf.status().ToString();
+        break;
+      }
+      ++epochs;
+      sim_seconds_ += trainable->EpochCostSeconds();
+      trial_best = std::max(trial_best, perf.value());
+
+      Message report;
+      report.type = MessageType::kReport;
+      report.from = endpoint();
+      report.trial_id = trial.id();
+      report.performance = perf.value();
+      report.str_fields["trial"] = trial.Encode();
+      report.num_fields["epoch"] = epochs;
+      report.num_fields["sim_seconds"] = sim_seconds_;
+      if (!bus_->Send(master_endpoint(), std::move(report)).ok()) {
+        stopped = true;
+        break;
+      }
+
+      // Drain control messages; a kStop ends the trial, kPut publishes.
+      // Give the master a brief window to react to the report so the
+      // delta-gated publication (Alg. 2) lands on the right epoch.
+      for (int spin = 0; spin < 50; ++spin) {
+        std::optional<Message> ctl = bus_->TryReceive(endpoint());
+        if (!ctl.has_value()) {
+          if (put_pending || spin > 2) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          continue;
+        }
+        if (ctl->type == MessageType::kPut) {
+          PublishCheckpoint(*trainable, perf.value());
+          put_pending = true;
+        } else if (ctl->type == MessageType::kStop) {
+          stopped = true;
+          break;
+        } else if (ctl->type == MessageType::kShutdown) {
+          token.Cancel();
+          break;
+        }
+      }
+      if (stopped) break;
+    }
+
+    Message fin;
+    fin.type = MessageType::kFinish;
+    fin.from = endpoint();
+    fin.trial_id = trial.id();
+    fin.performance = trial_best;
+    fin.str_fields["trial"] = trial.Encode();
+    fin.num_fields["epochs"] = epochs;
+    fin.num_fields["warm_started"] = warm_started ? 1.0 : 0.0;
+    fin.num_fields["sim_seconds"] = sim_seconds_;
+    bus_->Send(master_endpoint(), std::move(fin));
+
+    if (!config_.collaborative) {
+      // Algorithm 1: the master replies kPut when this finished trial is
+      // the best; wait briefly for that verdict before requesting again.
+      for (int spin = 0; spin < 50 && !token.cancelled(); ++spin) {
+        std::optional<Message> ctl = bus_->TryReceive(endpoint());
+        if (!ctl.has_value()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          continue;
+        }
+        if (ctl->type == MessageType::kPut) {
+          PublishCheckpoint(*trainable, trial_best);
+          break;
+        }
+        if (ctl->type == MessageType::kNoMoreTrials ||
+            ctl->type == MessageType::kShutdown) {
+          bus_->RemoveEndpoint(endpoint());
+          return;
+        }
+      }
+    }
+  }
+  bus_->RemoveEndpoint(endpoint());
+}
+
+StudyStats RunStudy(const std::string& study_name, StudyConfig config,
+                    TrialAdvisor* advisor, trainer::TrainerFactory* factory,
+                    cluster::MessageBus* bus, ps::ParameterServer* ps,
+                    storage::BlobStore* checkpoint_store, int num_workers,
+                    uint64_t seed) {
+  RAFIKI_CHECK_GT(num_workers, 0);
+  config.num_workers = num_workers;
+  StudyMaster master(study_name, config, advisor, bus, checkpoint_store);
+
+  cluster::NodeManager manager;
+  RAFIKI_CHECK_OK(manager.StartContainer(
+      "master/" + study_name,
+      [&master](cluster::CancelToken& token) { master.Run(token); }));
+  Rng seeds(seed);
+  std::vector<std::unique_ptr<StudyWorker>> workers;
+  for (int i = 0; i < num_workers; ++i) {
+    workers.push_back(std::make_unique<StudyWorker>(
+        study_name, StrFormat("w%d", i), config, factory, bus, ps,
+        seeds.Fork().Next64()));
+    StudyWorker* w = workers.back().get();
+    RAFIKI_CHECK_OK(manager.StartContainer(
+        StrFormat("worker/%s/%d", study_name.c_str(), i),
+        [w](cluster::CancelToken& token) { w->Run(token); }));
+  }
+  for (int i = 0; i < num_workers; ++i) {
+    manager.WaitContainer(StrFormat("worker/%s/%d", study_name.c_str(), i));
+  }
+  manager.WaitContainer("master/" + study_name);
+  return master.stats();
+}
+
+}  // namespace rafiki::tuning

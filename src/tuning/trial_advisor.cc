@@ -1,0 +1,121 @@
+#include "tuning/trial_advisor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rafiki::tuning {
+
+void AdvisorBase::Collect(const std::string& worker, double performance,
+                          const Trial& trial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_by_worker_[worker] = performance;
+  // Update or append the per-trial record (intermediate reports overwrite).
+  bool found = false;
+  for (TrialResult& r : results_) {
+    if (r.trial.id() == trial.id()) {
+      r.performance = performance;
+      r.worker = worker;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    results_.push_back(TrialResult{trial, performance, worker});
+  }
+  if (!best_.has_value() || performance > best_->performance) {
+    best_ = TrialResult{trial, performance, worker};
+  }
+}
+
+bool AdvisorBase::IsBest(const std::string& worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_by_worker_.find(worker);
+  if (it == last_by_worker_.end() || !best_.has_value()) return false;
+  return it->second >= best_->performance;
+}
+
+std::optional<TrialResult> AdvisorBase::BestTrial() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_;
+}
+
+std::vector<TrialResult> AdvisorBase::Results() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_;
+}
+
+RandomSearchAdvisor::RandomSearchAdvisor(const HyperSpace* space,
+                                         int64_t max_trials, uint64_t seed)
+    : space_(space), max_trials_(max_trials), rng_(seed) {
+  RAFIKI_CHECK(space != nullptr);
+  RAFIKI_CHECK_GT(max_trials, 0);
+}
+
+std::optional<Trial> RandomSearchAdvisor::Next(const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (issued_ >= max_trials_) return std::nullopt;
+  Result<Trial> trial = space_->Sample(rng_);
+  if (!trial.ok()) {
+    RAFIKI_LOG(ERROR) << "sample failed: " << trial.status().ToString();
+    return std::nullopt;
+  }
+  Trial t = std::move(trial).value();
+  t.set_id(next_trial_id_++);
+  ++issued_;
+  return t;
+}
+
+GridSearchAdvisor::GridSearchAdvisor(const HyperSpace* space,
+                                     int points_per_knob)
+    : space_(space), points_per_knob_(points_per_knob) {
+  RAFIKI_CHECK(space != nullptr);
+  RAFIKI_CHECK_GT(points_per_knob, 0);
+  grid_size_ = 1;
+  for (const Knob& k : space->knobs()) {
+    int64_t n;
+    if (k.categorical) {
+      n = static_cast<int64_t>(k.numeric_categories.empty()
+                                   ? k.categories.size()
+                                   : k.numeric_categories.size());
+    } else {
+      n = points_per_knob_;
+    }
+    grid_size_ *= n;
+  }
+}
+
+std::optional<Trial> GridSearchAdvisor::Next(const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cursor_ >= grid_size_) return std::nullopt;
+  int64_t index = cursor_++;
+  // Mixed-radix decode of `index` into one grid coordinate per knob,
+  // then map to a normalized point and denormalize through the space.
+  std::vector<double> point;
+  point.reserve(space_->num_knobs());
+  for (const Knob& k : space_->knobs()) {
+    int64_t n;
+    if (k.categorical) {
+      n = static_cast<int64_t>(k.numeric_categories.empty()
+                                   ? k.categories.size()
+                                   : k.numeric_categories.size());
+    } else {
+      n = points_per_knob_;
+    }
+    int64_t coord = index % n;
+    index /= n;
+    point.push_back(n <= 1 ? 0.0
+                           : static_cast<double>(coord) /
+                                 static_cast<double>(n - 1));
+  }
+  Result<Trial> trial = space_->Denormalize(point);
+  if (!trial.ok()) {
+    RAFIKI_LOG(ERROR) << "denormalize failed: " << trial.status().ToString();
+    return std::nullopt;
+  }
+  Trial t = std::move(trial).value();
+  t.set_id(next_trial_id_++);
+  return t;
+}
+
+}  // namespace rafiki::tuning

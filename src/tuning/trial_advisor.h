@@ -1,0 +1,105 @@
+#ifndef RAFIKI_TUNING_TRIAL_ADVISOR_H_
+#define RAFIKI_TUNING_TRIAL_ADVISOR_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuning/hyperspace.h"
+
+namespace rafiki::tuning {
+
+/// Record of one evaluated trial.
+struct TrialResult {
+  Trial trial;
+  double performance = 0.0;  // larger is better (accuracy, AUC, ...)
+  std::string worker;
+};
+
+/// The hyper-parameter search algorithm behind the Study/CoStudy masters —
+/// the paper's `TrialAdvisor` (Algorithm 1). Implementations must be
+/// thread-safe: the master's event loop is single-threaded, but tests drive
+/// advisors directly from several threads.
+class TrialAdvisor {
+ public:
+  virtual ~TrialAdvisor() = default;
+
+  /// Next trial for `worker`, or nullopt when the search is exhausted
+  /// (Algorithm 1 line 5-7).
+  virtual std::optional<Trial> Next(const std::string& worker) = 0;
+
+  /// Records a performance observation for a trial (line 12). Called both
+  /// for intermediate reports and final results; the latest observation for
+  /// a trial id wins.
+  virtual void Collect(const std::string& worker, double performance,
+                       const Trial& trial) = 0;
+
+  /// True if the most recent result from `worker` is the best so far
+  /// (line 15).
+  virtual bool IsBest(const std::string& worker) const = 0;
+
+  /// Best trial observed so far (line 20); nullopt before any collection.
+  virtual std::optional<TrialResult> BestTrial() const = 0;
+
+  /// All collected results, in collection order.
+  virtual std::vector<TrialResult> Results() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared bookkeeping for concrete advisors.
+class AdvisorBase : public TrialAdvisor {
+ public:
+  void Collect(const std::string& worker, double performance,
+               const Trial& trial) override;
+  bool IsBest(const std::string& worker) const override;
+  std::optional<TrialResult> BestTrial() const override;
+  std::vector<TrialResult> Results() const override;
+
+ protected:
+  mutable std::mutex mu_;
+  std::vector<TrialResult> results_;        // final per-trial results
+  std::optional<TrialResult> best_;
+  std::map<std::string, double> last_by_worker_;
+  int64_t next_trial_id_ = 0;
+};
+
+/// Random search (Bergstra & Bengio 2012): samples i.i.d. trials from the
+/// space until `max_trials` have been issued.
+class RandomSearchAdvisor : public AdvisorBase {
+ public:
+  RandomSearchAdvisor(const HyperSpace* space, int64_t max_trials,
+                      uint64_t seed);
+
+  std::optional<Trial> Next(const std::string& worker) override;
+  std::string name() const override { return "random_search"; }
+
+ private:
+  const HyperSpace* space_;
+  int64_t max_trials_;
+  int64_t issued_ = 0;
+  Rng rng_;
+};
+
+/// Grid search: the Cartesian product of `points_per_knob` values per range
+/// knob (and every category of categorical knobs), issued in order.
+class GridSearchAdvisor : public AdvisorBase {
+ public:
+  GridSearchAdvisor(const HyperSpace* space, int points_per_knob);
+
+  std::optional<Trial> Next(const std::string& worker) override;
+  std::string name() const override { return "grid_search"; }
+
+  int64_t grid_size() const { return grid_size_; }
+
+ private:
+  const HyperSpace* space_;
+  int points_per_knob_;
+  int64_t grid_size_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace rafiki::tuning
+
+#endif  // RAFIKI_TUNING_TRIAL_ADVISOR_H_

@@ -1,0 +1,67 @@
+#include "data/csv.h"
+
+#include "gtest/gtest.h"
+
+namespace rafiki::data {
+namespace {
+
+TEST(CsvTest, RoundTripsSyntheticDataset) {
+  SyntheticTaskOptions options;
+  options.num_classes = 3;
+  options.samples_per_class = 10;
+  options.input_dim = 5;
+  Dataset d = MakeSyntheticTask(options);
+  std::string csv = DatasetToCsv(d);
+  Result<Dataset> back = DatasetFromCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), d.size());
+  EXPECT_EQ(back->num_classes, 3);
+  EXPECT_EQ(back->labels, d.labels);
+  for (int64_t i = 0; i < d.x.numel(); ++i) {
+    EXPECT_NEAR(back->x.at(i), d.x.at(i), 1e-6f);
+  }
+}
+
+TEST(CsvTest, ParsesWithAndWithoutHeader) {
+  const char* with_header = "x0,x1,label\n1.0,2.0,0\n3.0,4.0,1\n";
+  const char* without = "1.0,2.0,0\n3.0,4.0,1\n";
+  for (const char* csv : {with_header, without}) {
+    Result<Dataset> d = DatasetFromCsv(csv);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    EXPECT_EQ(d->size(), 2);
+    EXPECT_EQ(d->x.dim(1), 2);
+    EXPECT_EQ(d->num_classes, 2);
+    EXPECT_EQ(d->x.at2(1, 0), 3.0f);
+  }
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DatasetFromCsv("").ok());
+  EXPECT_FALSE(DatasetFromCsv("x0,label\n").ok());          // header only
+  EXPECT_FALSE(DatasetFromCsv("1.0\n").ok());               // no label col
+  EXPECT_FALSE(DatasetFromCsv("1.0,2.0,0\n1.0,1\n").ok());  // ragged
+  EXPECT_FALSE(DatasetFromCsv("1.0,abc,0\n").ok());         // bad feature
+  EXPECT_FALSE(DatasetFromCsv("1.0,2.0,-1\n").ok());        // bad label
+  EXPECT_FALSE(DatasetFromCsv("1.0,2.0,zzz\n").ok());
+  // Header-looking line mid-file is an error, not silently skipped.
+  EXPECT_FALSE(DatasetFromCsv("1.0,2.0,0\nx0,x1,label\n").ok());
+}
+
+TEST(CsvTest, ExpectedClassesEnforced) {
+  EXPECT_TRUE(DatasetFromCsv("1,2,1\n", /*expected_classes=*/2).ok());
+  auto bad = DatasetFromCsv("1,2,5\n", /*expected_classes=*/2);
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  // Inference without expectation: classes = max label + 1.
+  auto d = DatasetFromCsv("1,2,7\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_classes, 8);
+}
+
+TEST(CsvTest, BlankLinesIgnored) {
+  auto d = DatasetFromCsv("\n1.0,0\n\n2.0,1\n\n");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2);
+}
+
+}  // namespace
+}  // namespace rafiki::data

@@ -1,0 +1,237 @@
+#include <set>
+
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "gtest/gtest.h"
+
+namespace rafiki::data {
+namespace {
+
+TEST(DatasetTest, SyntheticTaskShapesAndLabels) {
+  SyntheticTaskOptions options;
+  options.num_classes = 5;
+  options.samples_per_class = 20;
+  options.input_dim = 8;
+  Dataset d = MakeSyntheticTask(options);
+  EXPECT_EQ(d.size(), 100);
+  EXPECT_EQ(d.x.shape(), (Shape{100, 8}));
+  std::set<int64_t> labels(d.labels.begin(), d.labels.end());
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(DatasetTest, SyntheticTaskDeterministicPerSeed) {
+  SyntheticTaskOptions options;
+  Dataset a = MakeSyntheticTask(options);
+  Dataset b = MakeSyntheticTask(options);
+  ASSERT_EQ(a.x.numel(), b.x.numel());
+  for (int64_t i = 0; i < a.x.numel(); ++i) {
+    EXPECT_EQ(a.x.at(i), b.x.at(i));
+  }
+  options.seed = 999;
+  Dataset c = MakeSyntheticTask(options);
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.x.numel(); ++i) {
+    any_diff |= a.x.at(i) != c.x.at(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, SeparableTaskIsLearnable) {
+  // High separation => nearest-center classification should be easy.
+  SyntheticTaskOptions options;
+  options.separation = 8.0;
+  options.spread = 0.5;
+  options.num_classes = 3;
+  options.samples_per_class = 50;
+  Dataset d = MakeSyntheticTask(options);
+  // Verify classes are separated: mean intra-class distance below
+  // inter-class distance between per-class means.
+  int64_t dim = d.x.dim(1);
+  std::vector<std::vector<double>> means(
+      3, std::vector<double>(static_cast<size_t>(dim), 0.0));
+  std::vector<int> counts(3, 0);
+  for (int64_t i = 0; i < d.size(); ++i) {
+    auto k = static_cast<size_t>(d.labels[static_cast<size_t>(i)]);
+    ++counts[k];
+    for (int64_t j = 0; j < dim; ++j) {
+      means[k][static_cast<size_t>(j)] += d.x.at(i * dim + j);
+    }
+  }
+  for (size_t k = 0; k < 3; ++k) {
+    for (double& v : means[k]) v /= counts[k];
+  }
+  double inter = 0.0;
+  for (int64_t j = 0; j < dim; ++j) {
+    double diff = means[0][static_cast<size_t>(j)] -
+                  means[1][static_cast<size_t>(j)];
+    inter += diff * diff;
+  }
+  EXPECT_GT(inter, 1.0) << "class centers should be far apart";
+}
+
+TEST(DatasetTest, SliceCopiesRows) {
+  SyntheticTaskOptions options;
+  options.num_classes = 2;
+  options.samples_per_class = 10;
+  options.input_dim = 4;
+  Dataset d = MakeSyntheticTask(options);
+  Dataset s = d.Slice(5, 15);
+  EXPECT_EQ(s.size(), 10);
+  EXPECT_EQ(s.x.dim(0), 10);
+  EXPECT_EQ(s.labels[0], d.labels[5]);
+  EXPECT_EQ(s.x.at(0), d.x.at(5 * 4));
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  SyntheticTaskOptions options;
+  options.num_classes = 4;
+  options.samples_per_class = 25;
+  Dataset d = MakeSyntheticTask(options);
+  Rng rng(1);
+  DataSplits s = SplitDataset(d, 0.7, 0.2, rng);
+  EXPECT_EQ(s.train.size() + s.validation.size() + s.test.size(), d.size());
+  EXPECT_EQ(s.train.size(), 70);
+  EXPECT_EQ(s.validation.size(), 20);
+  EXPECT_EQ(s.test.size(), 10);
+}
+
+TEST(BatchIteratorTest, CoversEpochExactlyOnce) {
+  SyntheticTaskOptions options;
+  options.num_classes = 2;
+  options.samples_per_class = 17;  // 34 rows, batch 8 -> 5 batches
+  Dataset d = MakeSyntheticTask(options);
+  BatchIterator it(d, 8, Rng(3));
+  EXPECT_EQ(it.batches_per_epoch(), 5);
+  Tensor x;
+  std::vector<int64_t> labels;
+  int64_t total = 0;
+  int batches = 0;
+  while (it.Next(&x, &labels)) {
+    total += x.dim(0);
+    ++batches;
+  }
+  EXPECT_EQ(total, 34);
+  EXPECT_EQ(batches, 5);
+  EXPECT_FALSE(it.Next(&x, &labels));
+  it.Reset();
+  EXPECT_TRUE(it.Next(&x, &labels));
+}
+
+TEST(PreprocessTest, NormalizeZeroMeanUnitVar) {
+  SyntheticImageOptions options;
+  Dataset d = MakeSyntheticImages(options);
+  std::vector<float> mean, stddev;
+  ComputeChannelStats(d.x, &mean, &stddev);
+  NormalizeOp norm(mean, stddev);
+  Rng rng(1);
+  Tensor batch = d.x;
+  norm.Apply(&batch, rng);
+  std::vector<float> mean2, stddev2;
+  ComputeChannelStats(batch, &mean2, &stddev2);
+  for (float m : mean2) EXPECT_NEAR(m, 0.0f, 1e-3f);
+  for (float s : stddev2) EXPECT_NEAR(s, 1.0f, 1e-3f);
+}
+
+TEST(PreprocessTest, PadCropPreservesShape) {
+  SyntheticImageOptions options;
+  options.samples_per_class = 4;
+  Dataset d = MakeSyntheticImages(options);
+  Shape before = d.x.shape();
+  PadCropOp crop(4);
+  Rng rng(2);
+  crop.Apply(&d.x, rng);
+  EXPECT_EQ(d.x.shape(), before);
+}
+
+TEST(PreprocessTest, FlipAlwaysReverses) {
+  Tensor batch({1, 1, 1, 4}, {1, 2, 3, 4});
+  RandomFlipOp flip(1.0);
+  Rng rng(3);
+  flip.Apply(&batch, rng);
+  EXPECT_EQ(batch.at(0), 4.0f);
+  EXPECT_EQ(batch.at(3), 1.0f);
+}
+
+TEST(PreprocessTest, FlipNeverWhenZeroProb) {
+  Tensor batch({1, 1, 1, 4}, {1, 2, 3, 4});
+  RandomFlipOp flip(0.0);
+  Rng rng(3);
+  flip.Apply(&batch, rng);
+  EXPECT_EQ(batch.at(0), 1.0f);
+}
+
+TEST(PreprocessTest, ZeroRotationIsIdentity) {
+  SyntheticImageOptions options;
+  options.samples_per_class = 2;
+  Dataset d = MakeSyntheticImages(options);
+  Tensor before = d.x;
+  RandomRotationOp rot(0.0);
+  Rng rng(4);
+  rot.Apply(&d.x, rng);
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_EQ(before.at(i), d.x.at(i));
+  }
+}
+
+TEST(PreprocessTest, RotationKeepsShapeAndBoundedValues) {
+  SyntheticImageOptions options;
+  options.samples_per_class = 2;
+  Dataset d = MakeSyntheticImages(options);
+  Shape shape = d.x.shape();
+  float max_before = d.x.MaxAbs();
+  RandomRotationOp rot(30.0);
+  Rng rng(5);
+  rot.Apply(&d.x, rng);
+  EXPECT_EQ(d.x.shape(), shape);
+  EXPECT_LE(d.x.MaxAbs(), max_before + 1e-5f);
+}
+
+class WhitenerParamTest : public ::testing::TestWithParam<WhitenKind> {};
+
+TEST_P(WhitenerParamTest, WhitenedCovarianceIsIdentity) {
+  // Property (Table 1 group 1 whitening): transformed training features
+  // have ~identity covariance for both PCA and ZCA.
+  SyntheticTaskOptions options;
+  options.num_classes = 3;
+  options.samples_per_class = 200;
+  options.input_dim = 6;
+  Dataset d = MakeSyntheticTask(options);
+  Whitener whitener(d.x, GetParam(), 1e-8);
+  Tensor w = d.x;
+  whitener.Apply(&w);
+  int64_t n = w.dim(0), dim = w.dim(1);
+  for (int64_t a = 0; a < dim; ++a) {
+    for (int64_t b = a; b < dim; ++b) {
+      double cov = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        cov += static_cast<double>(w.at(i * dim + a)) * w.at(i * dim + b);
+      }
+      cov /= (n - 1);
+      EXPECT_NEAR(cov, a == b ? 1.0 : 0.0, 0.05)
+          << "cov(" << a << "," << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, WhitenerParamTest,
+                         ::testing::Values(WhitenKind::kPca,
+                                           WhitenKind::kZca));
+
+TEST(PipelineTest, AppliesOpsInOrder) {
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<PadCropOp>(2));
+  pipeline.Add(std::make_unique<RandomFlipOp>(0.5));
+  EXPECT_EQ(pipeline.size(), 2u);
+  EXPECT_EQ(pipeline.OpNames(),
+            (std::vector<std::string>{"pad_crop", "flip"}));
+  SyntheticImageOptions options;
+  options.samples_per_class = 2;
+  Dataset d = MakeSyntheticImages(options);
+  Shape shape = d.x.shape();
+  Rng rng(6);
+  pipeline.Apply(&d.x, rng);
+  EXPECT_EQ(d.x.shape(), shape);
+}
+
+}  // namespace
+}  // namespace rafiki::data

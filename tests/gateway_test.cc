@@ -1,0 +1,145 @@
+#include "rafiki/gateway.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+
+namespace rafiki::api {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticTaskOptions task;
+    task.num_classes = 3;
+    task.samples_per_class = 50;
+    task.input_dim = 8;
+    task.separation = 5.0;
+    dataset_ = data::MakeSyntheticTask(task);
+    ASSERT_TRUE(rafiki_.ImportDataset("t", dataset_).ok());
+  }
+
+  /// Extracts "key=..." from a response body.
+  static std::string Field(const std::string& body, const std::string& key) {
+    for (const std::string& pair : Split(body, '&')) {
+      if (StartsWith(pair, key + "=")) return pair.substr(key.size() + 1);
+    }
+    return "";
+  }
+
+  Rafiki rafiki_;
+  Gateway gateway_{&rafiki_};
+  data::Dataset dataset_;
+};
+
+TEST_F(GatewayTest, ParseBasics) {
+  auto r = Gateway::Parse("POST /train dataset=t&trials=4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "POST");
+  EXPECT_EQ(r->path, "/train");
+  EXPECT_EQ(r->params.at("dataset"), "t");
+  EXPECT_EQ(r->params.at("trials"), "4");
+
+  auto q = Gateway::Parse("POST /query?job=infer1\n0.5,1.5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->path, "/query");
+  EXPECT_EQ(q->params.at("job"), "infer1");
+  EXPECT_EQ(q->body, "0.5,1.5");
+}
+
+TEST_F(GatewayTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Gateway::Parse("").ok());
+  EXPECT_FALSE(Gateway::Parse("GET").ok());
+  EXPECT_FALSE(Gateway::Parse("GET nopath").ok());
+  EXPECT_FALSE(Gateway::Parse("GET /x badparam").ok());
+}
+
+TEST_F(GatewayTest, UnknownRouteIs404) {
+  EXPECT_EQ(gateway_.Handle("GET /nope").status, 404);
+  EXPECT_EQ(gateway_.Handle("POST /jobs/x").status, 404);  // wrong method
+}
+
+TEST_F(GatewayTest, TrainValidation) {
+  EXPECT_EQ(gateway_.Handle("POST /train trials=4").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=ghost").status, 404);
+  EXPECT_EQ(
+      gateway_.Handle("POST /train dataset=t&advisor=alien").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&trials=-2").status, 400);
+}
+
+TEST_F(GatewayTest, FullLifecycleOverTheWireProtocol) {
+  // The Figure 18 surface end-to-end: train -> poll -> deploy -> query ->
+  // undeploy, all through request strings.
+  GatewayResponse train = gateway_.Handle(
+      "POST /train dataset=t&trials=4&epochs=6&workers=2&advisor=random");
+  ASSERT_EQ(train.status, 200) << train.body;
+  std::string job = Field(train.body, "job_id");
+  ASSERT_FALSE(job.empty());
+
+  // Poll until done.
+  GatewayResponse info{0, ""};
+  for (int i = 0; i < 20000; ++i) {
+    info = gateway_.Handle("GET /jobs/" + job);
+    ASSERT_EQ(info.status, 200) << info.body;
+    if (Field(info.body, "done") == "1") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(Field(info.body, "done"), "1");
+  EXPECT_EQ(Field(info.body, "trials"), "4");
+
+  GatewayResponse deploy = gateway_.Handle("POST /deploy job=" + job);
+  ASSERT_EQ(deploy.status, 200) << deploy.body;
+  std::string infer = Field(deploy.body, "job_id");
+
+  // Query the first dataset row through the text body.
+  std::vector<std::string> fields;
+  for (int64_t i = 0; i < dataset_.x.dim(1); ++i) {
+    fields.push_back(std::to_string(dataset_.x.at(i)));
+  }
+  GatewayResponse query = gateway_.Handle("POST /query job=" + infer + "\n" +
+                                          Join(fields, ","));
+  ASSERT_EQ(query.status, 200) << query.body;
+  std::string label = Field(query.body, "label");
+  EXPECT_FALSE(label.empty());
+  EXPECT_GE(std::stoi(label), 0);
+  EXPECT_LT(std::stoi(label), 3);
+
+  EXPECT_EQ(gateway_.Handle("POST /undeploy job=" + infer).status, 200);
+  EXPECT_EQ(gateway_.Handle("POST /undeploy job=" + infer).status, 404);
+  EXPECT_EQ(gateway_.Handle("POST /query job=" + infer + "\n1,2").status,
+            404);
+}
+
+TEST_F(GatewayTest, QueryValidation) {
+  EXPECT_EQ(gateway_.Handle("POST /query job=ghost\n1,2").status, 404);
+  EXPECT_EQ(gateway_.Handle("POST /query job=x").status, 400);  // no body
+  // Bad floats rejected before dispatch.
+  EXPECT_EQ(gateway_.Handle("POST /query job=x\nabc,def").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /query job=x\n1,,2").status, 400);
+}
+
+TEST_F(GatewayTest, DeployValidation) {
+  EXPECT_EQ(gateway_.Handle("POST /deploy").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /deploy job=ghost").status, 404);
+}
+
+TEST_F(GatewayTest, StatusMapping) {
+  // FailedPrecondition (job still training) maps to 409.
+  GatewayResponse train = gateway_.Handle(
+      "POST /train dataset=t&trials=8&epochs=10&workers=1");
+  ASSERT_EQ(train.status, 200);
+  std::string job = Field(train.body, "job_id");
+  GatewayResponse deploy = gateway_.Handle("POST /deploy job=" + job);
+  // Either it already finished (200) or it's mid-training (409).
+  EXPECT_TRUE(deploy.status == 200 || deploy.status == 409) << deploy.body;
+  // Drain the job so the fixture tears down cleanly.
+  for (int i = 0; i < 20000; ++i) {
+    if (Field(gateway_.Handle("GET /jobs/" + job).body, "done") == "1") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace
+}  // namespace rafiki::api

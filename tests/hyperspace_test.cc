@@ -1,0 +1,254 @@
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tuning/hyperspace.h"
+
+namespace rafiki::tuning {
+namespace {
+
+TEST(KnobValueTest, TypedAccessors) {
+  KnobValue d(0.5);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 0.5);
+  KnobValue i(static_cast<int64_t>(7));
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.AsInt(), 7);
+  EXPECT_DOUBLE_EQ(i.AsDouble(), 7.0);
+  KnobValue s(std::string("rbf"));
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.AsString(), "rbf");
+  EXPECT_EQ(s.ToString(), "rbf");
+}
+
+TEST(TrialTest, EncodeDecodeRoundTrip) {
+  Trial t(42);
+  t.Set("learning_rate", KnobValue(0.03125));
+  t.Set("layers", KnobValue(static_cast<int64_t>(8)));
+  t.Set("kernel", KnobValue(std::string("poly")));
+  Result<Trial> back = Trial::Decode(t.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id(), 42);
+  EXPECT_DOUBLE_EQ(back->GetDouble("learning_rate"), 0.03125);
+  EXPECT_EQ(back->GetInt("layers"), 8);
+  EXPECT_EQ(back->GetString("kernel"), "poly");
+}
+
+TEST(TrialTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Trial::Decode("no-separator").ok());
+  EXPECT_FALSE(Trial::Decode("1|bad_field").ok());
+  EXPECT_FALSE(Trial::Decode("1|x:q:1").ok());
+}
+
+TEST(TrialTest, FallbacksForMissingKnobs) {
+  Trial t;
+  EXPECT_DOUBLE_EQ(t.GetDouble("nope", 1.5), 1.5);
+  EXPECT_EQ(t.GetInt("nope", 3), 3);
+  EXPECT_EQ(t.GetString("nope", "d"), "d");
+}
+
+TEST(HyperSpaceTest, RejectsBadKnobDeclarations) {
+  HyperSpace space;
+  EXPECT_TRUE(space.AddRangeKnob("", KnobDtype::kFloat, 0, 1)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(space.AddRangeKnob("a", KnobDtype::kFloat, 1.0, 1.0)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(space.AddRangeKnob("a", KnobDtype::kFloat, 0.0, 1.0,
+                                 /*log_scale=*/true)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(space.AddRangeKnob("a", KnobDtype::kString, 0, 1)
+                  .IsInvalidArgument());
+  ASSERT_TRUE(space.AddRangeKnob("a", KnobDtype::kFloat, 0, 1).ok());
+  EXPECT_EQ(space.AddRangeKnob("a", KnobDtype::kFloat, 0, 1).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(space.AddCategoricalKnob("c", {}).IsInvalidArgument());
+  EXPECT_TRUE(space.AddRangeKnob("self", KnobDtype::kFloat, 0, 1, false,
+                                 {"self"})
+                  .IsInvalidArgument());
+}
+
+TEST(HyperSpaceTest, SampleRespectsDomains) {
+  HyperSpace space;
+  ASSERT_TRUE(space.AddRangeKnob("lr", KnobDtype::kFloat, 1e-4, 1.0,
+                                 /*log_scale=*/true)
+                  .ok());
+  ASSERT_TRUE(space.AddRangeKnob("layers", KnobDtype::kInt, 2, 10).ok());
+  ASSERT_TRUE(space.AddCategoricalKnob("kernel", {"linear", "rbf", "poly"})
+                  .ok());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Result<Trial> t = space.Sample(rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(space.Validate(t.value()).ok())
+        << t->DebugString();
+    EXPECT_GE(t->GetInt("layers"), 2);
+    EXPECT_LE(t->GetInt("layers"), 10);
+  }
+}
+
+TEST(HyperSpaceTest, LogScaleCoversDecades) {
+  HyperSpace space;
+  ASSERT_TRUE(space.AddRangeKnob("lr", KnobDtype::kFloat, 1e-4, 1.0,
+                                 /*log_scale=*/true)
+                  .ok());
+  Rng rng(6);
+  int tiny = 0;
+  for (int i = 0; i < 1000; ++i) {
+    double lr = space.Sample(rng)->GetDouble("lr");
+    if (lr < 1e-2) ++tiny;
+  }
+  // Log-uniform: half the draws land below 1e-2 (the log-midpoint).
+  EXPECT_GT(tiny, 400);
+  EXPECT_LT(tiny, 600);
+}
+
+TEST(HyperSpaceTest, DependsOrderingAndHooks) {
+  // The paper's example (§4.2.1): lr decay must be generated after the
+  // learning rate, with a post hook adjusting it.
+  HyperSpace space;
+  // Declare decay FIRST so only dependency ordering can save us.
+  ASSERT_TRUE(space
+                  .AddRangeKnob("lr_decay", KnobDtype::kFloat, 0.0, 1.0,
+                                false, {"learning_rate"}, nullptr,
+                                [](Trial* t) {
+                                  if (t->GetDouble("learning_rate") > 0.1) {
+                                    t->Set("lr_decay", KnobValue(0.9));
+                                  }
+                                })
+                  .ok());
+  ASSERT_TRUE(space.AddRangeKnob("learning_rate", KnobDtype::kFloat, 0.0,
+                                 1.0)
+                  .ok());
+  auto order = space.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value()[0]->name, "learning_rate");
+  EXPECT_EQ(order.value()[1]->name, "lr_decay");
+
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Trial t = space.Sample(rng).value();
+    if (t.GetDouble("learning_rate") > 0.1) {
+      EXPECT_DOUBLE_EQ(t.GetDouble("lr_decay"), 0.9);
+    }
+  }
+}
+
+TEST(HyperSpaceTest, DependencyCycleDetected) {
+  HyperSpace space;
+  ASSERT_TRUE(
+      space.AddRangeKnob("a", KnobDtype::kFloat, 0, 1, false, {"b"}).ok());
+  ASSERT_TRUE(
+      space.AddRangeKnob("b", KnobDtype::kFloat, 0, 1, false, {"a"}).ok());
+  EXPECT_EQ(space.TopologicalOrder().status().code(),
+            StatusCode::kFailedPrecondition);
+  Rng rng(8);
+  EXPECT_FALSE(space.Sample(rng).ok());
+}
+
+TEST(HyperSpaceTest, MissingDependencyDetected) {
+  HyperSpace space;
+  ASSERT_TRUE(space.AddRangeKnob("a", KnobDtype::kFloat, 0, 1, false,
+                                 {"ghost"})
+                  .ok());
+  EXPECT_EQ(space.TopologicalOrder().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HyperSpaceTest, RandomDagsAlwaysTopologicallyOrdered) {
+  // Property test: random DAGs (edges only from earlier to later knobs)
+  // must always produce a valid topological order.
+  Rng rng(9);
+  for (int round = 0; round < 30; ++round) {
+    HyperSpace space;
+    int n = static_cast<int>(rng.UniformInt(2, 8));
+    std::vector<std::string> names;
+    for (int i = 0; i < n; ++i) {
+      names.push_back("k" + std::to_string(i));
+      std::vector<std::string> deps;
+      for (int j = 0; j < i; ++j) {
+        if (rng.Bernoulli(0.4)) deps.push_back(names[static_cast<size_t>(j)]);
+      }
+      ASSERT_TRUE(space.AddRangeKnob(names.back(), KnobDtype::kFloat, 0, 1,
+                                     false, deps)
+                      .ok());
+    }
+    auto order = space.TopologicalOrder();
+    ASSERT_TRUE(order.ok());
+    // Every knob appears after its dependencies.
+    std::map<std::string, size_t> pos;
+    for (size_t i = 0; i < order->size(); ++i) {
+      pos[(*order)[i]->name] = i;
+    }
+    for (const Knob* k : order.value()) {
+      for (const std::string& dep : k->depends) {
+        EXPECT_LT(pos[dep], pos[k->name]);
+      }
+    }
+  }
+}
+
+TEST(HyperSpaceTest, NormalizeDenormalizeRoundTrip) {
+  HyperSpace space;
+  ASSERT_TRUE(space.AddRangeKnob("lr", KnobDtype::kFloat, 1e-4, 1.0,
+                                 /*log_scale=*/true)
+                  .ok());
+  ASSERT_TRUE(space.AddRangeKnob("mom", KnobDtype::kFloat, 0.0, 1.0).ok());
+  ASSERT_TRUE(space.AddCategoricalKnob("whiten", {"pca", "zca"}).ok());
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    Trial t = space.Sample(rng).value();
+    auto point = space.Normalize(t);
+    ASSERT_TRUE(point.ok());
+    for (double u : point.value()) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    Trial back = space.Denormalize(point.value()).value();
+    EXPECT_NEAR(back.GetDouble("lr"), t.GetDouble("lr"),
+                t.GetDouble("lr") * 1e-6);
+    EXPECT_NEAR(back.GetDouble("mom"), t.GetDouble("mom"), 1e-9);
+    EXPECT_EQ(back.GetString("whiten"), t.GetString("whiten"));
+  }
+}
+
+TEST(HyperSpaceTest, ValidateFlagsOutOfDomain) {
+  HyperSpace space;
+  ASSERT_TRUE(space.AddRangeKnob("lr", KnobDtype::kFloat, 0.0, 1.0).ok());
+  ASSERT_TRUE(space.AddCategoricalKnob("k", {"a", "b"}).ok());
+  Trial t;
+  t.Set("lr", KnobValue(0.5));
+  t.Set("k", KnobValue(std::string("c")));
+  EXPECT_EQ(space.Validate(t).code(), StatusCode::kOutOfRange);
+  t.Set("k", KnobValue(std::string("a")));
+  EXPECT_TRUE(space.Validate(t).ok());
+  t.Set("lr", KnobValue(2.0));
+  EXPECT_EQ(space.Validate(t).code(), StatusCode::kOutOfRange);
+  Trial incomplete;
+  EXPECT_TRUE(space.Validate(incomplete).IsInvalidArgument());
+}
+
+TEST(HyperSpaceTest, Table1StyleSpaceBuilds) {
+  // The full Table 1 shape: preprocessing, architecture, optimization.
+  HyperSpace space;
+  ASSERT_TRUE(
+      space.AddRangeKnob("rotation", KnobDtype::kFloat, 0.0, 30.0).ok());
+  ASSERT_TRUE(space.AddRangeKnob("crop", KnobDtype::kInt, 0, 32).ok());
+  ASSERT_TRUE(space.AddCategoricalKnob("whitening", {"PCA", "ZCA"}).ok());
+  ASSERT_TRUE(space.AddRangeKnob("num_layers", KnobDtype::kInt, 1, 20).ok());
+  ASSERT_TRUE(
+      space.AddCategoricalKnob("kernel", {"Linear", "RBF", "Poly"}).ok());
+  ASSERT_TRUE(space.AddRangeKnob("learning_rate", KnobDtype::kFloat, 1e-5,
+                                 1.0, true)
+                  .ok());
+  ASSERT_TRUE(space.AddRangeKnob("weight_decay", KnobDtype::kFloat, 1e-6,
+                                 1e-1, true)
+                  .ok());
+  ASSERT_TRUE(
+      space.AddRangeKnob("momentum", KnobDtype::kFloat, 0.0, 1.0).ok());
+  EXPECT_EQ(space.num_knobs(), 8u);
+  Rng rng(11);
+  Trial t = space.Sample(rng).value();
+  EXPECT_TRUE(space.Validate(t).ok());
+}
+
+}  // namespace
+}  // namespace rafiki::tuning

@@ -1,0 +1,155 @@
+#include <set>
+
+#include "gtest/gtest.h"
+#include "model/prediction_sim.h"
+#include "model/profile.h"
+#include "model/registry.h"
+
+namespace rafiki::model {
+namespace {
+
+TEST(ProfileTest, CatalogHasSixteenConvNets) {
+  EXPECT_EQ(ImageNetCatalog().size(), 16u);
+  std::set<std::string> names;
+  for (const ModelProfile& p : ImageNetCatalog()) names.insert(p.name);
+  EXPECT_EQ(names.size(), 16u) << "duplicate model names";
+}
+
+TEST(ProfileTest, InceptionV3MatchesPaperCalibration) {
+  // §7.2.1: c(16) = 0.07s, c(64) = 0.23s for inception_v3.
+  auto p = FindProfile("inception_v3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->BatchLatency(16), 0.07, 0.005);
+  EXPECT_NEAR(p->BatchLatency(64), 0.23, 0.005);
+  // max throughput 64/0.23 ~ 272-278, min 16/0.07 ~ 228.
+  EXPECT_NEAR(p->Throughput(64), 272.0, 10.0);
+  EXPECT_NEAR(p->Throughput(16), 228.0, 5.0);
+}
+
+TEST(ProfileTest, MultiModelThroughputExtremesMatchPaper) {
+  // §7.2.2: the 3-model set has max 572 and min 128 requests/second.
+  std::vector<ModelProfile> set{
+      FindProfile("inception_v3").value(),
+      FindProfile("inception_v4").value(),
+      FindProfile("inception_resnet_v2").value(),
+  };
+  EXPECT_NEAR(MaxThroughput(set, 64), 572.0, 10.0);
+  EXPECT_NEAR(MinThroughput(set, 64), 128.0, 3.0);
+}
+
+TEST(ProfileTest, LatencyMonotoneInBatchSize) {
+  for (const ModelProfile& p : ImageNetCatalog()) {
+    EXPECT_GT(p.latency_intercept, 0.0) << p.name;
+    EXPECT_GT(p.latency_slope, 0.0) << p.name;
+    EXPECT_LT(p.BatchLatency(16), p.BatchLatency(64)) << p.name;
+  }
+}
+
+TEST(ProfileTest, AccuracyOrderingSane) {
+  // nasnet_large is the most accurate, per Figure 3.
+  double best = 0.0;
+  std::string best_name;
+  for (const ModelProfile& p : ImageNetCatalog()) {
+    if (p.top1_accuracy > best) {
+      best = p.top1_accuracy;
+      best_name = p.name;
+    }
+  }
+  EXPECT_EQ(best_name, "nasnet_large");
+  EXPECT_TRUE(FindProfile("not_a_model").status().IsNotFound());
+}
+
+class PredictionSimTest : public ::testing::Test {
+ protected:
+  static std::vector<ModelProfile> Fig6Models() {
+    return {FindProfile("resnet_v2_101").value(),
+            FindProfile("inception_v3").value(),
+            FindProfile("inception_v4").value(),
+            FindProfile("inception_resnet_v2").value()};
+  }
+};
+
+TEST_F(PredictionSimTest, SingleModelAccuracyMatchesCalibration) {
+  PredictionSimulator sim(Fig6Models(), PredictionSimOptions{});
+  // Mask 0b0010 = inception_v3 alone.
+  double acc = sim.EnsembleAccuracy(0b0010, 30000);
+  EXPECT_NEAR(acc, 0.780, 0.01);
+  double acc4 = sim.EnsembleAccuracy(0b1000, 30000);
+  EXPECT_NEAR(acc4, 0.804, 0.01);
+}
+
+TEST_F(PredictionSimTest, PairTieBreakEqualsBetterModel) {
+  // Figure 6's anomaly: {resnet_v2_101, inception_v3} == inception_v3,
+  // because every disagreement is a tie broken toward the better model.
+  PredictionSimulator sim(Fig6Models(), PredictionSimOptions{});
+  double pair = sim.EnsembleAccuracy(0b0011, 30000);
+  PredictionSimulator sim2(Fig6Models(), PredictionSimOptions{});
+  double single = sim2.EnsembleAccuracy(0b0010, 30000);
+  EXPECT_NEAR(pair, single, 0.01);
+}
+
+TEST_F(PredictionSimTest, MoreModelsGenerallyBetter) {
+  PredictionSimulator sim(Fig6Models(), PredictionSimOptions{});
+  double all4 = sim.EnsembleAccuracy(0b1111, 30000);
+  PredictionSimulator sim2(Fig6Models(), PredictionSimOptions{});
+  double best_single = sim2.EnsembleAccuracy(0b1000, 30000);
+  EXPECT_GT(all4, best_single) << "4-model ensemble should beat best single";
+  // The gain is modest (correlated errors), as in Figure 6 (~1-2 points).
+  EXPECT_LT(all4, best_single + 0.05);
+}
+
+TEST_F(PredictionSimTest, RandomTieBreakIsWorse) {
+  // Ablation (DESIGN.md decision 1): random tie-break should not beat the
+  // paper's best-accuracy tie-break for a 2-model ensemble.
+  PredictionSimulator a(Fig6Models(), PredictionSimOptions{});
+  double paper = a.EnsembleAccuracy(0b0011, 30000);
+  PredictionSimulator b(Fig6Models(), PredictionSimOptions{});
+  double random = b.EnsembleAccuracyRandomTie(0b0011, 30000);
+  EXPECT_GE(paper + 0.005, random);
+}
+
+TEST_F(PredictionSimTest, AccuracyTableConsistentWithSimulator) {
+  EnsembleAccuracyTable table(Fig6Models(), PredictionSimOptions{}, 20000);
+  EXPECT_EQ(table.num_models(), 4u);
+  for (uint32_t mask = 1; mask < 16; ++mask) {
+    double a = table.Accuracy(mask);
+    EXPECT_GT(a, 0.70);
+    EXPECT_LT(a, 0.90);
+  }
+  // Supersets that add a strong model should not hurt much.
+  EXPECT_GT(table.Accuracy(0b1111), table.Accuracy(0b0001) - 0.01);
+}
+
+TEST(RegistryTest, BuiltInTasksPresent) {
+  TaskRegistry registry = TaskRegistry::BuiltIn();
+  auto tasks = registry.Tasks();
+  EXPECT_EQ(tasks.size(), 3u);
+  auto image = registry.ModelsForTask("ImageClassification");
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->size(), 16u);
+  EXPECT_TRUE(registry.ModelsForTask("NoSuchTask").status().IsNotFound());
+}
+
+TEST(RegistryTest, SelectDiversePrefersDistinctFamilies) {
+  TaskRegistry registry = TaskRegistry::BuiltIn();
+  auto picked = registry.SelectDiverse("ImageClassification", 4);
+  ASSERT_TRUE(picked.ok());
+  ASSERT_EQ(picked->size(), 4u);
+  std::set<Family> families;
+  for (const ModelProfile& p : *picked) families.insert(p.family);
+  EXPECT_EQ(families.size(), 4u) << "§4.1 wants architecture diversity";
+  // Best-first within the diversity constraint.
+  EXPECT_EQ((*picked)[0].name, "nasnet_large");
+}
+
+TEST(RegistryTest, SelectDiverseFillsWhenFamiliesExhausted) {
+  TaskRegistry registry = TaskRegistry::BuiltIn();
+  auto picked = registry.SelectDiverse("ImageClassification", 10);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(picked->size(), 10u);
+  auto zero = registry.SelectDiverse("ImageClassification", 0);
+  EXPECT_FALSE(zero.ok());
+}
+
+}  // namespace
+}  // namespace rafiki::model

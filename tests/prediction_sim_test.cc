@@ -1,0 +1,120 @@
+// Property tests on the correlated-error prediction simulator behind
+// Figure 6 (see model_test.cc for the calibration checks).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "model/prediction_sim.h"
+#include "model/profile.h"
+
+namespace rafiki::model {
+namespace {
+
+std::vector<ModelProfile> TwoModels(double acc_a, double acc_b) {
+  ModelProfile a;
+  a.name = "a";
+  a.top1_accuracy = acc_a;
+  ModelProfile b;
+  b.name = "b";
+  b.top1_accuracy = acc_b;
+  return {a, b};
+}
+
+TEST(PredictionSimPropertyTest, DeterministicPerSeed) {
+  PredictionSimOptions options;
+  PredictionSimulator s1(TwoModels(0.7, 0.8), options);
+  PredictionSimulator s2(TwoModels(0.7, 0.8), options);
+  for (int i = 0; i < 200; ++i) {
+    auto a = s1.Draw();
+    auto b = s2.Draw();
+    EXPECT_EQ(a.truth, b.truth);
+    EXPECT_EQ(a.predictions, b.predictions);
+  }
+}
+
+TEST(PredictionSimPropertyTest, SingleAccuracyTracksCalibration) {
+  for (double target : {0.55, 0.7, 0.85, 0.95}) {
+    PredictionSimulator sim(TwoModels(target, 0.9), PredictionSimOptions{});
+    EXPECT_NEAR(sim.EnsembleAccuracy(0b01, 40000), target, 0.01)
+        << "target " << target;
+  }
+}
+
+TEST(PredictionSimPropertyTest, LowerCorrelationMeansBiggerEnsembleGain) {
+  // Independent errors give the classic Condorcet boost; near-perfect
+  // correlation gives almost none. This is the dial that calibrates the
+  // Figure 6 shape.
+  auto gain = [](double rho) {
+    PredictionSimOptions options;
+    options.correlation = rho;
+    std::vector<ModelProfile> models{
+        FindProfile("inception_v3").value(),
+        FindProfile("inception_v4").value(),
+        FindProfile("inception_resnet_v2").value()};
+    EnsembleAccuracyTable table(models, options, 30000);
+    return table.Accuracy(0b111) - table.Accuracy(0b100);
+  };
+  double low_rho_gain = gain(0.2);
+  double high_rho_gain = gain(0.97);
+  EXPECT_GT(low_rho_gain, high_rho_gain + 0.02);
+  EXPECT_GT(low_rho_gain, 0.05);
+  EXPECT_LT(high_rho_gain, 0.03);
+}
+
+TEST(PredictionSimPropertyTest, PredictionsAreValidLabels) {
+  PredictionSimOptions options;
+  options.num_classes = 10;
+  PredictionSimulator sim(TwoModels(0.5, 0.6), options);
+  for (int i = 0; i < 500; ++i) {
+    auto s = sim.Draw();
+    EXPECT_GE(s.truth, 0);
+    EXPECT_LT(s.truth, 10);
+    for (int64_t p : s.predictions) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 10);
+    }
+  }
+}
+
+TEST(PredictionSimPropertyTest, WrongPredictionsNeverEqualTruthByAccident) {
+  // When the model is wrong the simulator must emit a label != truth;
+  // verify via per-model accuracy == empirical fraction of truth matches.
+  PredictionSimOptions options;
+  options.num_classes = 100;
+  PredictionSimulator sim(TwoModels(0.75, 0.75), options);
+  int match = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    auto s = sim.Draw();
+    if (s.predictions[0] == s.truth) ++match;
+  }
+  EXPECT_NEAR(static_cast<double>(match) / n, 0.75, 0.01);
+}
+
+class TieBreakSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TieBreakSweepTest, PaperRuleNeverWorseThanWorstMember) {
+  // For every subset, the ensemble with best-accuracy tie-break must be at
+  // least as accurate as its worst member (it can only deviate from a
+  // member's answer when outvoted or tied toward a better member).
+  uint32_t mask = GetParam();
+  std::vector<ModelProfile> models{
+      FindProfile("resnet_v2_101").value(),
+      FindProfile("inception_v3").value(),
+      FindProfile("inception_v4").value(),
+      FindProfile("inception_resnet_v2").value()};
+  EnsembleAccuracyTable table(models, PredictionSimOptions{}, 20000);
+  double worst = 1.0;
+  for (size_t m = 0; m < models.size(); ++m) {
+    if (mask & (1u << m)) {
+      worst = std::min(worst, table.Accuracy(1u << m));
+    }
+  }
+  EXPECT_GE(table.Accuracy(mask), worst - 0.005) << "mask " << mask;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, TieBreakSweepTest,
+                         ::testing::Range(1u, 16u));
+
+}  // namespace
+}  // namespace rafiki::model

@@ -1,0 +1,176 @@
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "ps/parameter_server.h"
+#include "storage/blob_store.h"
+
+namespace rafiki::ps {
+namespace {
+
+Tensor Arange(Shape shape) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(i);
+  }
+  return t;
+}
+
+TEST(ParameterServerTest, PutGetRoundTrip) {
+  ParameterServer ps;
+  ParamMeta meta;
+  meta.accuracy = 0.8;
+  ASSERT_TRUE(ps.Put("model1", "fc0/weight", Arange({2, 3}), meta).ok());
+  auto got = ps.Get("model1", "fc0/weight");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->shape(), (Shape{2, 3}));
+  EXPECT_EQ(got->at(5), 5.0f);
+}
+
+TEST(ParameterServerTest, MissingIsNotFound) {
+  ParameterServer ps;
+  EXPECT_TRUE(ps.Get("m", "p").status().IsNotFound());
+  EXPECT_TRUE(ps.GetModel("m").status().IsNotFound());
+  EXPECT_TRUE(ps.BestModel("m").status().IsNotFound());
+}
+
+TEST(ParameterServerTest, EmptyKeysRejected) {
+  ParameterServer ps;
+  EXPECT_TRUE(ps.Put("", "p", Tensor({1}), ParamMeta{}).IsInvalidArgument());
+  EXPECT_TRUE(ps.Put("m", "", Tensor({1}), ParamMeta{}).IsInvalidArgument());
+}
+
+TEST(ParameterServerTest, ShapeMatchedFetchPrefersBestAccuracy) {
+  // §4.2.2: a new ConvNet's 3rd conv layer initializes from any stored
+  // tensor with the same name suffix + shape, best-accuracy donor first.
+  ParameterServer ps;
+  ParamMeta low;
+  low.accuracy = 0.5;
+  low.visibility = Visibility::kPublic;
+  ParamMeta high;
+  high.accuracy = 0.9;
+  high.visibility = Visibility::kPublic;
+  ASSERT_TRUE(ps.Put("trialA", "conv3/weight",
+                     Tensor::Full({8, 4, 3, 3}, 1.0f), low)
+                  .ok());
+  ASSERT_TRUE(ps.Put("trialB", "conv3/weight",
+                     Tensor::Full({8, 4, 3, 3}, 2.0f), high)
+                  .ok());
+  // A 5x5 kernel must not match.
+  ASSERT_TRUE(ps.Put("trialC", "conv3/weight",
+                     Tensor::Full({8, 4, 5, 5}, 3.0f), high)
+                  .ok());
+  auto got = ps.FetchShapeMatched("conv3/weight", {8, 4, 3, 3}, "anyone");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->at(0), 2.0f);
+
+  auto missing = ps.FetchShapeMatched("conv9/weight", {8, 4, 3, 3}, "x");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(ParameterServerTest, PrivateParamsOnlyVisibleToOwner) {
+  ParameterServer ps;
+  ParamMeta priv;
+  priv.accuracy = 0.9;
+  priv.visibility = Visibility::kPrivate;
+  priv.owner = "alice";
+  ASSERT_TRUE(ps.Put("m", "fc/w", Arange({2, 2}), priv).ok());
+  EXPECT_TRUE(
+      ps.FetchShapeMatched("fc/w", {2, 2}, "bob").status().IsNotFound());
+  EXPECT_TRUE(ps.FetchShapeMatched("fc/w", {2, 2}, "alice").ok());
+}
+
+TEST(ParameterServerTest, ModelCheckpointRoundTrip) {
+  ParameterServer ps;
+  ModelCheckpoint ckpt;
+  ckpt.params.emplace_back("fc0/weight", Arange({2, 2}));
+  ckpt.params.emplace_back("fc0/bias", Arange({1, 2}));
+  ckpt.meta.accuracy = 0.77;
+  ASSERT_TRUE(ps.PutModel("study/x/best", ckpt).ok());
+  auto got = ps.GetModel("study/x/best");
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->params.size(), 2u);
+  EXPECT_EQ(got->params[0].first, "fc0/weight");
+  EXPECT_DOUBLE_EQ(got->meta.accuracy, 0.77);
+}
+
+TEST(ParameterServerTest, BestModelPicksHighestAccuracy) {
+  ParameterServer ps;
+  for (int i = 0; i < 3; ++i) {
+    ModelCheckpoint ckpt;
+    ckpt.params.emplace_back("w", Tensor::Full({1}, static_cast<float>(i)));
+    ckpt.meta.accuracy = 0.5 + 0.1 * i;
+    ASSERT_TRUE(
+        ps.PutModel("study/s/trial" + std::to_string(i), ckpt).ok());
+  }
+  auto best = ps.BestModel("study/s/");
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->meta.accuracy, 0.7);
+  EXPECT_EQ(best->params[0].second.at(0), 2.0f);
+}
+
+TEST(ParameterServerTest, SpillColdAndPromoteBack) {
+  storage::BlobStore cold;
+  ParameterServer ps(&cold);
+  ParamMeta meta;
+  ASSERT_TRUE(ps.Put("m", "hot", Arange({4}), meta).ok());
+  ASSERT_TRUE(ps.Put("m", "cold", Arange({4}), meta).ok());
+  // Touch "hot" a few times so it stays resident.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ps.Get("m", "hot").ok());
+  size_t spilled = ps.SpillCold(/*min_accesses=*/3);
+  EXPECT_EQ(spilled, 1u);
+  EXPECT_EQ(ps.num_hot_entries(), 1u);
+  EXPECT_EQ(ps.num_entries(), 2u);
+  // Reading the cold entry promotes it back, transparently.
+  auto got = ps.Get("m", "cold");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->at(3), 3.0f);
+  EXPECT_EQ(ps.num_hot_entries(), 2u);
+}
+
+TEST(ParameterServerTest, SpillWithoutStoreIsNoop) {
+  ParameterServer ps;
+  ASSERT_TRUE(ps.Put("m", "p", Arange({2}), ParamMeta{}).ok());
+  EXPECT_EQ(ps.SpillCold(100), 0u);
+}
+
+TEST(ParameterServerTest, VersionIncrementsOnOverwrite) {
+  ParameterServer ps;
+  ParamMeta meta;
+  ASSERT_TRUE(ps.Put("m", "p", Arange({2}), meta).ok());
+  ASSERT_TRUE(ps.Put("m", "p", Arange({2}), meta).ok());
+  // Version is internal; verified indirectly through overwrite semantics.
+  auto got = ps.Get("m", "p");
+  ASSERT_TRUE(got.ok());
+}
+
+TEST(ParameterServerTest, ConcurrentPutGetIsSafe) {
+  ParameterServer ps;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ps, t] {
+      ParamMeta meta;
+      meta.accuracy = 0.1 * t;
+      for (int i = 0; i < 50; ++i) {
+        std::string scope = "w" + std::to_string(t);
+        ASSERT_TRUE(
+            ps.Put(scope, "p" + std::to_string(i), Arange({8}), meta).ok());
+        auto got = ps.Get(scope, "p" + std::to_string(i));
+        ASSERT_TRUE(got.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ps.num_entries(), 200u);
+}
+
+TEST(ParameterServerTest, ListScopesReturnsCheckpoints) {
+  ParameterServer ps;
+  ModelCheckpoint ckpt;
+  ckpt.params.emplace_back("w", Tensor({1}));
+  ASSERT_TRUE(ps.PutModel("a", ckpt).ok());
+  ASSERT_TRUE(ps.PutModel("b", ckpt).ok());
+  EXPECT_EQ(ps.ListScopes(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace rafiki::ps

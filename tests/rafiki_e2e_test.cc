@@ -1,0 +1,196 @@
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "nn/loss.h"
+#include "rafiki/rafiki.h"
+#include "sql/query.h"
+
+namespace rafiki::api {
+namespace {
+
+data::Dataset EasyTask(uint64_t seed = 7) {
+  data::SyntheticTaskOptions options;
+  options.num_classes = 3;
+  options.samples_per_class = 60;
+  options.input_dim = 12;
+  options.separation = 5.0;
+  options.spread = 0.8;
+  options.seed = seed;
+  return data::MakeSyntheticTask(options);
+}
+
+TrainConfig FastTrainConfig() {
+  TrainConfig config;
+  config.dataset = "easy";
+  config.input_shape = {12};
+  config.output_shape = {3};
+  config.hyper.max_trials = 4;
+  config.hyper.max_epochs_per_trial = 8;
+  config.hyper.early_stop_patience = 4;
+  config.num_workers = 2;
+  return config;
+}
+
+TEST(RafikiE2eTest, ImportDownloadRoundTrip) {
+  Rafiki rafiki;
+  data::Dataset d = EasyTask();
+  auto handle = rafiki.ImportDataset("easy", d);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle.value(), "datasets/easy");
+  auto back = rafiki.DownloadDataset("easy");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), d.size());
+  EXPECT_TRUE(rafiki.DownloadDataset("ghost").status().IsNotFound());
+  EXPECT_TRUE(rafiki.ImportDataset("", d).status().IsInvalidArgument());
+}
+
+TEST(RafikiE2eTest, TrainDeployQueryPipeline) {
+  // The full Figure 2 flow: import -> Train -> get_models -> Inference ->
+  // query, all in one process.
+  Rafiki rafiki;
+  ASSERT_TRUE(rafiki.ImportDataset("easy", EasyTask()).ok());
+
+  auto job = rafiki.Train(FastTrainConfig());
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  auto info = rafiki.WaitJob(job.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->done);
+  EXPECT_EQ(info->trials_finished, 4);
+  EXPECT_GT(info->best_performance, 0.5);
+
+  auto models = rafiki.GetModels(job.value());
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  ASSERT_EQ(models->size(), 1u);
+  EXPECT_GT((*models)[0].accuracy, 0.5);
+
+  auto deployed = rafiki.Deploy(*models);
+  ASSERT_TRUE(deployed.ok());
+
+  // Query every row of the task data (same class centers; the job only
+  // saw a 70% training split of it).
+  data::Dataset test = EasyTask(/*seed=*/7);
+  auto predictions = rafiki.QueryBatch(deployed.value(), test.x);
+  ASSERT_TRUE(predictions.ok());
+  int64_t correct = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if ((*predictions)[static_cast<size_t>(i)].label ==
+        test.labels[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  double accuracy =
+      static_cast<double>(correct) / static_cast<double>(test.size());
+  EXPECT_GT(accuracy, 0.5) << "deployed model should generalize";
+
+  // Single-row query variant.
+  Tensor row({12});
+  for (int64_t i = 0; i < 12; ++i) row.at(i) = test.x.at(i);
+  auto one = rafiki.Query(deployed.value(), row);
+  ASSERT_TRUE(one.ok());
+  EXPECT_GE(one->label, 0);
+  EXPECT_LT(one->label, 3);
+
+  ASSERT_TRUE(rafiki.Undeploy(deployed.value()).ok());
+  EXPECT_TRUE(rafiki.Query(deployed.value(), row).status().IsNotFound());
+}
+
+TEST(RafikiE2eTest, TrainValidatesConfig) {
+  Rafiki rafiki;
+  ASSERT_TRUE(rafiki.ImportDataset("easy", EasyTask()).ok());
+  TrainConfig config = FastTrainConfig();
+  config.dataset = "ghost";
+  EXPECT_TRUE(rafiki.Train(config).status().IsNotFound());
+  config = FastTrainConfig();
+  config.output_shape = {99};  // dataset has 3 classes
+  EXPECT_TRUE(rafiki.Train(config).status().IsInvalidArgument());
+  EXPECT_TRUE(rafiki.GetJobInfo("nope").status().IsNotFound());
+  EXPECT_TRUE(rafiki.Deploy({}).status().IsInvalidArgument());
+}
+
+TEST(RafikiE2eTest, GetModelsRequiresFinishedJob) {
+  Rafiki rafiki;
+  ASSERT_TRUE(rafiki.ImportDataset("easy", EasyTask()).ok());
+  TrainConfig config = FastTrainConfig();
+  config.hyper.max_trials = 8;
+  auto job = rafiki.Train(config);
+  ASSERT_TRUE(job.ok());
+  // Either still training (FailedPrecondition) or already done (ok) —
+  // never a crash or wrong-job result.
+  auto models = rafiki.GetModels(job.value());
+  if (!models.ok()) {
+    EXPECT_EQ(models.status().code(), StatusCode::kFailedPrecondition);
+  }
+  ASSERT_TRUE(rafiki.WaitJob(job.value()).ok());
+  EXPECT_TRUE(rafiki.GetModels(job.value()).ok());
+}
+
+TEST(RafikiE2eTest, BuildMlpFromCheckpointValidates) {
+  ps::ModelCheckpoint empty;
+  EXPECT_TRUE(BuildMlpFromCheckpoint(empty).status().IsInvalidArgument());
+  ps::ModelCheckpoint missing_bias;
+  missing_bias.params.emplace_back("fc0/weight", Tensor({4, 2}));
+  EXPECT_TRUE(
+      BuildMlpFromCheckpoint(missing_bias).status().IsInvalidArgument());
+
+  ps::ModelCheckpoint good;
+  good.params.emplace_back("fc0/weight", Tensor::Full({4, 2}, 0.5f));
+  good.params.emplace_back("fc0/bias", Tensor::Full({1, 2}, 0.1f));
+  auto net = BuildMlpFromCheckpoint(good);
+  ASSERT_TRUE(net.ok());
+  Tensor x = Tensor::Full({1, 4}, 1.0f);
+  Tensor y = net->Forward(x, false);
+  EXPECT_NEAR(y.at(0), 4 * 0.5f + 0.1f, 1e-5f);
+}
+
+TEST(RafikiE2eTest, SqlUdfCallsDeployedModel) {
+  // The §8 case study wired end-to-end: a SQL query whose UDF calls the
+  // deployed Rafiki model to classify the referenced feature rows.
+  Rafiki rafiki;
+  data::Dataset d = EasyTask();
+  ASSERT_TRUE(rafiki.ImportDataset("easy", d).ok());
+  auto job = rafiki.Train(FastTrainConfig());
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(rafiki.WaitJob(job.value()).ok());
+  auto models = rafiki.GetModels(job.value());
+  ASSERT_TRUE(models.ok());
+  auto deployed = rafiki.Deploy(*models);
+  ASSERT_TRUE(deployed.ok());
+
+  // Table rows reference dataset rows by index (the "image_path").
+  sql::Table log("foodlog", {{"user_id", sql::ColumnType::kInteger, true},
+                             {"age", sql::ColumnType::kInteger, true},
+                             {"row_ref", sql::ColumnType::kInteger, true}});
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(log.Insert(sql::Row{sql::Value{i},
+                                    sql::Value{int64_t{20 + 3 * i}},
+                                    sql::Value{i}})
+                    .ok());
+  }
+
+  std::string infer_id = deployed.value();
+  sql::ScalarUdf classify = [&](const sql::Value& v) -> sql::Value {
+    int64_t row = std::get<int64_t>(v);
+    Tensor features({1, d.x.dim(1)});
+    std::copy(d.x.data() + row * d.x.dim(1),
+              d.x.data() + (row + 1) * d.x.dim(1), features.data());
+    auto pred = rafiki.Query(infer_id, features);
+    if (!pred.ok()) return sql::Value{};
+    return sql::Value{pred->label};
+  };
+
+  sql::Query q(&log);
+  q.Select({.column = "row_ref", .udf = classify, .alias = "food_class"})
+      .Where(sql::ColumnCompare(log, "age", ">", sql::Value{int64_t{52}}))
+      .GroupByCount(0);
+  auto rs = q.Execute();
+  ASSERT_TRUE(rs.ok());
+  // age > 52 <=> 20 + 3i > 52 <=> i >= 11 -> 9 rows, 9 UDF calls.
+  EXPECT_EQ(rs->udf_calls, 9u);
+  int64_t total = 0;
+  for (const sql::Row& row : rs->rows) {
+    total += std::get<int64_t>(row[1]);
+  }
+  EXPECT_EQ(total, 9);
+}
+
+}  // namespace
+}  // namespace rafiki::api

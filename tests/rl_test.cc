@@ -1,0 +1,110 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "rl/actor_critic.h"
+
+namespace rafiki::rl {
+namespace {
+
+ActorCriticOptions SmallAgent(int state_dim, int actions) {
+  ActorCriticOptions options;
+  options.state_dim = state_dim;
+  options.num_actions = actions;
+  options.hidden = 32;
+  options.policy_lr = 5e-3;
+  options.value_lr = 5e-3;
+  options.update_every = 32;
+  options.seed = 21;
+  return options;
+}
+
+TEST(ActorCriticTest, ProbabilitiesFormDistribution) {
+  ActorCritic agent(SmallAgent(4, 5));
+  std::vector<double> probs = agent.Probabilities({0.1, 0.2, 0.3, 0.4});
+  ASSERT_EQ(probs.size(), 5u);
+  double sum = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(ActorCriticTest, ActReturnsValidActions) {
+  ActorCritic agent(SmallAgent(3, 4));
+  for (int i = 0; i < 100; ++i) {
+    int a = agent.Act({0.0, 0.5, 1.0});
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+  // Greedy action is deterministic.
+  int g1 = agent.Act({0.0, 0.5, 1.0}, /*explore=*/false);
+  int g2 = agent.Act({0.0, 0.5, 1.0}, /*explore=*/false);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(ActorCriticTest, LearnsStatelessBandit) {
+  // Two actions, action 1 always pays more: the policy should concentrate
+  // on it.
+  ActorCritic agent(SmallAgent(2, 2));
+  std::vector<double> state{1.0, 0.0};
+  for (int step = 0; step < 3000; ++step) {
+    int a = agent.Act(state);
+    double reward = a == 1 ? 1.0 : 0.0;
+    agent.Record(state, a, reward);
+  }
+  std::vector<double> probs = agent.Probabilities(state);
+  EXPECT_GT(probs[1], 0.8) << "agent failed to prefer the rewarding arm";
+}
+
+TEST(ActorCriticTest, LearnsContextualBandit) {
+  // Reward depends on the state: best action flips with the first feature.
+  ActorCritic agent(SmallAgent(2, 2));
+  Rng rng(3);
+  for (int step = 0; step < 6000; ++step) {
+    bool ctx = rng.Bernoulli(0.5);
+    std::vector<double> state{ctx ? 1.0 : 0.0, ctx ? 0.0 : 1.0};
+    int a = agent.Act(state);
+    double reward = (a == (ctx ? 1 : 0)) ? 1.0 : -0.2;
+    agent.Record(state, a, reward);
+  }
+  EXPECT_GT(agent.Probabilities({1.0, 0.0})[1], 0.7);
+  EXPECT_GT(agent.Probabilities({0.0, 1.0})[0], 0.7);
+}
+
+TEST(ActorCriticTest, ValueTracksExpectedReturn) {
+  ActorCritic agent(SmallAgent(2, 2));
+  std::vector<double> state{0.5, 0.5};
+  for (int step = 0; step < 2000; ++step) {
+    int a = agent.Act(state);
+    agent.Record(state, a, 1.0);  // constant reward
+  }
+  // With gamma = 0.9 the discounted return of a constant 1.0 reward
+  // approaches 1 / (1 - 0.9) = 10.
+  EXPECT_NEAR(agent.Value(state), 10.0, 3.0);
+}
+
+TEST(ActorCriticTest, FlushUpdatesPartialBuffer) {
+  ActorCritic agent(SmallAgent(2, 2));
+  EXPECT_EQ(agent.updates(), 0);
+  agent.Record({0.0, 1.0}, 0, 0.5);
+  agent.Record({1.0, 0.0}, 1, 0.5);
+  agent.Flush();
+  EXPECT_EQ(agent.updates(), 1);
+  agent.Flush();  // empty buffer: no-op
+  EXPECT_EQ(agent.updates(), 1);
+}
+
+TEST(ActorCriticTest, UpdateEveryTriggersAutomatically) {
+  ActorCriticOptions options = SmallAgent(2, 2);
+  options.update_every = 8;
+  ActorCritic agent(options);
+  for (int i = 0; i < 16; ++i) {
+    agent.Record({0.1, 0.2}, 0, 0.0);
+  }
+  EXPECT_EQ(agent.updates(), 2);
+}
+
+}  // namespace
+}  // namespace rafiki::rl

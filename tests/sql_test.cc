@@ -1,0 +1,165 @@
+#include "gtest/gtest.h"
+#include "sql/query.h"
+#include "sql/table.h"
+
+namespace rafiki::sql {
+namespace {
+
+/// The §8 case-study schema (Figure 17).
+Table MakeFoodLog() {
+  Table t("foodlog", {
+                         {"user_id", ColumnType::kInteger, false},
+                         {"age", ColumnType::kInteger, true},
+                         {"location", ColumnType::kText, true},
+                         {"time", ColumnType::kText, true},
+                         {"image_path", ColumnType::kText, true},
+                     });
+  struct RowSpec {
+    int64_t user;
+    int64_t age;
+    const char* loc;
+    const char* time;
+    const char* img;
+  };
+  for (const RowSpec& r : std::initializer_list<RowSpec>{
+           {1, 30, "sg", "t1", "img_pizza"},
+           {2, 55, "sg", "t2", "img_laksa"},
+           {3, 60, "kl", "t3", "img_laksa"},
+           {4, 25, "sg", "t4", "img_pizza"},
+           {5, 70, "bj", "t5", "img_rice"},
+       }) {
+    EXPECT_TRUE(t.Insert(Row{Value{r.user}, Value{r.age},
+                             Value{std::string(r.loc)},
+                             Value{std::string(r.time)},
+                             Value{std::string(r.img)}})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(TableTest, SchemaValidation) {
+  Table t("x", {{"a", ColumnType::kInteger, true},
+                {"b", ColumnType::kText, false}});
+  EXPECT_TRUE(t.Insert(Row{Value{int64_t{1}}, Value{std::string("s")}}).ok());
+  // Arity mismatch.
+  EXPECT_TRUE(t.Insert(Row{Value{int64_t{1}}}).IsInvalidArgument());
+  // NULL into NOT NULL.
+  EXPECT_TRUE(
+      t.Insert(Row{Value{}, Value{std::string("s")}}).IsInvalidArgument());
+  // NULL into nullable column is fine.
+  EXPECT_TRUE(t.Insert(Row{Value{int64_t{2}}, Value{}}).ok());
+  // Type mismatch.
+  EXPECT_TRUE(t.Insert(Row{Value{std::string("not int")}, Value{}})
+                  .IsInvalidArgument());
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table t = MakeFoodLog();
+  EXPECT_EQ(t.ColumnIndex("age").value(), 1u);
+  EXPECT_TRUE(t.ColumnIndex("ghost").status().IsNotFound());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(ValueToString(Value{}), "NULL");
+  EXPECT_EQ(ValueToString(Value{int64_t{42}}), "42");
+  EXPECT_EQ(ValueToString(Value{3.5}), "3.5");
+  EXPECT_EQ(ValueToString(Value{std::string("x")}), "x");
+  EXPECT_TRUE(ValueIsNull(Value{}));
+  EXPECT_FALSE(ValueIsNull(Value{int64_t{0}}));
+}
+
+TEST(QueryTest, SelectWhereProjects) {
+  Table t = MakeFoodLog();
+  Query q(&t);
+  q.Select({.column = "image_path"})
+      .Where(ColumnCompare(t, "age", ">", Value{int64_t{50}}));
+  auto rs = q.Execute();
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(rs->udf_calls, 0u);
+}
+
+TEST(QueryTest, ComparatorOps) {
+  Table t = MakeFoodLog();
+  auto count = [&](const std::string& op, int64_t v) {
+    Query q(&t);
+    q.Select({.column = "user_id"})
+        .Where(ColumnCompare(t, "age", op, Value{v}));
+    return q.Execute()->rows.size();
+  };
+  EXPECT_EQ(count(">", 52), 3u);
+  EXPECT_EQ(count(">=", 55), 3u);
+  EXPECT_EQ(count("<", 30), 1u);
+  EXPECT_EQ(count("<=", 30), 2u);
+  EXPECT_EQ(count("=", 60), 1u);
+  EXPECT_EQ(count("!=", 60), 4u);
+}
+
+TEST(QueryTest, UdfOnlyRunsOnFilteredRows) {
+  // The §8 efficiency claim: the UDF is evaluated only on rows surviving
+  // the WHERE clause.
+  Table t = MakeFoodLog();
+  size_t invocations = 0;
+  ScalarUdf food_name = [&invocations](const Value& v) {
+    ++invocations;
+    std::string path = std::get<std::string>(v);
+    return Value{path.substr(4)};  // "img_laksa" -> "laksa"
+  };
+  Query q(&t);
+  q.Select({.column = "image_path", .udf = food_name, .alias = "food_name"})
+      .Where(ColumnCompare(t, "age", ">", Value{int64_t{52}}));
+  auto rs = q.Execute();
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(invocations, 3u) << "UDF must not run on filtered-out rows";
+  EXPECT_EQ(rs->udf_calls, 3u);
+}
+
+TEST(QueryTest, GroupByCountMatchesPaperQuery) {
+  // SELECT food_name(image_path) AS name, count(*) FROM foodlog
+  // WHERE age > 52 GROUP BY name;
+  Table t = MakeFoodLog();
+  ScalarUdf food_name = [](const Value& v) {
+    return Value{std::get<std::string>(v).substr(4)};
+  };
+  Query q(&t);
+  q.Select({.column = "image_path", .udf = food_name, .alias = "name"})
+      .Where(ColumnCompare(t, "age", ">", Value{int64_t{52}}))
+      .GroupByCount(0);
+  auto rs = q.Execute();
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->column_names,
+            (std::vector<std::string>{"name", "count(*)"}));
+  ASSERT_EQ(rs->rows.size(), 2u);  // laksa x2, rice x1
+  EXPECT_EQ(ValueToString(rs->rows[0][0]), "laksa");
+  EXPECT_EQ(std::get<int64_t>(rs->rows[0][1]), 2);
+  EXPECT_EQ(ValueToString(rs->rows[1][0]), "rice");
+  EXPECT_EQ(std::get<int64_t>(rs->rows[1][1]), 1);
+}
+
+TEST(QueryTest, EmptySelectRejected) {
+  Table t = MakeFoodLog();
+  Query q(&t);
+  EXPECT_TRUE(q.Execute().status().IsInvalidArgument());
+}
+
+TEST(QueryTest, GroupIndexOutOfRangeRejected) {
+  Table t = MakeFoodLog();
+  Query q(&t);
+  q.Select({.column = "age"}).GroupByCount(3);
+  EXPECT_TRUE(q.Execute().status().IsInvalidArgument());
+}
+
+TEST(QueryTest, ResultSetToString) {
+  Table t = MakeFoodLog();
+  Query q(&t);
+  q.Select({.column = "user_id"})
+      .Where(ColumnCompare(t, "age", ">", Value{int64_t{65}}));
+  auto rs = q.Execute();
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->ToString(), "user_id\n5\n");
+}
+
+}  // namespace
+}  // namespace rafiki::sql

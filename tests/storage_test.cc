@@ -1,0 +1,130 @@
+#include <thread>
+
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "storage/blob_store.h"
+#include "storage/serialize.h"
+
+namespace rafiki::storage {
+namespace {
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  BlobStore store;
+  ASSERT_TRUE(store.Put("a/b", {1, 2, 3}).ok());
+  auto got = store.Get("a/b");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(BlobStoreTest, GetMissingIsNotFound) {
+  BlobStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+}
+
+TEST(BlobStoreTest, OverwriteReplacesAndAccountsBytes) {
+  BlobStore store;
+  ASSERT_TRUE(store.Put("k", {1, 2, 3, 4}).ok());
+  EXPECT_EQ(store.size_bytes(), 4u);
+  ASSERT_TRUE(store.Put("k", {9}).ok());
+  EXPECT_EQ(store.size_bytes(), 1u);
+  EXPECT_EQ(store.num_blobs(), 1u);
+}
+
+TEST(BlobStoreTest, CapacityEnforced) {
+  BlobStore store(8);
+  ASSERT_TRUE(store.Put("a", {1, 2, 3, 4, 5}).ok());
+  Status s = store.Put("b", {1, 2, 3, 4, 5});
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  // Replacing the existing blob within capacity is fine.
+  EXPECT_TRUE(store.Put("a", {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+}
+
+TEST(BlobStoreTest, DeleteFreesSpace) {
+  BlobStore store(4);
+  ASSERT_TRUE(store.Put("a", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_EQ(store.size_bytes(), 0u);
+  EXPECT_TRUE(store.Delete("a").IsNotFound());
+  EXPECT_TRUE(store.Put("b", {1, 2, 3, 4}).ok());
+}
+
+TEST(BlobStoreTest, ListByPrefixSorted) {
+  BlobStore store;
+  ASSERT_TRUE(store.Put("datasets/b", {1}).ok());
+  ASSERT_TRUE(store.Put("datasets/a", {1}).ok());
+  ASSERT_TRUE(store.Put("params/x", {1}).ok());
+  EXPECT_EQ(store.List("datasets/"),
+            (std::vector<std::string>{"datasets/a", "datasets/b"}));
+  EXPECT_EQ(store.List("nope/").size(), 0u);
+}
+
+TEST(BlobStoreTest, ConcurrentPutsAllLand) {
+  BlobStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        std::string key = "t" + std::to_string(t) + "/" + std::to_string(i);
+        ASSERT_TRUE(store.Put(key, {static_cast<uint8_t>(i)}).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.num_blobs(), 200u);
+}
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({3, 4, 5}, rng);
+  auto bytes = SerializeTensor(t);
+  auto back = DeserializeTensor(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(back->at(i), t.at(i));
+  }
+}
+
+TEST(SerializeTest, TensorRejectsGarbage) {
+  EXPECT_FALSE(DeserializeTensor({1, 2, 3}).ok());
+  // Corrupt a valid payload's magic.
+  Rng rng(2);
+  auto bytes = SerializeTensor(Tensor::Randn({2}, rng));
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeTensor(bytes).ok());
+  // Truncated payload.
+  auto bytes2 = SerializeTensor(Tensor::Randn({4}, rng));
+  bytes2.pop_back();
+  EXPECT_FALSE(DeserializeTensor(bytes2).ok());
+}
+
+TEST(SerializeTest, DatasetRoundTrip) {
+  data::SyntheticTaskOptions options;
+  options.num_classes = 3;
+  options.samples_per_class = 7;
+  options.input_dim = 5;
+  data::Dataset d = data::MakeSyntheticTask(options);
+  auto bytes = SerializeDataset(d);
+  auto back = DeserializeDataset(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_classes, 3);
+  EXPECT_EQ(back->labels, d.labels);
+  EXPECT_EQ(back->x.shape(), d.x.shape());
+  for (int64_t i = 0; i < d.x.numel(); ++i) {
+    EXPECT_EQ(back->x.at(i), d.x.at(i));
+  }
+}
+
+TEST(SerializeTest, DatasetRejectsRowMismatch) {
+  data::SyntheticTaskOptions options;
+  options.num_classes = 2;
+  options.samples_per_class = 3;
+  data::Dataset d = data::MakeSyntheticTask(options);
+  auto bytes = SerializeDataset(d);
+  // Flip the row count in the header (offset 4: magic(4) then classes(8)).
+  bytes[4 + 8] ^= 0x01;
+  EXPECT_FALSE(DeserializeDataset(bytes).ok());
+}
+
+}  // namespace
+}  // namespace rafiki::storage

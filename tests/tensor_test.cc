@@ -1,0 +1,144 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace rafiki {
+namespace {
+
+TEST(TensorTest, ZerosAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(0, 1), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_EQ(t.at2(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t.Sum(), 7.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.Sum(), -3.0f);
+}
+
+TEST(TensorTest, RandnRespectsStd) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({10000}, rng, 0.5f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.02f);
+  float var = t.SquaredNorm() / static_cast<float>(t.numel());
+  EXPECT_NEAR(std::sqrt(var), 0.5f, 0.02f);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_EQ(a.Add(b).Sum(), 66.0f);
+  EXPECT_EQ(b.Sub(a).Sum(), 54.0f);
+  EXPECT_EQ(a.Mul(2.0f).Sum(), 12.0f);
+  EXPECT_EQ(a.Hadamard(b).Sum(), 10.0f + 40.0f + 90.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.Sum(), 6.0f + 30.0f);
+}
+
+TEST(TensorTest, ReluClampsNegatives) {
+  Tensor t({4}, {-1, 0, 2, -3});
+  Tensor r = t.Relu();
+  EXPECT_EQ(r.at(0), 0.0f);
+  EXPECT_EQ(r.at(1), 0.0f);
+  EXPECT_EQ(r.at(2), 2.0f);
+  EXPECT_EQ(r.at(3), 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at2(2, 1), 6.0f);
+}
+
+TEST(TensorTest, MatMulKnownResult) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(TensorTest, TransposedMatMulsAgree) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({4, 5}, rng);
+  Tensor b = Tensor::Randn({5, 3}, rng);
+  Tensor c = MatMul(a, b);
+  // A^T with A' = A^T-stored: MatMulTransA(a', b) where a'[k][m].
+  Tensor at({5, 4});
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = 0; j < 5; ++j) at.at2(j, i) = a.at2(i, j);
+  Tensor c2 = MatMulTransA(at, b);
+  Tensor bt({3, 5});
+  for (int64_t i = 0; i < 5; ++i)
+    for (int64_t j = 0; j < 3; ++j) bt.at2(j, i) = b.at2(i, j);
+  Tensor c3 = MatMulTransB(a, bt);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.at(i), c2.at(i), 1e-4f);
+    EXPECT_NEAR(c.at(i), c3.at(i), 1e-4f);
+  }
+}
+
+TEST(TensorTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({5, 7}, rng, 3.0f);
+  Tensor s = t.SoftmaxRows();
+  for (int64_t r = 0; r < 5; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 7; ++c) {
+      float p = s.at2(r, c);
+      EXPECT_GE(p, 0.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorTest, SoftmaxNumericallyStable) {
+  Tensor t({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor s = t.SoftmaxRows();
+  EXPECT_FALSE(std::isnan(s.at(0)));
+  EXPECT_GT(s.at2(0, 2), s.at2(0, 1));
+}
+
+TEST(TensorTest, ArgmaxRows) {
+  Tensor t({2, 3}, {0, 5, 1, 9, 2, 3});
+  std::vector<int64_t> idx = t.ArgmaxRows();
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, {-2, 1, 3, -1});
+  EXPECT_EQ(t.Sum(), 1.0f);
+  EXPECT_EQ(t.Mean(), 0.25f);
+  EXPECT_EQ(t.MaxAbs(), 3.0f);
+  EXPECT_EQ(t.SquaredNorm(), 4.0f + 1.0f + 9.0f + 1.0f);
+}
+
+TEST(TensorTest, ShapeHelpers) {
+  EXPECT_EQ(ShapeNumel({3, 4, 5}), 60);
+  EXPECT_EQ(ShapeNumel({}), 0);
+  EXPECT_EQ(ShapeToString({3, 256, 256}), "(3, 256, 256)");
+}
+
+}  // namespace
+}  // namespace rafiki

@@ -1,0 +1,221 @@
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "trainer/real_trainer.h"
+#include "trainer/surrogate.h"
+
+namespace rafiki::trainer {
+namespace {
+
+tuning::Trial GoodTrial() {
+  tuning::Trial t(1);
+  t.Set("learning_rate", tuning::KnobValue(0.05));
+  t.Set("momentum", tuning::KnobValue(0.9));
+  t.Set("weight_decay", tuning::KnobValue(3e-4));
+  t.Set("dropout", tuning::KnobValue(0.3));
+  t.Set("init_std", tuning::KnobValue(0.05));
+  return t;
+}
+
+tuning::Trial BadTrial() {
+  tuning::Trial t(2);
+  t.Set("learning_rate", tuning::KnobValue(0.9));  // diverges
+  t.Set("momentum", tuning::KnobValue(0.99));
+  t.Set("weight_decay", tuning::KnobValue(0.05));
+  t.Set("dropout", tuning::KnobValue(0.65));
+  t.Set("init_std", tuning::KnobValue(0.8));
+  return t;
+}
+
+TEST(SurrogateTest, GoodTrialOutperformsBadTrial) {
+  SurrogateOptions options;
+  SurrogateTrainer good(options);
+  ASSERT_TRUE(good.InitRandom(GoodTrial()).ok());
+  SurrogateTrainer bad(options);
+  ASSERT_TRUE(bad.InitRandom(BadTrial()).ok());
+  EXPECT_GT(good.asymptote(), 0.8);
+  EXPECT_TRUE(bad.diverged());
+  EXPECT_NEAR(bad.asymptote(), options.diverged_accuracy, 1e-9);
+}
+
+TEST(SurrogateTest, AccuracyClimbsWithPlateau) {
+  SurrogateTrainer t(SurrogateOptions{});
+  ASSERT_TRUE(t.InitRandom(GoodTrial()).ok());
+  std::vector<double> curve;
+  for (int e = 0; e < 40; ++e) {
+    curve.push_back(t.TrainEpoch().value());
+  }
+  // Early rise.
+  EXPECT_GT(curve[10], curve[1]);
+  // Plateau: epochs 14-20 improve little...
+  EXPECT_LT(curve[20] - curve[14], 0.05);
+  // ...then the decay-epoch rise unlocks the rest (paper's §4.2.2
+  // observation motivating CoStudy).
+  EXPECT_GT(curve[35], curve[18] + 0.03);
+  // Converges near the asymptote.
+  EXPECT_NEAR(curve[39], t.asymptote(), 0.03);
+}
+
+TEST(SurrogateTest, WarmStartSkipsAhead) {
+  SurrogateOptions options;
+  SurrogateTrainer donor(options);
+  ASSERT_TRUE(donor.InitRandom(GoodTrial()).ok());
+  for (int e = 0; e < 30; ++e) donor.TrainEpoch().value();
+  ps::ModelCheckpoint ckpt = donor.Checkpoint();
+  EXPECT_GT(ckpt.meta.accuracy, 0.6);
+
+  SurrogateTrainer cold(options);
+  ASSERT_TRUE(cold.InitRandom(GoodTrial()).ok());
+  SurrogateTrainer warm(options);
+  ASSERT_TRUE(warm.InitFromCheckpoint(GoodTrial(), ckpt).ok());
+  double cold_first = cold.TrainEpoch().value();
+  double warm_first = warm.TrainEpoch().value();
+  EXPECT_GT(warm_first, cold_first + 0.2)
+      << "warm start must begin near the donor's accuracy";
+}
+
+TEST(SurrogateTest, PoisonedWarmStartHurts) {
+  // §4.2.2: "bad parameter initialization degrades the performance" — the
+  // motivation for alpha-greedy.
+  SurrogateOptions options;
+  ps::ModelCheckpoint bad_ckpt;
+  bad_ckpt.meta.accuracy = 0.12;  // below poison threshold
+
+  SurrogateTrainer clean(options);
+  ASSERT_TRUE(clean.InitRandom(GoodTrial()).ok());
+  SurrogateTrainer poisoned(options);
+  ASSERT_TRUE(poisoned.InitFromCheckpoint(GoodTrial(), bad_ckpt).ok());
+  EXPECT_LT(poisoned.asymptote(), clean.asymptote() - 0.05);
+}
+
+TEST(SurrogateTest, DivergedTrialIgnoresCheckpoints) {
+  SurrogateOptions options;
+  ps::ModelCheckpoint good_ckpt;
+  good_ckpt.meta.accuracy = 0.9;
+  SurrogateTrainer t(options);
+  ASSERT_TRUE(t.InitFromCheckpoint(BadTrial(), good_ckpt).ok());
+  EXPECT_TRUE(t.diverged());
+  EXPECT_NEAR(t.TrainEpoch().value(), options.diverged_accuracy, 0.05);
+}
+
+TEST(SurrogateTest, CheckpointCarriesState) {
+  SurrogateTrainer t(SurrogateOptions{});
+  ASSERT_TRUE(t.InitRandom(GoodTrial()).ok());
+  for (int e = 0; e < 10; ++e) t.TrainEpoch().value();
+  ps::ModelCheckpoint ckpt = t.Checkpoint();
+  ASSERT_EQ(ckpt.params.size(), 1u);
+  EXPECT_EQ(ckpt.params[0].first, "surrogate/state");
+  EXPECT_EQ(ckpt.params[0].second.numel(), 4);
+  EXPECT_GT(ckpt.meta.accuracy, 0.0);
+}
+
+TEST(SurrogateTest, FactoryForksSeeds) {
+  SurrogateFactory factory(SurrogateOptions{});
+  auto a = factory.Create(GoodTrial());
+  auto b = factory.Create(GoodTrial());
+  ASSERT_TRUE(a->InitRandom(GoodTrial()).ok());
+  ASSERT_TRUE(b->InitRandom(GoodTrial()).ok());
+  // Same trial, different noise streams.
+  double ya = a->TrainEpoch().value();
+  double yb = b->TrainEpoch().value();
+  EXPECT_NE(ya, yb);
+}
+
+class RealTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticTaskOptions options;
+    options.num_classes = 4;
+    options.samples_per_class = 60;
+    options.input_dim = 16;
+    options.separation = 4.0;
+    options.spread = 0.8;
+    data::Dataset all = data::MakeSyntheticTask(options);
+    Rng rng(5);
+    data::DataSplits splits = data::SplitDataset(all, 0.7, 0.3, rng);
+    train_ = std::move(splits.train);
+    val_ = std::move(splits.validation);
+  }
+
+  data::Dataset train_;
+  data::Dataset val_;
+};
+
+TEST_F(RealTrainerTest, LearnsSeparableTask) {
+  RealTrainer trainer(&train_, &val_, RealTrainerOptions{});
+  tuning::Trial t = GoodTrial();
+  t.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(32)));
+  t.Set("dropout", tuning::KnobValue(0.0));
+  ASSERT_TRUE(trainer.InitRandom(t).ok());
+  double first = trainer.Evaluate().value();
+  double acc = 0.0;
+  for (int e = 0; e < 15; ++e) acc = trainer.TrainEpoch().value();
+  EXPECT_GT(acc, 0.8) << "MLP should learn the separable task";
+  EXPECT_GT(acc, first);
+}
+
+TEST_F(RealTrainerTest, RejectsInvalidTrials) {
+  RealTrainer trainer(&train_, &val_, RealTrainerOptions{});
+  tuning::Trial t = GoodTrial();
+  t.Set("learning_rate", tuning::KnobValue(-0.5));
+  EXPECT_TRUE(trainer.InitRandom(t).IsInvalidArgument());
+  tuning::Trial t2 = GoodTrial();
+  t2.Set("dropout", tuning::KnobValue(1.5));
+  EXPECT_TRUE(trainer.InitRandom(t2).IsInvalidArgument());
+  tuning::Trial t3 = GoodTrial();
+  t3.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(-2)));
+  EXPECT_TRUE(trainer.InitRandom(t3).IsInvalidArgument());
+  // TrainEpoch before init is a precondition failure.
+  RealTrainer fresh(&train_, &val_, RealTrainerOptions{});
+  EXPECT_EQ(fresh.TrainEpoch().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RealTrainerTest, WarmStartFromCheckpointImprovesStart) {
+  tuning::Trial t = GoodTrial();
+  t.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(32)));
+  t.Set("dropout", tuning::KnobValue(0.0));
+
+  RealTrainer donor(&train_, &val_, RealTrainerOptions{});
+  ASSERT_TRUE(donor.InitRandom(t).ok());
+  for (int e = 0; e < 12; ++e) donor.TrainEpoch().value();
+  ps::ModelCheckpoint ckpt = donor.Checkpoint();
+
+  RealTrainerOptions options;
+  options.seed = 77;
+  RealTrainer cold(&train_, &val_, options);
+  ASSERT_TRUE(cold.InitRandom(t).ok());
+  RealTrainer warm(&train_, &val_, options);
+  ASSERT_TRUE(warm.InitFromCheckpoint(t, ckpt).ok());
+  EXPECT_GT(warm.Evaluate().value(), cold.Evaluate().value() + 0.2);
+}
+
+TEST_F(RealTrainerTest, CrossArchitectureWarmStartIsShapeMatched) {
+  tuning::Trial small = GoodTrial();
+  small.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(32)));
+  RealTrainer donor(&train_, &val_, RealTrainerOptions{});
+  ASSERT_TRUE(donor.InitRandom(small).ok());
+  for (int e = 0; e < 5; ++e) donor.TrainEpoch().value();
+
+  // Different hidden width: only the output bias can shape-match; the
+  // warm start must still succeed (it just loads less).
+  tuning::Trial big = GoodTrial();
+  big.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(64)));
+  RealTrainer warm(&train_, &val_, RealTrainerOptions{});
+  EXPECT_TRUE(warm.InitFromCheckpoint(big, donor.Checkpoint()).ok());
+  EXPECT_TRUE(warm.TrainEpoch().ok());
+}
+
+TEST_F(RealTrainerTest, EpochCostScalesWithModelSize) {
+  tuning::Trial small = GoodTrial();
+  small.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(32)));
+  tuning::Trial big = GoodTrial();
+  big.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(128)));
+  RealTrainer a(&train_, &val_, RealTrainerOptions{});
+  RealTrainer b(&train_, &val_, RealTrainerOptions{});
+  ASSERT_TRUE(a.InitRandom(small).ok());
+  ASSERT_TRUE(b.InitRandom(big).ok());
+  EXPECT_LT(a.EpochCostSeconds(), b.EpochCostSeconds());
+}
+
+}  // namespace
+}  // namespace rafiki::trainer
