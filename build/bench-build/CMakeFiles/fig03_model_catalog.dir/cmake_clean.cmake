@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_model_catalog"
+  "../bench/fig03_model_catalog.pdb"
+  "CMakeFiles/fig03_model_catalog.dir/fig03_model_catalog.cc.o"
+  "CMakeFiles/fig03_model_catalog.dir/fig03_model_catalog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_model_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

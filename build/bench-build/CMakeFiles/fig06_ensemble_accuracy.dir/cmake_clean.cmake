@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_ensemble_accuracy"
+  "../bench/fig06_ensemble_accuracy.pdb"
+  "CMakeFiles/fig06_ensemble_accuracy.dir/fig06_ensemble_accuracy.cc.o"
+  "CMakeFiles/fig06_ensemble_accuracy.dir/fig06_ensemble_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ensemble_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

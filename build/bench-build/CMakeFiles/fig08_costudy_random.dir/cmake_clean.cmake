@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_costudy_random"
+  "../bench/fig08_costudy_random.pdb"
+  "CMakeFiles/fig08_costudy_random.dir/fig08_costudy_random.cc.o"
+  "CMakeFiles/fig08_costudy_random.dir/fig08_costudy_random.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_costudy_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_costudy_bayes"
+  "../bench/fig09_costudy_bayes.pdb"
+  "CMakeFiles/fig09_costudy_bayes.dir/fig09_costudy_bayes.cc.o"
+  "CMakeFiles/fig09_costudy_bayes.dir/fig09_costudy_bayes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_costudy_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_costudy_bayes.
+# This may be replaced when dependencies are built.

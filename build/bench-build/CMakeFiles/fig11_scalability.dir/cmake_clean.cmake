@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_scalability"
+  "../bench/fig11_scalability.pdb"
+  "CMakeFiles/fig11_scalability.dir/fig11_scalability.cc.o"
+  "CMakeFiles/fig11_scalability.dir/fig11_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_single_model_min"
+  "../bench/fig13_single_model_min.pdb"
+  "CMakeFiles/fig13_single_model_min.dir/fig13_single_model_min.cc.o"
+  "CMakeFiles/fig13_single_model_min.dir/fig13_single_model_min.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_single_model_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_single_model_min.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_multi_model_max"
+  "../bench/fig15_multi_model_max.pdb"
+  "CMakeFiles/fig15_multi_model_max.dir/fig15_multi_model_max.cc.o"
+  "CMakeFiles/fig15_multi_model_max.dir/fig15_multi_model_max.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multi_model_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_multi_model_max.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_multi_model_max.
+# This may be replaced when dependencies are built.

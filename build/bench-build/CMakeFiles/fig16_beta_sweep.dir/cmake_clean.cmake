@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_beta_sweep"
+  "../bench/fig16_beta_sweep.pdb"
+  "CMakeFiles/fig16_beta_sweep.dir/fig16_beta_sweep.cc.o"
+  "CMakeFiles/fig16_beta_sweep.dir/fig16_beta_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_beta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

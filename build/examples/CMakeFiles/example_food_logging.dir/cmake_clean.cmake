@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_food_logging.dir/food_logging.cc.o"
+  "CMakeFiles/example_food_logging.dir/food_logging.cc.o.d"
+  "example_food_logging"
+  "example_food_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_food_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

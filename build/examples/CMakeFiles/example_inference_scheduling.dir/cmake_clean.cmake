@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inference_scheduling.dir/inference_scheduling.cc.o"
+  "CMakeFiles/example_inference_scheduling.dir/inference_scheduling.cc.o.d"
+  "example_inference_scheduling"
+  "example_inference_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inference_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sentiment_tuning.dir/sentiment_tuning.cc.o"
+  "CMakeFiles/example_sentiment_tuning.dir/sentiment_tuning.cc.o.d"
+  "example_sentiment_tuning"
+  "example_sentiment_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sentiment_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

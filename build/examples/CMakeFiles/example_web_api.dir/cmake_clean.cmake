@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_api.dir/web_api.cc.o"
+  "CMakeFiles/example_web_api.dir/web_api.cc.o.d"
+  "example_web_api"
+  "example_web_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/message.cc" "src/CMakeFiles/rafiki.dir/cluster/message.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/cluster/message.cc.o.d"
+  "/root/repo/src/cluster/message_bus.cc" "src/CMakeFiles/rafiki.dir/cluster/message_bus.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/cluster/message_bus.cc.o.d"
+  "/root/repo/src/cluster/node_manager.cc" "src/CMakeFiles/rafiki.dir/cluster/node_manager.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/cluster/node_manager.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/rafiki.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rafiki.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/rafiki.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rafiki.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rafiki.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rafiki.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/common/string_util.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/rafiki.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rafiki.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/rafiki.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/model/bandit_selector.cc" "src/CMakeFiles/rafiki.dir/model/bandit_selector.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/model/bandit_selector.cc.o.d"
+  "/root/repo/src/model/prediction_sim.cc" "src/CMakeFiles/rafiki.dir/model/prediction_sim.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/model/prediction_sim.cc.o.d"
+  "/root/repo/src/model/profile.cc" "src/CMakeFiles/rafiki.dir/model/profile.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/model/profile.cc.o.d"
+  "/root/repo/src/model/registry.cc" "src/CMakeFiles/rafiki.dir/model/registry.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/model/registry.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/rafiki.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/rafiki.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/net.cc" "src/CMakeFiles/rafiki.dir/nn/net.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/nn/net.cc.o.d"
+  "/root/repo/src/nn/sgd.cc" "src/CMakeFiles/rafiki.dir/nn/sgd.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/nn/sgd.cc.o.d"
+  "/root/repo/src/ps/parameter_server.cc" "src/CMakeFiles/rafiki.dir/ps/parameter_server.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/ps/parameter_server.cc.o.d"
+  "/root/repo/src/rafiki/gateway.cc" "src/CMakeFiles/rafiki.dir/rafiki/gateway.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/rafiki/gateway.cc.o.d"
+  "/root/repo/src/rafiki/rafiki.cc" "src/CMakeFiles/rafiki.dir/rafiki/rafiki.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/rafiki/rafiki.cc.o.d"
+  "/root/repo/src/rl/actor_critic.cc" "src/CMakeFiles/rafiki.dir/rl/actor_critic.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/rl/actor_critic.cc.o.d"
+  "/root/repo/src/serving/greedy_batch.cc" "src/CMakeFiles/rafiki.dir/serving/greedy_batch.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/serving/greedy_batch.cc.o.d"
+  "/root/repo/src/serving/rl_scheduler.cc" "src/CMakeFiles/rafiki.dir/serving/rl_scheduler.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/serving/rl_scheduler.cc.o.d"
+  "/root/repo/src/serving/simulator.cc" "src/CMakeFiles/rafiki.dir/serving/simulator.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/serving/simulator.cc.o.d"
+  "/root/repo/src/serving/sine_arrival.cc" "src/CMakeFiles/rafiki.dir/serving/sine_arrival.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/serving/sine_arrival.cc.o.d"
+  "/root/repo/src/sql/query.cc" "src/CMakeFiles/rafiki.dir/sql/query.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/sql/query.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/CMakeFiles/rafiki.dir/sql/table.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/sql/table.cc.o.d"
+  "/root/repo/src/storage/blob_store.cc" "src/CMakeFiles/rafiki.dir/storage/blob_store.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/storage/blob_store.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/CMakeFiles/rafiki.dir/storage/serialize.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/storage/serialize.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/rafiki.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/trainer/real_trainer.cc" "src/CMakeFiles/rafiki.dir/trainer/real_trainer.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/trainer/real_trainer.cc.o.d"
+  "/root/repo/src/trainer/surrogate.cc" "src/CMakeFiles/rafiki.dir/trainer/surrogate.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/trainer/surrogate.cc.o.d"
+  "/root/repo/src/tuning/bayes_opt.cc" "src/CMakeFiles/rafiki.dir/tuning/bayes_opt.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tuning/bayes_opt.cc.o.d"
+  "/root/repo/src/tuning/gaussian_process.cc" "src/CMakeFiles/rafiki.dir/tuning/gaussian_process.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tuning/gaussian_process.cc.o.d"
+  "/root/repo/src/tuning/hyperspace.cc" "src/CMakeFiles/rafiki.dir/tuning/hyperspace.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tuning/hyperspace.cc.o.d"
+  "/root/repo/src/tuning/study.cc" "src/CMakeFiles/rafiki.dir/tuning/study.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tuning/study.cc.o.d"
+  "/root/repo/src/tuning/trial_advisor.cc" "src/CMakeFiles/rafiki.dir/tuning/trial_advisor.cc.o" "gcc" "src/CMakeFiles/rafiki.dir/tuning/trial_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

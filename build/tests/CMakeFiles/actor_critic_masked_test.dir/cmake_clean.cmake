@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_critic_masked_test.dir/actor_critic_masked_test.cc.o"
+  "CMakeFiles/actor_critic_masked_test.dir/actor_critic_masked_test.cc.o.d"
+  "actor_critic_masked_test"
+  "actor_critic_masked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_critic_masked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

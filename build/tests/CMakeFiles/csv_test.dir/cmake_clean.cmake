@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_test.dir/csv_test.cc.o"
+  "CMakeFiles/csv_test.dir/csv_test.cc.o.d"
+  "csv_test"
+  "csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

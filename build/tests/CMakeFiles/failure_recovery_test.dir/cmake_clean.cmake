@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cc.o"
+  "CMakeFiles/failure_recovery_test.dir/failure_recovery_test.cc.o.d"
+  "failure_recovery_test"
+  "failure_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_test.dir/gateway_test.cc.o"
+  "CMakeFiles/gateway_test.dir/gateway_test.cc.o.d"
+  "gateway_test"
+  "gateway_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperspace_test.dir/hyperspace_test.cc.o"
+  "CMakeFiles/hyperspace_test.dir/hyperspace_test.cc.o.d"
+  "hyperspace_test"
+  "hyperspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

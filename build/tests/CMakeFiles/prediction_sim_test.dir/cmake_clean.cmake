@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_sim_test.dir/prediction_sim_test.cc.o"
+  "CMakeFiles/prediction_sim_test.dir/prediction_sim_test.cc.o.d"
+  "prediction_sim_test"
+  "prediction_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_test.dir/ps_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps_test.cc.o.d"
+  "ps_test"
+  "ps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

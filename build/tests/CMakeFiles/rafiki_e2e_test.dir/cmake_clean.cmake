@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafiki_e2e_test.dir/rafiki_e2e_test.cc.o"
+  "CMakeFiles/rafiki_e2e_test.dir/rafiki_e2e_test.cc.o.d"
+  "rafiki_e2e_test"
+  "rafiki_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafiki_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

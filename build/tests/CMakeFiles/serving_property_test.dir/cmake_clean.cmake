@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_property_test.dir/serving_property_test.cc.o"
+  "CMakeFiles/serving_property_test.dir/serving_property_test.cc.o.d"
+  "serving_property_test"
+  "serving_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
