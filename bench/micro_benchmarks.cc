@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/layer.h"
+#include "tensor/kernels.h"
 #include "model/prediction_sim.h"
 #include "model/profile.h"
 #include "nn/loss.h"
@@ -33,7 +36,156 @@ void BM_TensorMatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_TensorMatMul)->Arg(32)->Arg(128);
+BENCHMARK(BM_TensorMatMul)->Arg(32)->Arg(128)->Arg(256);
+
+// Rectangular shapes from the repo's real workloads: a wide feature GEMM
+// (batch x features x classes) and a tall-skinny surrogate-training step.
+void BM_TensorMatMulRect(benchmark::State& state) {
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_TensorMatMulRect)
+    ->Args({64, 512, 10})
+    ->Args({512, 32, 256})
+    ->Args({31, 127, 65});
+
+void BM_TensorMatMulTransA(benchmark::State& state) {
+  auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransA(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatMulTransA)->Arg(128);
+
+void BM_TensorMatMulTransB(benchmark::State& state) {
+  auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatMulTransB)->Arg(128);
+
+// Thread scaling of the raw GEMM kernel with an explicit pool, independent
+// of RAFIKI_NUM_THREADS. On a single-core host the >1 entries measure
+// oversubscription overhead rather than speedup.
+void BM_GemmThreadScaling(benchmark::State& state) {
+  int64_t n = 256;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    kernels::GemmNN(a.data(), b.data(), c.data(), n, n, n, &pool);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+// UseRealTime: the caller blocks while workers compute, so CPU-time-based
+// rates would overstate throughput by the thread count.
+BENCHMARK(BM_GemmThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Direct (pre-im2col) convolution loop, kept here as the benchmark
+// reference so the im2col win stays measurable release over release.
+Tensor DirectConvForward(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, int64_t pad) {
+  int64_t batch = input.dim(0), ic_n = input.dim(1);
+  int64_t h = input.dim(2), w = input.dim(3);
+  int64_t oc_n = weight.dim(0), kernel = weight.dim(2);
+  int64_t oh = h + 2 * pad - kernel + 1, ow = w + 2 * pad - kernel + 1;
+  Tensor out({batch, oc_n, oh, ow});
+  const float* in = input.data();
+  const float* wt = weight.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < oc_n; ++oc) {
+      float bv = bias.at(oc);
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          double acc = bv;
+          for (int64_t ic = 0; ic < ic_n; ++ic) {
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              int64_t iy = y + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel; ++kx) {
+                int64_t ix = x + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += in[((n * ic_n + ic) * h + iy) * w + ix] *
+                       wt[((oc * ic_n + ic) * kernel + ky) * kernel + kx];
+              }
+            }
+          }
+          po[((n * oc_n + oc) * oh + y) * ow + x] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+constexpr int64_t kConvBatch = 4, kConvInC = 8, kConvOutC = 16;
+constexpr int64_t kConvHW = 28, kConvK = 3, kConvPad = 1;
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2D conv(kConvInC, kConvOutC, kConvK, kConvPad, 0.1f, rng);
+  Tensor x = Tensor::Randn({kConvBatch, kConvInC, kConvHW, kConvHW}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kConvBatch * kConvOutC *
+                          kConvHW * kConvHW * kConvInC * kConvK * kConvK);
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_Conv2DForwardDirect(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2D conv(kConvInC, kConvOutC, kConvK, kConvPad, 0.1f, rng);
+  Tensor x = Tensor::Randn({kConvBatch, kConvInC, kConvHW, kConvHW}, rng);
+  const Tensor& wt = conv.Params()[0]->value;
+  const Tensor& bias = conv.Params()[1]->value;
+  for (auto _ : state) {
+    Tensor y = DirectConvForward(x, wt, bias, kConvPad);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kConvBatch * kConvOutC *
+                          kConvHW * kConvHW * kConvInC * kConvK * kConvK);
+}
+BENCHMARK(BM_Conv2DForwardDirect);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2D conv(kConvInC, kConvOutC, kConvK, kConvPad, 0.1f, rng);
+  Tensor x = Tensor::Randn({kConvBatch, kConvInC, kConvHW, kConvHW}, rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), rng);
+  for (auto _ : state) {
+    Tensor gx = conv.Backward(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kConvBatch * kConvOutC *
+                          kConvHW * kConvHW * kConvInC * kConvK * kConvK);
+}
+BENCHMARK(BM_Conv2DBackward);
 
 void BM_TensorSoftmax(benchmark::State& state) {
   Rng rng(2);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the Release micro-benchmark suite and records it as JSON, giving
+# each PR a comparable perf snapshot (BENCH_micro.json at the repo root).
+#
+# Usage: scripts/run_benches.sh [build-dir] [benchmark-filter]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+filter="${2:-.}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target micro_benchmarks
+
+# Targets are declared under build/bench-build but binaries land in
+# build/bench (see the root CMakeLists).
+"$build_dir/bench/micro_benchmarks" \
+  --benchmark_filter="$filter" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo "Wrote $repo_root/BENCH_micro.json"

@@ -1,0 +1,136 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace rafiki {
+
+namespace {
+
+/// True while the current thread is executing a pool task (worker loop or a
+/// ParallelFor body). Used to run nested calls inline.
+thread_local bool tls_in_pool_task = false;
+
+int GlobalPoolSize() {
+  if (const char* env = std::getenv("RAFIKI_NUM_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  // The caller participates in every ParallelFor, so spawn one fewer worker
+  // than the advertised concurrency.
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(GlobalPoolSize());
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_task = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(1, grain);
+  int64_t range = end - begin;
+  int64_t max_chunks = (range + grain - 1) / grain;
+  int64_t num_chunks = std::min<int64_t>(num_threads_, max_chunks);
+  if (num_chunks <= 1 || tls_in_pool_task) {
+    // Serial fast path; also covers nested calls, which must not block on
+    // workers that may themselves be waiting on this call's parent.
+    fn(begin, end);
+    return;
+  }
+
+  // Completion state shared with the workers. Stack lifetime is safe: this
+  // call does not return until every chunk has run.
+  struct SharedState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t pending;
+    std::exception_ptr first_error;
+  } state;
+  state.pending = num_chunks - 1;  // chunk 0 runs on the caller
+
+  int64_t chunk = range / num_chunks;
+  int64_t rem = range % num_chunks;
+  // Chunk i covers [begin + i*chunk + min(i, rem), ...): first `rem` chunks
+  // get one extra iteration so sizes differ by at most 1.
+  auto chunk_bounds = [&](int64_t i) {
+    int64_t b = begin + i * chunk + std::min(i, rem);
+    int64_t e = b + chunk + (i < rem ? 1 : 0);
+    return std::pair<int64_t, int64_t>(b, e);
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 1; i < num_chunks; ++i) {
+      auto [b, e] = chunk_bounds(i);
+      tasks_.emplace_back([&state, &fn, b, e] {
+        try {
+          fn(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(state.mu);
+          if (!state.first_error) state.first_error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> g(state.mu);
+        if (--state.pending == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  auto [b0, e0] = chunk_bounds(0);
+  bool was_in_task = tls_in_pool_task;
+  tls_in_pool_task = true;
+  try {
+    fn(b0, e0);
+  } catch (...) {
+    std::lock_guard<std::mutex> g(state.mu);
+    if (!state.first_error) state.first_error = std::current_exception();
+  }
+  tls_in_pool_task = was_in_task;
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&] { return state.pending == 0; });
+  }
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+}  // namespace rafiki

@@ -1,0 +1,77 @@
+#ifndef RAFIKI_COMMON_THREAD_POOL_H_
+#define RAFIKI_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rafiki {
+
+/// Persistent fixed-size worker pool with a `ParallelFor` helper used by the
+/// compute kernels (`tensor/kernels.h`) to split GEMM row blocks across
+/// cores.
+///
+/// Design notes:
+///  - Workers are spawned once and live until destruction; a `ParallelFor`
+///    call costs one mutex round-trip plus wakeups, not thread creation.
+///  - The calling thread participates: it runs the first chunk itself, so a
+///    pool of size 1 (or a serial fallback) never deadlocks and small calls
+///    stay on the caller's core.
+///  - Nested calls are safe: a `ParallelFor` issued from inside a worker (or
+///    from inside another `ParallelFor` body) runs inline on the calling
+///    thread instead of re-entering the queue, so the pool can never
+///    self-deadlock waiting on its own workers.
+///  - Exceptions thrown by chunk bodies are captured; the first one is
+///    rethrown on the calling thread after every chunk has finished, leaving
+///    the pool in a usable state.
+///
+/// Determinism: `ParallelFor` only changes *which thread* runs a chunk,
+/// never the iteration order inside a chunk, so kernels that keep each
+/// output element inside a single chunk produce bit-identical results for
+/// any thread count.
+class ThreadPool {
+ public:
+  /// Pool with `num_threads` workers; values < 1 are clamped to 1. A pool of
+  /// size 1 runs everything inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide shared pool. Size comes from the `RAFIKI_NUM_THREADS`
+  /// environment variable when set (and >= 1), otherwise
+  /// `std::thread::hardware_concurrency()`. Constructed on first use.
+  static ThreadPool& Global();
+
+  /// Number of threads that can run chunks concurrently (workers + caller).
+  int num_threads() const { return num_threads_; }
+
+  /// Splits [begin, end) into contiguous chunks of at least `grain`
+  /// iterations and runs `fn(chunk_begin, chunk_end)` across the pool.
+  /// Blocks until every chunk has completed. Empty ranges return
+  /// immediately. Runs inline when the range fits one grain, the pool is
+  /// size 1, or the call is nested inside another pool task.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+};
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #include "nn/layer.h"
 
 #include <cmath>
+#include <vector>
+
+#include "tensor/kernels.h"
 
 namespace rafiki::nn {
 
@@ -23,10 +26,10 @@ Tensor Linear::Forward(const Tensor& input, bool train) {
   if (train) cached_input_ = input;
   Tensor out = MatMul(input, weight_.value);
   int64_t batch = out.dim(0);
+  const float* b = bias_.value.data();
   for (int64_t r = 0; r < batch; ++r) {
-    for (int64_t c = 0; c < out_features_; ++c) {
-      out.at2(r, c) += bias_.value.at(c);
-    }
+    float* row = out.data() + r * out_features_;
+    for (int64_t c = 0; c < out_features_; ++c) row[c] += b[c];
   }
   return out;
 }
@@ -35,12 +38,14 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   RAFIKI_CHECK_GT(cached_input_.numel(), 0)
       << "Backward without a training Forward";
   // dW += x^T g ; db += colsum(g) ; dx = g W^T
-  weight_.grad.AddInPlace(MatMulTransA(cached_input_, grad_output));
+  kernels::GemmTN(cached_input_.data(), grad_output.data(),
+                  weight_.grad.data(), in_features_, cached_input_.dim(0),
+                  out_features_);
   int64_t batch = grad_output.dim(0);
+  float* bg = bias_.grad.data();
   for (int64_t r = 0; r < batch; ++r) {
-    for (int64_t c = 0; c < out_features_; ++c) {
-      bias_.grad.at(c) += grad_output.at2(r, c);
-    }
+    const float* row = grad_output.data() + r * out_features_;
+    for (int64_t c = 0; c < out_features_; ++c) bg[c] += row[c];
   }
   return MatMulTransB(grad_output, weight_.value);
 }
@@ -53,8 +58,11 @@ Tensor Relu::Forward(const Tensor& input, bool train) {
 Tensor Relu::Backward(const Tensor& grad_output) {
   RAFIKI_CHECK(cached_input_.SameShape(grad_output));
   Tensor out = grad_output;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    if (cached_input_.at(i) <= 0.0f) out.at(i) = 0.0f;
+  const float* in = cached_input_.data();
+  float* g = out.data();
+  int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
   }
   return out;
 }
@@ -97,17 +105,6 @@ Conv2D::Conv2D(int64_t in_channels, int64_t out_channels, int64_t kernel,
   bias_.grad = Tensor::Zeros({out_channels});
 }
 
-namespace {
-
-/// Zero-padded read of NCHW tensor x at (n, c, h, w).
-inline float PaddedAt(const Tensor& x, int64_t n, int64_t c, int64_t h,
-                      int64_t w) {
-  if (h < 0 || w < 0 || h >= x.dim(2) || w >= x.dim(3)) return 0.0f;
-  return x.data()[((n * x.dim(1) + c) * x.dim(2) + h) * x.dim(3) + w];
-}
-
-}  // namespace
-
 Tensor Conv2D::Forward(const Tensor& input, bool train) {
   RAFIKI_CHECK_EQ(input.rank(), 4u);
   RAFIKI_CHECK_EQ(input.dim(1), in_channels_);
@@ -119,31 +116,21 @@ Tensor Conv2D::Forward(const Tensor& input, bool train) {
   RAFIKI_CHECK_GT(oh, 0);
   RAFIKI_CHECK_GT(ow, 0);
   Tensor out({batch, out_channels_, oh, ow});
+  // im2col + GEMM: the weight [OC, IC, K, K] is already row-major
+  // [OC, IC*K*K], so each sample is one GEMM against its column matrix.
+  int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  int64_t col_cols = oh * ow;
+  std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
   const float* wt = weight_.value.data();
-  float* po = out.data();
+  const float* bias = bias_.value.data();
   for (int64_t n = 0; n < batch; ++n) {
+    kernels::Im2Col(input.data() + n * in_channels_ * h * w, in_channels_, h,
+                    w, kernel_, padding_, col.data());
+    float* out_n = out.data() + n * out_channels_ * col_cols;
     for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      float b = bias_.value.at(oc);
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          double acc = b;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t ky = 0; ky < kernel_; ++ky) {
-              for (int64_t kx = 0; kx < kernel_; ++kx) {
-                float iv = PaddedAt(input, n, ic, y + ky - padding_,
-                                    x + kx - padding_);
-                float wv =
-                    wt[((oc * in_channels_ + ic) * kernel_ + ky) * kernel_ +
-                       kx];
-                acc += iv * wv;
-              }
-            }
-          }
-          po[((n * out_channels_ + oc) * oh + y) * ow + x] =
-              static_cast<float>(acc);
-        }
-      }
+      std::fill(out_n + oc * col_cols, out_n + (oc + 1) * col_cols, bias[oc]);
     }
+    kernels::GemmNN(wt, col.data(), out_n, out_channels_, col_rows, col_cols);
   }
   return out;
 }
@@ -155,35 +142,32 @@ Tensor Conv2D::Backward(const Tensor& grad_output) {
   int64_t h = input.dim(2), w = input.dim(3);
   int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
   Tensor grad_input(input.shape());
-  const float* go = grad_output.data();
+  int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  int64_t col_cols = oh * ow;
+  std::vector<float> col(static_cast<size_t>(col_rows * col_cols));
+  std::vector<float> grad_col(static_cast<size_t>(col_rows * col_cols));
   const float* wt = weight_.value.data();
-  float* gw = weight_.grad.data();
-  float* gi = grad_input.data();
+  float* bg = bias_.grad.data();
   for (int64_t n = 0; n < batch; ++n) {
+    const float* go_n = grad_output.data() + n * out_channels_ * col_cols;
+    // dW[OC, IC*K*K] += g_n · col_n^T, fused into the grad accumulator.
+    kernels::Im2Col(input.data() + n * in_channels_ * h * w, in_channels_, h,
+                    w, kernel_, padding_, col.data());
+    kernels::GemmNT(go_n, col.data(), weight_.grad.data(), out_channels_,
+                    col_cols, col_rows);
+    // db[oc] += sum over output positions of g_n.
     for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          float g = go[((n * out_channels_ + oc) * oh + y) * ow + x];
-          if (g == 0.0f) continue;
-          bias_.grad.at(oc) += g;
-          for (int64_t ic = 0; ic < in_channels_; ++ic) {
-            for (int64_t ky = 0; ky < kernel_; ++ky) {
-              int64_t iy = y + ky - padding_;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < kernel_; ++kx) {
-                int64_t ix = x + kx - padding_;
-                if (ix < 0 || ix >= w) continue;
-                int64_t widx =
-                    ((oc * in_channels_ + ic) * kernel_ + ky) * kernel_ + kx;
-                int64_t iidx = ((n * in_channels_ + ic) * h + iy) * w + ix;
-                gw[widx] += g * input.data()[iidx];
-                gi[iidx] += g * wt[widx];
-              }
-            }
-          }
-        }
-      }
+      const float* row = go_n + oc * col_cols;
+      double s = 0.0;
+      for (int64_t i = 0; i < col_cols; ++i) s += row[i];
+      bg[oc] += static_cast<float>(s);
     }
+    // dcol = W^T · g_n, then scatter-accumulate back to the input image.
+    std::fill(grad_col.begin(), grad_col.end(), 0.0f);
+    kernels::GemmTN(wt, go_n, grad_col.data(), col_rows, out_channels_,
+                    col_cols);
+    kernels::Col2Im(grad_col.data(), in_channels_, h, w, kernel_, padding_,
+                    grad_input.data() + n * in_channels_ * h * w);
   }
   return grad_input;
 }

@@ -96,8 +96,9 @@ class Dropout : public Layer {
 };
 
 /// 2-D convolution over NCHW input, stride 1, symmetric zero padding.
-/// Naive loops — used with small shapes in tests and the architecture-tuning
-/// warm-start demonstration (shape-matched parameter reuse, §4.2.2).
+/// Implemented as im2col + blocked GEMM (`tensor/kernels.h`) in both
+/// directions; used in tests and the architecture-tuning warm-start
+/// demonstration (shape-matched parameter reuse, §4.2.2).
 class Conv2D : public Layer {
  public:
   Conv2D(int64_t in_channels, int64_t out_channels, int64_t kernel,

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "tensor/kernels.h"
 
 namespace rafiki {
 
@@ -197,18 +198,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   RAFIKI_CHECK_EQ(a.dim(1), b.dim(0));
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t l = 0; l < k; ++l) {
-      float av = pa[i * k + l];
-      if (av == 0.0f) continue;
-      const float* brow = pb + l * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmNN(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -218,19 +208,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   RAFIKI_CHECK_EQ(a.dim(0), b.dim(0));
   int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t l = 0; l < k; ++l) {
-    const float* arow = pa + l * m;
-    const float* brow = pb + l * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmTN(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -240,18 +218,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   RAFIKI_CHECK_EQ(a.dim(1), b.dim(1));
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (int64_t l = 0; l < k; ++l) s += arow[l] * brow[l];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
+  kernels::GemmNT(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 

@@ -1,0 +1,161 @@
+// Parity of the im2col + GEMM Conv2D against the original direct
+// convolution loops, forward and backward, on padded and unpadded inputs.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace rafiki {
+namespace {
+
+/// The seed repo's direct convolution forward, kept verbatim as reference.
+Tensor DirectForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, int64_t pad) {
+  int64_t batch = input.dim(0), ic_n = input.dim(1);
+  int64_t h = input.dim(2), w = input.dim(3);
+  int64_t oc_n = weight.dim(0), kernel = weight.dim(2);
+  int64_t oh = h + 2 * pad - kernel + 1, ow = w + 2 * pad - kernel + 1;
+  Tensor out({batch, oc_n, oh, ow});
+  const float* in = input.data();
+  const float* wt = weight.data();
+  float* po = out.data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < oc_n; ++oc) {
+      float bv = bias.at(oc);
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          double acc = bv;
+          for (int64_t ic = 0; ic < ic_n; ++ic) {
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              int64_t iy = y + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel; ++kx) {
+                int64_t ix = x + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                acc += in[((n * ic_n + ic) * h + iy) * w + ix] *
+                       wt[((oc * ic_n + ic) * kernel + ky) * kernel + kx];
+              }
+            }
+          }
+          po[((n * oc_n + oc) * oh + y) * ow + x] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The seed repo's direct backward pass: fills grad_input and accumulates
+/// weight/bias grads.
+void DirectBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_output, int64_t pad,
+                    Tensor* grad_input, Tensor* grad_weight,
+                    Tensor* grad_bias) {
+  int64_t batch = input.dim(0), ic_n = input.dim(1);
+  int64_t h = input.dim(2), w = input.dim(3);
+  int64_t oc_n = weight.dim(0), kernel = weight.dim(2);
+  int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const float* go = grad_output.data();
+  const float* wt = weight.data();
+  float* gw = grad_weight->data();
+  float* gi = grad_input->data();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < oc_n; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float g = go[((n * oc_n + oc) * oh + y) * ow + x];
+          if (g == 0.0f) continue;
+          grad_bias->at(oc) += g;
+          for (int64_t ic = 0; ic < ic_n; ++ic) {
+            for (int64_t ky = 0; ky < kernel; ++ky) {
+              int64_t iy = y + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kernel; ++kx) {
+                int64_t ix = x + kx - pad;
+                if (ix < 0 || ix >= w) continue;
+                int64_t widx =
+                    ((oc * ic_n + ic) * kernel + ky) * kernel + kx;
+                int64_t iidx = ((n * ic_n + ic) * h + iy) * w + ix;
+                gw[widx] += g * input.data()[iidx];
+                gi[iidx] += g * wt[widx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ExpectClose(const Tensor& got, const Tensor& want, float tol,
+                 const char* what) {
+  ASSERT_TRUE(got.SameShape(want)) << what;
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < got.numel(); ++i)
+    max_err = std::max(max_err, std::fabs(got.at(i) - want.at(i)));
+  EXPECT_LE(max_err, tol) << what;
+}
+
+class Conv2DParityTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(Conv2DParityTest, ForwardMatchesDirect) {
+  int64_t pad = GetParam();
+  Rng rng(21);
+  nn::Conv2D conv(2, 3, 3, pad, 0.3f, rng);
+  Tensor x = Tensor::Randn({2, 2, 9, 7}, rng);
+  Tensor got = conv.Forward(x, false);
+  Tensor want = DirectForward(x, conv.Params()[0]->value,
+                              conv.Params()[1]->value, pad);
+  ExpectClose(got, want, 1e-4f, "forward output");
+}
+
+TEST_P(Conv2DParityTest, BackwardMatchesDirect) {
+  int64_t pad = GetParam();
+  Rng rng(22);
+  nn::Conv2D conv(2, 3, 3, pad, 0.3f, rng);
+  Tensor x = Tensor::Randn({2, 2, 9, 7}, rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), rng);
+  Tensor got_gx = conv.Backward(g);
+
+  const Tensor& weight = conv.Params()[0]->value;
+  Tensor want_gx(x.shape());
+  Tensor want_gw(weight.shape());
+  Tensor want_gb(conv.Params()[1]->value.shape());
+  DirectBackward(x, weight, g, pad, &want_gx, &want_gw, &want_gb);
+
+  ExpectClose(got_gx, want_gx, 1e-4f, "input grad");
+  ExpectClose(conv.Params()[0]->grad, want_gw, 1e-4f, "weight grad");
+  ExpectClose(conv.Params()[1]->grad, want_gb, 1e-4f, "bias grad");
+}
+
+TEST_P(Conv2DParityTest, GradsAccumulateAcrossBackwardCalls) {
+  int64_t pad = GetParam();
+  Rng rng(23);
+  nn::Conv2D conv(1, 2, 3, pad, 0.3f, rng);
+  Tensor x = Tensor::Randn({1, 1, 6, 6}, rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = Tensor::Randn(y.shape(), rng);
+  (void)conv.Backward(g);
+  Tensor first_gw = conv.Params()[0]->grad;
+  (void)conv.Forward(x, true);
+  (void)conv.Backward(g);
+  ExpectClose(conv.Params()[0]->grad, first_gw.Mul(2.0f), 1e-3f,
+              "accumulated weight grad");
+}
+
+INSTANTIATE_TEST_SUITE_P(PaddedAndUnpadded, Conv2DParityTest,
+                         ::testing::Values<int64_t>(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int64_t>& info) {
+                           return "pad" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rafiki

@@ -1,0 +1,101 @@
+// ThreadPool behaviour: range coverage, grain handling, nested-call safety,
+// exception propagation, and clean shutdown.
+
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rafiki {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (int64_t range : {0, 1, 3, 7, 100, 1001}) {
+    for (int64_t grain : {1, 4, 64, 5000}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(range));
+      pool.ParallelFor(0, range, grain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i)
+          hits[static_cast<size_t>(i)].fetch_add(1);
+      });
+      for (int64_t i = 0; i < range; ++i)
+        EXPECT_EQ(1, hits[static_cast<size_t>(i)].load())
+            << "i=" << i << " range=" << range << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, 50, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), (10 + 49) * 40 / 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+    calls.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(10, calls.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Nested call from inside a pool task must complete inline.
+      pool.ParallelFor(0, 16, 1, [&](int64_t ib, int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(8 * 16, total.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t b, int64_t e) {
+                         if (b == 0) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must still be fully usable after a throwing run.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(100, sum.load());
+}
+
+TEST(ThreadPoolTest, ShutdownWithoutWorkIsClean) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), std::max(1, threads));
+  }
+  // Destruction happens at scope exit; reaching here without hanging is the
+  // assertion.
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int64_t> sum{0};
+  ThreadPool::Global().ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 63 * 64 / 2);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace rafiki
