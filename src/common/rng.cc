@@ -5,16 +5,13 @@
 #include "common/logging.h"
 
 namespace rafiki {
-namespace {
 
-uint64_t SplitMix64(uint64_t x) {
+uint64_t Rng::Mix(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 double Rng::LogUniform(double lo, double hi) {
   RAFIKI_CHECK_GT(lo, 0.0);
@@ -23,6 +20,6 @@ double Rng::LogUniform(double lo, double hi) {
   return std::exp(u);
 }
 
-Rng Rng::Fork() { return Rng(SplitMix64(engine_())); }
+Rng Rng::Fork() { return Rng(Mix(engine_())); }
 
 }  // namespace rafiki

@@ -57,8 +57,14 @@ class Rng {
   }
 
   /// Derives an independent child generator. Uses SplitMix64 on the parent
-  /// stream so forked streams do not overlap in practice.
+  /// stream so forked streams do not overlap in practice. Mutates the parent
+  /// stream — callers sharing an Rng across threads must use Mix() instead.
   Rng Fork();
+
+  /// Stateless SplitMix64 mix. Deriving per-task seeds as
+  /// `Mix(base_seed + task_id)` gives decorrelated streams without any
+  /// shared mutable state, so it is safe from concurrent threads.
+  static uint64_t Mix(uint64_t x);
 
   /// Raw 64-bit draw.
   uint64_t Next64() { return engine_(); }

@@ -20,6 +20,9 @@ std::vector<std::string> Split(const std::string& s, char sep);
 /// True if `s` begins with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// True if `s` ends with `suffix`.
+bool EndsWith(const std::string& s, const std::string& suffix);
+
 }  // namespace rafiki
 
 #endif  // RAFIKI_COMMON_STRING_UTIL_H_

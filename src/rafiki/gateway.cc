@@ -1,5 +1,6 @@
 #include "rafiki/gateway.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -44,6 +45,9 @@ Result<GatewayRequest> Gateway::Parse(const std::string& raw_request) {
   // "METHOD /path[?|space]params\n body..."
   size_t newline = raw_request.find('\n');
   std::string head = raw_request.substr(0, newline);
+  // Tolerate CRLF request lines (any real socket front-end sends them);
+  // without this the path/params would carry an embedded '\r'.
+  if (!head.empty() && head.back() == '\r') head.pop_back();
   GatewayRequest out;
   if (newline != std::string::npos) {
     out.body = raw_request.substr(newline + 1);
@@ -87,6 +91,12 @@ GatewayResponse Gateway::Handle(const std::string& raw_request) {
   if (request.method == "POST" && request.path == "/train") {
     return Train(request);
   }
+  if (request.method == "GET" && StartsWith(request.path, "/jobs/") &&
+      EndsWith(request.path, "/metrics")) {
+    std::string job_id =
+        request.path.substr(6, request.path.size() - 6 - 8);
+    if (!job_id.empty()) return InferMetrics(job_id);
+  }
   if (request.method == "GET" && StartsWith(request.path, "/jobs/")) {
     return JobStatus(request.path.substr(6));
   }
@@ -110,11 +120,26 @@ GatewayResponse Gateway::Train(const GatewayRequest& request) {
   }
   TrainConfig config;
   config.dataset = it->second;
-  auto get_int = [&](const char* key, int64_t fallback) {
+  // Strict integer parsing: the whole value must be consumed, so
+  // "trials=abc" or "epochs=3x" is a 400 instead of silently becoming 0.
+  Status parse_error = Status::OK();
+  auto get_int = [&](const char* key, int64_t fallback) -> int64_t {
     auto p = request.params.find(key);
-    return p == request.params.end()
-               ? fallback
-               : std::strtoll(p->second.c_str(), nullptr, 10);
+    if (p == request.params.end()) return fallback;
+    const std::string& value = p->second;
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE) {
+      if (parse_error.ok()) {
+        parse_error = Status::InvalidArgument(StrFormat(
+            "parameter '%s' must be an integer, got '%s'", key,
+            value.c_str()));
+      }
+      return fallback;
+    }
+    return parsed;
   };
   config.hyper.max_trials = get_int("trials", 8);
   config.hyper.max_epochs_per_trial =
@@ -122,6 +147,7 @@ GatewayResponse Gateway::Train(const GatewayRequest& request) {
   config.num_workers = static_cast<int>(get_int("workers", 2));
   config.hyper.collaborative = get_int("collaborative", 0) != 0;
   config.seed = static_cast<uint64_t>(get_int("seed", 1));
+  if (!parse_error.ok()) return FromStatus(parse_error);
   auto adv = request.params.find("advisor");
   if (adv != request.params.end()) {
     if (adv->second == "grid") {
@@ -136,6 +162,9 @@ GatewayResponse Gateway::Train(const GatewayRequest& request) {
   }
   if (config.hyper.max_trials <= 0 || config.num_workers <= 0) {
     return Error(400, "trials and workers must be positive");
+  }
+  if (config.hyper.max_epochs_per_trial < 1) {
+    return Error(400, "epochs must be >= 1");
   }
   Result<std::string> job = rafiki_->Train(config);
   if (!job.ok()) return FromStatus(job.status());
@@ -190,6 +219,24 @@ GatewayResponse Gateway::Query(const GatewayRequest& request) {
       200, StrFormat("label=%lld&votes=%s",
                      static_cast<long long>(prediction->label),
                      Join(votes, ",").c_str())};
+}
+
+GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
+  Result<serving::InferenceJobMetrics> metrics =
+      rafiki_->InferenceMetrics(job_id);
+  if (!metrics.ok()) return FromStatus(metrics.status());
+  return GatewayResponse{
+      200,
+      StrFormat("arrived=%lld&processed=%lld&overdue=%lld&dropped=%lld&"
+                "batches=%lld&max_batch=%lld&mean_batch=%.3f&"
+                "mean_latency=%.6f",
+                static_cast<long long>(metrics->arrived),
+                static_cast<long long>(metrics->processed),
+                static_cast<long long>(metrics->overdue),
+                static_cast<long long>(metrics->dropped),
+                static_cast<long long>(metrics->batches),
+                static_cast<long long>(metrics->max_batch),
+                metrics->mean_batch, metrics->mean_latency)};
 }
 
 GatewayResponse Gateway::Undeploy(const GatewayRequest& request) {

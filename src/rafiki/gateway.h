@@ -37,6 +37,9 @@ struct GatewayResponse {
 ///   GET  /jobs/<job_id>                        -> done=0|1&best=...&trials=N
 ///   POST /deploy   job=<job_id>                -> job_id=infer...
 ///   POST /query    job=<infer_id>  body: "v1,v2,..." -> label=K&votes=...
+///   GET  /jobs/<infer_id>/metrics              -> arrived=..&processed=..&
+///                  overdue=..&dropped=..&batches=..&max_batch=..&
+///                  mean_batch=..&mean_latency=..   (serving counters)
 ///   POST /undeploy job=<infer_id>              -> ok
 class Gateway {
  public:
@@ -52,6 +55,7 @@ class Gateway {
  private:
   GatewayResponse Train(const GatewayRequest& request);
   GatewayResponse JobStatus(const std::string& job_id);
+  GatewayResponse InferMetrics(const std::string& job_id);
   GatewayResponse Deploy(const GatewayRequest& request);
   GatewayResponse Query(const GatewayRequest& request);
   GatewayResponse Undeploy(const GatewayRequest& request);

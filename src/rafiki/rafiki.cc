@@ -216,94 +216,61 @@ Result<std::vector<ModelHandle>> Rafiki::GetModels(
 }
 
 Result<std::string> Rafiki::Deploy(const std::vector<ModelHandle>& models) {
+  return Deploy(models, serving::RuntimeOptions{});
+}
+
+Result<std::string> Rafiki::Deploy(const std::vector<ModelHandle>& models,
+                                   const serving::RuntimeOptions& options) {
   if (models.empty()) return Status::InvalidArgument("no models to deploy");
-  auto job = std::make_unique<InferenceJob>();
+  std::vector<serving::ServableModel> servables;
+  servables.reserve(models.size());
   for (const ModelHandle& handle : models) {
     // Instant deployment: parameters come straight from the PS (§3).
     RAFIKI_ASSIGN_OR_RETURN(ps::ModelCheckpoint ckpt,
                             ps_.GetModel(handle.scope));
     RAFIKI_ASSIGN_OR_RETURN(nn::Net net, BuildMlpFromCheckpoint(ckpt));
-    DeployedModel deployed;
-    deployed.net = std::move(net);
-    deployed.accuracy =
+    serving::ServableModel servable;
+    servable.net = std::move(net);
+    servable.accuracy =
         handle.accuracy > 0.0 ? handle.accuracy : ckpt.meta.accuracy;
-    deployed.name = handle.model_name;
-    job->models.push_back(std::move(deployed));
+    servable.name = handle.model_name;
+    servables.push_back(std::move(servable));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  std::string job_id = StrFormat("infer%lld",
-                                 static_cast<long long>(next_job_++));
-  inference_jobs_[job_id] = std::move(job);
-  return job_id;
+  std::string job_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_id = StrFormat("infer%lld", static_cast<long long>(next_job_++));
+  }
+  return runtime_.Deploy(job_id, std::move(servables), options);
 }
 
 Result<std::vector<Prediction>> Rafiki::QueryBatch(
     const std::string& inference_job_id, const Tensor& features) {
-  InferenceJob* job = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = inference_jobs_.find(inference_job_id);
-    if (it == inference_jobs_.end()) {
-      return Status::NotFound(
-          StrFormat("no inference job '%s'", inference_job_id.c_str()));
-    }
-    job = it->second.get();
-  }
-  if (features.rank() != 2) {
-    return Status::InvalidArgument("features must be [batch, dim]");
-  }
-  int64_t batch = features.dim(0);
-
-  // Every model votes; majority with the paper's best-accuracy tie-break
-  // (§5.2 / Figure 6).
-  std::vector<std::vector<int64_t>> votes;  // [model][row]
-  votes.reserve(job->models.size());
-  for (DeployedModel& m : job->models) {
-    Tensor logits = m.net.Forward(features, /*train=*/false);
-    votes.push_back(logits.ArgmaxRows());
-  }
-
-  std::vector<Prediction> out(static_cast<size_t>(batch));
-  for (int64_t r = 0; r < batch; ++r) {
-    std::map<int64_t, int> counts;
-    Prediction& p = out[static_cast<size_t>(r)];
-    for (size_t m = 0; m < votes.size(); ++m) {
-      int64_t label = votes[m][static_cast<size_t>(r)];
-      p.votes.push_back(label);
-      ++counts[label];
-    }
-    int best_votes = 0;
-    for (const auto& [label, n] : counts) best_votes = std::max(best_votes, n);
-    double best_acc = -1.0;
-    for (size_t m = 0; m < votes.size(); ++m) {
-      int64_t label = votes[m][static_cast<size_t>(r)];
-      if (counts[label] == best_votes &&
-          job->models[m].accuracy > best_acc) {
-        best_acc = job->models[m].accuracy;
-        p.label = label;
-      }
-    }
+  RAFIKI_ASSIGN_OR_RETURN(std::vector<serving::EnsemblePrediction> answers,
+                          runtime_.QueryBatch(inference_job_id, features));
+  std::vector<Prediction> out;
+  out.reserve(answers.size());
+  for (serving::EnsemblePrediction& a : answers) {
+    out.push_back(Prediction{a.label, std::move(a.votes)});
   }
   return out;
 }
 
 Result<Prediction> Rafiki::Query(const std::string& inference_job_id,
                                  const Tensor& features) {
-  Tensor row = features;
-  if (row.rank() == 1) row.Reshape({1, row.numel()});
-  RAFIKI_ASSIGN_OR_RETURN(std::vector<Prediction> batch,
-                          QueryBatch(inference_job_id, row));
-  if (batch.empty()) return Status::Internal("empty prediction batch");
-  return batch.front();
+  RAFIKI_ASSIGN_OR_RETURN(auto future,
+                          runtime_.Submit(inference_job_id, features));
+  RAFIKI_ASSIGN_OR_RETURN(serving::EnsemblePrediction answer, future.get());
+  return Prediction{answer.label, std::move(answer.votes)};
 }
 
 Status Rafiki::Undeploy(const std::string& inference_job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (inference_jobs_.erase(inference_job_id) == 0) {
-    return Status::NotFound(
-        StrFormat("no inference job '%s'", inference_job_id.c_str()));
-  }
-  return Status::OK();
+  return runtime_.Undeploy(inference_job_id);
+}
+
+Result<serving::InferenceJobMetrics> Rafiki::InferenceMetrics(
+    const std::string& inference_job_id) {
+  return runtime_.Metrics(inference_job_id);
 }
 
 }  // namespace rafiki::api

@@ -14,6 +14,7 @@
 #include "model/registry.h"
 #include "nn/net.h"
 #include "ps/parameter_server.h"
+#include "serving/inference_runtime.h"
 #include "storage/blob_store.h"
 #include "tuning/bayes_opt.h"
 #include "tuning/study.h"
@@ -104,25 +105,40 @@ class Rafiki {
 
   /// Deploys an ensemble of trained models for serving; returns the
   /// inference job id (rafiki.Inference(models).run()). Parameters are
-  /// fetched from the PS — instant deployment after training (§3).
+  /// fetched from the PS — instant deployment after training (§3). The
+  /// deployed job is served by the batched inference runtime with default
+  /// RuntimeOptions; the overload takes explicit serving options (SLO tau,
+  /// candidate batch sizes, queue capacity).
   Result<std::string> Deploy(const std::vector<ModelHandle>& models);
+  Result<std::string> Deploy(const std::vector<ModelHandle>& models,
+                             const serving::RuntimeOptions& options);
 
-  /// Serves one request (rafiki.query): ensemble majority vote with the
-  /// paper's best-accuracy tie-break.
+  /// Serves one request (rafiki.query): the request is enqueued into the
+  /// job's bounded queue, batched by the greedy policy (Algorithm 3)
+  /// against the latency SLO, and answered with the ensemble majority vote
+  /// and the paper's best-accuracy tie-break.
   Result<Prediction> Query(const std::string& inference_job_id,
                            const Tensor& features);
 
-  /// Batch variant used by the SQL UDF.
+  /// Batch variant used by the SQL UDF; rows go through the same batched
+  /// runtime path with backpressure.
   Result<std::vector<Prediction>> QueryBatch(
       const std::string& inference_job_id, const Tensor& features);
 
-  /// Tears down a deployed inference job.
+  /// Tears down a deployed inference job; in-flight queued requests fail
+  /// with kUnavailable.
   Status Undeploy(const std::string& inference_job_id);
+
+  /// Live serving counters of a deployed job (arrived / processed /
+  /// overdue / dropped / batch stats / mean latency).
+  Result<serving::InferenceJobMetrics> InferenceMetrics(
+      const std::string& inference_job_id);
 
   /// Shared substrate (exposed for tests and advanced use).
   ps::ParameterServer& parameter_server() { return ps_; }
   storage::BlobStore& blob_store() { return store_; }
   const model::TaskRegistry& registry() const { return registry_; }
+  serving::InferenceRuntime& inference_runtime() { return runtime_; }
 
  private:
   struct TrainJob {
@@ -137,26 +153,18 @@ class Rafiki {
     bool done = false;
   };
 
-  struct DeployedModel {
-    nn::Net net;
-    double accuracy = 0.0;
-    std::string name;
-  };
-
-  struct InferenceJob {
-    std::vector<DeployedModel> models;
-  };
-
   Result<TrainJob*> FindTrainJob(const std::string& job_id);
 
-  std::mutex mu_;
+  std::mutex mu_;  // guards train_jobs_ and next_job_
   storage::BlobStore store_;
   ps::ParameterServer ps_;
   cluster::MessageBus bus_;
   cluster::NodeManager manager_;
   model::TaskRegistry registry_;
+  /// Thread-safe serving tier: owns deployed models behind shared_ptr
+  /// snapshots, so Query/Undeploy races are safe by construction.
+  serving::InferenceRuntime runtime_;
   std::map<std::string, std::unique_ptr<TrainJob>> train_jobs_;
-  std::map<std::string, std::unique_ptr<InferenceJob>> inference_jobs_;
   int64_t next_job_ = 0;
 };
 

@@ -1,0 +1,429 @@
+#include "serving/inference_runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "serving/greedy_batch.h"
+
+namespace rafiki::serving {
+namespace {
+
+/// Derives the feature dimension of a model: explicit override first, else
+/// the leading dimension of the first rank-2 parameter (a Linear weight is
+/// [in, out]).
+int64_t DeriveInputDim(ServableModel& model) {
+  if (model.input_dim > 0) return model.input_dim;
+  for (nn::ParamTensor* p : model.net.Params()) {
+    if (p->value.rank() == 2) return p->value.dim(0);
+  }
+  return 0;
+}
+
+/// Times one forward of a zeros batch, seconds. The batch is cold data, so
+/// this measures the same compute path live requests take.
+double TimeForward(nn::Net& net, int64_t batch, int64_t dim) {
+  Tensor input({batch, dim});
+  auto begin = std::chrono::steady_clock::now();
+  net.Forward(input, /*train=*/false);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+/// Fits the affine latency model c(b) = intercept + slope * b from timed
+/// forwards at b = 1 and b = max(B), as the paper does from its two
+/// calibration points (§5.1). Two repetitions each, keeping the minimum,
+/// to shed first-touch noise.
+model::ModelProfile CalibrateProfile(ServableModel& model, int64_t dim,
+                                     int64_t max_batch, bool calibrate) {
+  model::ModelProfile profile;
+  profile.name = model.name;
+  profile.top1_accuracy = model.accuracy;
+  if (!calibrate || dim <= 0) return profile;  // zero-latency profile
+  double c1 = TimeForward(model.net, 1, dim);
+  c1 = std::min(c1, TimeForward(model.net, 1, dim));
+  double cb = c1;
+  if (max_batch > 1) {
+    cb = TimeForward(model.net, max_batch, dim);
+    cb = std::min(cb, TimeForward(model.net, max_batch, dim));
+  }
+  double slope = max_batch > 1
+                     ? (cb - c1) / static_cast<double>(max_batch - 1)
+                     : 0.0;
+  slope = std::max(slope, 0.0);
+  profile.latency_slope = slope;
+  profile.latency_intercept = std::max(c1 - slope, 0.0);
+  return profile;
+}
+
+}  // namespace
+
+std::vector<EnsemblePrediction> MajorityVoteRows(
+    const std::vector<std::vector<int64_t>>& votes,
+    const std::vector<double>& accuracies) {
+  RAFIKI_CHECK(!votes.empty());
+  RAFIKI_CHECK_EQ(votes.size(), accuracies.size());
+  size_t rows = votes[0].size();
+  std::vector<EnsemblePrediction> out(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    std::map<int64_t, int> counts;
+    EnsemblePrediction& p = out[r];
+    p.votes.reserve(votes.size());
+    for (const std::vector<int64_t>& model_votes : votes) {
+      RAFIKI_CHECK_EQ(model_votes.size(), rows);
+      p.votes.push_back(model_votes[r]);
+      ++counts[model_votes[r]];
+    }
+    int best_votes = 0;
+    for (const auto& [label, n] : counts) best_votes = std::max(best_votes, n);
+    double best_acc = -1.0;
+    for (size_t m = 0; m < votes.size(); ++m) {
+      int64_t label = votes[m][r];
+      if (counts[label] == best_votes && accuracies[m] > best_acc) {
+        best_acc = accuracies[m];
+        p.label = label;
+      }
+    }
+  }
+  return out;
+}
+
+InferenceRuntime::~InferenceRuntime() {
+  std::map<std::string, std::shared_ptr<Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs.swap(jobs_);
+  }
+  for (auto& [id, job] : jobs) StopJob(*job);
+}
+
+Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
+                                             std::vector<ServableModel> models,
+                                             RuntimeOptions options) {
+  if (job_id.empty()) return Status::InvalidArgument("empty job id");
+  if (models.empty()) return Status::InvalidArgument("no models to deploy");
+  if (models.size() > 31) {
+    return Status::InvalidArgument("at most 31 models per ensemble");
+  }
+  if (options.tau <= 0.0) return Status::InvalidArgument("tau must be > 0");
+  if (options.batch_sizes.empty()) {
+    return Status::InvalidArgument("batch_sizes must be non-empty");
+  }
+  for (int64_t b : options.batch_sizes) {
+    if (b <= 0) return Status::InvalidArgument("batch sizes must be positive");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue capacity must be positive");
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = job_id;
+  job->opts = options;
+  job->models = std::move(models);
+  job->epoch = std::chrono::steady_clock::now();
+
+  job->input_dim = DeriveInputDim(job->models.front());
+  if (job->input_dim <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("cannot derive input dim of model '%s'",
+                  job->models.front().name.c_str()));
+  }
+  int64_t max_b = *std::max_element(options.batch_sizes.begin(),
+                                    options.batch_sizes.end());
+  for (ServableModel& m : job->models) {
+    int64_t dim = DeriveInputDim(m);
+    if (dim != job->input_dim) {
+      return Status::InvalidArgument(
+          StrFormat("model '%s' input dim %lld != %lld", m.name.c_str(),
+                    static_cast<long long>(dim),
+                    static_cast<long long>(job->input_dim)));
+    }
+    job->profiles.push_back(
+        CalibrateProfile(m, job->input_dim, max_b, options.calibrate));
+    job->accuracies.push_back(m.accuracy);
+  }
+  if (job->models.size() == 1) {
+    job->policy = std::make_unique<GreedyBatchPolicy>(
+        /*model_index=*/0, options.backoff_delta_fraction);
+  } else {
+    job->policy = std::make_unique<SyncEnsembleGreedyPolicy>(
+        options.backoff_delta_fraction);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.count(job_id) > 0) {
+      return Status::AlreadyExists(
+          StrFormat("inference job '%s' already deployed", job_id.c_str()));
+    }
+    jobs_[job_id] = job;
+  }
+  job->dispatcher = std::thread([job] { DispatchLoop(job); });
+  return job_id;
+}
+
+std::shared_ptr<InferenceRuntime::Job> InferenceRuntime::FindJob(
+    const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+Status InferenceRuntime::Undeploy(const std::string& job_id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return Status::NotFound(
+          StrFormat("no inference job '%s'", job_id.c_str()));
+    }
+    job = std::move(it->second);
+    jobs_.erase(it);
+  }
+  StopJob(*job);
+  return Status::OK();
+}
+
+void InferenceRuntime::StopJob(Job& job) {
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.stopping = true;
+  }
+  job.cv.notify_all();
+  if (job.dispatcher.joinable()) job.dispatcher.join();
+}
+
+Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
+    const std::string& job_id, Tensor features) {
+  std::shared_ptr<Job> job = FindJob(job_id);
+  if (job == nullptr) {
+    return Status::NotFound(StrFormat("no inference job '%s'",
+                                      job_id.c_str()));
+  }
+  if (features.rank() == 1) features.Reshape({1, features.numel()});
+  if (features.rank() != 2 || features.dim(0) != 1) {
+    return Status::InvalidArgument("features must be [dim] or [1, dim]");
+  }
+  if (features.dim(1) != job->input_dim) {
+    return Status::InvalidArgument(
+        StrFormat("feature dim %lld != model input dim %lld",
+                  static_cast<long long>(features.dim(1)),
+                  static_cast<long long>(job->input_dim)));
+  }
+
+  Pending pending;
+  pending.features = std::move(features);
+  pending.arrival = job->NowSeconds();
+  std::future<Result<EnsemblePrediction>> future =
+      pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->stopping) {
+      return Status::NotFound(
+          StrFormat("inference job '%s' is undeploying", job_id.c_str()));
+    }
+    ++job->stats.arrived;
+    if (job->queue.size() >= job->opts.queue_capacity) {
+      ++job->stats.dropped;
+      return Status::Unavailable(
+          StrFormat("inference job '%s' queue full", job_id.c_str()));
+    }
+    job->queue.push_back(std::move(pending));
+  }
+  job->cv.notify_one();
+  return future;
+}
+
+Result<std::vector<EnsemblePrediction>> InferenceRuntime::QueryBatch(
+    const std::string& job_id, const Tensor& features) {
+  if (features.rank() != 2) {
+    return Status::InvalidArgument("features must be [batch, dim]");
+  }
+  int64_t rows = features.dim(0);
+  int64_t dim = features.dim(1);
+  std::vector<std::future<Result<EnsemblePrediction>>> futures;
+  futures.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    Tensor row({1, dim});
+    std::memcpy(row.data(), features.data() + r * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+    // Backpressure: a full queue is retryable; give the dispatcher a bounded
+    // amount of time to drain before giving up on the whole batch.
+    int attempts = 0;
+    for (;;) {
+      Result<std::future<Result<EnsemblePrediction>>> submitted =
+          Submit(job_id, std::move(row));
+      if (submitted.ok()) {
+        futures.push_back(std::move(*submitted));
+        break;
+      }
+      if (!submitted.status().IsUnavailable() || ++attempts > 2000) {
+        return submitted.status();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Tensor retry({1, dim});
+      std::memcpy(retry.data(), features.data() + r * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+      row = std::move(retry);
+    }
+  }
+  std::vector<EnsemblePrediction> out;
+  out.reserve(futures.size());
+  for (auto& future : futures) {
+    Result<EnsemblePrediction> answer = future.get();
+    if (!answer.ok()) return answer.status();
+    out.push_back(std::move(*answer));
+  }
+  return out;
+}
+
+Result<InferenceJobMetrics> InferenceRuntime::Metrics(
+    const std::string& job_id) const {
+  std::shared_ptr<Job> job = FindJob(job_id);
+  if (job == nullptr) {
+    return Status::NotFound(StrFormat("no inference job '%s'",
+                                      job_id.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(job->mu);
+  InferenceJobMetrics stats = job->stats;
+  if (stats.batches > 0) {
+    stats.mean_batch = static_cast<double>(stats.processed) /
+                       static_cast<double>(stats.batches);
+  }
+  if (stats.processed > 0) {
+    stats.mean_latency = job->latency_sum /
+                         static_cast<double>(stats.processed);
+  }
+  return stats;
+}
+
+std::vector<std::string> InferenceRuntime::Jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(id);
+  return out;
+}
+
+void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
+  const RuntimeOptions& opts = job->opts;
+  const double delta = opts.backoff_delta_fraction * opts.tau;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] { return job->stopping || !job->queue.empty(); });
+    if (job->stopping) break;
+
+    double now = job->NowSeconds();
+    ServingObs obs;
+    obs.now = now;
+    obs.tau = opts.tau;
+    obs.batch_sizes = &opts.batch_sizes;
+    obs.models = &job->profiles;
+    obs.queue_len = job->queue.size();
+    size_t wait_count = std::min<size_t>(job->queue.size(), 64);
+    obs.queue_waits.reserve(wait_count);
+    for (size_t i = 0; i < wait_count; ++i) {
+      obs.queue_waits.push_back(now - job->queue[i].arrival);
+    }
+    // The dispatcher is the only executor and runs batches synchronously,
+    // so every model is free at decision time.
+    obs.busy_remaining.assign(job->profiles.size(), 0.0);
+
+    ServingAction action = job->policy->Decide(obs);
+    int64_t b = std::min<int64_t>(action.batch_size,
+                                  static_cast<int64_t>(job->queue.size()));
+    if (!action.process || b <= 0) {
+      // Algorithm 3 said wait: sleep until the oldest request would trip
+      // the deadline flush (c(b_eff) + w(q_0) + delta >= tau) or a new
+      // arrival re-triggers a decision.
+      int64_t feasible =
+          LargestFeasibleBatch(opts.batch_sizes, obs.queue_len);
+      int64_t effective =
+          feasible > 0 ? feasible : static_cast<int64_t>(obs.queue_len);
+      double worst_latency = 0.0;
+      for (const model::ModelProfile& m : job->profiles) {
+        worst_latency = std::max(worst_latency, m.BatchLatency(effective));
+      }
+      double oldest = obs.queue_waits.empty() ? 0.0 : obs.queue_waits[0];
+      double until_flush = opts.tau - delta - worst_latency - oldest;
+      double sleep_s =
+          std::clamp(until_flush, 100e-6, opts.max_poll_seconds);
+      job->cv.wait_for(lock, std::chrono::duration<double>(sleep_s));
+      continue;
+    }
+
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) {
+      batch.push_back(std::move(job->queue.front()));
+      job->queue.pop_front();
+    }
+    lock.unlock();
+    ProcessBatch(*job, std::move(batch));
+  }
+
+  // Shutdown: fail whatever is still queued; those requests arrived but
+  // were never served, so they count as dropped (keeps arrived ==
+  // processed + dropped after Undeploy).
+  std::vector<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    while (!job->queue.empty()) {
+      leftover.push_back(std::move(job->queue.front()));
+      job->queue.pop_front();
+    }
+    job->stats.dropped += static_cast<int64_t>(leftover.size());
+  }
+  for (Pending& p : leftover) {
+    p.promise.set_value(Status::Unavailable(
+        StrFormat("inference job '%s' undeployed", job->id.c_str())));
+  }
+}
+
+void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
+  auto b = static_cast<int64_t>(batch.size());
+  Tensor features({b, job.input_dim});
+  for (int64_t r = 0; r < b; ++r) {
+    std::memcpy(features.data() + r * job.input_dim,
+                batch[static_cast<size_t>(r)].features.data(),
+                static_cast<size_t>(job.input_dim) * sizeof(float));
+  }
+
+  std::vector<std::vector<int64_t>> votes;
+  votes.reserve(job.models.size());
+  for (ServableModel& m : job.models) {
+    Tensor logits = m.net.Forward(features, /*train=*/false);
+    votes.push_back(logits.ArgmaxRows());
+  }
+  std::vector<EnsemblePrediction> answers =
+      MajorityVoteRows(votes, job.accuracies);
+
+  double completion = job.NowSeconds();
+  int64_t overdue = 0;
+  double latency_sum = 0.0;
+  for (const Pending& p : batch) {
+    double latency = completion - p.arrival;
+    latency_sum += latency;
+    if (latency > job.opts.tau) ++overdue;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.stats.processed += b;
+    job.stats.overdue += overdue;
+    ++job.stats.batches;
+    job.stats.max_batch = std::max(job.stats.max_batch, b);
+    job.latency_sum += latency_sum;
+  }
+  // Fulfill after the counters: a caller woken by its future immediately
+  // sees its own request reflected in Metrics().
+  for (int64_t r = 0; r < b; ++r) {
+    batch[static_cast<size_t>(r)].promise.set_value(
+        std::move(answers[static_cast<size_t>(r)]));
+  }
+}
+
+}  // namespace rafiki::serving

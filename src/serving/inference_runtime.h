@@ -1,0 +1,189 @@
+#ifndef RAFIKI_SERVING_INFERENCE_RUNTIME_H_
+#define RAFIKI_SERVING_INFERENCE_RUNTIME_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "model/profile.h"
+#include "nn/net.h"
+#include "serving/policy.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::serving {
+
+/// One deployed model: a real network plus the metadata the ensemble vote
+/// and the batching policy need.
+struct ServableModel {
+  nn::Net net;
+  /// Validation accuracy; used for the paper's best-accuracy tie-break and
+  /// reported as the profile's top-1 accuracy.
+  double accuracy = 0.0;
+  std::string name = "model";
+  /// Expected feature dimension; 0 derives it from the first rank-2
+  /// parameter tensor (a Linear weight [in, out]).
+  int64_t input_dim = 0;
+};
+
+/// Serving configuration of one inference job (the knobs of §5 / Alg. 3).
+struct RuntimeOptions {
+  /// Latency SLO tau, seconds. Requests answered later than this count as
+  /// overdue (they are still answered — the SLO is soft, as in the paper).
+  double tau = 0.02;
+  /// Candidate batch sizes B.
+  std::vector<int64_t> batch_sizes = {1, 2, 4, 8, 16, 32};
+  /// Bounded request queue; submissions beyond it are rejected
+  /// (kUnavailable) and counted as dropped.
+  size_t queue_capacity = 4096;
+  /// AIMD back-off constant delta = fraction * tau (Alg. 3).
+  double backoff_delta_fraction = 0.1;
+  /// Upper bound on one dispatcher sleep, so deadline pressure is
+  /// re-evaluated at least this often even without new arrivals.
+  double max_poll_seconds = 0.005;
+  /// Measure c(m, b) with real forwards at deploy time so the policy sees
+  /// calibrated latency profiles; OFF uses zero-latency profiles (the
+  /// policy then flushes purely on queue waiting time).
+  bool calibrate = true;
+};
+
+/// Per-job serving counters (the live analogue of ServingMetrics).
+/// Conservation: at any quiescent point arrived == processed + dropped +
+/// queued, and after Undeploy arrived == processed + dropped.
+struct InferenceJobMetrics {
+  int64_t arrived = 0;
+  int64_t processed = 0;
+  /// Served, but later than tau after submission.
+  int64_t overdue = 0;
+  /// Rejected at a full queue plus requests failed by Undeploy.
+  int64_t dropped = 0;
+  int64_t batches = 0;
+  int64_t max_batch = 0;
+  double mean_batch = 0.0;    // processed / batches
+  double mean_latency = 0.0;  // seconds, submission -> response
+};
+
+/// Majority-vote answer with per-model transparency (§5.2 / Figure 6).
+struct EnsemblePrediction {
+  int64_t label = -1;
+  std::vector<int64_t> votes;  // one label per deployed model
+};
+
+/// Majority vote over per-model row labels with the paper's best-accuracy
+/// tie-break. `votes[m][r]` is model m's label for row r; `accuracies[m]`
+/// breaks ties toward the most accurate model. Exposed for tests.
+std::vector<EnsemblePrediction> MajorityVoteRows(
+    const std::vector<std::vector<int64_t>>& votes,
+    const std::vector<double>& accuracies);
+
+/// The live serving tier: owns deployed models, accepts concurrent
+/// `Submit` calls into a bounded FIFO queue, and answers them from a
+/// per-job dispatcher thread that forms batches with the paper's greedy
+/// policy (Algorithm 3; the sync-ensemble variant when several models are
+/// deployed) against the latency SLO tau.
+///
+/// Ownership / threading model (see DESIGN.md §"Inference runtime"):
+///  * Jobs live behind `std::shared_ptr`; callers and the dispatcher hold
+///    snapshots, so `Undeploy` can never free a job under a concurrent
+///    query (the use-after-free the old facade had is gone by
+///    construction).
+///  * The registry mutex only guards the id -> job map; each job has its
+///    own mutex for queue + counters. Lock order is registry -> job, and
+///    neither is held across a forward pass.
+///  * All forwards for one job run on its single dispatcher thread, so
+///    `nn::Net` (which is stateful during Forward) needs no internal
+///    locking.
+///  * `Undeploy` removes the job from the map, signals the dispatcher and
+///    joins it; queued requests are failed with kUnavailable and counted
+///    as dropped.
+class InferenceRuntime {
+ public:
+  InferenceRuntime() = default;
+  ~InferenceRuntime();
+
+  InferenceRuntime(const InferenceRuntime&) = delete;
+  InferenceRuntime& operator=(const InferenceRuntime&) = delete;
+
+  /// Deploys `models` as job `job_id` and starts its dispatcher.
+  /// AlreadyExists if the id is taken.
+  Result<std::string> Deploy(const std::string& job_id,
+                             std::vector<ServableModel> models,
+                             RuntimeOptions options = {});
+
+  /// Stops the dispatcher, fails queued requests (kUnavailable) and
+  /// releases the job. NotFound for unknown ids. Safe to race with Submit.
+  Status Undeploy(const std::string& job_id);
+
+  /// Enqueues one request (features: [dim] or [1, dim]). The future
+  /// resolves when the dispatcher has served the batch containing it.
+  /// Errors: NotFound (unknown/undeploying job), Unavailable (queue full;
+  /// retryable), InvalidArgument (wrong feature dimension).
+  Result<std::future<Result<EnsemblePrediction>>> Submit(
+      const std::string& job_id, Tensor features);
+
+  /// Synchronous convenience for bulk callers (the SQL UDF): submits every
+  /// row of `features` [n, dim] through the batched path, applying
+  /// backpressure (bounded retries) when the queue is momentarily full,
+  /// and waits for all answers.
+  Result<std::vector<EnsemblePrediction>> QueryBatch(const std::string& job_id,
+                                                     const Tensor& features);
+
+  /// Live counters of one job.
+  Result<InferenceJobMetrics> Metrics(const std::string& job_id) const;
+
+  /// Ids of currently deployed jobs.
+  std::vector<std::string> Jobs() const;
+
+ private:
+  struct Pending {
+    Tensor features;  // [1, dim]
+    std::promise<Result<EnsemblePrediction>> promise;
+    double arrival = 0.0;  // job-clock seconds
+  };
+
+  struct Job {
+    std::string id;
+    RuntimeOptions opts;
+    std::vector<ServableModel> models;
+    std::vector<model::ModelProfile> profiles;  // calibrated c(m, b)
+    std::vector<double> accuracies;
+    int64_t input_dim = 0;
+    std::unique_ptr<SchedulerPolicy> policy;  // dispatcher-thread only
+    std::chrono::steady_clock::time_point epoch;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> queue;  // guarded by mu
+    bool stopping = false;      // guarded by mu
+    InferenceJobMetrics stats;  // guarded by mu
+    double latency_sum = 0.0;   // guarded by mu
+
+    std::thread dispatcher;
+
+    double NowSeconds() const {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           epoch)
+          .count();
+    }
+  };
+
+  std::shared_ptr<Job> FindJob(const std::string& job_id) const;
+  static void StopJob(Job& job);
+  static void DispatchLoop(const std::shared_ptr<Job>& job);
+  static void ProcessBatch(Job& job, std::vector<Pending> batch);
+
+  mutable std::mutex mu_;  // guards jobs_ only
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
+};
+
+}  // namespace rafiki::serving
+
+#endif  // RAFIKI_SERVING_INFERENCE_RUNTIME_H_

@@ -42,6 +42,7 @@ ServingMetrics ServingSimulator::Run(SchedulerPolicy& policy,
   const size_t num_models = models_.size();
   const auto num_windows = static_cast<size_t>(
       std::ceil(duration / options_.metrics_window));
+  RAFIKI_CHECK_GE(num_windows, 1u) << "run must span at least one window";
 
   RequestQueue queue(options_.queue_capacity);
   std::vector<double> busy_until(num_models, 0.0);
@@ -146,11 +147,36 @@ ServingMetrics ServingSimulator::Run(SchedulerPolicy& policy,
     }
   }
 
+  // Requests still queued at end-of-run never got a response within tau:
+  // count them as overdue and charge them to the final window.
+  auto residual = static_cast<int64_t>(queue.size());
+  metrics.total_residual = residual;
+  metrics.total_overdue += residual;
+  windows[num_windows - 1].overdue += residual;
+
+  // Batches whose completion time landed past `duration` were accumulated
+  // in the overflow bucket; fold it into the last window so window sums
+  // and run totals agree.
+  if (windows[num_windows].arrived != 0 || windows[num_windows].processed != 0 ||
+      windows[num_windows].overdue != 0 || windows[num_windows].batches != 0) {
+    WindowAccum& last = windows[num_windows - 1];
+    const WindowAccum& overflow = windows[num_windows];
+    last.arrived += overflow.arrived;
+    last.processed += overflow.processed;
+    last.overdue += overflow.overdue;
+    last.accuracy_sum += overflow.accuracy_sum;
+    last.reward_sum += overflow.reward_sum;
+    last.batches += overflow.batches;
+  }
+
   // Flush windows into samples.
   for (size_t w = 0; w < num_windows; ++w) {
     const WindowAccum& acc = windows[w];
     WindowSample s;
     s.t_begin = static_cast<double>(w) * options_.metrics_window;
+    s.arrived = acc.arrived;
+    s.processed = acc.processed;
+    s.overdue = acc.overdue;
     s.arrived_per_sec =
         static_cast<double>(acc.arrived) / options_.metrics_window;
     s.processed_per_sec =

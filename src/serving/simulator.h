@@ -33,8 +33,14 @@ struct ServingSimOptions {
 };
 
 /// One aggregated metrics window (a point on the Figures 10/13-16 curves).
+/// The raw counts back the per-second rates exactly; batches completing
+/// after the run's end are folded into the final window, so
+/// sum(windows[i].processed) == ServingMetrics::total_processed.
 struct WindowSample {
   double t_begin = 0.0;
+  int64_t arrived = 0;
+  int64_t processed = 0;
+  int64_t overdue = 0;           // includes queue drops and end residual
   double arrived_per_sec = 0.0;
   double processed_per_sec = 0.0;
   double overdue_per_sec = 0.0;  // includes queue drops
@@ -42,13 +48,20 @@ struct WindowSample {
   double mean_reward = 0.0;      // Equation 7 per dispatched batch
 };
 
-/// Full-run aggregates.
+/// Full-run aggregates. Conservation invariants (asserted in tests):
+///   total_arrived == total_processed + total_dropped + total_residual
+///   sum(windows[i].processed) == total_processed
+///   sum(windows[i].overdue) == total_overdue + total_dropped
 struct ServingMetrics {
   std::vector<WindowSample> windows;
   int64_t total_arrived = 0;
   int64_t total_processed = 0;
+  /// Requests answered later than tau, plus the end-of-run residual (queued
+  /// requests that never got served are overdue by construction).
   int64_t total_overdue = 0;
   int64_t total_dropped = 0;
+  /// Requests still queued when the run ended.
+  int64_t total_residual = 0;
   double mean_accuracy = 0.0;
   double mean_latency = 0.0;
   double total_reward = 0.0;

@@ -96,7 +96,7 @@ double RealTrainer::EpochCostSeconds() const {
 std::unique_ptr<Trainable> RealTrainerFactory::Create(
     const tuning::Trial& trial) {
   RealTrainerOptions opts = options_;
-  opts.seed = seed_rng_.Fork().Next64();
+  opts.seed = Rng::Mix(options_.seed + static_cast<uint64_t>(trial.id() + 1));
   return std::make_unique<RealTrainer>(train_, validation_, opts);
 }
 

@@ -60,16 +60,18 @@ class RealTrainerFactory : public TrainerFactory {
   RealTrainerFactory(const data::Dataset* train,
                      const data::Dataset* validation,
                      RealTrainerOptions options)
-      : train_(train), validation_(validation), options_(options),
-        seed_rng_(options.seed) {}
+      : train_(train), validation_(validation), options_(options) {}
 
+  /// Called concurrently by every StudyWorker thread in a job; the
+  /// per-trial seed is derived statelessly from (base seed, trial id) so
+  /// the factory has no mutable state to race on and a trial's seed does
+  /// not depend on which worker picked it up.
   std::unique_ptr<Trainable> Create(const tuning::Trial& trial) override;
 
  private:
   const data::Dataset* train_;
   const data::Dataset* validation_;
   RealTrainerOptions options_;
-  Rng seed_rng_;
 };
 
 }  // namespace rafiki::trainer

@@ -56,6 +56,24 @@ TEST_F(GatewayTest, ParseRejectsMalformed) {
   EXPECT_FALSE(Gateway::Parse("GET /x badparam").ok());
 }
 
+TEST_F(GatewayTest, ParseStripsTrailingCarriageReturn) {
+  // CRLF request lines (what a real socket front-end sends) must not leak
+  // '\r' into paths or parameter values.
+  auto r = Gateway::Parse("POST /train dataset=t&trials=4\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->path, "/train");
+  EXPECT_EQ(r->params.at("trials"), "4");
+
+  auto q = Gateway::Parse("GET /jobs/job0\r\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->path, "/jobs/job0");
+
+  // Headless CRLF request (no body line).
+  auto h = Gateway::Parse("GET /jobs/job0\r");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->path, "/jobs/job0");
+}
+
 TEST_F(GatewayTest, UnknownRouteIs404) {
   EXPECT_EQ(gateway_.Handle("GET /nope").status, 404);
   EXPECT_EQ(gateway_.Handle("POST /jobs/x").status, 404);  // wrong method
@@ -67,6 +85,23 @@ TEST_F(GatewayTest, TrainValidation) {
   EXPECT_EQ(
       gateway_.Handle("POST /train dataset=t&advisor=alien").status, 400);
   EXPECT_EQ(gateway_.Handle("POST /train dataset=t&trials=-2").status, 400);
+}
+
+TEST_F(GatewayTest, TrainRejectsNonNumericAndBadRanges) {
+  // strtoll without end-pointer checking used to turn these into 0
+  // silently; they must be 400s.
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&trials=abc").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&trials=4x").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&epochs=abc").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&epochs=0").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&epochs=-3").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&workers=two").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&seed=1.5").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /train dataset=t&trials=").status, 400);
+  EXPECT_EQ(
+      gateway_.Handle("POST /train dataset=t&trials=99999999999999999999")
+          .status,
+      400);
 }
 
 TEST_F(GatewayTest, FullLifecycleOverTheWireProtocol) {
@@ -123,6 +158,46 @@ TEST_F(GatewayTest, QueryValidation) {
 TEST_F(GatewayTest, DeployValidation) {
   EXPECT_EQ(gateway_.Handle("POST /deploy").status, 400);
   EXPECT_EQ(gateway_.Handle("POST /deploy job=ghost").status, 404);
+}
+
+TEST_F(GatewayTest, InferenceMetricsRoute) {
+  // Deploy straight from a hand-built PS checkpoint (no training needed).
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = rafiki_.Deploy({handle});
+  ASSERT_TRUE(deployed.ok());
+  std::string infer = *deployed;
+
+  // Fresh job: zero counters over the wire.
+  GatewayResponse empty = gateway_.Handle("GET /jobs/" + infer + "/metrics");
+  ASSERT_EQ(empty.status, 200) << empty.body;
+  EXPECT_EQ(Field(empty.body, "arrived"), "0");
+
+  GatewayResponse query =
+      gateway_.Handle("POST /query job=" + infer + "\n0,1,0,0");
+  ASSERT_EQ(query.status, 200) << query.body;
+  EXPECT_EQ(Field(query.body, "label"), "1");
+
+  GatewayResponse metrics = gateway_.Handle("GET /jobs/" + infer + "/metrics");
+  ASSERT_EQ(metrics.status, 200) << metrics.body;
+  EXPECT_EQ(Field(metrics.body, "arrived"), "1");
+  EXPECT_EQ(Field(metrics.body, "processed"), "1");
+  EXPECT_EQ(Field(metrics.body, "dropped"), "0");
+  EXPECT_FALSE(Field(metrics.body, "mean_latency").empty());
+
+  EXPECT_EQ(gateway_.Handle("GET /jobs/ghost/metrics").status, 404);
+  EXPECT_EQ(gateway_.Handle("POST /undeploy job=" + infer).status, 200);
+  EXPECT_EQ(gateway_.Handle("GET /jobs/" + infer + "/metrics").status, 404);
 }
 
 TEST_F(GatewayTest, StatusMapping) {

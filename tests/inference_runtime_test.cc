@@ -1,0 +1,393 @@
+// The live serving tier: concurrent Submit batching (Algorithm 3 on real
+// requests), lifecycle safety (deploy/undeploy races), bounded-queue
+// backpressure, and per-job metric conservation. The stress tests here are
+// the ones the TSan CI matrix exists for.
+
+#include "serving/inference_runtime.h"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/layer.h"
+#include "ps/parameter_server.h"
+#include "rafiki/rafiki.h"
+
+namespace rafiki::serving {
+namespace {
+
+/// A deterministic servable: y = x W with W = I, so argmax(features) is the
+/// predicted label. `negate` flips the sign (argmin wins) to build
+/// disagreeing ensemble members.
+ServableModel MakeIdentityModel(int64_t dim, double accuracy,
+                                const std::string& name,
+                                bool negate = false) {
+  Rng rng(1);
+  auto linear = std::make_unique<nn::Linear>(dim, dim, /*init_std=*/0.0f,
+                                             rng, "fc0");
+  Tensor& weight = linear->Params()[0]->value;
+  for (int64_t i = 0; i < dim; ++i) {
+    weight.at2(i, i) = negate ? -1.0f : 1.0f;
+  }
+  ServableModel model;
+  model.net.Add(std::move(linear));
+  model.accuracy = accuracy;
+  model.name = name;
+  return model;
+}
+
+Tensor OneHot(int64_t dim, int64_t hot) {
+  Tensor t({1, dim});
+  t.at(hot) = 1.0f;
+  return t;
+}
+
+TEST(InferenceRuntimeTest, SingleSubmitServesCorrectLabel) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 0.05;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  auto submitted = runtime.Submit("j", OneHot(4, 2));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  Result<EnsemblePrediction> answer = submitted->get();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->label, 2);
+  ASSERT_EQ(answer->votes.size(), 1u);
+  EXPECT_EQ(answer->votes[0], 2);
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, 1);
+  EXPECT_EQ(metrics->processed, 1);
+  EXPECT_EQ(metrics->dropped, 0);
+  EXPECT_GT(metrics->mean_latency, 0.0);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+  EXPECT_TRUE(runtime.Metrics("j").status().IsNotFound());
+}
+
+TEST(InferenceRuntimeTest, SubmitValidatesShapeAndJob) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models)).ok());
+  EXPECT_TRUE(runtime.Submit("ghost", OneHot(4, 0)).status().IsNotFound());
+  EXPECT_TRUE(
+      runtime.Submit("j", OneHot(7, 0)).status().IsInvalidArgument());
+  Tensor rank3({2, 2, 2});
+  EXPECT_TRUE(runtime.Submit("j", rank3).status().IsInvalidArgument());
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, BurstOfSubmitsFormsRealBatches) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(8, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 0.25;  // roomy SLO so the whole burst queues before a flush
+  options.batch_sizes = {1, 2, 4, 8, 16, 32};
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  constexpr int kRequests = 64;
+  std::vector<std::future<Result<EnsemblePrediction>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    auto submitted = runtime.Submit("j", OneHot(8, i % 8));
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    Result<EnsemblePrediction> answer = futures[i].get();
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_EQ(answer->label, i % 8) << "request " << i;
+  }
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, kRequests);
+  EXPECT_EQ(metrics->processed, kRequests);
+  EXPECT_EQ(metrics->dropped, 0);
+  // The point of the runtime: the burst is served in batches, not 64
+  // single-request forwards.
+  EXPECT_GT(metrics->max_batch, 1) << "no batching happened";
+  EXPECT_LT(metrics->batches, kRequests);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, ConcurrentSubmittersAllServedAndBatched) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(8, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 0.05;  // tight SLO: partial batches flush on deadline
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> correct{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&runtime, &correct, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t hot = (t + i) % 8;
+        auto submitted = runtime.Submit("j", OneHot(8, hot));
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        Result<EnsemblePrediction> answer = submitted->get();
+        ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+        if (answer->label == hot) ++correct;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(correct.load(), kThreads * kPerThread) << "wrong answers";
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, kThreads * kPerThread);
+  EXPECT_EQ(metrics->processed, kThreads * kPerThread);  // nobody starved
+  EXPECT_EQ(metrics->dropped, 0);
+  // Concurrent waiters pile up while a deadline flush is pending, so real
+  // multi-request batches must have formed.
+  EXPECT_GT(metrics->max_batch, 1);
+  EXPECT_GT(metrics->mean_batch, 1.0);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, EnsembleMajorityVoteAndAccuracyTieBreak) {
+  {
+    // Two identity models outvote one negated model.
+    InferenceRuntime runtime;
+    std::vector<ServableModel> models;
+    models.push_back(MakeIdentityModel(4, 0.6, "a"));
+    models.push_back(MakeIdentityModel(4, 0.5, "b"));
+    models.push_back(MakeIdentityModel(4, 0.9, "c", /*negate=*/true));
+    ASSERT_TRUE(runtime.Deploy("e", std::move(models)).ok());
+    auto submitted = runtime.Submit("e", OneHot(4, 1));
+    ASSERT_TRUE(submitted.ok());
+    Result<EnsemblePrediction> answer = submitted->get();
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer->label, 1);  // majority beats the accurate dissenter
+    EXPECT_EQ(answer->votes.size(), 3u);
+    ASSERT_TRUE(runtime.Undeploy("e").ok());
+  }
+  {
+    // 1-1 tie: the paper's tie-break picks the more accurate model.
+    InferenceRuntime runtime;
+    std::vector<ServableModel> models;
+    models.push_back(MakeIdentityModel(4, 0.5, "weak"));
+    models.push_back(MakeIdentityModel(4, 0.9, "strong", /*negate=*/true));
+    ASSERT_TRUE(runtime.Deploy("e", std::move(models)).ok());
+    auto submitted = runtime.Submit("e", OneHot(4, 1));
+    ASSERT_TRUE(submitted.ok());
+    Result<EnsemblePrediction> answer = submitted->get();
+    ASSERT_TRUE(answer.ok());
+    // The negated identity ranks label 1 last; its argmax is 0.
+    EXPECT_EQ(answer->label, 0) << "tie must break toward higher accuracy";
+    ASSERT_TRUE(runtime.Undeploy("e").ok());
+  }
+}
+
+TEST(InferenceRuntimeTest, BoundedQueueDropsWhenFull) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 30.0;           // no deadline pressure during the test
+  options.batch_sizes = {8, 16};  // min batch above capacity: nothing flushes
+  options.queue_capacity = 4;
+  options.calibrate = false;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  std::vector<std::future<Result<EnsemblePrediction>>> queued;
+  int rejected = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = runtime.Submit("j", OneHot(4, 0));
+    if (submitted.ok()) {
+      queued.push_back(std::move(*submitted));
+    } else {
+      EXPECT_TRUE(submitted.status().IsUnavailable())
+          << submitted.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(queued.size(), 4u);
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, 6);
+  EXPECT_EQ(metrics->dropped, 2);
+  EXPECT_EQ(metrics->processed, 0);
+
+  // Undeploy fails the queued requests and counts them dropped, closing
+  // the books: arrived == processed + dropped.
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+  for (auto& future : queued) {
+    EXPECT_TRUE(future.get().status().IsUnavailable());
+  }
+}
+
+TEST(InferenceRuntimeTest, ConcurrentQueryUndeployStress) {
+  // Regression for the facade's old use-after-free: queries racing
+  // undeploy must only ever observe clean errors. Run it under
+  // -DRAFIKI_SANITIZE=thread to check the memory model too.
+  InferenceRuntime runtime;
+  constexpr int kRounds = 10;
+  constexpr int kThreads = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    std::string id = "stress" + std::to_string(round);
+    std::vector<ServableModel> models;
+    models.push_back(MakeIdentityModel(8, 0.9, "id"));
+    RuntimeOptions options;
+    options.tau = 0.01;
+    ASSERT_TRUE(runtime.Deploy(id, std::move(models), options).ok());
+
+    std::atomic<bool> gone{false};
+    std::atomic<int> served{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&runtime, &id, &gone, &served] {
+        while (!gone.load()) {
+          auto submitted = runtime.Submit(id, OneHot(8, 3));
+          if (!submitted.ok()) {
+            ASSERT_TRUE(submitted.status().IsNotFound() ||
+                        submitted.status().IsUnavailable())
+                << submitted.status().ToString();
+            continue;
+          }
+          Result<EnsemblePrediction> answer = submitted->get();
+          if (answer.ok()) {
+            ASSERT_EQ(answer->label, 3);
+            ++served;
+          } else {
+            ASSERT_TRUE(answer.status().IsUnavailable())
+                << answer.status().ToString();
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    ASSERT_TRUE(runtime.Undeploy(id).ok());
+    gone.store(true);
+    for (std::thread& t : threads) t.join();
+    EXPECT_TRUE(runtime.Submit(id, OneHot(8, 0)).status().IsNotFound());
+    EXPECT_GT(served.load(), 0) << "round " << round << " served nothing";
+  }
+}
+
+TEST(InferenceRuntimeTest, RuntimeDestructorStopsLiveJobs) {
+  std::future<Result<EnsemblePrediction>> orphan;
+  {
+    InferenceRuntime runtime;
+    std::vector<ServableModel> models;
+    models.push_back(MakeIdentityModel(4, 0.9, "id"));
+    RuntimeOptions options;
+    options.tau = 30.0;
+    options.batch_sizes = {8};  // nothing flushes: request stays queued
+    options.calibrate = false;
+    ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+    auto submitted = runtime.Submit("j", OneHot(4, 0));
+    ASSERT_TRUE(submitted.ok());
+    orphan = std::move(*submitted);
+  }
+  EXPECT_TRUE(orphan.get().status().IsUnavailable());
+}
+
+/// Facade-level regression: the original bug was Rafiki::QueryBatch
+/// dereferencing an InferenceJob* after releasing mu_ while Undeploy
+/// erased it. Deploy from a hand-built PS checkpoint (no training needed)
+/// and race QueryBatch/Query against Undeploy.
+TEST(RafikiServingLifecycleTest, QueryBatchRacingUndeployStaysClean) {
+  api::Rafiki rafiki;
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(rafiki.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  api::ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+
+  Tensor rows({3, 4});
+  rows.at2(0, 0) = 1.0f;
+  rows.at2(1, 1) = 1.0f;
+  rows.at2(2, 2) = 1.0f;
+
+  constexpr int kRounds = 8;
+  constexpr int kThreads = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    serving::RuntimeOptions options;
+    options.tau = 0.01;
+    auto deployed = rafiki.Deploy({handle}, options);
+    ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+    std::string id = *deployed;
+
+    std::atomic<bool> gone{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&rafiki, &rows, &id, &gone] {
+        while (!gone.load()) {
+          auto batch = rafiki.QueryBatch(id, rows);
+          if (batch.ok()) {
+            ASSERT_EQ(batch->size(), 3u);
+            EXPECT_EQ((*batch)[0].label, 0);
+            EXPECT_EQ((*batch)[1].label, 1);
+            EXPECT_EQ((*batch)[2].label, 2);
+          } else {
+            ASSERT_TRUE(batch.status().IsNotFound() ||
+                        batch.status().IsUnavailable())
+                << batch.status().ToString();
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(rafiki.Undeploy(id).ok());
+    gone.store(true);
+    for (std::thread& t : threads) t.join();
+    EXPECT_TRUE(rafiki.Query(id, rows).status().IsNotFound());
+  }
+}
+
+TEST(RafikiServingLifecycleTest, FacadeMetricsReportBatching) {
+  api::Rafiki rafiki;
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(rafiki.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  api::ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+
+  auto deployed = rafiki.Deploy({handle});
+  ASSERT_TRUE(deployed.ok());
+  Tensor rows({40, 4});
+  for (int64_t r = 0; r < 40; ++r) rows.at2(r, r % 3) = 1.0f;
+  auto batch = rafiki.QueryBatch(*deployed, rows);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), 40u);
+
+  auto metrics = rafiki.InferenceMetrics(*deployed);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, 40);
+  EXPECT_EQ(metrics->processed, 40);
+  EXPECT_GT(metrics->max_batch, 1) << "bulk query did not batch";
+  EXPECT_TRUE(rafiki.Undeploy(*deployed).ok());
+  EXPECT_TRUE(rafiki.InferenceMetrics(*deployed).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rafiki::serving

@@ -248,11 +248,45 @@ TEST(SimulatorTest, ConservationOfRequests) {
   GreedyBatchPolicy policy(0);
   ServingMetrics m = sim.Run(policy, arrivals);
   EXPECT_GT(m.total_arrived, 0);
-  // processed + dropped <= arrived (remainder still queued at the end).
-  EXPECT_LE(m.total_processed + m.total_dropped, m.total_arrived);
+  // Exact conservation: arrived = processed + dropped + residual queue.
+  EXPECT_EQ(m.total_arrived,
+            m.total_processed + m.total_dropped + m.total_residual);
   EXPECT_GE(m.total_processed,
             static_cast<int64_t>(0.9 * static_cast<double>(m.total_arrived)));
   EXPECT_FALSE(m.windows.empty());
+}
+
+TEST(SimulatorTest, OverloadAccountingBalancesExactly) {
+  // Saturating load with a tiny queue forces drops AND a residual queue,
+  // exercising both fixed accounting paths: the overflow metrics bucket
+  // (batches completing past the horizon) folded into the last window, and
+  // the end-of-run residual counted as overdue.
+  ServingSimOptions options;
+  options.duration_seconds = 60.0;
+  options.queue_capacity = 200;
+  ServingSimulator sim(SingleModel(), nullptr, options);
+  // Single inception_v3 caps out at ~272 req/s at b = 64.
+  SineArrivalProcess arrivals(500.0, 70.0, 11);
+  GreedyBatchPolicy policy(0);
+  ServingMetrics m = sim.Run(policy, arrivals);
+
+  EXPECT_GT(m.total_dropped, 0) << "test load should overflow the queue";
+  EXPECT_GT(m.total_residual, 0) << "test load should leave a residual";
+  EXPECT_EQ(m.total_arrived,
+            m.total_processed + m.total_dropped + m.total_residual);
+
+  int64_t window_arrived = 0;
+  int64_t window_processed = 0;
+  int64_t window_overdue = 0;
+  for (const WindowSample& w : m.windows) {
+    window_arrived += w.arrived;
+    window_processed += w.processed;
+    window_overdue += w.overdue;
+  }
+  EXPECT_EQ(window_arrived, m.total_arrived);
+  EXPECT_EQ(window_processed, m.total_processed)
+      << "overflow bucket was not folded into the last window";
+  EXPECT_EQ(window_overdue, m.total_overdue + m.total_dropped);
 }
 
 TEST(SimulatorTest, UnderloadHasFewOverdue) {
