@@ -5,7 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "common/logging.h"
 #include "common/rng.h"
+#include "data/dataset.h"
+#include "trainer/real_trainer.h"
+#include "tuning/cholesky.h"
 #include "common/thread_pool.h"
 #include "nn/layer.h"
 #include "tensor/kernels.h"
@@ -215,6 +221,84 @@ void BM_MlpTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpTrainStep);
 
+// Same workload as BM_MlpTrainStep through the workspace/fused hot path
+// (reserved buffers, SoftmaxCrossEntropyInto, cached ParamList) — the
+// allocation-free step the trainers now run; the pair quantifies what the
+// value-semantics wrappers cost.
+void BM_MlpTrainStepFused(benchmark::State& state) {
+  Rng rng(3);
+  nn::Net net = nn::MakeMlp({32, 64, 10}, 0.1f, 0.0f, rng);
+  nn::Sgd sgd(nn::SgdOptions{});
+  nn::Workspace ws;
+  net.Reserve({32, 32}, &ws);
+  Tensor x = Tensor::Randn({32, 32}, rng);
+  std::vector<int64_t> labels(32);
+  for (size_t i = 0; i < 32; ++i) labels[i] = static_cast<int64_t>(i % 10);
+  nn::LossResult loss;
+  for (auto _ : state) {
+    net.ZeroGrad();
+    const Tensor& logits = net.Forward(x, true, &ws);
+    nn::SoftmaxCrossEntropyInto(logits, labels, &loss);
+    net.Backward(loss.grad, &ws);
+    sgd.Step(net.ParamList());
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_MlpTrainStepFused);
+
+// Allocation-free workspace training step (Net::Forward/Backward into a
+// reserved Workspace + fused SGD), sharded across `shards` data-parallel
+// replicas via RealTrainer. /1 is the serial fast path; higher args measure
+// the scatter + replica sync + tree-reduce machinery. On a single-core host
+// the >1 entries measure that overhead rather than speedup (same caveat as
+// BM_GemmThreadScaling).
+void BM_TrainStep(benchmark::State& state) {
+  data::SyntheticTaskOptions dopts;
+  dopts.num_classes = 10;
+  dopts.samples_per_class = 64;
+  dopts.input_dim = 128;
+  data::Dataset dataset = data::MakeSyntheticTask(dopts);
+
+  trainer::RealTrainerOptions topts;
+  topts.batch_size = 256;
+  topts.num_shards = static_cast<int>(state.range(0));
+  trainer::RealTrainer t(&dataset, &dataset, topts);
+  tuning::Trial trial(1);
+  trial.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(256)));
+  trial.Set("dropout", tuning::KnobValue(0.0));
+  if (!t.InitRandom(trial).ok()) {
+    state.SkipWithError("trainer init failed");
+    return;
+  }
+  data::Dataset batch = dataset.Slice(0, topts.batch_size);
+  for (auto _ : state) {
+    float loss = t.TrainStep(batch.x, batch.labels);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * topts.batch_size);
+}
+// UseRealTime: with shards > 1 the caller blocks on pool workers.
+BENCHMARK(BM_TrainStep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The fused momentum+weight-decay+update pass in isolation, below and above
+// the kParallelMinElems thread-pool cutoff.
+void BM_SgdStep(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(11);
+  nn::ParamTensor p;
+  p.name = "w";
+  p.value = Tensor::Randn({n}, rng);
+  p.grad = Tensor::Randn({n}, rng);
+  nn::Sgd sgd(nn::SgdOptions{});
+  std::vector<nn::ParamTensor*> params = {&p};
+  for (auto _ : state) {
+    sgd.Step(params);
+    benchmark::DoNotOptimize(p.value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SgdStep)->Arg(1 << 12)->Arg(1 << 18)->UseRealTime();
+
 void BM_ParameterServerPutGet(benchmark::State& state) {
   ps::ParameterServer ps;
   Rng rng(4);
@@ -259,6 +343,125 @@ void BM_GaussianProcessFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GaussianProcessFit)->Arg(50)->Arg(200);
+
+// The GEMM-backed GP fit (Gram-matrix covariance + blocked Cholesky) vs a
+// naive reference that assembles the covariance pairwise and factors with
+// the unblocked algorithm — the pre-optimization code path, kept honest
+// release over release.
+void FillGpInputs(size_t n, std::vector<std::vector<double>>* x,
+                  std::vector<double>* y) {
+  Rng rng(5);
+  x->assign(n, std::vector<double>(5));
+  y->assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (double& v : (*x)[i]) v = rng.Uniform();
+    (*y)[i] = rng.Uniform();
+  }
+}
+
+void BM_GpFit(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillGpInputs(n, &x, &y);
+  for (auto _ : state) {
+    tuning::GaussianProcess gp(tuning::GpOptions{});
+    benchmark::DoNotOptimize(gp.Fit(x, y).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GpFit)->Arg(64)->Arg(256);
+
+// Faithful replica of the Fit implementation this repo shipped before the
+// GEMM-backed rewrite: per-pair RBF kernel evaluated through a checked
+// function call, both triangles stored, unblocked in-place Cholesky with a
+// division in the inner loop, and two-pass forward/backward substitution.
+// Kept verbatim (not "improved") so BM_GpFit/BM_GpFitNaive measures the
+// real before/after of the rewrite.
+double NaiveGpKernel(const std::vector<double>& a,
+                     const std::vector<double>& b,
+                     const tuning::GpOptions& opts) {
+  RAFIKI_CHECK_EQ(a.size(), b.size());
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  double l2 = opts.length_scale * opts.length_scale;
+  return opts.signal_variance * std::exp(-0.5 * d2 / l2);
+}
+
+bool NaiveGpFit(const std::vector<std::vector<double>>& x_in,
+                const std::vector<double>& y, const tuning::GpOptions& opts,
+                std::vector<double>* chol, std::vector<double>* alpha) {
+  // The old Fit retained the training set (x_ = x); keep the copy so the
+  // replica pays the same allocations.
+  std::vector<std::vector<double>> x = x_in;
+  size_t n = x.size();
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  double y_std = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+  // A fresh zero-filled buffer per call, as the old Fit allocated it.
+  std::vector<double> k(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double v = NaiveGpKernel(x[i], x[j], opts);
+      if (i == j) v += opts.noise_variance;
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    double diag = k[c * n + c];
+    for (size_t r = 0; r < c; ++r) {
+      double l = k[c * n + r];
+      diag -= l * l;
+    }
+    if (diag <= 0.0) return false;
+    k[c * n + c] = std::sqrt(diag);
+    for (size_t r = c + 1; r < n; ++r) {
+      double acc = k[r * n + c];
+      for (size_t j = 0; j < c; ++j) acc -= k[r * n + j] * k[c * n + j];
+      k[r * n + c] = acc / k[c * n + c];
+    }
+  }
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = (y[i] - mean) / y_std;
+    for (size_t j = 0; j < i; ++j) acc -= k[i * n + j] * z[j];
+    z[i] = acc / k[i * n + i];
+  }
+  alpha->assign(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double acc = z[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= k[j * n + i] * (*alpha)[j];
+    (*alpha)[i] = acc / k[i * n + i];
+  }
+  *chol = std::move(k);
+  return true;
+}
+
+void BM_GpFitNaive(benchmark::State& state) {
+  auto n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillGpInputs(n, &x, &y);
+  tuning::GpOptions opts;
+  std::vector<double> chol;
+  std::vector<double> alpha;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveGpFit(x, y, opts, &chol, &alpha));
+    benchmark::DoNotOptimize(alpha.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GpFitNaive)->Arg(64)->Arg(256);
 
 void BM_HyperSpaceSample(benchmark::State& state) {
   tuning::HyperSpace space;

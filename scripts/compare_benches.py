@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compares two google-benchmark JSON files (baseline vs current).
+
+Usage: scripts/compare_benches.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Prints a per-benchmark delta table plus a summary of regressions beyond the
+threshold (default 10%). Exits 0 always — the CI bench job is a report, not
+a gate: single-run micro-benchmarks on shared runners are too noisy to
+block merges on, but the table in the job log makes drift visible.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b.get("cpu_time", b.get("real_time"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="percent slowdown considered a regression")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    names = sorted(set(base) | set(curr))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    print("-" * (width + 40))
+    regressions = []
+    for name in names:
+        b, c = base.get(name), curr.get(name)
+        if b is None:
+            print(f"{name:<{width}}  {'(new)':>12}  {c:>12.1f}")
+            continue
+        if c is None:
+            print(f"{name:<{width}}  {b:>12.1f}  {'(gone)':>12}")
+            continue
+        delta = (c - b) / b * 100.0 if b else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  <-- regression"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%{marker}")
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) slower than baseline "
+              f"by more than {args.threshold:.0f}% (times in ns, non-blocking):")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+    else:
+        print(f"No regressions beyond {args.threshold:.0f}%.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,9 +149,11 @@ bool BatchIterator::Next(Tensor* x, std::vector<int64_t>* labels) {
   int64_t end = std::min(cursor_ + batch_size_, n);
   int64_t b = end - cursor_;
   int64_t row = dataset_.x.numel() / std::max<int64_t>(n, 1);
+  // Reuse the caller's buffers: only the leading (batch) dimension varies
+  // across calls, so a warm x/labels pair is refilled without allocating.
   Shape shape = dataset_.x.shape();
   shape[0] = b;
-  *x = Tensor(shape);
+  x->EnsureShape(shape);
   labels->resize(static_cast<size_t>(b));
   for (int64_t i = 0; i < b; ++i) {
     int64_t src = order_[static_cast<size_t>(cursor_ + i)];

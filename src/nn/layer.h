@@ -18,19 +18,47 @@ struct ParamTensor {
 };
 
 /// Base class for differentiable layers. Layers cache whatever they need
-/// from `Forward` so that a following `Backward` can produce input
+/// from the forward pass so that a following backward pass can produce input
 /// gradients and accumulate parameter gradients; the trainer drives
 /// Forward -> loss -> Backward -> optimizer step.
+///
+/// The primitive interface writes into caller-owned buffers
+/// (`ForwardInto`/`BackwardInto`): once a layer has seen a given input shape
+/// — either via `Reserve` or a first warm-up pass — subsequent passes at
+/// that shape perform zero heap allocations. Internal caches (input copies,
+/// dropout masks, im2col scratch) are persistent members rewritten in place.
+/// The by-value `Forward`/`Backward` convenience wrappers preserve the
+/// original call style for tests and non-hot-path consumers.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output. `train` enables training-only behaviour
-  /// (e.g. dropout masking).
-  virtual Tensor Forward(const Tensor& input, bool train) = 0;
+  /// Computes the layer output into `*out` (re-shaped as needed; must not
+  /// alias `input`). `train` enables training-only behaviour (dropout
+  /// masking, batch statistics) and the caching backward depends on.
+  virtual void ForwardInto(const Tensor& input, bool train, Tensor* out) = 0;
 
-  /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// Given dL/d(output), accumulates parameter grads and writes
+  /// dL/d(input) into `*grad_input` (must not alias `grad_output`).
+  virtual void BackwardInto(const Tensor& grad_output,
+                            Tensor* grad_input) = 0;
+
+  /// Pre-sizes every internal buffer for inputs of `input_shape` and
+  /// returns the corresponding output shape, so a Net can warm a whole
+  /// workspace without running data through it. Mutates no statistics.
+  virtual Shape Reserve(const Shape& input_shape) { return input_shape; }
+
+  /// By-value convenience wrappers over the Into primitives.
+  Tensor Forward(const Tensor& input, bool train) {
+    Tensor out;
+    ForwardInto(input, train, &out);
+    return out;
+  }
+  Tensor Backward(const Tensor& grad_output) {
+    Tensor grad_input;
+    BackwardInto(grad_output, &grad_input);
+    return grad_input;
+  }
 
   /// Trainable parameters (possibly empty). Pointers remain valid for the
   /// lifetime of the layer.
@@ -47,8 +75,9 @@ class Linear : public Layer {
   Linear(int64_t in_features, int64_t out_features, float init_std, Rng& rng,
          std::string name = "linear");
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return name_; }
 
@@ -68,8 +97,9 @@ class Linear : public Layer {
 class Relu : public Layer {
  public:
   explicit Relu(std::string name = "relu") : name_(std::move(name)) {}
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::string name() const override { return name_; }
 
  private:
@@ -82,8 +112,9 @@ class Relu : public Layer {
 class Dropout : public Layer {
  public:
   Dropout(float rate, uint64_t seed, std::string name = "dropout");
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::string name() const override { return name_; }
 
   float rate() const { return rate_; }
@@ -92,6 +123,7 @@ class Dropout : public Layer {
   float rate_;
   Rng rng_;
   Tensor mask_;
+  bool mask_valid_ = false;  // a training Forward has populated mask_
   std::string name_;
 };
 
@@ -105,8 +137,9 @@ class Conv2D : public Layer {
          int64_t padding, float init_std, Rng& rng,
          std::string name = "conv");
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
   std::string name() const override { return name_; }
 
@@ -120,6 +153,8 @@ class Conv2D : public Layer {
   ParamTensor weight_;  // [out_c, in_c, k, k]
   ParamTensor bias_;    // [out_c]
   Tensor cached_input_;
+  std::vector<float> col_;       // im2col scratch, one sample
+  std::vector<float> grad_col_;  // backward column scratch
   std::string name_;
 };
 
@@ -133,8 +168,9 @@ class BatchNorm : public Layer {
   BatchNorm(int64_t features, std::string name = "bn",
             double momentum = 0.9, double epsilon = 1e-5);
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&gamma_, &beta_}; }
   std::string name() const override { return name_; }
 
@@ -163,8 +199,9 @@ class MaxPool2D : public Layer {
  public:
   explicit MaxPool2D(int64_t window, std::string name = "maxpool");
 
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::string name() const override { return name_; }
 
  private:
@@ -178,8 +215,9 @@ class MaxPool2D : public Layer {
 class Flatten : public Layer {
  public:
   explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
-  Tensor Forward(const Tensor& input, bool train) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  Shape Reserve(const Shape& input_shape) override;
   std::string name() const override { return name_; }
 
  private:

@@ -1,33 +1,54 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 
 namespace rafiki::nn {
 
-LossResult SoftmaxCrossEntropy(const Tensor& logits,
-                               const std::vector<int64_t>& labels) {
+void SoftmaxCrossEntropyInto(const Tensor& logits,
+                             const std::vector<int64_t>& labels,
+                             LossResult* out, int64_t grad_divisor) {
   RAFIKI_CHECK_EQ(logits.rank(), 2u);
   int64_t batch = logits.dim(0);
   int64_t classes = logits.dim(1);
   RAFIKI_CHECK_EQ(static_cast<size_t>(batch), labels.size());
+  if (grad_divisor <= 0) grad_divisor = batch;
 
-  Tensor probs = logits.SoftmaxRows();
+  out->grad.EnsureShape2(batch, classes);
+  const float* in = logits.data();
+  float* g = out->grad.data();
+  float inv_div = 1.0f / static_cast<float>(grad_divisor);
   double loss = 0.0;
-  LossResult out;
-  out.grad = probs;
-  float inv_batch = 1.0f / static_cast<float>(batch);
+  // Softmax is computed row-wise straight into the gradient buffer; the
+  // label column then gets the (p - 1) correction, and the whole row is
+  // scaled by 1/divisor in the same pass.
   for (int64_t r = 0; r < batch; ++r) {
+    const float* row = in + r * classes;
+    float* grow = g + r * classes;
     int64_t y = labels[static_cast<size_t>(r)];
     RAFIKI_CHECK_GE(y, 0);
     RAFIKI_CHECK_LT(y, classes);
-    float p = probs.at2(r, y);
+    float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      grow[c] = std::exp(row[c] - mx);
+      denom += grow[c];
+    }
+    float inv_denom = static_cast<float>(1.0 / denom);
+    float p = grow[y] * inv_denom;
     loss -= std::log(std::max(p, 1e-12f));
-    out.grad.at2(r, y) -= 1.0f;
+    for (int64_t c = 0; c < classes; ++c) grow[c] *= inv_denom * inv_div;
+    grow[y] -= inv_div;
   }
-  out.grad.MulInPlace(inv_batch);
-  out.loss = static_cast<float>(loss / static_cast<double>(batch));
+  out->loss = static_cast<float>(loss / static_cast<double>(batch));
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int64_t>& labels) {
+  LossResult out;
+  SoftmaxCrossEntropyInto(logits, labels, &out);
   return out;
 }
 
@@ -48,15 +69,19 @@ LossResult MeanSquaredError(const Tensor& pred,
                             const std::vector<float>& targets) {
   RAFIKI_CHECK_EQ(static_cast<size_t>(pred.numel()), targets.size());
   LossResult out;
-  out.grad = Tensor(pred.shape());
+  out.grad.EnsureShape(pred.shape());
+  const float* p = pred.data();
+  const float* t = targets.data();
+  float* g = out.grad.data();
+  int64_t n = pred.numel();
   double loss = 0.0;
-  float inv_n = 1.0f / static_cast<float>(targets.size());
-  for (int64_t i = 0; i < pred.numel(); ++i) {
-    float d = pred.at(i) - targets[static_cast<size_t>(i)];
+  float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    float d = p[i] - t[i];
     loss += static_cast<double>(d) * d;
-    out.grad.at(i) = 2.0f * d * inv_n;
+    g[i] = 2.0f * d * inv_n;
   }
-  out.loss = static_cast<float>(loss / static_cast<double>(targets.size()));
+  out.loss = static_cast<float>(loss / static_cast<double>(n));
   return out;
 }
 

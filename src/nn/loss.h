@@ -20,6 +20,16 @@ struct LossResult {
 LossResult SoftmaxCrossEntropy(const Tensor& logits,
                                const std::vector<int64_t>& labels);
 
+/// Buffer-reusing variant: writes the gradient into `out->grad` (re-shaped
+/// as needed) — allocation-free once `out` is warm. `grad_divisor` is the
+/// batch size the gradient is divided by; 0 means the local batch
+/// (`logits.dim(0)`). Data-parallel trainers pass the *global* minibatch
+/// size so per-shard gradients sum to exactly the serial gradient.
+/// `out->loss` is always the mean over the local rows.
+void SoftmaxCrossEntropyInto(const Tensor& logits,
+                             const std::vector<int64_t>& labels,
+                             LossResult* out, int64_t grad_divisor = 0);
+
 /// Fraction of rows whose argmax equals the label.
 double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
 

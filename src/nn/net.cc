@@ -8,36 +8,64 @@ namespace rafiki::nn {
 
 void Net::Add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
+  param_list_.clear();
+  for (auto& l : layers_) {
+    for (ParamTensor* p : l->Params()) param_list_.push_back(p);
+  }
+}
+
+const Tensor& Net::Forward(const Tensor& input, bool train, Workspace* ws) {
+  RAFIKI_CHECK_GT(layers_.size(), 0u) << "Forward through an empty net";
+  if (ws->acts.size() != layers_.size()) ws->acts.resize(layers_.size());
+  const Tensor* x = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardInto(*x, train, &ws->acts[i]);
+    x = &ws->acts[i];
+  }
+  return *x;
+}
+
+void Net::Backward(const Tensor& grad_output, Workspace* ws) {
+  RAFIKI_CHECK_GT(layers_.size(), 0u);
+  if (ws->grads.size() != layers_.size()) ws->grads.resize(layers_.size());
+  const Tensor* g = &grad_output;
+  for (size_t i = layers_.size(); i > 0; --i) {
+    layers_[i - 1]->BackwardInto(*g, &ws->grads[i - 1]);
+    g = &ws->grads[i - 1];
+  }
+}
+
+void Net::Reserve(const Shape& input_shape, Workspace* ws) {
+  RAFIKI_CHECK_GT(layers_.size(), 0u);
+  ws->acts.resize(layers_.size());
+  ws->grads.resize(layers_.size());
+  Shape shape = input_shape;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    ws->grads[i].EnsureShape(shape);  // dL/d(input of layer i)
+    shape = layers_[i]->Reserve(shape);
+    ws->acts[i].EnsureShape(shape);  // output of layer i
+  }
 }
 
 Tensor Net::Forward(const Tensor& input, bool train) {
-  Tensor x = input;
-  for (auto& layer : layers_) x = layer->Forward(x, train);
-  return x;
+  return Forward(input, train, &scratch_);
 }
 
 void Net::Backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
-  }
+  Backward(grad_output, &scratch_);
 }
 
-std::vector<ParamTensor*> Net::Params() {
-  std::vector<ParamTensor*> out;
-  for (auto& layer : layers_) {
-    for (ParamTensor* p : layer->Params()) out.push_back(p);
-  }
-  return out;
-}
+std::vector<ParamTensor*> Net::Params() { return param_list_; }
+
+const std::vector<ParamTensor*>& Net::ParamList() { return param_list_; }
 
 void Net::ZeroGrad() {
-  for (ParamTensor* p : Params()) p->grad.Fill(0.0f);
+  for (ParamTensor* p : param_list_) p->grad.Fill(0.0f);
 }
 
 std::vector<std::pair<std::string, Tensor>> Net::StateDict() {
   std::vector<std::pair<std::string, Tensor>> out;
-  for (ParamTensor* p : Params()) out.emplace_back(p->name, p->value);
+  for (ParamTensor* p : param_list_) out.emplace_back(p->name, p->value);
   return out;
 }
 
@@ -54,6 +82,15 @@ int Net::LoadStateShapeMatched(
     }
   }
   return loaded;
+}
+
+void Net::CopyParamsFrom(Net& src) {
+  const std::vector<ParamTensor*>& theirs = src.ParamList();
+  RAFIKI_CHECK_EQ(param_list_.size(), theirs.size())
+      << "replica/master architecture mismatch";
+  for (size_t i = 0; i < param_list_.size(); ++i) {
+    param_list_[i]->value.CopyFrom(theirs[i]->value);
+  }
 }
 
 Net MakeMlp(const std::vector<int64_t>& dims, float init_std, float dropout,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace rafiki::nn {
 
 double Sgd::CurrentLr() const {
@@ -22,25 +24,54 @@ double Sgd::CurrentLr() const {
   return lr;
 }
 
+namespace {
+
+/// The fused per-element update: g_eff = g + wd*w; v = mu*v - lr*g_eff;
+/// w += v. Identical math and order for the serial and parallel paths, so
+/// splitting across threads cannot change any element's result.
+void FusedUpdate(float* w, const float* g, float* v, int64_t begin,
+                 int64_t end, float mu, float wd, float lr) {
+  for (int64_t i = begin; i < end; ++i) {
+    float ge = g[i] + wd * w[i];
+    float vel = mu * v[i] - lr * ge;
+    v[i] = vel;
+    w[i] += vel;
+  }
+}
+
+}  // namespace
+
 void Sgd::Step(const std::vector<ParamTensor*>& params) {
-  double lr = CurrentLr();
-  for (ParamTensor* p : params) {
-    auto [it, inserted] =
-        velocity_.try_emplace(p->name, Tensor::Zeros(p->value.shape()));
-    Tensor& v = it->second;
-    if (!inserted && !v.SameShape(p->value)) {
-      // Parameter was re-shaped by a warm start across architectures;
-      // restart its velocity.
+  auto lr = static_cast<float>(CurrentLr());
+  auto mu = static_cast<float>(options_.momentum);
+  auto wd = static_cast<float>(options_.weight_decay);
+  // A changed parameter count means a different net was handed in; position
+  // keys are meaningless across that boundary, so restart all momentum.
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), Tensor());
+  }
+  for (size_t s = 0; s < params.size(); ++s) {
+    ParamTensor* p = params[s];
+    Tensor& v = velocity_[s];
+    if (!v.SameShape(p->value)) {
+      // First step, or this parameter was re-shaped by a warm start across
+      // architectures; restart its velocity only.
       v = Tensor::Zeros(p->value.shape());
     }
-    // g_eff = grad + weight_decay * w
-    for (int64_t i = 0; i < v.numel(); ++i) {
-      float g = p->grad.at(i) +
-                static_cast<float>(options_.weight_decay) * p->value.at(i);
-      float vel = static_cast<float>(options_.momentum) * v.at(i) -
-                  static_cast<float>(lr) * g;
-      v.at(i) = vel;
-      p->value.at(i) += vel;
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* vel = v.data();
+    int64_t n = v.numel();
+    if (n >= kParallelMinElems) {
+      ThreadPool& pool = ThreadPool::Global();
+      int64_t grain =
+          std::max<int64_t>(1, (n + pool.num_threads() - 1) /
+                                   pool.num_threads());
+      pool.ParallelFor(0, n, grain, [&](int64_t b, int64_t e) {
+        FusedUpdate(w, g, vel, b, e, mu, wd, lr);
+      });
+    } else {
+      FusedUpdate(w, g, vel, 0, n, mu, wd, lr);
     }
   }
   ++steps_;

@@ -1,8 +1,6 @@
 #ifndef RAFIKI_NN_SGD_H_
 #define RAFIKI_NN_SGD_H_
 
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "nn/layer.h"
@@ -31,8 +29,18 @@ class Sgd {
  public:
   explicit Sgd(SgdOptions options) : options_(options) {}
 
-  /// Applies one update to every parameter: v = mu*v - lr*(g + wd*w);
-  /// w += v. Velocity buffers are keyed by parameter name.
+  /// Applies one fused update to every parameter: v = mu*v - lr*(g + wd*w);
+  /// w += v, in a single pass over raw contiguous data. Tensors with at
+  /// least `kParallelMinElems` elements are split across the global thread
+  /// pool.
+  ///
+  /// Velocity buffers are keyed by *position* in `params` — the flattened
+  /// (layer index, param slot) identity — never by parameter name, so two
+  /// identically-named parameters keep independent momentum. The same
+  /// logical parameter list must therefore be passed on every step (which
+  /// is what Net::ParamList() provides); if the list length changes the
+  /// velocities restart from zero, and a re-shaped parameter (warm start
+  /// across architectures) restarts only its own slot.
   void Step(const std::vector<ParamTensor*>& params);
 
   /// Learning rate currently in effect (after schedule).
@@ -44,9 +52,14 @@ class Sgd {
   int steps() const { return steps_; }
   const SgdOptions& options() const { return options_; }
 
+  /// Element count at and above which one parameter's update is split
+  /// across the thread pool. Below it the update runs on the caller — the
+  /// allocation-free path the zero-alloc training-step test pins down.
+  static constexpr int64_t kParallelMinElems = 1 << 16;
+
  private:
   SgdOptions options_;
-  std::unordered_map<std::string, Tensor> velocity_;
+  std::vector<Tensor> velocity_;  // slot i pairs with params[i]
   int steps_ = 0;
   double lr_scale_ = 1.0;
 };

@@ -51,6 +51,12 @@ struct ModelCheckpoint {
 ///    entries can be spilled to the blob store (HDFS stand-in).
 ///
 /// Thread-safe; masters and workers on different threads share one instance.
+/// Tensor (de)serialization and cold-store I/O run *outside* the internal
+/// mutex so a multi-megabyte spill or cold fetch never stalls concurrent
+/// Put/Get traffic. Consequence: a GetModel that has to promote cold
+/// entries reads each parameter at a consistent individual revision but is
+/// not a cross-parameter atomic snapshot if a concurrent PutModel races it
+/// (the all-hot fast path, the common case, is still fully atomic).
 class ParameterServer {
  public:
   /// `cold_store` may be null (no spilling).
@@ -102,6 +108,13 @@ class ParameterServer {
     ParamMeta meta;
     size_t accesses = 0;
     bool in_cold_store = false;
+    /// Bumped on every logical overwrite (Put/PutModel). Cold-store reads
+    /// and spills drop `mu_` for the blob I/O and use this counter on
+    /// relock to detect a concurrent overwrite: a changed revision means
+    /// the fetched/serialized bytes describe a superseded value, so the
+    /// in-memory entry wins. Hot/cold promotion does not bump it (the
+    /// logical value is unchanged).
+    int64_t revision = 0;
   };
 
   static std::string FullKey(const std::string& scope,

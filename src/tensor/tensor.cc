@@ -65,6 +65,19 @@ float Tensor::at2(int64_t r, int64_t c) const {
   return const_cast<Tensor*>(this)->at2(r, c);
 }
 
+void Tensor::EnsureShape(const Shape& shape) {
+  if (shape_ == shape) return;
+  // resize() keeps capacity on shrink and is a no-op when only the shape
+  // (not the element count) changes, so warm buffers never reallocate.
+  data_.resize(static_cast<size_t>(ShapeNumel(shape)));
+  shape_ = shape;
+}
+
+void Tensor::CopyFrom(const Tensor& other) {
+  EnsureShape(other.shape_);
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
 void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
@@ -89,9 +102,9 @@ void Tensor::Axpy(float alpha, const Tensor& x) {
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
 }
 
-void Tensor::Reshape(Shape shape) {
+void Tensor::Reshape(const Shape& shape) {
   RAFIKI_CHECK_EQ(ShapeNumel(shape), numel());
-  shape_ = std::move(shape);
+  shape_ = shape;
 }
 
 Tensor Tensor::Add(const Tensor& other) const {

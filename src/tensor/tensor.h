@@ -68,13 +68,37 @@ class Tensor {
   float at2(int64_t r, int64_t c) const;
 
   /// In-place mutators -------------------------------------------------------
+  /// Re-shapes the tensor, reusing the existing heap block whenever the
+  /// element count already matches (the steady-state case for workspace
+  /// buffers — see nn::Workspace). Contents are unspecified after a size
+  /// change; capacity never shrinks, so alternating between two sizes
+  /// allocates at most once per size.
+  void EnsureShape(const Shape& shape);
+  /// Rank-specific fast paths: a `Shape` is itself a heap vector, so hot
+  /// loops must not build one per call just to discover it already matches.
+  void EnsureShape2(int64_t rows, int64_t cols) {
+    if (shape_.size() == 2 && shape_[0] == rows && shape_[1] == cols) return;
+    EnsureShape({rows, cols});
+  }
+  void EnsureShape4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    if (shape_.size() == 4 && shape_[0] == n && shape_[1] == c &&
+        shape_[2] == h && shape_[3] == w) {
+      return;
+    }
+    EnsureShape({n, c, h, w});
+  }
+  /// EnsureShape(other.shape()) + element copy. Allocation-free once this
+  /// tensor has seen `other`'s size.
+  void CopyFrom(const Tensor& other);
   void Fill(float value);
   void AddInPlace(const Tensor& other);           // this += other
   void SubInPlace(const Tensor& other);           // this -= other
   void MulInPlace(float scalar);                  // this *= s
   void Axpy(float alpha, const Tensor& x);        // this += alpha * x
-  /// Reshape in place; the element count must be preserved.
-  void Reshape(Shape shape);
+  /// Reshape in place; the element count must be preserved. Takes a
+  /// reference so reshaping to a persistent cached shape never allocates
+  /// (vector copy-assignment reuses capacity).
+  void Reshape(const Shape& shape);
 
   /// Pure operations ----------------------------------------------------------
   Tensor Add(const Tensor& other) const;

@@ -1,8 +1,10 @@
 #include "trainer/real_trainer.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 
 namespace rafiki::trainer {
@@ -14,6 +16,10 @@ RealTrainer::RealTrainer(const data::Dataset* train,
       rng_(options.seed) {
   RAFIKI_CHECK(train != nullptr);
   RAFIKI_CHECK(validation != nullptr);
+  num_shards_ = options_.num_shards > 0
+                    ? options_.num_shards
+                    : static_cast<int>(ThreadPool::Global().num_threads());
+  num_shards_ = std::max(1, num_shards_);
 }
 
 Status RealTrainer::Build(const tuning::Trial& trial) {
@@ -33,6 +39,25 @@ Status RealTrainer::Build(const tuning::Trial& trial) {
   net_ = nn::MakeMlp({in_dim, hidden, classes}, init_std, dropout, rng_);
   num_params_ = 0;
   for (nn::ParamTensor* p : net_.Params()) num_params_ += p->value.numel();
+
+  // Pre-size the master workspace for a full batch so the first step is
+  // already allocation-free; replicas get the largest shard they can see.
+  net_.Reserve({options_.batch_size, in_dim}, &ws_);
+  replicas_.clear();
+  if (num_shards_ > 1) {
+    int64_t max_shard =
+        (options_.batch_size + num_shards_ - 1) / num_shards_;
+    for (int k = 0; k < num_shards_; ++k) {
+      auto rep = std::make_unique<Replica>();
+      // Replica dropout draws come from the shared rng stream, so shard
+      // masks differ from the serial run's — parity holds for dropout 0,
+      // and is tolerance-bounded otherwise like any data-parallel trainer.
+      rep->net = nn::MakeMlp({in_dim, hidden, classes}, init_std, dropout,
+                             rng_);
+      rep->net.Reserve({max_shard, in_dim}, &rep->ws);
+      replicas_.push_back(std::move(rep));
+    }
+  }
 
   nn::SgdOptions sgd;
   sgd.learning_rate = trial.GetDouble("learning_rate", 0.05);
@@ -59,17 +84,102 @@ Status RealTrainer::InitFromCheckpoint(const tuning::Trial& trial,
   return Status::OK();
 }
 
+float RealTrainer::TrainStep(const Tensor& x,
+                             const std::vector<int64_t>& labels) {
+  RAFIKI_CHECK(built_);
+  int64_t batch = x.dim(0);
+  net_.ZeroGrad();
+
+  // Never spread fewer rows than shards; tiny tail batches train serially.
+  int shards = static_cast<int>(
+      std::min<int64_t>(num_shards_, batch));
+  if (shards <= 1 || replicas_.empty()) {
+    const Tensor& logits = net_.Forward(x, /*train=*/true, &ws_);
+    nn::SoftmaxCrossEntropyInto(logits, labels, &loss_);
+    net_.Backward(loss_.grad, &ws_);
+    optimizer_->Step(net_.ParamList());
+    return loss_.loss;
+  }
+
+  // Scatter: contiguous row ranges, remainder spread over the first shards.
+  int64_t row_elems = x.numel() / batch;
+  int64_t base = batch / shards;
+  int64_t rem = batch % shards;
+  int64_t r0 = 0;
+  Shape shard_shape = x.shape();
+  for (int k = 0; k < shards; ++k) {
+    Replica& rep = *replicas_[static_cast<size_t>(k)];
+    int64_t rows = base + (k < rem ? 1 : 0);
+    shard_shape[0] = rows;
+    rep.x.EnsureShape(shard_shape);
+    std::memcpy(rep.x.data(), x.data() + r0 * row_elems,
+                static_cast<size_t>(rows * row_elems) * sizeof(float));
+    rep.labels.assign(labels.begin() + r0, labels.begin() + r0 + rows);
+    rep.net.CopyParamsFrom(net_);
+    rep.net.ZeroGrad();
+    r0 += rows;
+  }
+
+  // Each shard runs forward/backward in its own replica + workspace. The
+  // loss divisor is the *global* batch, so per-row gradient contributions
+  // are identical to the serial pass and shard gradients simply sum.
+  ThreadPool::Global().ParallelFor(
+      0, shards, 1, [&](int64_t begin, int64_t end) {
+        for (int64_t k = begin; k < end; ++k) {
+          Replica& rep = *replicas_[static_cast<size_t>(k)];
+          const Tensor& logits = rep.net.Forward(rep.x, /*train=*/true,
+                                                 &rep.ws);
+          nn::SoftmaxCrossEntropyInto(logits, rep.labels, &rep.loss, batch);
+          rep.net.Backward(rep.loss.grad, &rep.ws);
+        }
+      });
+
+  // Deterministic pairwise tree reduction: at each level, shard k absorbs
+  // shard k+stride. The combine order depends only on the shard count, so
+  // a given (batch, shards) pair always reduces in the same order. Pairs
+  // within a level touch disjoint replicas and may run concurrently.
+  for (int stride = 1; stride < shards; stride *= 2) {
+    int step = 2 * stride;
+    int pairs = (shards - stride + step - 1) / step;
+    ThreadPool::Global().ParallelFor(
+        0, pairs, 1, [&](int64_t begin, int64_t end) {
+          for (int64_t pi = begin; pi < end; ++pi) {
+            int dst = static_cast<int>(pi) * step;
+            int src = dst + stride;
+            auto& dp = replicas_[static_cast<size_t>(dst)]->net.ParamList();
+            auto& sp = replicas_[static_cast<size_t>(src)]->net.ParamList();
+            for (size_t i = 0; i < dp.size(); ++i) {
+              dp[i]->grad.AddInPlace(sp[i]->grad);
+            }
+          }
+        });
+  }
+
+  // Master grads were zeroed above; import the reduced tree root.
+  const auto& master = net_.ParamList();
+  const auto& root = replicas_[0]->net.ParamList();
+  for (size_t i = 0; i < master.size(); ++i) {
+    master[i]->grad.AddInPlace(root[i]->grad);
+  }
+  optimizer_->Step(net_.ParamList());
+
+  // Global mean loss from per-shard local means.
+  double loss = 0.0;
+  for (int k = 0; k < shards; ++k) {
+    const Replica& rep = *replicas_[static_cast<size_t>(k)];
+    loss += static_cast<double>(rep.loss.loss) *
+            static_cast<double>(rep.labels.size());
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
 Result<double> RealTrainer::TrainEpoch() {
   if (!built_) return Status::FailedPrecondition("trainer not initialized");
   data::BatchIterator batches(*train_, options_.batch_size, rng_.Fork());
   Tensor x;
   std::vector<int64_t> labels;
   while (batches.Next(&x, &labels)) {
-    net_.ZeroGrad();
-    Tensor logits = net_.Forward(x, /*train=*/true);
-    nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
-    net_.Backward(loss.grad);
-    optimizer_->Step(net_.Params());
+    TrainStep(x, labels);
   }
   return Evaluate();
 }

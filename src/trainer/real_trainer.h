@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
+#include "nn/loss.h"
 #include "nn/net.h"
 #include "nn/sgd.h"
 #include "trainer/trainable.h"
@@ -22,6 +24,13 @@ namespace rafiki::trainer {
 struct RealTrainerOptions {
   int64_t batch_size = 32;
   uint64_t seed = 31;
+  /// Data-parallel shards per minibatch. 1 trains serially (the default,
+  /// and bit-stable with previous releases); K > 1 splits each batch into
+  /// K contiguous row ranges, drives one model replica per shard on the
+  /// global thread pool, and tree-reduces the shard gradients into the
+  /// master parameters in a fixed order (deterministic for a given K).
+  /// 0 picks the thread-pool width.
+  int num_shards = 1;
 };
 
 class RealTrainer : public Trainable {
@@ -41,14 +50,36 @@ class RealTrainer : public Trainable {
   /// Validation accuracy without training (for tests).
   Result<double> Evaluate();
 
+  /// Runs one SGD step on an explicit minibatch (serial or sharded per
+  /// `num_shards`); exposed for parity tests and benchmarks. Returns the
+  /// minibatch mean loss.
+  float TrainStep(const Tensor& x, const std::vector<int64_t>& labels);
+
+  int num_shards() const { return num_shards_; }
+
  private:
+  /// One model replica driven by one shard of the minibatch: its own net
+  /// (values synced from the master each step), workspace, loss buffer and
+  /// input slice, so shard passes share no mutable state.
+  struct Replica {
+    nn::Net net;
+    nn::Workspace ws;
+    nn::LossResult loss;
+    Tensor x;
+    std::vector<int64_t> labels;
+  };
+
   Status Build(const tuning::Trial& trial);
 
   const data::Dataset* train_;
   const data::Dataset* validation_;
   RealTrainerOptions options_;
+  int num_shards_ = 1;
   Rng rng_;
   nn::Net net_;
+  nn::Workspace ws_;
+  nn::LossResult loss_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<nn::Sgd> optimizer_;
   int64_t num_params_ = 0;
   double last_accuracy_ = 0.0;

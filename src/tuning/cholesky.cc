@@ -1,0 +1,151 @@
+#include "tuning/cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+// RAFIKI_SIMD_REDUCTION marks an inner-product loop as reassociation-safe so
+// the vectorizer may compute it with per-lane partial sums. `omp simd` is
+// plain OpenMP-SIMD: it needs no runtime library, is honored under
+// -fopenmp-simd (which the build adds), and is silently ignored by
+// compilers not given that flag (`#pragma omp` is skipped without it, no
+// -Wunknown-pragmas noise). Without the grant, -O3 alone must keep every
+// floating-point reduction serial, which leaves the trailing update
+// latency-bound at a fraction of FMA throughput.
+#define RAFIKI_SIMD_REDUCTION(...) _Pragma(#__VA_ARGS__)
+
+namespace rafiki::tuning {
+
+bool CholeskyNaive(double* a, size_t n) {
+  for (size_t c = 0; c < n; ++c) {
+    double diag = a[c * n + c];
+    for (size_t j = 0; j < c; ++j) {
+      double l = a[c * n + j];
+      diag -= l * l;
+    }
+    if (diag <= 0.0) return false;
+    double d = std::sqrt(diag);
+    a[c * n + c] = d;
+    double inv = 1.0 / d;
+    for (size_t r = c + 1; r < n; ++r) {
+      double acc = a[r * n + c];
+      for (size_t j = 0; j < c; ++j) acc -= a[r * n + j] * a[c * n + j];
+      a[r * n + c] = acc * inv;
+    }
+  }
+  return true;
+}
+
+bool CholeskyBlocked(double* a, size_t n, size_t block) {
+  if (block < 1) block = 1;
+  // Trailing-update tile edge: small enough that a dst-row/src-row pair of
+  // tiles lives in L1, large enough to amortize the loop overhead.
+  constexpr size_t kTile = 64;
+  // Finalized-column entries for the panel's remaining columns, buffered so
+  // the rank-1 row updates read them contiguously instead of striding down
+  // the matrix.
+  std::vector<double> colc(std::min(block, n));
+  for (size_t kb = 0; kb < n; kb += block) {
+    size_t kend = std::min(kb + block, n);
+    // Panel factorization, right-looking inside the panel: once column c is
+    // final, its rank-1 contribution is immediately subtracted from the
+    // remaining panel columns as an elementwise row update, which
+    // vectorizes without any reduction. Earlier panels' contributions were
+    // already removed by their trailing updates, so by the time column c is
+    // reached its entries are fully downdated and only need scaling.
+    for (size_t c = kb; c < kend; ++c) {
+      double diag = a[c * n + c];
+      if (diag <= 0.0) return false;
+      double d = std::sqrt(diag);
+      a[c * n + c] = d;
+      double inv = 1.0 / d;
+      for (size_t r = c + 1; r < n; ++r) a[r * n + c] *= inv;
+      size_t w = kend - (c + 1);
+      if (w == 0) continue;
+      for (size_t j = 0; j < w; ++j) colc[j] = a[(c + 1 + j) * n + c];
+      for (size_t r = c + 1; r < n; ++r) {
+        double lrc = a[r * n + c];
+        double* __restrict ar = a + r * n + (c + 1);
+        size_t m = std::min(w, r - c);
+        for (size_t j = 0; j < m; ++j) ar[j] -= lrc * colc[j];
+      }
+    }
+    // Right-looking rank-(kend-kb) downdate of the trailing lower triangle:
+    // A[i,j] -= L[i, kb:kend] . L[j, kb:kend], tiled so both panel rows
+    // stay cache-resident while a tile of A is updated. The 2x2 register
+    // tile keeps four independent accumulators live, and the SIMD-reduction
+    // grant lets each of them vectorize into per-lane partial sums.
+    for (size_t ib = kend; ib < n; ib += kTile) {
+      size_t iend = std::min(ib + kTile, n);
+      for (size_t jb = kend; jb <= ib; jb += kTile) {
+        size_t jend = std::min(jb + kTile, n);
+        size_t i = ib;
+        for (; i + 1 < iend; i += 2) {
+          const double* li0 = a + i * n;
+          const double* li1 = li0 + n;
+          size_t jmax0 = std::min(jend, i + 1);
+          size_t jmax1 = std::min(jend, i + 2);
+          size_t j = jb;
+          for (; j + 1 < jmax0; j += 2) {
+            const double* lj0 = a + j * n;
+            const double* lj1 = lj0 + n;
+            double s00 = 0.0, s01 = 0.0, s10 = 0.0, s11 = 0.0;
+            RAFIKI_SIMD_REDUCTION(omp simd reduction(+ : s00, s01, s10, s11))
+            for (size_t c = kb; c < kend; ++c) {
+              double v0 = li0[c], v1 = li1[c];
+              s00 += v0 * lj0[c];
+              s01 += v0 * lj1[c];
+              s10 += v1 * lj0[c];
+              s11 += v1 * lj1[c];
+            }
+            a[i * n + j] -= s00;
+            a[i * n + j + 1] -= s01;
+            a[(i + 1) * n + j] -= s10;
+            a[(i + 1) * n + j + 1] -= s11;
+          }
+          for (; j < jmax1; ++j) {
+            const double* lj = a + j * n;
+            double s0 = 0.0, s1 = 0.0;
+            RAFIKI_SIMD_REDUCTION(omp simd reduction(+ : s0, s1))
+            for (size_t c = kb; c < kend; ++c) {
+              s0 += li0[c] * lj[c];
+              s1 += li1[c] * lj[c];
+            }
+            if (j < jmax0) a[i * n + j] -= s0;
+            a[(i + 1) * n + j] -= s1;
+          }
+        }
+        for (; i < iend; ++i) {
+          const double* li = a + i * n;
+          size_t jmax = std::min(jend, i + 1);
+          for (size_t j = jb; j < jmax; ++j) {
+            const double* lj = a + j * n;
+            double acc = 0.0;
+            RAFIKI_SIMD_REDUCTION(omp simd reduction(+ : acc))
+            for (size_t c = kb; c < kend; ++c) acc += li[c] * lj[c];
+            a[i * n + j] -= acc;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void CholeskySolve(const double* l, size_t n, double* x) {
+  for (size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    const double* row = l + i * n;
+    RAFIKI_SIMD_REDUCTION(omp simd reduction(- : acc))
+    for (size_t j = 0; j < i; ++j) acc -= row[j] * x[j];
+    x[i] = acc / row[i];
+  }
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double acc = x[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= l[j * n + i] * x[j];
+    x[i] = acc / l[i * n + i];
+  }
+}
+
+}  // namespace rafiki::tuning

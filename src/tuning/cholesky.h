@@ -1,0 +1,34 @@
+#ifndef RAFIKI_TUNING_CHOLESKY_H_
+#define RAFIKI_TUNING_CHOLESKY_H_
+
+#include <cstddef>
+
+namespace rafiki::tuning {
+
+/// In-place Cholesky factorization A = L*L^T of a symmetric positive-
+/// definite row-major n x n matrix. On success the lower triangle of `a`
+/// holds L (the strict upper triangle is left untouched) and true is
+/// returned; returns false as soon as a non-positive pivot shows the matrix
+/// is not (numerically) positive definite, leaving `a` partially factored.
+///
+/// Textbook unblocked algorithm: one dot product per element against all
+/// previously factored columns. O(n^3) with no cache reuse — kept as the
+/// parity reference and baseline for the blocked variant.
+bool CholeskyNaive(double* a, size_t n);
+
+/// Blocked right-looking variant of the same factorization: factor an
+/// nb-wide column panel down the full height, then rank-nb-downdate the
+/// trailing submatrix in cache-sized tiles whose inner loops run
+/// unit-stride over both operand rows. Same flop count as the naive
+/// algorithm but each panel is reused ~n/nb times from cache instead of
+/// being re-streamed per element. `block` is the panel width nb.
+bool CholeskyBlocked(double* a, size_t n, size_t block = 128);
+
+/// Solves L * z = b (forward) then L^T * x = z (backward) for the lower-
+/// triangular factor produced above; `x` is overwritten in place (pass b
+/// in `x`). Shared by the GP fit and tests.
+void CholeskySolve(const double* l, size_t n, double* x);
+
+}  // namespace rafiki::tuning
+
+#endif  // RAFIKI_TUNING_CHOLESKY_H_

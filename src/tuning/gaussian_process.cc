@@ -1,10 +1,39 @@
 #include "tuning/gaussian_process.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
+#include "tuning/cholesky.h"
 
 namespace rafiki::tuning {
+
+namespace {
+
+/// Single-precision exp as pure arithmetic (no libm call), so the
+/// covariance-assembly loop below is vectorizable and never serializes on
+/// exp(). Standard 2^k * e^r split with a degree-5 polynomial on r in
+/// (-ln2/2, ln2/2]; ~2e-6 relative error, orders of magnitude below the
+/// noise_variance jitter that lands on the diagonal. The caller must keep
+/// x in [-80, 0] (plus round-off slack): the biased exponent k + 127 is
+/// built by an unchecked shift. The clamp lives at the call site rather
+/// than here because GCC refuses to if-convert a loop that mixes a
+/// min/max with this int<->float chain ("control flow in loop"), while
+/// each piece alone vectorizes fine.
+inline float FastExpNeg(float x) {
+  float z = x * 1.4426950408889634f;         // x / ln 2
+  int k = static_cast<int>(z - 0.5f);        // round-to-nearest (z <~ 0)
+  float r = x - static_cast<float>(k) * 0.6931471805599453f;
+  float p = 1.0f + r * (1.0f + r * (0.5f + r * (0.16666667f +
+            r * (0.041666668f + r * 0.008333334f))));
+  uint32_t bits = static_cast<uint32_t>(k + 127) << 23;  // 2^k, k >= -116
+  return p * std::bit_cast<float>(bits);
+}
+
+}  // namespace
 
 double NormalPdf(double z) {
   static const double kInvSqrt2Pi = 0.3989422804014327;
@@ -43,49 +72,71 @@ Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
   y_mean_ = mean;
   y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
 
-  // K + noise I, then Cholesky factorize in place (lower triangle).
-  std::vector<double> k(n * n, 0.0);
+  // Covariance via one GEMM: with G = X·X^T (Gram), squared distances are
+  // ||xi - xj||^2 = G_ii + G_jj - 2 G_ij, so the n^2 pairwise-distance
+  // loops collapse into a single blocked matrix product. The Gram matrix
+  // is computed in float through kernels::GemmNT — hyper-parameter knobs
+  // live in [0,1]-ish ranges, so the ~1e-7 relative float error is orders
+  // of magnitude below the noise_variance jitter added to the diagonal.
+  size_t d = x[0].size();
+  std::vector<float> xf(n * d);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j <= i; ++j) {
-      double v = Kernel(x[i], x[j]);
-      if (i == j) v += options_.noise_variance;
-      k[i * n + j] = v;
-      k[j * n + i] = v;
+    RAFIKI_CHECK_EQ(x[i].size(), d);
+    for (size_t j = 0; j < d; ++j) {
+      xf[i * d + j] = static_cast<float>(x[i][j]);
     }
   }
-  for (size_t c = 0; c < n; ++c) {
-    double diag = k[c * n + c];
-    for (size_t r = 0; r < c; ++r) {
-      double l = k[c * n + r];
-      diag -= l * l;
+  std::vector<float> gram(n * n, 0.0f);
+  kernels::GemmNT(xf.data(), xf.data(), gram.data(), static_cast<int64_t>(n),
+                  static_cast<int64_t>(d), static_cast<int64_t>(n));
+
+  // Only the lower triangle is assembled: the Cholesky routines and the
+  // substitution solvers never read above the diagonal, and skipping the
+  // mirror halves the stores and keeps this loop a contiguous row-wise
+  // sweep the vectorizer handles outright. The upper triangle of chol_ is
+  // left uninitialized — which is also why the buffer uses the
+  // default-init allocator: zero-filling n^2 doubles only to overwrite
+  // the half that is ever read would cost a memset per fit.
+  std::vector<double, DefaultInitAlloc<double>> k(n * n);
+  auto sv = static_cast<float>(options_.signal_variance);
+  auto neg_half_inv_l2 = static_cast<float>(
+      -0.5 / (options_.length_scale * options_.length_scale));
+  std::vector<float> norms(n);
+  for (size_t i = 0; i < n; ++i) norms[i] = gram[i * n + i];
+  // Each row is assembled in two passes over a scratch buffer: pass one
+  // computes the clamped exp argument, pass two runs the arithmetic exp.
+  // Fused into one loop, GCC reports "not vectorized: control flow in
+  // loop" — the clamp's min/max will not if-convert next to FastExpNeg's
+  // int<->float conversions — but split apart both passes vectorize.
+  std::vector<float> arg(n);
+  for (size_t i = 0; i < n; ++i) {
+    float ni = norms[i];
+    const float* gi = gram.data() + i * n;
+    double* ki = k.data() + i * n;
+    for (size_t j = 0; j < i; ++j) {
+      // Clamp below for FastExpNeg's exponent range; float round-off can
+      // push a tiny d2 negative, and with an extreme length_scale that
+      // round-off could blow up positive, so clamp above at 0 too (a hair
+      // positive is fine for FastExpNeg, exactly 0 maps to exp(0) = 1).
+      float a2 = neg_half_inv_l2 * (ni + norms[j] - 2.0f * gi[j]);
+      arg[j] = std::max(std::min(a2, 0.0f), -80.0f);
     }
-    if (diag <= 0.0) {
-      fitted_ = false;
-      return Status::FailedPrecondition("GP kernel not positive definite");
+    for (size_t j = 0; j < i; ++j) {
+      ki[j] = sv * FastExpNeg(arg[j]);
     }
-    k[c * n + c] = std::sqrt(diag);
-    for (size_t r = c + 1; r < n; ++r) {
-      double acc = k[r * n + c];
-      for (size_t j = 0; j < c; ++j) acc -= k[r * n + j] * k[c * n + j];
-      k[r * n + c] = acc / k[c * n + c];
-    }
+    ki[i] = options_.signal_variance + options_.noise_variance;
+  }
+
+  if (!CholeskyBlocked(k.data(), n)) {
+    fitted_ = false;
+    return Status::FailedPrecondition("GP kernel not positive definite");
   }
   chol_ = std::move(k);
 
   // alpha = K^{-1} y_std via forward + backward substitution.
-  std::vector<double> z(n);
-  for (size_t i = 0; i < n; ++i) {
-    double acc = (y[i] - y_mean_) / y_std_;
-    for (size_t j = 0; j < i; ++j) acc -= chol_[i * n + j] * z[j];
-    z[i] = acc / chol_[i * n + i];
-  }
-  alpha_.assign(n, 0.0);
-  for (size_t ii = n; ii > 0; --ii) {
-    size_t i = ii - 1;
-    double acc = z[i];
-    for (size_t j = i + 1; j < n; ++j) acc -= chol_[j * n + i] * alpha_[j];
-    alpha_[i] = acc / chol_[i * n + i];
-  }
+  alpha_.resize(n);
+  for (size_t i = 0; i < n; ++i) alpha_[i] = (y[i] - y_mean_) / y_std_;
+  CholeskySolve(chol_.data(), n, alpha_.data());
   fitted_ = true;
   return Status::OK();
 }

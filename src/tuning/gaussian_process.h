@@ -1,6 +1,9 @@
 #ifndef RAFIKI_TUNING_GAUSSIAN_PROCESS_H_
 #define RAFIKI_TUNING_GAUSSIAN_PROCESS_H_
 
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -13,12 +16,35 @@ namespace rafiki::tuning {
 ///   k(x, x') = signal_variance * exp(-||x - x'||^2 / (2 * length_scale^2))
 ///
 /// Targets are standardized internally; predictions are de-standardized.
-/// Exact inference via Cholesky — trial counts are O(100), so the O(n^3)
-/// fit is trivial.
+/// Exact inference: the covariance is assembled from one GEMM-computed Gram
+/// matrix (||xi-xj||^2 = Gii + Gjj - 2Gij) and factored with the blocked
+/// Cholesky in tuning/cholesky.h, keeping the O(n^3) fit cheap well past
+/// the O(100) trials a study accumulates.
 struct GpOptions {
   double length_scale = 0.2;
   double signal_variance = 1.0;
   double noise_variance = 1e-3;
+};
+
+/// std::allocator that default-initializes instead of value-initializing,
+/// so `std::vector<double, DefaultInitAlloc<double>> v(n)` skips the O(n)
+/// zero-fill. Used for the covariance/Cholesky buffer, whose every read
+/// element is written first (the never-read upper triangle stays
+/// uninitialized by design).
+template <typename T>
+struct DefaultInitAlloc : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAlloc<U>;
+  };
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
 };
 
 class GaussianProcess {
@@ -50,7 +76,9 @@ class GaussianProcess {
   bool fitted_ = false;
   std::vector<std::vector<double>> x_;
   std::vector<double> alpha_;         // K^{-1} (y - mean)
-  std::vector<double> chol_;          // lower-triangular L, row-major n x n
+  // Lower-triangular L, row-major n x n; the upper triangle is never
+  // written nor read (see Fit).
+  std::vector<double, DefaultInitAlloc<double>> chol_;
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
 };

@@ -1,0 +1,114 @@
+// Blocked-vs-naive Cholesky parity on random SPD matrices, plus the solve
+// helper and the non-positive-definite failure path.
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tuning/cholesky.h"
+
+namespace rafiki::tuning {
+namespace {
+
+// SPD by construction: A = B*B^T + n*I with random B.
+std::vector<double> RandomSpd(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(n * n);
+  for (double& v : b) v = rng.Uniform(-1.0, 1.0);
+  std::vector<double> a(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) acc += b[i * n + k] * b[j * n + k];
+      if (i == j) acc += static_cast<double>(n);
+      a[i * n + j] = acc;
+      a[j * n + i] = acc;
+    }
+  }
+  return a;
+}
+
+TEST(CholeskyTest, BlockedMatchesNaive) {
+  // Sizes straddle the default panel width and include non-multiples of
+  // both the panel and the trailing-update tile.
+  for (size_t n : {1u, 7u, 48u, 61u, 130u, 200u}) {
+    std::vector<double> a = RandomSpd(n, 1000 + n);
+    std::vector<double> naive = a;
+    std::vector<double> blocked = a;
+    ASSERT_TRUE(CholeskyNaive(naive.data(), n)) << "n=" << n;
+    ASSERT_TRUE(CholeskyBlocked(blocked.data(), n)) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        double ref = naive[i * n + j];
+        ASSERT_NEAR(blocked[i * n + j], ref,
+                    1e-9 * (1.0 + std::fabs(ref)))
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, SmallBlockSizesAgree) {
+  size_t n = 73;
+  std::vector<double> a = RandomSpd(n, 42);
+  std::vector<double> ref = a;
+  ASSERT_TRUE(CholeskyNaive(ref.data(), n));
+  for (size_t block : {1u, 2u, 16u, 73u, 100u}) {
+    std::vector<double> l = a;
+    ASSERT_TRUE(CholeskyBlocked(l.data(), n, block)) << "block=" << block;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        ASSERT_NEAR(l[i * n + j], ref[i * n + j],
+                    1e-9 * (1.0 + std::fabs(ref[i * n + j])))
+            << "block=" << block;
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, FactorizationReconstructsMatrix) {
+  size_t n = 96;
+  std::vector<double> a = RandomSpd(n, 7);
+  std::vector<double> l = a;
+  ASSERT_TRUE(CholeskyBlocked(l.data(), n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k <= j; ++k) acc += l[i * n + k] * l[j * n + k];
+      ASSERT_NEAR(acc, a[i * n + j], 1e-8 * (1.0 + std::fabs(a[i * n + j])));
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveInvertsSystem) {
+  size_t n = 50;
+  std::vector<double> a = RandomSpd(n, 9);
+  std::vector<double> l = a;
+  ASSERT_TRUE(CholeskyBlocked(l.data(), n));
+  Rng rng(13);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.Uniform(-2.0, 2.0);
+  // b = A * x_true, then solve back.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < n; ++j) acc += a[i * n + j] * x_true[j];
+    x[i] = acc;
+  }
+  CholeskySolve(l.data(), n, x.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(x[i], x_true[i], 1e-7 * (1.0 + std::fabs(x_true[i])));
+  }
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  // Symmetric but indefinite (negative eigenvalue).
+  std::vector<double> a = {1.0, 2.0, 2.0, 1.0};
+  std::vector<double> b = a;
+  EXPECT_FALSE(CholeskyNaive(a.data(), 2));
+  EXPECT_FALSE(CholeskyBlocked(b.data(), 2));
+}
+
+}  // namespace
+}  // namespace rafiki::tuning

@@ -1,0 +1,120 @@
+// Sharded-vs-serial gradient parity for the data-parallel RealTrainer:
+// splitting a minibatch across K replicas and tree-reducing the shard
+// gradients must train the same model as the serial pass, up to the
+// accumulation-order round-off GEMM is allowed.
+
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "trainer/real_trainer.h"
+
+namespace rafiki::trainer {
+namespace {
+
+tuning::Trial ParityTrial() {
+  tuning::Trial t(1);
+  t.Set("learning_rate", tuning::KnobValue(0.05));
+  t.Set("momentum", tuning::KnobValue(0.9));
+  t.Set("weight_decay", tuning::KnobValue(3e-4));
+  // Dropout must be off for exact parity: replicas draw independent masks.
+  t.Set("dropout", tuning::KnobValue(0.0));
+  t.Set("init_std", tuning::KnobValue(0.05));
+  t.Set("hidden_units", tuning::KnobValue(static_cast<int64_t>(24)));
+  return t;
+}
+
+class DataParallelTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticTaskOptions options;
+    options.num_classes = 4;
+    options.samples_per_class = 50;
+    options.input_dim = 12;
+    options.separation = 4.0;
+    options.spread = 0.8;
+    data::Dataset all = data::MakeSyntheticTask(options);
+    Rng rng(5);
+    data::DataSplits splits = data::SplitDataset(all, 0.7, 0.3, rng);
+    train_ = std::move(splits.train);
+    val_ = std::move(splits.validation);
+  }
+
+  // A deterministic batch drawn straight from the training set.
+  void MakeBatch(int64_t rows, Tensor* x, std::vector<int64_t>* labels) {
+    data::Dataset slice = train_.Slice(0, rows);
+    *x = slice.x;
+    *labels = slice.labels;
+  }
+
+  data::Dataset train_;
+  data::Dataset val_;
+};
+
+TEST_F(DataParallelTrainerTest, ShardedMatchesSerialWithinTolerance) {
+  for (int shards : {2, 3, 4}) {
+    RealTrainerOptions serial_opts;
+    serial_opts.num_shards = 1;
+    RealTrainerOptions sharded_opts;
+    sharded_opts.num_shards = shards;
+
+    RealTrainer serial(&train_, &val_, serial_opts);
+    RealTrainer sharded(&train_, &val_, sharded_opts);
+    // Same seed => identical master initialization (replica nets are built
+    // after the master, so the master's weight draws line up).
+    ASSERT_TRUE(serial.InitRandom(ParityTrial()).ok());
+    ASSERT_TRUE(sharded.InitRandom(ParityTrial()).ok());
+
+    Tensor x;
+    std::vector<int64_t> labels;
+    MakeBatch(31, &x, &labels);  // odd size: shards get uneven rows
+
+    for (int step = 0; step < 5; ++step) {
+      float ls = serial.TrainStep(x, labels);
+      float lp = sharded.TrainStep(x, labels);
+      ASSERT_NEAR(ls, lp, 1e-4f) << "shards=" << shards << " step=" << step;
+    }
+
+    auto ps = serial.Checkpoint().params;
+    auto pp = sharded.Checkpoint().params;
+    ASSERT_EQ(ps.size(), pp.size());
+    for (size_t i = 0; i < ps.size(); ++i) {
+      ASSERT_EQ(ps[i].first, pp[i].first);
+      ASSERT_EQ(ps[i].second.numel(), pp[i].second.numel());
+      const float* a = ps[i].second.data();
+      const float* b = pp[i].second.data();
+      for (int64_t j = 0; j < ps[i].second.numel(); ++j) {
+        ASSERT_NEAR(a[j], b[j], 1e-4f * (1.0f + std::fabs(a[j])))
+            << "shards=" << shards << " param=" << ps[i].first
+            << " elem=" << j;
+      }
+    }
+  }
+}
+
+TEST_F(DataParallelTrainerTest, TinyBatchFallsBackToSerial) {
+  RealTrainerOptions opts;
+  opts.num_shards = 8;
+  RealTrainer trainer(&train_, &val_, opts);
+  ASSERT_TRUE(trainer.InitRandom(ParityTrial()).ok());
+  // Fewer rows than shards must still work (trains serially).
+  Tensor x;
+  std::vector<int64_t> labels;
+  MakeBatch(1, &x, &labels);
+  float loss = trainer.TrainStep(x, labels);
+  EXPECT_GT(loss, 0.0f);
+}
+
+TEST_F(DataParallelTrainerTest, ShardedTrainingLearnsTask) {
+  RealTrainerOptions opts;
+  opts.num_shards = 4;
+  RealTrainer trainer(&train_, &val_, opts);
+  ASSERT_TRUE(trainer.InitRandom(ParityTrial()).ok());
+  double acc = 0.0;
+  for (int e = 0; e < 15; ++e) acc = trainer.TrainEpoch().value();
+  EXPECT_GT(acc, 0.8) << "sharded trainer must still learn the task";
+}
+
+}  // namespace
+}  // namespace rafiki::trainer

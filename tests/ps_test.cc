@@ -163,6 +163,85 @@ TEST(ParameterServerTest, ConcurrentPutGetIsSafe) {
   EXPECT_EQ(ps.num_entries(), 200u);
 }
 
+TEST(ParameterServerTest, SpillRacingPutKeepsFreshValue) {
+  // Serialization and blob I/O run outside the server mutex, so a Put can
+  // land between a spill's snapshot and its demotion pass; the revision
+  // check must then keep the fresh value hot instead of demoting the entry
+  // to the stale blob.
+  storage::BlobStore cold;
+  ParameterServer ps(&cold);
+  ParamMeta meta;
+  Tensor initial({64});
+  initial.Fill(0.0f);  // constant per version, so torn reads are detectable
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(ps.Put("m", "p" + std::to_string(i), initial, meta).ok());
+  }
+  std::thread spiller([&ps] {
+    for (int round = 0; round < 50; ++round) ps.SpillCold(/*min_accesses=*/1);
+  });
+  std::thread writer([&ps, &meta] {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 32; ++i) {
+        Tensor fresh({64});
+        fresh.Fill(static_cast<float>(round + 1));
+        ASSERT_TRUE(ps.Put("m", "p" + std::to_string(i), fresh, meta).ok());
+      }
+    }
+  });
+  std::thread reader([&ps] {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 32; ++i) {
+        auto got = ps.Get("m", "p" + std::to_string(i));
+        ASSERT_TRUE(got.ok());
+        // Every element of a value is written atomically under the lock,
+        // so a read must never observe a torn/stale-mixed tensor.
+        float first = got->at(0);
+        for (int64_t j = 1; j < got->numel(); ++j) {
+          ASSERT_EQ(got->at(j), first);
+        }
+      }
+    }
+  });
+  spiller.join();
+  writer.join();
+  reader.join();
+  // After the dust settles the latest Put must win everywhere.
+  for (int i = 0; i < 32; ++i) {
+    auto got = ps.Get("m", "p" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->at(0), 50.0f);
+  }
+}
+
+TEST(ParameterServerTest, GetModelPromotesColdCheckpointUnderTraffic) {
+  storage::BlobStore cold;
+  ParameterServer ps(&cold);
+  ModelCheckpoint ckpt;
+  for (int i = 0; i < 8; ++i) {
+    ckpt.params.emplace_back("w" + std::to_string(i), Arange({16}));
+  }
+  ckpt.meta.accuracy = 0.5;
+  ASSERT_TRUE(ps.PutModel("trial", ckpt).ok());
+  ASSERT_EQ(ps.SpillCold(/*min_accesses=*/1), 8u);
+  std::thread churn([&ps] {
+    ParamMeta meta;
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(ps.Put("other", "x", Arange({4}), meta).ok());
+      ASSERT_TRUE(ps.Get("other", "x").ok());
+    }
+  });
+  auto got = ps.GetModel("trial");
+  churn.join();
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->params.size(), 8u);
+  for (auto& [name, value] : got->params) {
+    EXPECT_EQ(value.numel(), 16);
+    EXPECT_EQ(value.at(3), 3.0f);  // round-tripped through the blob store
+  }
+  // All eight entries were promoted back to hot by the read.
+  EXPECT_EQ(ps.num_hot_entries(), ps.num_entries());
+}
+
 TEST(ParameterServerTest, ListScopesReturnsCheckpoints) {
   ParameterServer ps;
   ModelCheckpoint ckpt;

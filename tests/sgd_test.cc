@@ -1,0 +1,178 @@
+// Parity and regression tests for the fused SGD step: the single-pass
+// update must match a plain scalar reference across learning-rate
+// schedules and across the serial/parallel size boundary, and velocity
+// must be keyed by parameter *position*, never by name.
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/layer.h"
+#include "nn/sgd.h"
+
+namespace rafiki::nn {
+namespace {
+
+// Three-pass scalar reference of one momentum+weight-decay step. Same
+// per-element math as Sgd::FusedUpdate but written naively.
+void ReferenceStep(std::vector<float>* w, const std::vector<float>& g,
+                   std::vector<float>* v, float mu, float wd, float lr) {
+  for (size_t i = 0; i < w->size(); ++i) {
+    float ge = g[i] + wd * (*w)[i];
+    float vel = mu * (*v)[i] - lr * ge;
+    (*v)[i] = vel;
+    (*w)[i] += vel;
+  }
+}
+
+ParamTensor MakeParam(const std::string& name, int64_t n, uint64_t seed) {
+  ParamTensor p;
+  p.name = name;
+  p.value = Tensor({n});
+  p.grad = Tensor({n});
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    p.value.data()[i] = static_cast<float>(rng.Uniform() - 0.5);
+  }
+  return p;
+}
+
+void FillGrad(ParamTensor* p, int step) {
+  float* g = p->grad.data();
+  int64_t n = p->grad.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    g[i] = std::sin(0.01f * static_cast<float>(i + 1) *
+                    static_cast<float>(step + 1));
+  }
+}
+
+void RunScheduleParity(SgdOptions opts) {
+  // One tensor below and one above kParallelMinElems, so both the serial
+  // and the thread-pool-split paths are checked against the reference.
+  std::vector<int64_t> sizes = {257, Sgd::kParallelMinElems + 13};
+  std::vector<ParamTensor> params;
+  std::vector<std::vector<float>> ref_w, ref_v;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    params.push_back(MakeParam("p", sizes[s], 11 * (s + 1)));
+    ref_w.emplace_back(params[s].value.data(),
+                       params[s].value.data() + sizes[s]);
+    ref_v.emplace_back(static_cast<size_t>(sizes[s]), 0.0f);
+  }
+  Sgd sgd(opts);
+  std::vector<ParamTensor*> plist = {&params[0], &params[1]};
+  for (int step = 0; step < 12; ++step) {
+    for (size_t s = 0; s < params.size(); ++s) FillGrad(&params[s], step);
+    auto lr = static_cast<float>(sgd.CurrentLr());  // schedule value pre-step
+    sgd.Step(plist);
+    for (size_t s = 0; s < params.size(); ++s) {
+      std::vector<float> g(params[s].grad.data(),
+                           params[s].grad.data() + sizes[s]);
+      ReferenceStep(&ref_w[s], g, &ref_v[s],
+                    static_cast<float>(opts.momentum),
+                    static_cast<float>(opts.weight_decay), lr);
+    }
+  }
+  for (size_t s = 0; s < params.size(); ++s) {
+    const float* w = params[s].value.data();
+    for (int64_t i = 0; i < sizes[s]; ++i) {
+      // FP contraction may differ between translation units; allow ulps.
+      ASSERT_NEAR(w[i], ref_w[s][static_cast<size_t>(i)],
+                  1e-5f * (1.0f + std::fabs(w[i])))
+          << "param " << s << " elem " << i;
+    }
+  }
+}
+
+TEST(SgdFusedTest, MatchesReferenceNoDecay) {
+  SgdOptions o;
+  o.learning_rate = 0.05;
+  o.momentum = 0.9;
+  o.weight_decay = 1e-3;
+  RunScheduleParity(o);
+}
+
+TEST(SgdFusedTest, MatchesReferenceExponentialDecay) {
+  SgdOptions o;
+  o.learning_rate = 0.1;
+  o.momentum = 0.85;
+  o.weight_decay = 5e-4;
+  o.lr_decay = 0.5;
+  o.decay_every_steps = 3;
+  o.exponential_decay = true;
+  RunScheduleParity(o);
+}
+
+TEST(SgdFusedTest, MatchesReferenceLinearDecay) {
+  SgdOptions o;
+  o.learning_rate = 0.2;
+  o.momentum = 0.0;
+  o.weight_decay = 0.0;
+  o.decay_every_steps = 1;
+  o.exponential_decay = false;
+  o.total_steps = 10;
+  o.min_lr_fraction = 0.1;
+  RunScheduleParity(o);
+}
+
+TEST(SgdFusedTest, DuplicateParamNamesKeepIndependentVelocity) {
+  // Regression: velocity used to be keyed by parameter name, so two layers
+  // whose parameters shared a name silently shared (and corrupted) one
+  // momentum buffer. Position keying must give each slot its own state.
+  const int64_t n = 64;
+  ParamTensor a = MakeParam("w", n, 1);
+  ParamTensor b = MakeParam("w", n, 2);  // same name, different values
+  std::vector<float> ref_wa(a.value.data(), a.value.data() + n);
+  std::vector<float> ref_wb(b.value.data(), b.value.data() + n);
+  std::vector<float> ref_va(n, 0.0f), ref_vb(n, 0.0f);
+
+  SgdOptions o;
+  o.learning_rate = 0.1;
+  o.momentum = 0.9;  // nonzero so velocity aliasing would show
+  o.weight_decay = 0.0;
+  Sgd sgd(o);
+  std::vector<ParamTensor*> plist = {&a, &b};
+  for (int step = 0; step < 5; ++step) {
+    a.grad.Fill(0.5f);
+    b.grad.Fill(-0.25f);
+    sgd.Step(plist);
+    ReferenceStep(&ref_wa, std::vector<float>(n, 0.5f), &ref_va, 0.9f, 0.0f,
+                  0.1f);
+    ReferenceStep(&ref_wb, std::vector<float>(n, -0.25f), &ref_vb, 0.9f,
+                  0.0f, 0.1f);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(a.value.data()[i], ref_wa[static_cast<size_t>(i)]);
+    ASSERT_FLOAT_EQ(b.value.data()[i], ref_wb[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SgdFusedTest, ReshapedParamRestartsOnlyItsOwnVelocity) {
+  ParamTensor a = MakeParam("a", 16, 1);
+  ParamTensor b = MakeParam("b", 16, 2);
+  SgdOptions o;
+  o.momentum = 0.9;
+  o.weight_decay = 0.0;
+  o.learning_rate = 0.1;
+  Sgd sgd(o);
+  std::vector<ParamTensor*> plist = {&a, &b};
+  a.grad.Fill(1.0f);
+  b.grad.Fill(1.0f);
+  sgd.Step(plist);
+  sgd.Step(plist);
+  float b_before = b.value.data()[0];
+  // Warm-start across architectures: param 0 changes shape; its momentum
+  // restarts, while param 1 keeps accumulated velocity.
+  a.value = Tensor({32});
+  a.grad = Tensor({32});
+  a.grad.Fill(1.0f);
+  b.grad.Fill(0.0f);  // b coasts on momentum only this step
+  sgd.Step(plist);
+  // v_b was -0.1*(1+0.9+...)… just assert it kept moving without gradient.
+  EXPECT_LT(b.value.data()[0], b_before);
+  // a's first post-reshape step must look like a fresh first step:
+  // v = -lr*g = -0.1, w += v.
+  EXPECT_FLOAT_EQ(a.value.data()[0], -0.1f);
+}
+
+}  // namespace
+}  // namespace rafiki::nn
