@@ -17,6 +17,7 @@
 #include "tensor/kernels.h"
 #include "model/prediction_sim.h"
 #include "model/profile.h"
+#include "net/http.h"
 #include "nn/loss.h"
 #include "nn/net.h"
 #include "nn/sgd.h"
@@ -462,6 +463,39 @@ void BM_GpFitNaive(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_GpFitNaive)->Arg(64)->Arg(256);
+
+// Incremental HTTP/1.1 request parsing, the per-request cost of the serving
+// front door. /0 is the keep-alive fast path (a metrics GET with a query
+// string); /1 is a /query POST carrying a 4 KB comma-float body, dominated
+// by body copy. Bytes/s is the headline number.
+void BM_HttpParse(benchmark::State& state) {
+  std::string wire;
+  if (state.range(0) == 0) {
+    wire =
+        "GET /jobs/infer0/metrics?window=1&detail=full HTTP/1.1\r\n"
+        "Host: 127.0.0.1:8080\r\n"
+        "User-Agent: rafiki-loadgen/1\r\n"
+        "Accept: */*\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n";
+  } else {
+    std::string body;
+    while (body.size() < 4096) body += "0.125,";
+    wire = net::SerializeRequest("POST", "/query?job=infer0",
+                                 "127.0.0.1:8080", body,
+                                 /*keep_alive=*/true);
+  }
+  net::HttpParser parser;
+  for (auto _ : state) {
+    parser.Reset();
+    size_t consumed = parser.Feed(wire.data(), wire.size());
+    benchmark::DoNotOptimize(consumed);
+    if (!parser.done()) state.SkipWithError("parse did not complete");
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParse)->Arg(0)->Arg(1);
 
 void BM_HyperSpaceSample(benchmark::State& state) {
   tuning::HyperSpace space;

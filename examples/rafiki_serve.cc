@@ -1,0 +1,121 @@
+// rafiki_serve: the real service front door. Wires the Rafiki facade +
+// request gateway onto the epoll HTTP server and serves the Figure 18
+// surface over actual TCP:
+//
+//   ./build/examples/rafiki_serve --port=8080
+//   curl 'http://127.0.0.1:8080/jobs/<infer>/metrics'
+//   curl -d '0,1,0,0' 'http://127.0.0.1:8080/query?job=<infer>'
+//
+// On startup it imports a synthetic dataset (name "demo", for /train) and
+// auto-deploys a small hand-built MLP so /query and /jobs/<id>/metrics work
+// immediately; the startup lines
+//   dataset=demo
+//   infer_job=<id> input_dim=<d>
+//   listening port=<p> workers=<n>
+// are machine-parseable (scripts/smoke_serve.sh relies on them). SIGINT or
+// SIGTERM triggers a graceful drain-then-stop.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "rafiki/http_gateway.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop = true; }
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (rafiki::StartsWith(argv[i], prefix)) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto port = static_cast<uint16_t>(FlagInt(argc, argv, "port", 0));
+  auto workers = static_cast<int>(FlagInt(argc, argv, "workers", 2));
+  auto handlers = static_cast<int>(FlagInt(argc, argv, "handlers", 4));
+  auto max_inflight =
+      static_cast<size_t>(FlagInt(argc, argv, "max-inflight", 256));
+  constexpr int64_t kInputDim = 4;
+  constexpr int64_t kClasses = 3;
+
+  rafiki::api::Rafiki service;
+
+  // Dataset for /train over the wire.
+  rafiki::data::SyntheticTaskOptions task;
+  task.num_classes = 3;
+  task.samples_per_class = 50;
+  task.input_dim = 8;
+  task.separation = 5.0;
+  RAFIKI_CHECK_OK(
+      service.ImportDataset("demo", rafiki::data::MakeSyntheticTask(task))
+          .status());
+  std::printf("dataset=demo\n");
+
+  // Auto-deploy a hand-built identity-ish MLP (kInputDim -> kClasses) from
+  // a PS checkpoint, so the serving surface is live without training first.
+  rafiki::ps::ModelCheckpoint ckpt;
+  rafiki::Tensor weight({kInputDim, kClasses});
+  for (int64_t i = 0; i < kClasses; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", rafiki::Tensor({1, kClasses}));
+  ckpt.meta.accuracy = 0.9;
+  RAFIKI_CHECK_OK(
+      service.parameter_server().PutModel("serve/builtin/best", ckpt));
+  rafiki::api::ModelHandle handle;
+  handle.scope = "serve/builtin/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = service.Deploy({handle});
+  RAFIKI_CHECK_OK(deployed.status());
+  std::printf("infer_job=%s input_dim=%lld\n", deployed->c_str(),
+              static_cast<long long>(kInputDim));
+
+  rafiki::api::Gateway gateway(&service);
+  rafiki::net::HttpServerOptions opts;
+  opts.port = port;
+  opts.num_workers = workers;
+  opts.num_handler_threads = handlers;
+  opts.max_inflight = max_inflight;
+  rafiki::net::HttpServer server(
+      rafiki::api::MakeGatewayHttpHandler(&gateway), opts);
+  RAFIKI_CHECK_OK(server.Start());
+  std::printf("listening port=%u workers=%d\n", server.port(), workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Stop();
+  rafiki::net::HttpServerStats stats = server.stats();
+  std::printf(
+      "served requests=%llu responses=%llu handled=%llu overload_503=%llu "
+      "draining_503=%llu parse_errors=%llu connections=%llu\n",
+      static_cast<unsigned long long>(stats.requests_total),
+      static_cast<unsigned long long>(stats.responses_total),
+      static_cast<unsigned long long>(stats.handled),
+      static_cast<unsigned long long>(stats.rejected_overload),
+      static_cast<unsigned long long>(stats.rejected_draining),
+      static_cast<unsigned long long>(stats.parse_errors),
+      static_cast<unsigned long long>(stats.accepted_connections));
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke over real TCP: boot rafiki_serve, point rafiki_loadgen at
+# the auto-deployed inference job's metrics route, fail on any transport
+# error or non-2xx/non-503 answer, then SIGTERM the server and require a
+# clean drain (the final "served requests=..." accounting line).
+#
+# Usage: scripts/smoke_serve.sh [build-dir] [port]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+port="${2:-18080}"
+
+serve="$build_dir/examples/rafiki_serve"
+loadgen="$build_dir/examples/rafiki_loadgen"
+for bin in "$serve" "$loadgen"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "missing binary: $bin (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+log="$(mktemp)"
+server_pid=""
+cleanup() {
+  # Kill by exact PID only: pkill -f would match this script's own cmdline.
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+"$serve" --port="$port" --workers=2 --handlers=2 >"$log" 2>&1 &
+server_pid=$!
+
+# Wait for the machine-parseable startup lines (rafiki_serve flushes them).
+infer_job=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "server exited during startup:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  if grep -q '^listening port=' "$log"; then
+    infer_job="$(sed -n 's/^infer_job=\([^ ]*\).*/\1/p' "$log")"
+    break
+  fi
+  sleep 0.1
+done
+if [[ -z "$infer_job" ]]; then
+  echo "server never became ready:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: server pid=$server_pid port=$port infer_job=$infer_job"
+
+"$loadgen" --port="$port" --target="/jobs/$infer_job/metrics" \
+  --duration=2 --rate=300 --period=2 --connections=2 --fail-on-error
+
+# Graceful drain: TERM the exact PID and require the accounting line.
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "server did not exit after SIGTERM:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+wait "$server_pid" || {
+  echo "server exited non-zero:" >&2
+  cat "$log" >&2
+  exit 1
+}
+server_pid=""
+if ! grep -q '^served requests=' "$log"; then
+  echo "missing final accounting line:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep '^served requests=' "$log"
+echo "smoke: OK"

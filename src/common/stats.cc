@@ -62,7 +62,6 @@ void Histogram::Add(double x) {
   if (i >= static_cast<long>(counts_.size()))
     i = static_cast<long>(counts_.size()) - 1;
   ++counts_[static_cast<size_t>(i)];
-  samples_.push_back(x);
   ++total_;
 }
 
@@ -71,9 +70,12 @@ double Histogram::BucketLo(size_t i) const {
 }
 
 size_t Histogram::CountAtLeast(double threshold) const {
-  return static_cast<size_t>(
-      std::count_if(samples_.begin(), samples_.end(),
-                    [&](double v) { return v >= threshold; }));
+  auto first = static_cast<long>(std::floor((threshold - lo_) / width_));
+  if (first <= 0) return total_;
+  size_t begin = std::min(static_cast<size_t>(first), counts_.size());
+  size_t sum = 0;
+  for (size_t i = begin; i < counts_.size(); ++i) sum += counts_[i];
+  return sum;
 }
 
 std::string Histogram::ToString() const {
@@ -85,6 +87,72 @@ std::string Histogram::ToString() const {
     out += buf;
   }
   return out;
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   size_t buckets)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  RAFIKI_CHECK_GT(min_value, 0.0);
+  RAFIKI_CHECK_GT(growth, 1.0);
+  RAFIKI_CHECK_GT(buckets, 0u);
+  counts_.assign(buckets, 0);
+}
+
+size_t LatencyHistogram::BucketIndex(double x) const {
+  if (x <= min_value_) return 0;
+  auto i = static_cast<long>(std::floor(std::log(x / min_value_) /
+                                        log_growth_));
+  if (i < 0) i = 0;
+  if (i >= static_cast<long>(counts_.size()))
+    i = static_cast<long>(counts_.size()) - 1;
+  return static_cast<size_t>(i);
+}
+
+void LatencyHistogram::Add(double x) {
+  ++counts_[BucketIndex(x)];
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  RAFIKI_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the requested quantile among the sorted samples (1-based).
+  auto rank = static_cast<size_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<size_t>(rank, 1);
+  size_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Geometric midpoint of bucket i: [min*g^i, min*g^(i+1)).
+      double value =
+          min_value_ * std::exp(log_growth_ * (static_cast<double>(i) + 0.5));
+      // Never report outside the observed range (edge buckets absorb
+      // clamped samples).
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f",
+                count_, mean(), P50(), P95(), P99(), max());
+  return buf;
 }
 
 void Ewma::Add(double x) {

@@ -1,0 +1,404 @@
+#include "net/http.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace rafiki::net {
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string TrimOws(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+/// True when a comma-separated Connection header value contains `token`
+/// (case-insensitive).
+bool HasConnectionToken(const std::string& value, const char* token) {
+  for (const std::string& part : Split(ToLower(value), ',')) {
+    if (TrimOws(part) == token) return true;
+  }
+  return false;
+}
+
+/// Strict non-negative integer parse for Content-Length.
+bool ParseContentLength(const std::string& s, size_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string PercentDecode(const std::string& s, bool plus_as_space) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+' && plus_as_space) {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < s.size()) {
+      int hi = HexDigit(s[i + 1]);
+      int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);  // malformed escape kept literally
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return status < 400 ? "OK" : "Error";
+  }
+}
+
+const std::string* HttpRequest::FindHeader(
+    const std::string& lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: %s\r\n",
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size(),
+      keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::string& host, const std::string& body,
+                             bool keep_alive) {
+  std::string out = StrFormat(
+      "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %zu\r\n"
+      "Connection: %s\r\n\r\n",
+      method.c_str(), target.c_str(), host.c_str(), body.size(),
+      keep_alive ? "keep-alive" : "close");
+  out += body;
+  return out;
+}
+
+void HttpParser::Fail(int status, std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(message);
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  line_.clear();
+  header_bytes_ = 0;
+  content_length_ = 0;
+  error_status_ = 400;
+  error_.clear();
+  request_ = HttpRequest{};
+}
+
+size_t HttpParser::Feed(const char* data, size_t size) {
+  size_t consumed = 0;
+  while (consumed < size && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kBody) {
+      size_t need = content_length_ - request_.body.size();
+      size_t take = std::min(need, size - consumed);
+      request_.body.append(data + consumed, take);
+      consumed += take;
+      if (request_.body.size() == content_length_) {
+        state_ = State::kComplete;
+      }
+      continue;
+    }
+    // Line-oriented states: take bytes up to (and including) the next LF.
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + consumed, '\n', size - consumed));
+    size_t take =
+        nl != nullptr ? static_cast<size_t>(nl - (data + consumed)) + 1
+                      : size - consumed;
+    line_.append(data + consumed, take);
+    consumed += take;
+    if (state_ == State::kRequestLine &&
+        line_.size() > limits_.max_request_line) {
+      Fail(414, "request line too long");
+      break;
+    }
+    if (state_ == State::kHeaders &&
+        header_bytes_ + line_.size() > limits_.max_header_bytes) {
+      Fail(431, "headers too large");
+      break;
+    }
+    if (nl == nullptr) break;  // partial line; wait for more bytes
+
+    line_.pop_back();  // '\n'
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    std::string line;
+    line.swap(line_);
+    if (state_ == State::kRequestLine) {
+      // Tolerate blank line(s) before the request line (RFC 7230 §3.5).
+      if (line.empty()) continue;
+      if (!FinishRequestLine(line)) break;
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += line.size() + 2;
+      if (line.empty()) {
+        FinishHeaders();
+      } else if (!FinishHeaderLine(line)) {
+        break;
+      }
+    }
+  }
+  return consumed;
+}
+
+bool HttpParser::FinishRequestLine(const std::string& line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      sp2 == sp1 + 1 || line.find(' ', sp2 + 1) != std::string::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = line.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty()) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  for (char c : request_.method) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      Fail(400, "bad method");
+      return false;
+    }
+  }
+  if (request_.target[0] != '/') {
+    Fail(400, "request target must be origin-form (/path)");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+    request_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+    request_.keep_alive = false;
+  } else if (version.compare(0, 5, "HTTP/") == 0) {
+    Fail(505, StrFormat("unsupported version '%s'", version.c_str()));
+    return false;
+  } else {
+    Fail(400, StrFormat("malformed version '%s'", version.c_str()));
+    return false;
+  }
+  size_t qmark = request_.target.find('?');
+  if (qmark == std::string::npos) {
+    request_.path = request_.target;
+  } else {
+    request_.path = request_.target.substr(0, qmark);
+    request_.query = request_.target.substr(qmark + 1);
+  }
+  return true;
+}
+
+bool HttpParser::FinishHeaderLine(const std::string& line) {
+  size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Fail(400, "malformed header line");
+    return false;
+  }
+  std::string name = line.substr(0, colon);
+  for (char c : name) {
+    // RFC 7230 forbids whitespace inside or after the field name.
+    if (c == ' ' || c == '\t' ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      Fail(400, "malformed header name");
+      return false;
+    }
+  }
+  request_.headers.emplace_back(ToLower(std::move(name)),
+                                TrimOws(line.substr(colon + 1)));
+  return true;
+}
+
+void HttpParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    Fail(501, "transfer-encoding not supported; use Content-Length");
+    return;
+  }
+  const std::string* connection = request_.FindHeader("connection");
+  if (connection != nullptr) {
+    if (HasConnectionToken(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (HasConnectionToken(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+  const std::string* length = request_.FindHeader("content-length");
+  if (length == nullptr) {
+    state_ = State::kComplete;
+    return;
+  }
+  if (!ParseContentLength(*length, &content_length_)) {
+    Fail(400, StrFormat("bad Content-Length '%s'", length->c_str()));
+    return;
+  }
+  if (content_length_ > limits_.max_body_bytes) {
+    Fail(413, StrFormat("body of %zu bytes exceeds limit %zu",
+                        content_length_, limits_.max_body_bytes));
+    return;
+  }
+  if (content_length_ == 0) {
+    state_ = State::kComplete;
+    return;
+  }
+  request_.body.reserve(content_length_);
+  state_ = State::kBody;
+}
+
+size_t HttpResponseParser::Feed(const char* data, size_t size) {
+  size_t consumed = 0;
+  while (consumed < size && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kBody) {
+      size_t need = content_length_ - body_.size();
+      size_t take = std::min(need, size - consumed);
+      body_.append(data + consumed, take);
+      consumed += take;
+      if (body_.size() == content_length_) state_ = State::kComplete;
+      continue;
+    }
+    if (state_ == State::kBodyUntilClose) {
+      body_.append(data + consumed, size - consumed);
+      consumed = size;
+      continue;
+    }
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + consumed, '\n', size - consumed));
+    size_t take =
+        nl != nullptr ? static_cast<size_t>(nl - (data + consumed)) + 1
+                      : size - consumed;
+    line_.append(data + consumed, take);
+    consumed += take;
+    if (nl == nullptr) break;
+    line_.pop_back();
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    std::string line;
+    line.swap(line_);
+    if (state_ == State::kStatusLine) {
+      if (line.empty()) continue;
+      // "HTTP/1.x NNN Reason"
+      size_t sp = line.find(' ');
+      if (sp == std::string::npos || line.compare(0, 5, "HTTP/") != 0 ||
+          sp + 4 > line.size()) {
+        state_ = State::kError;
+        error_ = "malformed status line";
+        break;
+      }
+      status_ = 0;
+      for (size_t i = sp + 1; i < sp + 4 && i < line.size(); ++i) {
+        if (line[i] < '0' || line[i] > '9') {
+          status_ = -1;
+          break;
+        }
+        status_ = status_ * 10 + (line[i] - '0');
+      }
+      if (status_ < 100) {
+        state_ = State::kError;
+        error_ = "malformed status code";
+        break;
+      }
+      keep_alive_ = line.compare(0, 9, "HTTP/1.0 ") != 0;
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      if (line.empty()) {
+        if (have_length_) {
+          state_ = content_length_ == 0 ? State::kComplete : State::kBody;
+        } else if (!keep_alive_) {
+          state_ = State::kBodyUntilClose;
+        } else {
+          state_ = State::kComplete;  // no body
+        }
+        continue;
+      }
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;  // tolerate junk headers
+      std::string name = ToLower(line.substr(0, colon));
+      std::string value = TrimOws(line.substr(colon + 1));
+      if (name == "content-length") {
+        have_length_ = ParseContentLength(value, &content_length_);
+      } else if (name == "connection") {
+        if (HasConnectionToken(value, "close")) keep_alive_ = false;
+        if (HasConnectionToken(value, "keep-alive")) keep_alive_ = true;
+      }
+    }
+  }
+  return consumed;
+}
+
+void HttpResponseParser::FinishEof() {
+  if (state_ == State::kBodyUntilClose) {
+    state_ = State::kComplete;
+  } else if (state_ != State::kComplete) {
+    state_ = State::kError;
+    error_ = "connection closed mid-response";
+  }
+}
+
+}  // namespace rafiki::net

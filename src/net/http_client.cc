@@ -1,0 +1,60 @@
+#include "net/http_client.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace rafiki::net {
+
+HttpClient::HttpClient(std::string host, uint16_t port,
+                       double timeout_seconds)
+    : host_(std::move(host)), port_(port), timeout_(timeout_seconds) {}
+
+Status HttpClient::EnsureConnected() {
+  if (sock_.valid()) return Status::OK();
+  RAFIKI_ASSIGN_OR_RETURN(sock_, ConnectTcp(host_, port_, timeout_));
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
+  RAFIKI_RETURN_IF_ERROR(SendAll(sock_.fd(), wire.data(), wire.size()));
+  HttpResponseParser parser;
+  char buf[16 * 1024];
+  while (!parser.done() && !parser.failed()) {
+    RAFIKI_ASSIGN_OR_RETURN(size_t n, RecvSome(sock_.fd(), buf, sizeof(buf)));
+    if (n == 0) {
+      parser.FinishEof();
+      break;
+    }
+    parser.Feed(buf, n);
+  }
+  if (parser.failed()) {
+    sock_.Close();
+    return Status::Internal(
+        StrFormat("bad response: %s", parser.error().c_str()));
+  }
+  HttpResponse response;
+  response.status = parser.status();
+  response.body = parser.body();
+  if (!parser.keep_alive()) sock_.Close();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body) {
+  bool was_connected = sock_.valid();
+  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
+  std::string wire =
+      SerializeRequest(method, target, host_, body, /*keep_alive=*/true);
+  Result<HttpResponse> response = RoundTrip(wire);
+  if (response.ok()) return response;
+  // A reused connection may have been closed server-side (idle timeout)
+  // between requests; retry exactly once on a fresh connection.
+  if (!was_connected) return response;
+  sock_.Close();
+  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
+  return RoundTrip(wire);
+}
+
+}  // namespace rafiki::net

@@ -1,0 +1,49 @@
+#ifndef RAFIKI_NET_HTTP_CLIENT_H_
+#define RAFIKI_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace rafiki::net {
+
+/// Small blocking HTTP/1.1 client for tests and tooling. One instance owns
+/// one keep-alive connection, reconnecting transparently when the server
+/// closed it between requests. Not thread-safe; use one per thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, double timeout_seconds = 20.0);
+
+  /// Sends one request and blocks for the full response. Reconnects and
+  /// retries once if the kept-alive connection turned out dead.
+  Result<HttpResponse> Request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body = "");
+
+  Result<HttpResponse> Get(const std::string& target) {
+    return Request("GET", target);
+  }
+  Result<HttpResponse> Post(const std::string& target,
+                            const std::string& body = "") {
+    return Request("POST", target, body);
+  }
+
+  void Close() { sock_.Close(); }
+  bool connected() const { return sock_.valid(); }
+
+ private:
+  Status EnsureConnected();
+  Result<HttpResponse> RoundTrip(const std::string& wire);
+
+  std::string host_;
+  uint16_t port_;
+  double timeout_;
+  Socket sock_;
+};
+
+}  // namespace rafiki::net
+
+#endif  // RAFIKI_NET_HTTP_CLIENT_H_

@@ -1,0 +1,462 @@
+#include "net/http_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rafiki::net {
+namespace {
+
+/// While a request is in flight we keep reading (so we notice resets) but
+/// cap how much pipelined input we buffer; past this we drop interest in
+/// EPOLLIN and TCP backpressure reaches the client.
+constexpr size_t kMaxBufferedInput = 64 * 1024;
+
+constexpr uint64_t kWakeToken = 0;  // epoll data id of the wake eventfd
+
+HttpResponse OverloadResponse(const char* why) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.body = std::string("error=") + why;
+  resp.headers.emplace_back("Retry-After", "1");
+  return resp;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), opts_(options) {
+  RAFIKI_CHECK(handler_ != nullptr);
+  opts_.num_workers = std::max(opts_.num_workers, 1);
+  opts_.num_handler_threads = std::max(opts_.num_handler_threads, 1);
+  opts_.max_inflight = std::max<size_t>(opts_.max_inflight, 1);
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+double HttpServer::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+Status HttpServer::Start() {
+  if (running_) return Status::FailedPrecondition("server already running");
+  epoch_ = std::chrono::steady_clock::now();
+  RAFIKI_ASSIGN_OR_RETURN(listener_,
+                          ListenTcp(opts_.port, opts_.listen_backlog, &port_));
+
+  workers_.clear();
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->epoll_fd = ::epoll_create1(0);
+    if (w->epoll_fd < 0) return Status::Internal("epoll_create1 failed");
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (w->wake_fd < 0) return Status::Internal("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeToken;
+    if (::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev) < 0) {
+      return Status::Internal("epoll_ctl(wake) failed");
+    }
+    workers_.push_back(std::move(w));
+  }
+
+  phase_ = Phase::kRunning;
+  stop_accepting_ = false;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stop_handlers_ = false;
+  }
+  running_ = true;
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+  for (int i = 0; i < opts_.num_handler_threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+
+  // 1. Stop accepting; close the listener so clients see refusals.
+  stop_accepting_ = true;
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+
+  // 2. Drain: new requests are answered 503, workers run until every
+  //    connection has neither a request in flight nor unwritten output.
+  phase_ = Phase::kDraining;
+  for (auto& w : workers_) Wake(*w);
+  double deadline = Now() + opts_.drain_timeout_seconds;
+  for (;;) {
+    bool all_exited = true;
+    for (auto& w : workers_) all_exited = all_exited && w->exited.load();
+    if (all_exited) break;
+    if (Now() >= deadline) {
+      phase_ = Phase::kForceStop;
+      for (auto& w : workers_) Wake(*w);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+
+  // 3. Handler pool: queued work belongs to closed connections now; run it
+  //    down (completions to dead connections are dropped) and join.
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stop_handlers_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+
+  for (auto& w : workers_) {
+    if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    if (w->wake_fd >= 0) ::close(w->wake_fd);
+  }
+  workers_.clear();
+  running_ = false;
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.accepted_connections = accepted_.load();
+  s.requests_total = requests_.load();
+  s.responses_total = responses_.load();
+  s.handled = handled_.load();
+  s.rejected_overload = rejected_overload_.load();
+  s.rejected_draining = rejected_draining_.load();
+  s.parse_errors = parse_errors_.load();
+  s.timed_out_connections = timed_out_.load();
+  return s;
+}
+
+void HttpServer::AcceptLoop() {
+  size_t next_worker = 0;
+  while (!stop_accepting_.load()) {
+    pollfd p{listener_.fd(), POLLIN, 0};
+    int rc = ::poll(&p, 1, /*timeout_ms=*/50);
+    if (rc <= 0) continue;
+    for (;;) {
+      int fd = ::accept4(listener_.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) break;  // EAGAIN / transient error: back to poll
+      (void)SetNoDelay(fd);
+      if (opts_.send_buffer_bytes > 0) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.send_buffer_bytes,
+                     sizeof(opts_.send_buffer_bytes));
+      }
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      Worker& w = *workers_[next_worker];
+      next_worker = (next_worker + 1) % workers_.size();
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.pending_fds.push_back(fd);
+      }
+      Wake(w);
+    }
+  }
+}
+
+void HttpServer::Wake(Worker& w) {
+  uint64_t one = 1;
+  ssize_t n = ::write(w.wake_fd, &one, sizeof(one));
+  (void)n;  // EAGAIN means a wakeup is already pending — fine.
+}
+
+void HttpServer::DrainMailbox(Worker& w) {
+  std::vector<int> fds;
+  std::vector<Completion> completions;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    fds.swap(w.pending_fds);
+    completions.swap(w.completions);
+  }
+  for (int fd : fds) AddConnection(w, fd);
+  for (Completion& done : completions) {
+    auto it = w.conns.find(done.conn_id);
+    if (it == w.conns.end()) continue;  // connection died mid-request
+    Connection& c = *it->second;
+    c.in_flight = false;
+    c.outbuf += done.bytes;
+    if (!done.keep_alive) c.close_after_write = true;
+    c.last_activity = Now();
+    FlushWrite(w, c);
+    // The map may have dropped the connection inside FlushWrite.
+    auto again = w.conns.find(done.conn_id);
+    if (again == w.conns.end()) continue;
+    Connection& alive = *again->second;
+    if (!alive.want_read && alive.inbuf.size() < kMaxBufferedInput) {
+      alive.want_read = true;
+      UpdateEpoll(w, alive);
+    }
+    // Pipelined requests already buffered: parse the next one now.
+    if (!alive.in_flight && !alive.close_after_write) TryParse(w, alive);
+  }
+}
+
+void HttpServer::AddConnection(Worker& w, int fd) {
+  uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<Connection>(opts_.limits);
+  conn->fd = fd;
+  conn->id = id;
+  conn->last_activity = Now();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = id;
+  if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  w.conns.emplace(id, std::move(conn));
+}
+
+void HttpServer::CloseConnection(Worker& w, Connection& c) {
+  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  w.conns.erase(c.id);  // destroys c
+}
+
+void HttpServer::UpdateEpoll(Worker& w, Connection& c) {
+  epoll_event ev{};
+  ev.events = (c.want_read ? EPOLLIN : 0u) | (c.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = c.id;
+  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void HttpServer::OnReadable(Worker& w, Connection& c) {
+  // TryParse below may close (destroy) the connection; keep the id so the
+  // re-lookup never touches freed memory.
+  const uint64_t conn_id = c.id;
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.inbuf.append(buf, static_cast<size_t>(n));
+      c.last_activity = Now();
+      if (c.in_flight && c.inbuf.size() >= kMaxBufferedInput) {
+        // Pipelining backpressure: stop reading until the response goes out.
+        c.want_read = false;
+        UpdateEpoll(w, c);
+        break;
+      }
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(w, c);  // ECONNRESET and friends
+      return;
+    }
+    // n == 0: orderly shutdown from the peer.
+    c.peer_closed = true;
+    c.want_read = false;
+    UpdateEpoll(w, c);
+    break;
+  }
+  if (!c.in_flight) TryParse(w, c);
+  // Peer gone and nothing left to answer: drop the connection.
+  auto it = w.conns.find(conn_id);
+  if (it != w.conns.end()) {
+    Connection& alive = *it->second;
+    if (alive.peer_closed && !alive.busy()) CloseConnection(w, alive);
+  }
+}
+
+void HttpServer::TryParse(Worker& w, Connection& c) {
+  const uint64_t conn_id = c.id;  // survives a close inside Respond
+  while (!c.in_flight && !c.inbuf.empty()) {
+    size_t consumed = c.parser.Feed(c.inbuf.data(), c.inbuf.size());
+    c.inbuf.erase(0, consumed);
+    if (c.parser.failed()) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse resp;
+      resp.status = c.parser.error_status();
+      resp.body = "error=" + c.parser.error();
+      c.inbuf.clear();  // framing is lost; discard and close after reply
+      Respond(w, c, resp, /*keep_alive=*/false);
+      return;
+    }
+    if (!c.parser.done()) return;  // need more bytes
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    HttpRequest request = std::move(c.parser.request());
+    c.parser.Reset();
+    c.last_activity = Now();
+
+    if (phase_.load() != Phase::kRunning) {
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      Respond(w, c, OverloadResponse("server shutting down"),
+              /*keep_alive=*/false);
+      return;
+    }
+    // Admission control: bounded in-flight requests across all workers.
+    if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+        opts_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      Respond(w, c, OverloadResponse("server overloaded"),
+              request.keep_alive);
+      auto it = w.conns.find(conn_id);
+      if (it == w.conns.end()) return;  // write error closed it
+      continue;  // connection stays usable; try the next pipelined request
+    }
+    c.in_flight = true;
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      work_.push_back(Work{w.index, c.id, std::move(request)});
+    }
+    work_cv_.notify_one();
+    return;  // responses are strictly in order: parse resumes afterwards
+  }
+}
+
+void HttpServer::Respond(Worker& w, Connection& c,
+                         const HttpResponse& response, bool keep_alive) {
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  c.outbuf += SerializeResponse(response, keep_alive);
+  if (!keep_alive) c.close_after_write = true;
+  FlushWrite(w, c);
+}
+
+void HttpServer::FlushWrite(Worker& w, Connection& c) {
+  while (c.out_off < c.outbuf.size()) {
+    ssize_t n = ::send(c.fd, c.outbuf.data() + c.out_off,
+                       c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c.want_write) {
+        c.want_write = true;
+        UpdateEpoll(w, c);
+      }
+      return;
+    }
+    CloseConnection(w, c);  // broken pipe / reset
+    return;
+  }
+  c.outbuf.clear();
+  c.out_off = 0;
+  if (c.close_after_write) {
+    CloseConnection(w, c);
+    return;
+  }
+  if (c.want_write) {
+    c.want_write = false;
+    UpdateEpoll(w, c);
+  }
+}
+
+void HttpServer::IdleSweep(Worker& w) {
+  double now = Now();
+  std::vector<uint64_t> expired;
+  for (auto& [id, conn] : w.conns) {
+    if (!conn->busy() &&
+        now - conn->last_activity > opts_.idle_timeout_seconds) {
+      expired.push_back(id);
+    }
+  }
+  for (uint64_t id : expired) {
+    auto it = w.conns.find(id);
+    if (it == w.conns.end()) continue;
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(w, *it->second);
+  }
+}
+
+void HttpServer::WorkerLoop(int index) {
+  Worker& w = *workers_[static_cast<size_t>(index)];
+  epoll_event events[64];
+  for (;;) {
+    int n = ::epoll_wait(w.epoll_fd, events, 64, /*timeout_ms=*/50);
+    DrainMailbox(w);
+    for (int i = 0; i < n; ++i) {
+      uint64_t id = events[i].data.u64;
+      if (id == kWakeToken) {
+        uint64_t junk;
+        while (::read(w.wake_fd, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      auto it = w.conns.find(id);
+      if (it == w.conns.end()) continue;  // closed earlier this sweep
+      Connection& c = *it->second;
+      uint32_t ev = events[i].events;
+      if (ev & EPOLLOUT) {
+        FlushWrite(w, c);
+        if (w.conns.find(id) == w.conns.end()) continue;
+      }
+      if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        OnReadable(w, c);
+      }
+    }
+    IdleSweep(w);
+
+    Phase phase = phase_.load();
+    if (phase == Phase::kRunning) continue;
+    if (phase == Phase::kForceStop) break;
+    // Draining: leave once nothing on this worker is mid-request or
+    // mid-write. Idle keep-alive connections are simply closed.
+    bool busy = false;
+    for (auto& [id, conn] : w.conns) busy = busy || conn->busy();
+    if (!busy) break;
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(w.conns.size());
+  for (auto& [id, conn] : w.conns) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = w.conns.find(id);
+    if (it != w.conns.end()) CloseConnection(w, *it->second);
+  }
+  w.exited.store(true);
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] { return stop_handlers_ || !work_.empty(); });
+      if (work_.empty()) return;  // stop_handlers_ && drained
+      work = std::move(work_.front());
+      work_.pop_front();
+    }
+    HttpResponse response = handler_(work.request);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    handled_.fetch_add(1, std::memory_order_relaxed);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    Completion done;
+    done.conn_id = work.conn_id;
+    done.bytes = SerializeResponse(response, work.request.keep_alive);
+    done.keep_alive = work.request.keep_alive;
+    Worker& w = *workers_[static_cast<size_t>(work.worker)];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.completions.push_back(std::move(done));
+    }
+    Wake(w);
+  }
+}
+
+}  // namespace rafiki::net

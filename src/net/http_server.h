@@ -1,0 +1,205 @@
+#ifndef RAFIKI_NET_HTTP_SERVER_H_
+#define RAFIKI_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/http.h"
+#include "net/socket.h"
+
+namespace rafiki::net {
+
+struct HttpServerOptions {
+  /// Listening port; 0 asks the kernel for an ephemeral port (read it back
+  /// with port()).
+  uint16_t port = 0;
+  /// Event-loop threads; each owns an epoll instance and a share of the
+  /// connections.
+  int num_workers = 2;
+  /// Threads executing the request handler. Handlers may block (the
+  /// gateway's /query waits on the inference dispatcher), so they run off
+  /// the event loops.
+  int num_handler_threads = 4;
+  /// Requests admitted to the handler pool (queued + executing) before new
+  /// ones are answered 503 directly from the event loop.
+  size_t max_inflight = 256;
+  /// Connections idle longer than this (no request in flight, nothing
+  /// buffered) are closed.
+  double idle_timeout_seconds = 60.0;
+  /// Stop() waits this long for in-flight requests and buffered responses
+  /// to drain before force-closing connections.
+  double drain_timeout_seconds = 5.0;
+  HttpParserLimits limits;
+  int listen_backlog = 128;
+  /// When > 0, shrink each accepted socket's SO_SNDBUF (tests use this to
+  /// force partial writes through the EPOLLOUT path).
+  int send_buffer_bytes = 0;
+};
+
+/// Monotonic counters; conservation invariant once quiet:
+///   requests_total == responses_total, and
+///   responses_total == handled + rejected_overload + parse_errors +
+///                      rejected_draining.
+struct HttpServerStats {
+  uint64_t accepted_connections = 0;
+  uint64_t requests_total = 0;    // complete requests parsed
+  uint64_t responses_total = 0;   // responses serialized (any status)
+  uint64_t handled = 0;           // answered by the handler
+  uint64_t rejected_overload = 0; // 503 at the in-flight cap
+  uint64_t rejected_draining = 0; // 503 while stopping
+  uint64_t parse_errors = 0;      // 4xx/5xx straight from the parser
+  uint64_t timed_out_connections = 0;
+};
+
+/// From-scratch epoll HTTP/1.1 server (the Figure 2/18 front door):
+///
+///   * one acceptor thread accepts and hands sockets round-robin to
+///     `num_workers` event-loop threads;
+///   * each worker owns its connections exclusively — nonblocking reads
+///     into a per-connection buffer, an incremental HttpParser, and a
+///     per-connection write buffer flushed via EPOLLOUT on partial writes;
+///   * complete requests are executed on a separate handler pool (bounded
+///     by `max_inflight`, overflow answered 503 inline), and the response
+///     is posted back to the owning worker through a mailbox + eventfd;
+///   * keep-alive and pipelining: requests on one connection are answered
+///     in order; parsing pauses while one is in flight and resumes from
+///     the buffered bytes afterwards;
+///   * Stop() drains: accepting ends, new requests get 503, in-flight
+///     responses are written out, then connections close.
+///
+/// The Handler runs concurrently on the pool; it must be thread-safe.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor/worker/handler threads.
+  Status Start();
+
+  /// Graceful drain-then-stop; idempotent. Safe to call from any thread
+  /// except a handler.
+  void Stop();
+
+  /// Bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_; }
+
+  HttpServerStats stats() const;
+
+ private:
+  enum class Phase { kRunning, kDraining, kForceStop };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string inbuf;
+    std::string outbuf;
+    size_t out_off = 0;
+    HttpParser parser;
+    bool in_flight = false;        // request with the handler pool
+    bool close_after_write = false;
+    bool peer_closed = false;
+    bool want_read = true;
+    bool want_write = false;
+    double last_activity = 0.0;
+
+    Connection(HttpParserLimits limits) : parser(limits) {}
+    bool busy() const { return in_flight || out_off < outbuf.size(); }
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;
+    bool keep_alive = true;
+  };
+
+  struct Worker {
+    int index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex mu;  // guards the two mailboxes below
+    std::vector<int> pending_fds;
+    std::vector<Completion> completions;
+    /// Owned exclusively by the worker thread.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    std::atomic<bool> exited{false};
+  };
+
+  struct Work {
+    int worker = 0;
+    uint64_t conn_id = 0;
+    HttpRequest request;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(int index);
+  void HandlerLoop();
+
+  void Wake(Worker& w);
+  void DrainMailbox(Worker& w);
+  void AddConnection(Worker& w, int fd);
+  void CloseConnection(Worker& w, Connection& c);
+  void UpdateEpoll(Worker& w, Connection& c);
+  void OnReadable(Worker& w, Connection& c);
+  void TryParse(Worker& w, Connection& c);
+  /// Serializes `response` into the connection's write buffer and flushes.
+  void Respond(Worker& w, Connection& c, const HttpResponse& response,
+               bool keep_alive);
+  void FlushWrite(Worker& w, Connection& c);
+  void IdleSweep(Worker& w);
+  double Now() const;
+
+  Handler handler_;
+  HttpServerOptions opts_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> work_;
+  bool stop_handlers_ = false;  // guarded by work_mu_
+
+  std::atomic<Phase> phase_{Phase::kRunning};
+  std::atomic<bool> stop_accepting_{false};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  // Stats counters.
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> handled_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_draining_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> timed_out_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace rafiki::net
+
+#endif  // RAFIKI_NET_HTTP_SERVER_H_

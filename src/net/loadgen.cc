@@ -1,0 +1,289 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/http_client.h"
+#include "serving/sine_arrival.h"
+
+namespace rafiki::net {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Shared run state: the scheduler produces arrival timestamps, the
+/// connection workers consume them. Everything below `mu` is guarded.
+struct RunState {
+  const LoadGenOptions* opts = nullptr;
+  SteadyClock::time_point epoch;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<double> arrivals;  // scheduled arrival times, seconds
+  bool done_scheduling = false;
+  int64_t dropped_backlog = 0;
+
+  double Now() const {
+    return std::chrono::duration<double>(SteadyClock::now() - epoch).count();
+  }
+};
+
+/// Per-worker accumulator; merged after the join so workers never contend.
+struct WorkerTally {
+  std::vector<LoadGenWindow> windows;
+  LatencyHistogram latency;
+  int64_t completed = 0;
+  int64_t overdue = 0;
+  int64_t rejected = 0;
+  int64_t errors = 0;
+
+  explicit WorkerTally(size_t num_windows) : windows(num_windows) {}
+
+  LoadGenWindow& WindowAt(double t, double width) {
+    auto i = static_cast<size_t>(std::max(t, 0.0) / width);
+    return windows[std::min(i, windows.size() - 1)];
+  }
+};
+
+void RecordResponse(const LoadGenOptions& opts, WorkerTally& tally,
+                    double arrival, double latency, int status, bool ok) {
+  LoadGenWindow& w = tally.WindowAt(arrival, opts.window_seconds);
+  if (!ok || (status / 100 != 2 && status != 503)) {
+    ++tally.errors;
+    ++w.errors;
+    return;
+  }
+  ++tally.completed;
+  ++w.completed;
+  tally.latency.Add(latency);
+  if (latency > opts.tau) {
+    ++tally.overdue;
+    ++w.overdue;
+  }
+  if (status == 503) {
+    ++tally.rejected;
+    ++w.rejected;
+  }
+}
+
+/// Open-loop worker: take the earliest scheduled arrival, wait for its
+/// timestamp, fire, measure from the *scheduled* time (coordinated
+/// omission is impossible by construction).
+void OpenLoopWorker(RunState& state, WorkerTally& tally) {
+  const LoadGenOptions& opts = *state.opts;
+  HttpClient client(opts.host, opts.port, opts.timeout_seconds);
+  for (;;) {
+    double arrival;
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.cv.wait(lock, [&] {
+        return state.done_scheduling || !state.arrivals.empty();
+      });
+      if (state.arrivals.empty()) return;  // done_scheduling && drained
+      arrival = state.arrivals.front();
+      state.arrivals.pop_front();
+    }
+    double wait = arrival - state.Now();
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+    Result<HttpResponse> response =
+        client.Request(opts.method, opts.target, opts.body);
+    double latency = state.Now() - arrival;
+    RecordResponse(opts, tally, arrival, latency,
+                   response.ok() ? response->status : 0, response.ok());
+  }
+}
+
+/// Closed-loop worker: back-to-back request/response until the deadline.
+void ClosedLoopWorker(RunState& state, WorkerTally& tally) {
+  const LoadGenOptions& opts = *state.opts;
+  HttpClient client(opts.host, opts.port, opts.timeout_seconds);
+  for (;;) {
+    double start = state.Now();
+    if (start >= opts.duration_seconds) return;
+    Result<HttpResponse> response =
+        client.Request(opts.method, opts.target, opts.body);
+    double latency = state.Now() - start;
+    RecordResponse(opts, tally, start, latency,
+                   response.ok() ? response->status : 0, response.ok());
+    LoadGenWindow& w = tally.WindowAt(start, opts.window_seconds);
+    ++w.arrived;
+  }
+}
+
+/// Scheduler: walks real time in small ticks, asks the sine process how
+/// many requests arrive per tick (Equations 8-9 + Gaussian noise), and
+/// spreads them uniformly inside the tick.
+void ScheduleArrivals(RunState& state, std::vector<LoadGenWindow>& windows) {
+  const LoadGenOptions& opts = *state.opts;
+  serving::SineArrivalProcess sine(
+      opts.target_rate,
+      opts.sine_period > 0 ? opts.sine_period : opts.duration_seconds,
+      opts.seed, opts.sine_period > 0 ? opts.noise_stddev : 0.0);
+  Rng spread(Rng::Mix(opts.seed + 17));
+  const double tick = 0.005;
+  double constant_residual = 0.0;
+  double t = 0.0;
+  while (t < opts.duration_seconds) {
+    double dt = std::min(tick, opts.duration_seconds - t);
+    int64_t n;
+    if (opts.sine_period > 0) {
+      n = sine.Arrivals(t, dt);
+    } else {
+      constant_residual += opts.target_rate * dt;
+      n = static_cast<int64_t>(constant_residual);
+      constant_residual -= static_cast<double>(n);
+    }
+    if (n > 0) {
+      std::vector<double> times;
+      times.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        times.push_back(t + spread.Uniform(0.0, dt));
+      }
+      std::sort(times.begin(), times.end());
+      {
+        std::lock_guard<std::mutex> lock(state.mu);
+        for (double at : times) {
+          auto wi = static_cast<size_t>(at / opts.window_seconds);
+          LoadGenWindow& w = windows[std::min(wi, windows.size() - 1)];
+          ++w.arrived;
+          if (state.arrivals.size() >= opts.max_backlog) {
+            ++w.dropped;
+            ++state.dropped_backlog;
+          } else {
+            state.arrivals.push_back(at);
+          }
+        }
+      }
+      state.cv.notify_all();
+    }
+    t += dt;
+    double ahead = t - state.Now();
+    if (ahead > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.done_scheduling = true;
+  }
+  state.cv.notify_all();
+}
+
+}  // namespace
+
+LoadGenReport RunLoadGen(const LoadGenOptions& opts) {
+  RAFIKI_CHECK_GT(opts.duration_seconds, 0.0);
+  RAFIKI_CHECK_GT(opts.window_seconds, 0.0);
+  RAFIKI_CHECK_GT(opts.connections, 0);
+
+  auto num_windows = static_cast<size_t>(
+      std::ceil(opts.duration_seconds / opts.window_seconds));
+  num_windows = std::max<size_t>(num_windows, 1);
+
+  RunState state;
+  state.opts = &opts;
+  state.epoch = SteadyClock::now();
+
+  std::vector<WorkerTally> tallies;
+  tallies.reserve(static_cast<size_t>(opts.connections));
+  for (int i = 0; i < opts.connections; ++i) {
+    tallies.emplace_back(num_windows);
+  }
+  // Scheduler-side arrival/drop counts (open loop).
+  std::vector<LoadGenWindow> arrival_windows(num_windows);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(opts.connections));
+  for (int i = 0; i < opts.connections; ++i) {
+    WorkerTally& tally = tallies[static_cast<size_t>(i)];
+    if (opts.open_loop) {
+      workers.emplace_back([&state, &tally] { OpenLoopWorker(state, tally); });
+    } else {
+      workers.emplace_back(
+          [&state, &tally] { ClosedLoopWorker(state, tally); });
+    }
+  }
+  if (opts.open_loop) {
+    ScheduleArrivals(state, arrival_windows);
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts.duration_seconds));
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.done_scheduling = true;
+    }
+    state.cv.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+  double elapsed = state.Now();
+
+  LoadGenReport report;
+  report.windows.assign(num_windows, LoadGenWindow{});
+  for (size_t i = 0; i < num_windows; ++i) {
+    report.windows[i].t_begin =
+        static_cast<double>(i) * opts.window_seconds;
+  }
+  for (size_t i = 0; i < num_windows; ++i) {
+    report.windows[i].arrived += arrival_windows[i].arrived;
+    report.windows[i].dropped += arrival_windows[i].dropped;
+  }
+  for (const WorkerTally& tally : tallies) {
+    report.completed += tally.completed;
+    report.overdue += tally.overdue;
+    report.rejected += tally.rejected;
+    report.errors += tally.errors;
+    report.latency.Merge(tally.latency);
+    for (size_t i = 0; i < num_windows; ++i) {
+      const LoadGenWindow& w = tally.windows[i];
+      report.windows[i].arrived += w.arrived;  // closed-loop arrivals
+      report.windows[i].completed += w.completed;
+      report.windows[i].overdue += w.overdue;
+      report.windows[i].rejected += w.rejected;
+      report.windows[i].errors += w.errors;
+    }
+  }
+  for (const LoadGenWindow& w : report.windows) report.arrived += w.arrived;
+  report.dropped = state.dropped_backlog;
+  report.duration_seconds = elapsed;
+  report.achieved_rps =
+      elapsed > 0 ? static_cast<double>(report.completed) / elapsed : 0.0;
+  return report;
+}
+
+std::string LoadGenReport::ToString() const {
+  std::string out;
+  for (const LoadGenWindow& w : windows) {
+    out += StrFormat(
+        "window t=%.1f arrived=%lld completed=%lld overdue=%lld "
+        "rejected=%lld dropped=%lld errors=%lld\n",
+        w.t_begin, static_cast<long long>(w.arrived),
+        static_cast<long long>(w.completed),
+        static_cast<long long>(w.overdue),
+        static_cast<long long>(w.rejected),
+        static_cast<long long>(w.dropped),
+        static_cast<long long>(w.errors));
+  }
+  out += StrFormat(
+      "total arrived=%lld completed=%lld overdue=%lld rejected=%lld "
+      "dropped=%lld errors=%lld rps=%.1f\n",
+      static_cast<long long>(arrived), static_cast<long long>(completed),
+      static_cast<long long>(overdue), static_cast<long long>(rejected),
+      static_cast<long long>(dropped), static_cast<long long>(errors),
+      achieved_rps);
+  out += StrFormat(
+      "latency mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f\n",
+      latency.mean(), latency.P50(), latency.P95(), latency.P99(),
+      latency.max());
+  return out;
+}
+
+}  // namespace rafiki::net

@@ -1,0 +1,74 @@
+#ifndef RAFIKI_NET_SOCKET_H_
+#define RAFIKI_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace rafiki::net {
+
+/// Move-only RAII wrapper around a file descriptor. Closing is idempotent;
+/// a default-constructed Socket holds no fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership of the fd without closing it.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets or clears O_NONBLOCK.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Disables Nagle (TCP_NODELAY); request/response traffic is latency-bound.
+Status SetNoDelay(int fd);
+
+/// Creates a nonblocking listening TCP socket on 127.0.0.1-visible
+/// INADDR_ANY:`port` (0 = kernel-assigned ephemeral port) with SO_REUSEADDR.
+/// On success `*bound_port` holds the actual port.
+Result<Socket> ListenTcp(uint16_t port, int backlog, uint16_t* bound_port);
+
+/// Blocking TCP connect to an IPv4 address ("127.0.0.1") with a send/receive
+/// timeout of `timeout_seconds` applied to the connected socket (0 = none).
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          double timeout_seconds);
+
+/// Writes all of [data, data+len) to a blocking socket (MSG_NOSIGNAL, retry
+/// on EINTR). Fails on any other error.
+Status SendAll(int fd, const char* data, size_t len);
+
+/// One recv() of at most `len` bytes, retrying EINTR. Returns the byte
+/// count (0 = orderly peer shutdown) or an error status.
+Result<size_t> RecvSome(int fd, char* data, size_t len);
+
+}  // namespace rafiki::net
+
+#endif  // RAFIKI_NET_SOCKET_H_

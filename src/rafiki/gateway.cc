@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "net/http.h"
 
 namespace rafiki::api {
 namespace {
@@ -77,40 +78,62 @@ Result<GatewayRequest> Gateway::Parse(const std::string& raw_request) {
         return Status::InvalidArgument(
             StrFormat("malformed parameter '%s'", pair.c_str()));
       }
-      out.params[pair.substr(0, eq)] = pair.substr(eq + 1);
+      // Real HTTP front-ends send percent-encoded query strings; decode so
+      // "name=caf%C3%A9&note=a+b" means what the client wrote.
+      out.params[net::PercentDecode(pair.substr(0, eq))] =
+          net::PercentDecode(pair.substr(eq + 1), /*plus_as_space=*/true);
     }
   }
   return out;
 }
 
 GatewayResponse Gateway::Handle(const std::string& raw_request) {
+  // Bounded buffering: a hostile or broken client must not make the
+  // gateway swallow arbitrarily large request lines or bodies.
+  size_t newline = raw_request.find('\n');
+  size_t head_len = newline == std::string::npos ? raw_request.size()
+                                                 : newline;
+  if (head_len > kMaxRequestLine) {
+    return Error(413, StrFormat("request line of %zu bytes exceeds %zu",
+                                head_len, kMaxRequestLine));
+  }
+  if (newline != std::string::npos &&
+      raw_request.size() - newline - 1 > kMaxBodyBytes) {
+    return Error(413, StrFormat("body of %zu bytes exceeds %zu",
+                                raw_request.size() - newline - 1,
+                                kMaxBodyBytes));
+  }
   Result<GatewayRequest> parsed = Parse(raw_request);
   if (!parsed.ok()) return FromStatus(parsed.status());
-  const GatewayRequest& request = *parsed;
+  return Dispatch(*parsed);
+}
 
-  if (request.method == "POST" && request.path == "/train") {
-    return Train(request);
-  }
-  if (request.method == "GET" && StartsWith(request.path, "/jobs/") &&
-      EndsWith(request.path, "/metrics")) {
-    std::string job_id =
-        request.path.substr(6, request.path.size() - 6 - 8);
-    if (!job_id.empty()) return InferMetrics(job_id);
-  }
-  if (request.method == "GET" && StartsWith(request.path, "/jobs/")) {
-    return JobStatus(request.path.substr(6));
-  }
-  if (request.method == "POST" && request.path == "/deploy") {
-    return Deploy(request);
-  }
-  if (request.method == "POST" && request.path == "/query") {
-    return Query(request);
-  }
-  if (request.method == "POST" && request.path == "/undeploy") {
+GatewayResponse Gateway::Dispatch(const GatewayRequest& request) {
+  const std::string& path = request.path;
+  // POST-only action routes.
+  if (path == "/train" || path == "/deploy" || path == "/query" ||
+      path == "/undeploy") {
+    if (request.method != "POST") {
+      return Error(405, StrFormat("use POST %s", path.c_str()));
+    }
+    if (path == "/train") return Train(request);
+    if (path == "/deploy") return Deploy(request);
+    if (path == "/query") return Query(request);
     return Undeploy(request);
   }
+  // GET-only job status/metrics routes.
+  if (StartsWith(path, "/jobs/")) {
+    if (request.method != "GET") {
+      return Error(405, StrFormat("use GET %s", path.c_str()));
+    }
+    if (EndsWith(path, "/metrics")) {
+      std::string job_id = path.substr(6, path.size() - 6 - 8);
+      if (!job_id.empty()) return InferMetrics(job_id);
+    }
+    return JobStatus(path.substr(6));
+  }
   return Error(404, StrFormat("no route %s %s", request.method.c_str(),
-                              request.path.c_str()));
+                              path.c_str()));
 }
 
 GatewayResponse Gateway::Train(const GatewayRequest& request) {
@@ -229,14 +252,17 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
       200,
       StrFormat("arrived=%lld&processed=%lld&overdue=%lld&dropped=%lld&"
                 "batches=%lld&max_batch=%lld&mean_batch=%.3f&"
-                "mean_latency=%.6f",
+                "mean_latency=%.6f&queue=%lld&p50=%.6f&p95=%.6f&p99=%.6f",
                 static_cast<long long>(metrics->arrived),
                 static_cast<long long>(metrics->processed),
                 static_cast<long long>(metrics->overdue),
                 static_cast<long long>(metrics->dropped),
                 static_cast<long long>(metrics->batches),
                 static_cast<long long>(metrics->max_batch),
-                metrics->mean_batch, metrics->mean_latency)};
+                metrics->mean_batch, metrics->mean_latency,
+                static_cast<long long>(metrics->queue_depth),
+                metrics->p50_latency, metrics->p95_latency,
+                metrics->p99_latency)};
 }
 
 GatewayResponse Gateway::Undeploy(const GatewayRequest& request) {

@@ -28,8 +28,9 @@ struct GatewayResponse {
 /// (mobile apps, SQL UDFs — `curl -F image.jpg http://rafiki/api`) talk to
 /// Rafiki through a small request/response protocol rather than linking
 /// the library. This gateway implements that surface as a deterministic
-/// text protocol on top of the facade; a socket server would wrap
-/// `Handle()` verbatim.
+/// text protocol on top of the facade; the real socket front-end
+/// (net::HttpServer via MakeGatewayHttpHandler) adapts HTTP requests onto
+/// `Dispatch()` 1:1.
 ///
 /// Endpoints:
 ///   POST /train    dataset=<name>&trials=N&workers=N&collaborative=0|1&
@@ -39,17 +40,32 @@ struct GatewayResponse {
 ///   POST /query    job=<infer_id>  body: "v1,v2,..." -> label=K&votes=...
 ///   GET  /jobs/<infer_id>/metrics              -> arrived=..&processed=..&
 ///                  overdue=..&dropped=..&batches=..&max_batch=..&
-///                  mean_batch=..&mean_latency=..   (serving counters)
+///                  mean_batch=..&mean_latency=..&queue=..&p50=..&p95=..&
+///                  p99=..   (live serving counters + latency percentiles)
 ///   POST /undeploy job=<infer_id>              -> ok
+///
+/// Error mapping: unknown path -> 404; known path with the wrong method ->
+/// 405; oversized request line or body -> 413.
 class Gateway {
  public:
+  /// Request-line and body size caps enforced by Handle() (413 beyond).
+  static constexpr size_t kMaxRequestLine = 8 * 1024;
+  static constexpr size_t kMaxBodyBytes = 1 << 20;
+
   explicit Gateway(Rafiki* rafiki);
 
   /// Parses and serves one request string; never throws, all errors map to
   /// 4xx/5xx responses.
   GatewayResponse Handle(const std::string& raw_request);
 
-  /// Request parser (exposed for tests).
+  /// Routes an already-parsed request. Thread-safe (the gateway is
+  /// stateless; the facade synchronizes internally) — the HTTP front-end
+  /// calls this concurrently from its handler pool.
+  GatewayResponse Dispatch(const GatewayRequest& request);
+
+  /// Request parser (exposed for tests). Parameter keys and values are
+  /// percent-decoded ('+' in a value decodes to space), so real HTTP query
+  /// strings round-trip through the text protocol unchanged.
   static Result<GatewayRequest> Parse(const std::string& raw_request);
 
  private:

@@ -1,0 +1,48 @@
+#include "rafiki/http_gateway.h"
+
+#include "common/string_util.h"
+
+namespace rafiki::api {
+
+Result<GatewayRequest> FromHttp(const net::HttpRequest& http) {
+  GatewayRequest out;
+  out.method = http.method;
+  out.path = net::PercentDecode(http.path);
+  if (out.path.empty() || out.path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/'");
+  }
+  if (!http.query.empty()) {
+    for (const std::string& pair : Split(http.query, '&')) {
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("malformed parameter '%s'", pair.c_str()));
+      }
+      out.params[net::PercentDecode(pair.substr(0, eq))] =
+          net::PercentDecode(pair.substr(eq + 1), /*plus_as_space=*/true);
+    }
+  }
+  out.body = http.body;
+  return out;
+}
+
+net::HttpResponse ToHttp(const GatewayResponse& response) {
+  net::HttpResponse http;
+  http.status = response.status;
+  http.body = response.body + "\n";
+  return http;
+}
+
+net::HttpServer::Handler MakeGatewayHttpHandler(Gateway* gateway) {
+  return [gateway](const net::HttpRequest& http) {
+    Result<GatewayRequest> request = FromHttp(http);
+    if (!request.ok()) {
+      return ToHttp(GatewayResponse{
+          400, "error=" + request.status().ToString()});
+    }
+    return ToHttp(gateway->Dispatch(*request));
+  };
+}
+
+}  // namespace rafiki::api

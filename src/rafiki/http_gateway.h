@@ -1,0 +1,25 @@
+#ifndef RAFIKI_RAFIKI_HTTP_GATEWAY_H_
+#define RAFIKI_RAFIKI_HTTP_GATEWAY_H_
+
+#include "net/http.h"
+#include "net/http_server.h"
+#include "rafiki/gateway.h"
+
+namespace rafiki::api {
+
+/// Maps one parsed HTTP request onto the gateway's request form:
+/// percent-decoded path, query parameters decoded key/value ('+' in values
+/// becomes space), body passed through verbatim.
+Result<GatewayRequest> FromHttp(const net::HttpRequest& http);
+
+/// Maps a gateway response onto HTTP (status + key=value text body).
+net::HttpResponse ToHttp(const GatewayResponse& response);
+
+/// A thread-safe net::HttpServer handler that serves `gateway` — the glue
+/// between the epoll front door and the routing layer. `gateway` must
+/// outlive the server.
+net::HttpServer::Handler MakeGatewayHttpHandler(Gateway* gateway);
+
+}  // namespace rafiki::api
+
+#endif  // RAFIKI_RAFIKI_HTTP_GATEWAY_H_

@@ -297,7 +297,11 @@ Result<InferenceJobMetrics> InferenceRuntime::Metrics(
   if (stats.processed > 0) {
     stats.mean_latency = job->latency_sum /
                          static_cast<double>(stats.processed);
+    stats.p50_latency = job->latency_hist.P50();
+    stats.p95_latency = job->latency_hist.P95();
+    stats.p99_latency = job->latency_hist.P99();
   }
+  stats.queue_depth = static_cast<int64_t>(job->queue.size());
   return stats;
 }
 
@@ -417,6 +421,9 @@ void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
     ++job.stats.batches;
     job.stats.max_batch = std::max(job.stats.max_batch, b);
     job.latency_sum += latency_sum;
+    for (const Pending& p : batch) {
+      job.latency_hist.Add(completion - p.arrival);
+    }
   }
   // Fulfill after the counters: a caller woken by its future immediately
   // sees its own request reflected in Metrics().

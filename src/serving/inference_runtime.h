@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "model/profile.h"
 #include "nn/net.h"
 #include "serving/policy.h"
@@ -69,6 +70,13 @@ struct InferenceJobMetrics {
   int64_t max_batch = 0;
   double mean_batch = 0.0;    // processed / batches
   double mean_latency = 0.0;  // seconds, submission -> response
+  /// Requests waiting in the queue at the moment Metrics() was read.
+  int64_t queue_depth = 0;
+  /// Latency percentiles over all processed requests (log-bucketed
+  /// histogram, so values are quantized to bucket midpoints).
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
 };
 
 /// Majority-vote answer with per-model transparency (§5.2 / Figure 6).
@@ -165,6 +173,7 @@ class InferenceRuntime {
     bool stopping = false;      // guarded by mu
     InferenceJobMetrics stats;  // guarded by mu
     double latency_sum = 0.0;   // guarded by mu
+    LatencyHistogram latency_hist;  // guarded by mu
 
     std::thread dispatcher;
 

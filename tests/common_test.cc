@@ -218,6 +218,60 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_EQ(h.CountAtLeast(0.15), 3u);
 }
 
+TEST(HistogramTest, CountAtLeastQuantizesToBucketEdges) {
+  Histogram h(0.0, 1.0, 10);
+  h.Add(0.05);
+  h.Add(0.15);
+  h.Add(0.25);
+  // Thresholds are floored to the containing bucket's lower edge, so any
+  // threshold inside (0.1, 0.2] counts everything from bucket 1 on.
+  EXPECT_EQ(h.CountAtLeast(0.19), 2u);
+  EXPECT_EQ(h.CountAtLeast(0.11), 2u);
+  // Below the range counts all; at/above the top counts none.
+  EXPECT_EQ(h.CountAtLeast(-3.0), 3u);
+  EXPECT_EQ(h.CountAtLeast(1.0), 0u);
+  EXPECT_EQ(h.CountAtLeast(7.0), 0u);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketError) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i) * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+  // Log-bucketed with growth 1.1: values are exact to within 10%.
+  EXPECT_NEAR(h.P50(), 0.5, 0.5 * 0.11);
+  EXPECT_NEAR(h.P95(), 0.95, 0.95 * 0.11);
+  EXPECT_NEAR(h.P99(), 0.99, 0.99 * 0.11);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, SingleSampleAndMerge) {
+  LatencyHistogram a;
+  a.Add(0.02);
+  // One sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(a.P50(), 0.02);
+  EXPECT_DOUBLE_EQ(a.P99(), 0.02);
+
+  LatencyHistogram b;
+  for (int i = 0; i < 99; ++i) b.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.02);
+  EXPECT_DOUBLE_EQ(a.max(), 1.0);
+  // 99 of 100 samples at 1.0: p99 lands in the 1.0 bucket.
+  EXPECT_NEAR(a.P99(), 1.0, 1.0 * 0.11);
+
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.P50(), 0.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+}
+
 TEST(EwmaTest, ConvergesTowardInput) {
   Ewma e(0.5);
   EXPECT_TRUE(e.empty());

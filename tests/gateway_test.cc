@@ -76,7 +76,40 @@ TEST_F(GatewayTest, ParseStripsTrailingCarriageReturn) {
 
 TEST_F(GatewayTest, UnknownRouteIs404) {
   EXPECT_EQ(gateway_.Handle("GET /nope").status, 404);
-  EXPECT_EQ(gateway_.Handle("POST /jobs/x").status, 404);  // wrong method
+  EXPECT_EQ(gateway_.Handle("POST /nope").status, 404);
+}
+
+TEST_F(GatewayTest, WrongMethodOnKnownPathIs405) {
+  EXPECT_EQ(gateway_.Handle("POST /jobs/x").status, 405);
+  EXPECT_EQ(gateway_.Handle("DELETE /jobs/x/metrics").status, 405);
+  EXPECT_EQ(gateway_.Handle("GET /train dataset=t").status, 405);
+  EXPECT_EQ(gateway_.Handle("GET /deploy job=x").status, 405);
+  EXPECT_EQ(gateway_.Handle("GET /query job=x").status, 405);
+  EXPECT_EQ(gateway_.Handle("PUT /undeploy job=x").status, 405);
+}
+
+TEST_F(GatewayTest, PercentDecodesParams) {
+  auto r = Gateway::Parse("POST /train dataset=my%2Fset&note=a+b%21\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->params.at("dataset"), "my/set");
+  EXPECT_EQ(r->params.at("note"), "a b!");
+  // '+' decodes to space only in values; keys decode %XX too.
+  auto k = Gateway::Parse("GET /jobs/j %6aob=x\n");
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k->params.at("job"), "x");
+}
+
+TEST_F(GatewayTest, OversizedRequestsAre413) {
+  std::string long_line =
+      "GET /jobs/" + std::string(Gateway::kMaxRequestLine, 'x');
+  EXPECT_EQ(gateway_.Handle(long_line).status, 413);
+  std::string big_body = "POST /query job=x\n" +
+                         std::string(Gateway::kMaxBodyBytes + 1, '1');
+  EXPECT_EQ(gateway_.Handle(big_body).status, 413);
+  // At the cap is still fine (parses, fails later on the bad feature list).
+  std::string ok_body = "POST /query job=x\n" +
+                        std::string(Gateway::kMaxBodyBytes, '1');
+  EXPECT_NE(gateway_.Handle(ok_body).status, 413);
 }
 
 TEST_F(GatewayTest, TrainValidation) {
@@ -194,6 +227,11 @@ TEST_F(GatewayTest, InferenceMetricsRoute) {
   EXPECT_EQ(Field(metrics.body, "processed"), "1");
   EXPECT_EQ(Field(metrics.body, "dropped"), "0");
   EXPECT_FALSE(Field(metrics.body, "mean_latency").empty());
+  EXPECT_EQ(Field(metrics.body, "queue"), "0");
+  // One processed request: every percentile equals that one latency.
+  EXPECT_FALSE(Field(metrics.body, "p50").empty());
+  EXPECT_EQ(Field(metrics.body, "p50"), Field(metrics.body, "p99"));
+  EXPECT_GT(std::stod(Field(metrics.body, "p50")), 0.0);
 
   EXPECT_EQ(gateway_.Handle("GET /jobs/ghost/metrics").status, 404);
   EXPECT_EQ(gateway_.Handle("POST /undeploy job=" + infer).status, 200);

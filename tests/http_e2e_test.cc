@@ -1,0 +1,127 @@
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "rafiki/http_gateway.h"
+
+namespace rafiki::api {
+namespace {
+
+/// Extracts "key=..." from a key=value&key=value body (trailing newline
+/// tolerated).
+std::string Field(const std::string& body, const std::string& key) {
+  for (const std::string& pair : Split(body, '&')) {
+    std::string p = pair;
+    while (!p.empty() && (p.back() == '\n' || p.back() == '\r')) p.pop_back();
+    if (StartsWith(p, key + "=")) return p.substr(key.size() + 1);
+  }
+  return "";
+}
+
+TEST(HttpEndToEndTest, FullLifecycleOverRealTcp) {
+  // The complete Figure 18 loop over an actual socket: import -> train ->
+  // poll -> deploy -> query -> metrics -> undeploy, all through HTTP.
+  Rafiki rafiki;
+  data::SyntheticTaskOptions task;
+  task.num_classes = 3;
+  task.samples_per_class = 50;
+  task.input_dim = 8;
+  task.separation = 5.0;
+  data::Dataset dataset = data::MakeSyntheticTask(task);
+  ASSERT_TRUE(rafiki.ImportDataset("t", dataset).ok());
+
+  Gateway gateway(&rafiki);
+  net::HttpServerOptions opts;
+  opts.num_workers = 2;
+  opts.num_handler_threads = 2;
+  net::HttpServer server(MakeGatewayHttpHandler(&gateway), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  net::HttpClient client("127.0.0.1", server.port());
+
+  // Train.
+  auto train = client.Post(
+      "/train?dataset=t&trials=4&epochs=6&workers=2&advisor=random");
+  ASSERT_TRUE(train.ok()) << train.status().ToString();
+  ASSERT_EQ(train->status, 200) << train->body;
+  std::string job = Field(train->body, "job_id");
+  ASSERT_FALSE(job.empty());
+
+  // Poll until done.
+  std::string done;
+  for (int i = 0; i < 20000 && done != "1"; ++i) {
+    auto info = client.Get("/jobs/" + job);
+    ASSERT_TRUE(info.ok());
+    ASSERT_EQ(info->status, 200) << info->body;
+    done = Field(info->body, "done");
+    if (done != "1") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_EQ(done, "1");
+
+  // Deploy.
+  auto deploy = client.Post("/deploy?job=" + job);
+  ASSERT_TRUE(deploy.ok());
+  ASSERT_EQ(deploy->status, 200) << deploy->body;
+  std::string infer = Field(deploy->body, "job_id");
+  ASSERT_FALSE(infer.empty());
+
+  // Query the first dataset row; body carries the features.
+  std::vector<std::string> fields;
+  for (int64_t i = 0; i < dataset.x.dim(1); ++i) {
+    fields.push_back(std::to_string(dataset.x.at(i)));
+  }
+  auto query = client.Post("/query?job=" + infer, Join(fields, ","));
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->status, 200) << query->body;
+  int label = std::stoi(Field(query->body, "label"));
+  EXPECT_GE(label, 0);
+  EXPECT_LT(label, 3);
+
+  // Metrics reflect the query, including the new percentile fields.
+  auto metrics = client.Get("/jobs/" + infer + "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200) << metrics->body;
+  EXPECT_EQ(Field(metrics->body, "arrived"), "1");
+  EXPECT_EQ(Field(metrics->body, "processed"), "1");
+  EXPECT_EQ(Field(metrics->body, "queue"), "0");
+  EXPECT_FALSE(Field(metrics->body, "p99").empty());
+
+  // Wrong method and unknown routes over the wire.
+  auto wrong = client.Get("/train?dataset=t");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_EQ(wrong->status, 405);
+  auto missing = client.Get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  // Percent-encoded params decode before dispatch (ghost dataset -> 404
+  // proves the decoded name reached the facade).
+  auto encoded = client.Post("/train?dataset=gh%6Fst");
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->status, 404) << encoded->body;
+
+  // Undeploy; double-undeploy is 404.
+  auto undeploy = client.Post("/undeploy?job=" + infer);
+  ASSERT_TRUE(undeploy.ok());
+  EXPECT_EQ(undeploy->status, 200);
+  auto again = client.Post("/undeploy?job=" + infer);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 404);
+
+  server.Stop();
+  net::HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_total, stats.responses_total);
+  EXPECT_EQ(stats.responses_total,
+            stats.handled + stats.rejected_overload + stats.parse_errors +
+                stats.rejected_draining);
+}
+
+}  // namespace
+}  // namespace rafiki::api

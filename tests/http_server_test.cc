@@ -1,0 +1,379 @@
+#include "net/http_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/http_client.h"
+#include "net/socket.h"
+
+namespace rafiki::net {
+namespace {
+
+HttpResponse EchoHandler(const HttpRequest& request) {
+  HttpResponse resp;
+  resp.body = request.method + " " + request.path;
+  if (!request.query.empty()) resp.body += "?" + request.query;
+  if (!request.body.empty()) resp.body += " body=" + request.body;
+  return resp;
+}
+
+/// Raw-socket helper: sends `wire` and reads until `want` complete
+/// responses parsed or the peer closes. Returns the statuses in order.
+std::vector<int> RawExchange(uint16_t port, const std::string& wire,
+                             size_t want) {
+  auto sock = ConnectTcp("127.0.0.1", port, 10.0);
+  EXPECT_TRUE(sock.ok()) << sock.status().ToString();
+  if (!sock.ok()) return {};
+  EXPECT_TRUE(SendAll(sock->fd(), wire.data(), wire.size()).ok());
+  std::vector<int> statuses;
+  std::string buffered;
+  HttpResponseParser parser;
+  char buf[4096];
+  while (statuses.size() < want) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    buffered.append(buf, *n);
+    for (;;) {
+      size_t consumed = parser.Feed(buffered.data(), buffered.size());
+      buffered.erase(0, consumed);
+      if (!parser.done()) break;
+      statuses.push_back(parser.status());
+      parser = HttpResponseParser();
+      if (buffered.empty()) break;
+    }
+  }
+  return statuses;
+}
+
+TEST(HttpServerTest, ServesBasicGetOverRealSocket) {
+  HttpServerOptions opts;
+  opts.num_workers = 2;
+  HttpServer server(EchoHandler, opts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpResponse> resp = client.Get("/jobs/j0?x=1");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "GET /jobs/j0?x=1");
+
+  Result<HttpResponse> post = client.Post("/query?job=i0", "1,2,3");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->body, "POST /query?job=i0 body=1,2,3");
+
+  server.Stop();
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_total, 2u);
+  EXPECT_EQ(stats.responses_total, 2u);
+  EXPECT_EQ(stats.handled, 2u);
+  EXPECT_EQ(stats.accepted_connections, 1u);  // keep-alive reused it
+}
+
+TEST(HttpServerTest, KeepAliveServesManySequentialRequests) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 50; ++i) {
+    Result<HttpResponse> resp = client.Get("/r" + std::to_string(i));
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body, "GET /r" + std::to_string(i));
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().accepted_connections, 1u);
+  EXPECT_EQ(server.stats().requests_total, 50u);
+}
+
+TEST(HttpServerTest, TornWritesReassemble) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  auto sock = ConnectTcp("127.0.0.1", server.port(), 10.0);
+  ASSERT_TRUE(sock.ok());
+  std::string wire =
+      "POST /q HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  // Dribble the request a few bytes at a time across separate packets.
+  for (size_t i = 0; i < wire.size(); i += 3) {
+    size_t n = std::min<size_t>(3, wire.size() - i);
+    ASSERT_TRUE(SendAll(sock->fd(), wire.data() + i, n).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string buffered;
+  HttpResponseParser parser;
+  char buf[4096];
+  while (!parser.done()) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u);
+    parser.Feed(buf, *n);
+  }
+  EXPECT_EQ(parser.status(), 200);
+  EXPECT_EQ(parser.body(), "POST /q body=hello");
+  server.Stop();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  // Three requests in a single write; responses must come back 1:1 in
+  // order on the same connection.
+  std::string wire =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+  auto sock = ConnectTcp("127.0.0.1", server.port(), 10.0);
+  ASSERT_TRUE(sock.ok());
+  ASSERT_TRUE(SendAll(sock->fd(), wire.data(), wire.size()).ok());
+  std::string all;
+  char buf[4096];
+  for (;;) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;  // server closed after the third response
+    all.append(buf, *n);
+  }
+  size_t a = all.find("GET /a");
+  size_t b = all.find("GET /b");
+  size_t c = all.find("GET /c");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(c, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  server.Stop();
+  EXPECT_EQ(server.stats().requests_total, 3u);
+  EXPECT_EQ(server.stats().responses_total, 3u);
+}
+
+TEST(HttpServerTest, MalformedRequestsGetParserStatusAndClose) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  struct Case {
+    const char* wire;
+    int status;
+  } cases[] = {
+      {"GARBAGE\r\n\r\n", 400},
+      {"GET / HTTP/9.9\r\n\r\n", 505},
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+      {"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413},
+  };
+  for (const Case& c : cases) {
+    std::vector<int> statuses = RawExchange(server.port(), c.wire, 1);
+    ASSERT_EQ(statuses.size(), 1u) << c.wire;
+    EXPECT_EQ(statuses[0], c.status) << c.wire;
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().parse_errors, 4u);
+  EXPECT_EQ(server.stats().responses_total, 4u);
+}
+
+TEST(HttpServerTest, OverloadShedsBoundedAndConserves) {
+  // Latch the handler so admitted requests pile up at the cap; everything
+  // beyond max_inflight must be answered 503 by the event loop.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  constexpr size_t kCap = 2;
+  constexpr int kClients = 8;
+
+  HttpServerOptions opts;
+  opts.max_inflight = kCap;
+  opts.num_handler_threads = static_cast<int>(kCap);
+  HttpServer server(
+      [&](const HttpRequest&) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+        return HttpResponse{};
+      },
+      opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> overloaded_count{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      HttpClient client("127.0.0.1", server.port());
+      Result<HttpResponse> resp = client.Get("/");
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      if (resp->status == 200) ++ok_count;
+      if (resp->status == 503) ++overloaded_count;
+    });
+  }
+  // Wait until every request reached the server, then open the latch.
+  for (int i = 0; i < 10000; ++i) {
+    if (server.stats().requests_total == static_cast<uint64_t>(kClients)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().requests_total,
+            static_cast<uint64_t>(kClients));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  // Exact admission accounting: the cap admits kCap, the rest shed.
+  EXPECT_EQ(ok_count.load(), static_cast<int>(kCap));
+  EXPECT_EQ(overloaded_count.load(), kClients - static_cast<int>(kCap));
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.handled, kCap);
+  EXPECT_EQ(stats.rejected_overload, kClients - kCap);
+  EXPECT_EQ(stats.requests_total, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.responses_total,
+            stats.handled + stats.rejected_overload + stats.parse_errors +
+                stats.rejected_draining);
+}
+
+TEST(HttpServerTest, GracefulShutdownDrainsInFlightRequests) {
+  std::atomic<bool> entered{false};
+  HttpServer server([&](const HttpRequest&) {
+    entered = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    HttpResponse resp;
+    resp.body = "slow-done";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  Result<HttpResponse> got = Status::Internal("unset");
+  std::thread client_thread([&] {
+    HttpClient client("127.0.0.1", port);
+    got = client.Get("/slow");
+  });
+  while (!entered) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.Stop();  // must wait for the in-flight response to be written
+  client_thread.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(got->body, "slow-done");
+  EXPECT_EQ(server.stats().handled, 1u);
+}
+
+TEST(HttpServerTest, RequestsDuringDrainAre503) {
+  // A latched handler keeps the server in kDraining long enough for a
+  // request on a second, already-accepted connection to be refused 503.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  HttpServerOptions opts;
+  // One worker: the idle second connection shares the event loop with the
+  // busy one, so it drains (answers 503) instead of being closed outright
+  // by an already-idle worker.
+  opts.num_workers = 1;
+  HttpServer server(
+      [&](const HttpRequest&) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return release; });
+        return HttpResponse{};
+      },
+      opts);
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  std::thread first([&] {
+    HttpClient client("127.0.0.1", port);
+    (void)client.Get("/hold");
+  });
+  while (server.stats().requests_total == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Second connection must exist before Stop() closes the listener.
+  auto sock = ConnectTcp("127.0.0.1", port, 10.0);
+  ASSERT_TRUE(sock.ok());
+  while (server.stats().accepted_connections < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread stopper([&] { server.Stop(); });
+  // Let Stop() pass the acceptor join (one 50 ms poll) into kDraining
+  // before the late request goes out, so it is parsed mid-drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::string wire = "GET /late HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(SendAll(sock->fd(), wire.data(), wire.size()).ok());
+  std::string buffered;
+  HttpResponseParser parser;
+  char buf[4096];
+  while (!parser.done()) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u);
+    parser.Feed(buf, *n);
+  }
+  EXPECT_EQ(parser.status(), 503);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  first.join();
+  stopper.join();
+  EXPECT_EQ(server.stats().rejected_draining, 1u);
+  EXPECT_EQ(server.stats().handled, 1u);
+}
+
+TEST(HttpServerTest, PartialWritesFlushViaEpollout) {
+  // A tiny send buffer forces send() to return EAGAIN mid-response; the
+  // EPOLLOUT path must finish the flush.
+  std::string big(512 * 1024, 'x');
+  HttpServerOptions opts;
+  opts.send_buffer_bytes = 4096;
+  HttpServer server(
+      [&](const HttpRequest&) {
+        HttpResponse resp;
+        resp.body = big;
+        return resp;
+      },
+      opts);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpResponse> resp = client.Get("/big");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body.size(), big.size());
+  EXPECT_EQ(resp->body, big);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentClientsAllServed) {
+  HttpServer server(EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string path =
+            "/t" + std::to_string(t) + "/r" + std::to_string(i);
+        Result<HttpResponse> resp = client.Get(path);
+        if (resp.ok() && resp->status == 200 &&
+            resp->body == "GET " + path) {
+          ++ok;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_total,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.responses_total, stats.requests_total);
+}
+
+}  // namespace
+}  // namespace rafiki::net

@@ -1,0 +1,128 @@
+#include "net/loadgen.h"
+
+#include <atomic>
+
+#include "gtest/gtest.h"
+#include "net/http_server.h"
+
+namespace rafiki::net {
+namespace {
+
+TEST(LoadGenTest, OpenLoopConservesAndMeasures) {
+  std::atomic<int> hits{0};
+  HttpServer server([&](const HttpRequest&) {
+    ++hits;
+    HttpResponse resp;
+    resp.body = "ok";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions opts;
+  opts.port = server.port();
+  opts.duration_seconds = 1.0;
+  opts.target_rate = 200.0;
+  opts.sine_period = 0.0;  // constant rate: deterministic arrival count
+  opts.connections = 2;
+  opts.window_seconds = 0.25;
+  LoadGenReport report = RunLoadGen(opts);
+  server.Stop();
+
+  // Constant 200 req/s over 1 s schedules ~200 arrivals (the final partial
+  // tick may round one off).
+  EXPECT_GE(report.arrived, 195);
+  EXPECT_LE(report.arrived, 201);
+  EXPECT_EQ(report.errors, 0) << report.ToString();
+  // Conservation: every arrival was either answered, errored, or dropped.
+  EXPECT_EQ(report.arrived,
+            report.completed + report.errors + report.dropped);
+  EXPECT_EQ(hits.load(), static_cast<int>(report.completed));
+  // Window sums match the totals.
+  int64_t win_arrived = 0, win_completed = 0;
+  for (const LoadGenWindow& w : report.windows) {
+    win_arrived += w.arrived;
+    win_completed += w.completed;
+  }
+  EXPECT_EQ(win_arrived, report.arrived);
+  EXPECT_EQ(win_completed, report.completed);
+  // Latencies were recorded for every completion.
+  EXPECT_EQ(report.latency.count(), static_cast<size_t>(report.completed));
+  EXPECT_GT(report.latency.P50(), 0.0);
+  EXPECT_GE(report.latency.P99(), report.latency.P50());
+  EXPECT_GT(report.achieved_rps, 0.0);
+}
+
+TEST(LoadGenTest, SineArrivalsFollowThePaperProcess) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions opts;
+  opts.port = server.port();
+  opts.duration_seconds = 1.0;
+  opts.target_rate = 150.0;
+  opts.sine_period = 1.0;  // one full sine cycle within the run
+  opts.noise_stddev = 0.0;
+  opts.connections = 2;
+  opts.window_seconds = 0.25;
+  LoadGenReport report = RunLoadGen(opts);
+  server.Stop();
+
+  EXPECT_GT(report.arrived, 0);
+  EXPECT_EQ(report.arrived,
+            report.completed + report.errors + report.dropped);
+  EXPECT_EQ(report.errors, 0) << report.ToString();
+  // The sine modulates the rate across windows: not all equal.
+  int64_t lo = report.windows[0].arrived, hi = report.windows[0].arrived;
+  for (const LoadGenWindow& w : report.windows) {
+    lo = std::min(lo, w.arrived);
+    hi = std::max(hi, w.arrived);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(LoadGenTest, ClosedLoopRunsBackToBack) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions opts;
+  opts.port = server.port();
+  opts.open_loop = false;
+  opts.duration_seconds = 0.5;
+  opts.connections = 2;
+  opts.window_seconds = 0.25;
+  LoadGenReport report = RunLoadGen(opts);
+  server.Stop();
+
+  EXPECT_GT(report.completed, 0);
+  EXPECT_EQ(report.arrived,
+            report.completed + report.errors + report.dropped);
+  EXPECT_EQ(report.dropped, 0);  // closed loop never drops
+  EXPECT_EQ(report.errors, 0) << report.ToString();
+}
+
+TEST(LoadGenTest, CountsRejectionsSeparatelyFromErrors) {
+  // A server that always sheds: 503s count as completed+rejected, not
+  // errors (the loadgen models overload as a valid server answer).
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse resp;
+    resp.status = 503;
+    return resp;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadGenOptions opts;
+  opts.port = server.port();
+  opts.duration_seconds = 0.5;
+  opts.target_rate = 100.0;
+  opts.sine_period = 0.0;
+  opts.connections = 1;
+  LoadGenReport report = RunLoadGen(opts);
+  server.Stop();
+
+  EXPECT_EQ(report.errors, 0) << report.ToString();
+  EXPECT_EQ(report.rejected, report.completed);
+  EXPECT_GT(report.rejected, 0);
+}
+
+}  // namespace
+}  // namespace rafiki::net
