@@ -18,7 +18,11 @@
 #include "model/prediction_sim.h"
 #include "model/profile.h"
 #include "net/http.h"
+#include "net/http_server.h"
+#include "net/loadgen.h"
 #include "nn/loss.h"
+#include "rafiki/gateway.h"
+#include "rafiki/http_gateway.h"
 #include "nn/net.h"
 #include "nn/sgd.h"
 #include "ps/parameter_server.h"
@@ -554,6 +558,111 @@ void BM_RlPolicyDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RlPolicyDecision);
+
+// Closed-loop serving comparison over real TCP: N keep-alive connections
+// each re-issue a /jobs/<id>/query POST the moment the previous answer
+// lands, against a gateway backed by a checkpoint MLP. Arg is the
+// handler-thread count. The sync path pins one handler thread per in-flight
+// query, so its concurrency (and the batch sizes the runtime can form) is
+// capped at Arg; the async continuation path parks the ResponseWriter and
+// carries all connections on any pool size. Counters: rps (completed
+// requests/s), inflight_peak (server gauge), mean_batch (runtime metric).
+constexpr int kServeConnections = 256;
+
+void RunServeClosedLoop(benchmark::State& state, bool async_mode) {
+  int handler_threads = static_cast<int>(state.range(0));
+
+  api::Rafiki service;
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  if (!service.parameter_server().PutModel("study/bench/best", ckpt).ok()) {
+    state.SkipWithError("PutModel failed");
+    return;
+  }
+  api::ModelHandle handle;
+  handle.scope = "study/bench/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = service.Deploy({handle});
+  if (!deployed.ok()) {
+    state.SkipWithError("Deploy failed");
+    return;
+  }
+
+  api::Gateway gateway(&service);
+  net::HttpServerOptions opts;
+  opts.num_workers = 2;
+  opts.num_handler_threads = handler_threads;
+  opts.max_inflight = 1024;
+  net::HttpServer::AsyncHandler handler;
+  if (async_mode) {
+    handler = api::MakeGatewayAsyncHttpHandler(&gateway);
+  } else {
+    net::HttpServer::Handler sync = api::MakeGatewayHttpHandler(&gateway);
+    handler = [sync](const net::HttpRequest& request,
+                     net::HttpServer::ResponseWriter writer) {
+      writer.Complete(sync(request));
+    };
+  }
+  net::HttpServer server(handler, opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  net::LoadGenOptions load;
+  load.port = server.port();
+  load.method = "POST";
+  load.target = "/jobs/" + *deployed + "/query";
+  load.body = "0,1,0,0";
+  load.open_loop = false;
+  load.connections = kServeConnections;
+  load.duration_seconds = 1.0;
+  load.tau = 10.0;  // throughput benchmark: the SLO gauge is not the point
+  double rps = 0.0;
+  int64_t errors = 0;
+  for (auto _ : state) {
+    net::LoadGenReport report = net::RunLoadGen(load);
+    rps += report.achieved_rps;
+    errors += report.errors;
+    benchmark::DoNotOptimize(report.completed);
+  }
+  server.Stop();
+  if (errors > 0) state.SkipWithError("loadgen saw transport errors");
+
+  auto metrics = service.InferenceMetrics(*deployed);
+  net::HttpServerStats stats = server.stats();
+  state.counters["rps"] = rps / static_cast<double>(state.iterations());
+  state.counters["inflight_peak"] = static_cast<double>(stats.inflight_peak);
+  state.counters["mean_batch"] = metrics.ok() ? metrics->mean_batch : 0.0;
+}
+
+void BM_ServeClosedLoopSync(benchmark::State& state) {
+  RunServeClosedLoop(state, /*async_mode=*/false);
+}
+// /2: the handler pool is the bottleneck (the pre-refactor default shape);
+// /256: thread-per-connection, the only way sync reaches full concurrency.
+BENCHMARK(BM_ServeClosedLoopSync)
+    ->Arg(2)
+    ->Arg(kServeConnections)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeClosedLoopAsync(benchmark::State& state) {
+  RunServeClosedLoop(state, /*async_mode=*/true);
+}
+// Two handler threads only: the continuation path must carry all 256
+// connections regardless, with batches formed by the policy, not the pool.
+BENCHMARK(BM_ServeClosedLoopAsync)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_EnsembleVote(benchmark::State& state) {
   std::vector<model::ModelProfile> models{

@@ -8,7 +8,9 @@
 //   ./build/examples/rafiki_loadgen --port=8080 --closed --connections=8
 //
 // --fail-on-error makes a non-zero exit when any request failed with a
-// transport error or a non-2xx/non-503 status (CI smoke uses this).
+// transport error or an unexpected status (CI smoke uses this). 503
+// (overload shed) and 504 (queue deadline) are load outcomes, not errors;
+// they are reported as rejected= and deadline=.
 
 #include <cstdio>
 #include <cstdlib>

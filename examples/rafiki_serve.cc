@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "common/string_util.h"
@@ -50,6 +51,13 @@ int main(int argc, char** argv) {
   auto handlers = static_cast<int>(FlagInt(argc, argv, "handlers", 4));
   auto max_inflight =
       static_cast<size_t>(FlagInt(argc, argv, "max-inflight", 256));
+  // --sync=1 restores the blocking handler path (each in-flight query pins
+  // a handler thread); default is the continuation-based async path.
+  bool sync_mode = FlagInt(argc, argv, "sync", 0) != 0;
+  // Serving SLO tau in milliseconds; queries queued longer than this are
+  // answered 504 instead of occupying batch capacity.
+  double tau =
+      static_cast<double>(FlagInt(argc, argv, "tau-ms", 50)) / 1000.0;
   constexpr int64_t kInputDim = 4;
   constexpr int64_t kClasses = 3;
 
@@ -80,7 +88,10 @@ int main(int argc, char** argv) {
   handle.scope = "serve/builtin/best";
   handle.model_name = "mlp";
   handle.accuracy = 0.9;
-  auto deployed = service.Deploy({handle});
+  rafiki::serving::RuntimeOptions serve_opts;
+  serve_opts.tau = tau;
+  serve_opts.expire_overdue = true;
+  auto deployed = service.Deploy({handle}, serve_opts);
   RAFIKI_CHECK_OK(deployed.status());
   std::printf("infer_job=%s input_dim=%lld\n", deployed->c_str(),
               static_cast<long long>(kInputDim));
@@ -91,10 +102,31 @@ int main(int argc, char** argv) {
   opts.num_workers = workers;
   opts.num_handler_threads = handlers;
   opts.max_inflight = max_inflight;
-  rafiki::net::HttpServer server(
-      rafiki::api::MakeGatewayHttpHandler(&gateway), opts);
+  // The handler is built before the server it reports on, so the metrics
+  // route's gauge source goes through a late-bound pointer cell.
+  auto server_cell = std::make_shared<rafiki::net::HttpServer*>(nullptr);
+  rafiki::api::ServerStatsFn server_stats = [server_cell] {
+    rafiki::net::HttpServer* server = *server_cell;
+    return server ? server->stats() : rafiki::net::HttpServerStats{};
+  };
+  rafiki::net::HttpServer::AsyncHandler handler;
+  if (sync_mode) {
+    // Same adapter the server applies internally; chosen here so the mode
+    // is visible in one place.
+    rafiki::net::HttpServer::Handler sync =
+        rafiki::api::MakeGatewayHttpHandler(&gateway, server_stats);
+    handler = [sync](const rafiki::net::HttpRequest& request,
+                     rafiki::net::HttpServer::ResponseWriter writer) {
+      writer.Complete(sync(request));
+    };
+  } else {
+    handler = rafiki::api::MakeGatewayAsyncHttpHandler(&gateway, server_stats);
+  }
+  rafiki::net::HttpServer server(handler, opts);
+  *server_cell = &server;
   RAFIKI_CHECK_OK(server.Start());
-  std::printf("listening port=%u workers=%d\n", server.port(), workers);
+  std::printf("listening port=%u workers=%d mode=%s\n", server.port(),
+              workers, sync_mode ? "sync" : "async");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -109,13 +141,26 @@ int main(int argc, char** argv) {
   rafiki::net::HttpServerStats stats = server.stats();
   std::printf(
       "served requests=%llu responses=%llu handled=%llu overload_503=%llu "
-      "draining_503=%llu parse_errors=%llu connections=%llu\n",
+      "draining_503=%llu parse_errors=%llu connections=%llu "
+      "inflight_peak=%llu\n",
       static_cast<unsigned long long>(stats.requests_total),
       static_cast<unsigned long long>(stats.responses_total),
       static_cast<unsigned long long>(stats.handled),
       static_cast<unsigned long long>(stats.rejected_overload),
       static_cast<unsigned long long>(stats.rejected_draining),
       static_cast<unsigned long long>(stats.parse_errors),
-      static_cast<unsigned long long>(stats.accepted_connections));
+      static_cast<unsigned long long>(stats.accepted_connections),
+      static_cast<unsigned long long>(stats.inflight_peak));
+  auto metrics = service.InferenceMetrics(*deployed);
+  if (metrics.ok()) {
+    std::printf(
+        "job metrics arrived=%lld processed=%lld expired=%lld "
+        "batches=%lld mean_batch=%.3f max_batch=%lld\n",
+        static_cast<long long>(metrics->arrived),
+        static_cast<long long>(metrics->processed),
+        static_cast<long long>(metrics->expired),
+        static_cast<long long>(metrics->batches), metrics->mean_batch,
+        static_cast<long long>(metrics->max_batch));
+  }
   return 0;
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# End-to-end smoke over real TCP: boot rafiki_serve, point rafiki_loadgen at
-# the auto-deployed inference job's metrics route, fail on any transport
-# error or non-2xx/non-503 answer, then SIGTERM the server and require a
-# clean drain (the final "served requests=..." accounting line).
+# End-to-end smoke over real TCP: boot rafiki_serve (async continuation
+# path, the default), point rafiki_loadgen at the auto-deployed inference
+# job's metrics route, then storm the async query route with 256 closed-loop
+# connections against a 2-thread handler pool — failing on any transport
+# error or unexpected status — and finally SIGTERM the server, require a
+# clean drain (the "served requests=..." accounting line) and an observed
+# in-flight peak above the handler-thread count (proof the continuation
+# path, not the thread pool, carried the concurrency).
 #
 # Usage: scripts/smoke_serve.sh [build-dir] [port]
 set -euo pipefail
@@ -31,7 +35,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$serve" --port="$port" --workers=2 --handlers=2 >"$log" 2>&1 &
+# handlers=2 on purpose: the async storm below must sustain far more
+# concurrent queries than handler threads. max-inflight is lifted so the
+# admission cap is not what bounds the storm; tau-ms is generous so most
+# queries beat the queue deadline on a loaded CI box (stragglers get an
+# orderly 504, which is not an error).
+"$serve" --port="$port" --workers=2 --handlers=2 --max-inflight=1024 \
+  --tau-ms=500 >"$log" 2>&1 &
 server_pid=$!
 
 # Wait for the machine-parseable startup lines (rafiki_serve flushes them).
@@ -58,6 +68,12 @@ echo "smoke: server pid=$server_pid port=$port infer_job=$infer_job"
 "$loadgen" --port="$port" --target="/jobs/$infer_job/metrics" \
   --duration=2 --rate=300 --period=2 --connections=2 --fail-on-error
 
+# High-concurrency async storm: 256 closed-loop connections POSTing real
+# queries through the continuation path, on the 2-thread handler pool.
+"$loadgen" --port="$port" --method=POST \
+  --target="/jobs/$infer_job/query" --body="0,1,0,0" \
+  --closed --connections=256 --duration=2 --tau=1 --fail-on-error
+
 # Graceful drain: TERM the exact PID and require the accounting line.
 kill -TERM "$server_pid"
 for _ in $(seq 1 100); do
@@ -81,4 +97,14 @@ if ! grep -q '^served requests=' "$log"; then
   exit 1
 fi
 grep '^served requests=' "$log"
-echo "smoke: OK"
+grep '^job metrics ' "$log" || true
+
+# The async path must have carried more concurrent requests than the two
+# handler threads ever could synchronously.
+peak="$(sed -n 's/.*inflight_peak=\([0-9]*\).*/\1/p' "$log" | head -1)"
+if [[ -z "$peak" || "$peak" -le 2 ]]; then
+  echo "async path not exercised: inflight_peak='$peak' (expected > 2)" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: OK (inflight_peak=$peak)"

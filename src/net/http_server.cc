@@ -15,7 +15,7 @@
 namespace rafiki::net {
 namespace {
 
-/// While a request is in flight we keep reading (so we notice resets) but
+/// While requests are in flight we keep reading (so we notice resets) but
 /// cap how much pipelined input we buffer; past this we drop interest in
 /// EPOLLIN and TCP backpressure reaches the client.
 constexpr size_t kMaxBufferedInput = 64 * 1024;
@@ -30,15 +30,78 @@ HttpResponse OverloadResponse(const char* why) {
   return resp;
 }
 
+/// The synchronous Handler is a thin adapter: the returned response
+/// completes the writer before the handler thread moves on.
+HttpServer::AsyncHandler WrapSyncHandler(HttpServer::Handler handler) {
+  RAFIKI_CHECK(handler != nullptr);
+  return [handler = std::move(handler)](const HttpRequest& request,
+                                        HttpServer::ResponseWriter writer) {
+    writer.Complete(handler(request));
+  };
+}
+
 }  // namespace
 
-HttpServer::HttpServer(Handler handler, HttpServerOptions options)
-    : handler_(std::move(handler)), opts_(options) {
-  RAFIKI_CHECK(handler_ != nullptr);
+void HttpServer::ResponseWriter::Complete(const HttpResponse& response) {
+  if (state_ != nullptr) state_->Complete(response);
+}
+
+bool HttpServer::ResponseWriter::completed() const {
+  return state_ != nullptr &&
+         (state_->flags.load(std::memory_order_acquire) &
+          WriterState::kCompleted) != 0;
+}
+
+void HttpServer::WriterState::Complete(const HttpResponse& response) {
+  int old = flags.fetch_or(kCompleted, std::memory_order_acq_rel);
+  if (old & kCompleted) return;  // one-shot: first completion wins
+  // Serialize the response before taking the core lock (it can be large).
+  std::string bytes = SerializeResponse(response, keep_alive);
+  std::lock_guard<std::mutex> lock(core->mu);
+  HttpServer* server = core->server;
+  if (server == nullptr) return;  // server torn down: drop safely
+  // Completion is where the request stops being "in flight": the admission
+  // slot frees here, not when the handler returned.
+  server->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  server->handled_.fetch_add(1, std::memory_order_relaxed);
+  server->responses_.fetch_add(1, std::memory_order_relaxed);
+  if (old & kHandlerReturned) {
+    server->async_pending_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Completion done;
+  done.conn_id = conn_id;
+  done.seq = seq;
+  done.bytes = std::move(bytes);
+  done.keep_alive = keep_alive;
+  Worker& w = *server->workers_[static_cast<size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> wlock(w.mu);
+    w.completions.push_back(std::move(done));
+  }
+  server->Wake(w);
+}
+
+HttpServer::WriterState::~WriterState() {
+  if ((flags.load(std::memory_order_acquire) & kCompleted) != 0) return;
+  // Every copy of the writer was dropped without completing: answer 500 so
+  // neither the connection nor the admission slot leaks.
+  HttpResponse resp;
+  resp.status = 500;
+  resp.body = "error=handler dropped the response";
+  Complete(resp);
+}
+
+HttpServer::HttpServer(AsyncHandler handler, HttpServerOptions options)
+    : async_handler_(std::move(handler)), opts_(options) {
+  RAFIKI_CHECK(async_handler_ != nullptr);
   opts_.num_workers = std::max(opts_.num_workers, 1);
   opts_.num_handler_threads = std::max(opts_.num_handler_threads, 1);
   opts_.max_inflight = std::max<size_t>(opts_.max_inflight, 1);
+  opts_.max_pipeline = std::max<size_t>(opts_.max_pipeline, 1);
 }
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : HttpServer(WrapSyncHandler(std::move(handler)), options) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -71,11 +134,20 @@ Status HttpServer::Start() {
     workers_.push_back(std::move(w));
   }
 
+  // Fresh completion core: writers from a previous (force-stopped) run
+  // keep their old core, whose server pointer is already null.
+  core_ = std::make_shared<AsyncCore>();
+  core_->server = this;
+
   phase_ = Phase::kRunning;
   stop_accepting_ = false;
+  inflight_ = 0;
+  handler_busy_ = 0;
+  async_pending_ = 0;
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     stop_handlers_ = false;
+    work_.clear();
   }
   running_ = true;
   for (int i = 0; i < opts_.num_workers; ++i) {
@@ -98,7 +170,9 @@ void HttpServer::Stop() {
   listener_.Close();
 
   // 2. Drain: new requests are answered 503, workers run until every
-  //    connection has neither a request in flight nor unwritten output.
+  //    connection has neither a pending response (sync in-handler or async
+  //    parked elsewhere) nor unwritten output. Async completions keep
+  //    flowing through the mailboxes during this phase.
   phase_ = Phase::kDraining;
   for (auto& w : workers_) Wake(*w);
   double deadline = Now() + opts_.drain_timeout_seconds;
@@ -117,8 +191,16 @@ void HttpServer::Stop() {
     if (w->thread.joinable()) w->thread.join();
   }
 
-  // 3. Handler pool: queued work belongs to closed connections now; run it
-  //    down (completions to dead connections are dropped) and join.
+  // 3. Cut the completion core: ResponseWriters still alive (handlers on
+  //    the pool, continuations parked in other subsystems) now drop their
+  //    completions instead of posting to dead workers.
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->server = nullptr;
+  }
+
+  // 4. Handler pool: queued work belongs to closed connections now; run it
+  //    down (completions are dropped by the dead core) and join.
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     stop_handlers_ = true;
@@ -147,6 +229,15 @@ HttpServerStats HttpServer::stats() const {
   s.rejected_draining = rejected_draining_.load();
   s.parse_errors = parse_errors_.load();
   s.timed_out_connections = timed_out_.load();
+  s.inflight = inflight_.load();
+  s.inflight_peak = inflight_peak_.load();
+  s.handler_busy = handler_busy_.load();
+  s.async_pending = static_cast<size_t>(std::max<int64_t>(
+      async_pending_.load(std::memory_order_relaxed), 0));
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    s.handler_queue = work_.size();
+  }
   return s;
 }
 
@@ -195,21 +286,26 @@ void HttpServer::DrainMailbox(Worker& w) {
     auto it = w.conns.find(done.conn_id);
     if (it == w.conns.end()) continue;  // connection died mid-request
     Connection& c = *it->second;
-    c.in_flight = false;
-    c.outbuf += done.bytes;
-    if (!done.keep_alive) c.close_after_write = true;
+    const uint64_t conn_id = done.conn_id;
     c.last_activity = Now();
-    FlushWrite(w, c);
-    // The map may have dropped the connection inside FlushWrite.
-    auto again = w.conns.find(done.conn_id);
+    c.ready.emplace(done.seq, std::move(done));
+    PumpResponses(w, c);
+    // The map may have dropped the connection inside PumpResponses.
+    auto again = w.conns.find(conn_id);
     if (again == w.conns.end()) continue;
     Connection& alive = *again->second;
-    if (!alive.want_read && alive.inbuf.size() < kMaxBufferedInput) {
+    if (!alive.want_read && !alive.peer_closed &&
+        alive.inbuf.size() < kMaxBufferedInput) {
       alive.want_read = true;
       UpdateEpoll(w, alive);
     }
     // Pipelined requests already buffered: parse the next one now.
-    if (!alive.in_flight && !alive.close_after_write) TryParse(w, alive);
+    if (!alive.close_after_write) TryParse(w, alive);
+    auto fin = w.conns.find(conn_id);
+    if (fin != w.conns.end() && fin->second->peer_closed &&
+        !fin->second->busy()) {
+      CloseConnection(w, *fin->second);
+    }
   }
 }
 
@@ -252,8 +348,8 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
     if (n > 0) {
       c.inbuf.append(buf, static_cast<size_t>(n));
       c.last_activity = Now();
-      if (c.in_flight && c.inbuf.size() >= kMaxBufferedInput) {
-        // Pipelining backpressure: stop reading until the response goes out.
+      if (c.pending() > 0 && c.inbuf.size() >= kMaxBufferedInput) {
+        // Pipelining backpressure: stop reading until responses go out.
         c.want_read = false;
         UpdateEpoll(w, c);
         break;
@@ -272,7 +368,7 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
     UpdateEpoll(w, c);
     break;
   }
-  if (!c.in_flight) TryParse(w, c);
+  TryParse(w, c);
   // Peer gone and nothing left to answer: drop the connection.
   auto it = w.conns.find(conn_id);
   if (it != w.conns.end()) {
@@ -282,8 +378,9 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
 }
 
 void HttpServer::TryParse(Worker& w, Connection& c) {
-  const uint64_t conn_id = c.id;  // survives a close inside Respond
-  while (!c.in_flight && !c.inbuf.empty()) {
+  const uint64_t conn_id = c.id;  // survives a close inside QueueResponse
+  while (!c.parse_done && c.pending() < opts_.max_pipeline &&
+         !c.inbuf.empty()) {
     size_t consumed = c.parser.Feed(c.inbuf.data(), c.inbuf.size());
     c.inbuf.erase(0, consumed);
     if (c.parser.failed()) {
@@ -292,7 +389,8 @@ void HttpServer::TryParse(Worker& w, Connection& c) {
       resp.status = c.parser.error_status();
       resp.body = "error=" + c.parser.error();
       c.inbuf.clear();  // framing is lost; discard and close after reply
-      Respond(w, c, resp, /*keep_alive=*/false);
+      c.parse_done = true;
+      QueueResponse(w, c, c.next_seq++, resp, /*keep_alive=*/false);
       return;
     }
     if (!c.parser.done()) return;  // need more bytes
@@ -301,39 +399,77 @@ void HttpServer::TryParse(Worker& w, Connection& c) {
     HttpRequest request = std::move(c.parser.request());
     c.parser.Reset();
     c.last_activity = Now();
+    uint64_t seq = c.next_seq++;
+    // After "Connection: close" no further request may be answered on
+    // this connection; stop parsing so pipelined bytes are not consumed.
+    if (!request.keep_alive) c.parse_done = true;
 
     if (phase_.load() != Phase::kRunning) {
       rejected_draining_.fetch_add(1, std::memory_order_relaxed);
-      Respond(w, c, OverloadResponse("server shutting down"),
-              /*keep_alive=*/false);
+      c.parse_done = true;
+      QueueResponse(w, c, seq, OverloadResponse("server shutting down"),
+                    /*keep_alive=*/false);
       return;
     }
-    // Admission control: bounded in-flight requests across all workers.
+    // Admission control: bounded in-flight (admitted, not yet completed)
+    // requests across all workers.
     if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
         opts_.max_inflight) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-      Respond(w, c, OverloadResponse("server overloaded"),
-              request.keep_alive);
-      auto it = w.conns.find(conn_id);
-      if (it == w.conns.end()) return;  // write error closed it
+      QueueResponse(w, c, seq, OverloadResponse("server overloaded"),
+                    request.keep_alive);
+      if (w.conns.find(conn_id) == w.conns.end()) return;  // write error
       continue;  // connection stays usable; try the next pipelined request
     }
-    c.in_flight = true;
+    // Track the concurrency high-watermark (the async path's headline
+    // number: it can far exceed num_handler_threads).
+    uint64_t cur = static_cast<uint64_t>(inflight_.load()) ;
+    uint64_t peak = inflight_peak_.load(std::memory_order_relaxed);
+    while (cur > peak && !inflight_peak_.compare_exchange_weak(
+                             peak, cur, std::memory_order_relaxed)) {
+    }
+    Work work;
+    work.worker = w.index;
+    work.conn_id = c.id;
+    work.seq = seq;
+    work.keep_alive = request.keep_alive;
+    work.request = std::move(request);
     {
       std::lock_guard<std::mutex> lock(work_mu_);
-      work_.push_back(Work{w.index, c.id, std::move(request)});
+      work_.push_back(std::move(work));
     }
     work_cv_.notify_one();
-    return;  // responses are strictly in order: parse resumes afterwards
+    // Keep parsing: with async completion, pipelined requests proceed
+    // concurrently (bounded by max_pipeline) and responses are re-ordered
+    // to request order on completion.
   }
 }
 
-void HttpServer::Respond(Worker& w, Connection& c,
-                         const HttpResponse& response, bool keep_alive) {
+void HttpServer::QueueResponse(Worker& w, Connection& c, uint64_t seq,
+                               const HttpResponse& response,
+                               bool keep_alive) {
   responses_.fetch_add(1, std::memory_order_relaxed);
-  c.outbuf += SerializeResponse(response, keep_alive);
-  if (!keep_alive) c.close_after_write = true;
+  Completion done;
+  done.conn_id = c.id;
+  done.seq = seq;
+  done.bytes = SerializeResponse(response, keep_alive);
+  done.keep_alive = keep_alive;
+  c.ready.emplace(seq, std::move(done));
+  PumpResponses(w, c);
+}
+
+void HttpServer::PumpResponses(Worker& w, Connection& c) {
+  for (;;) {
+    auto it = c.ready.find(c.next_send);
+    if (it == c.ready.end()) break;  // next-in-order not completed yet
+    c.outbuf += it->second.bytes;
+    if (!it->second.keep_alive) c.close_after_write = true;
+    c.ready.erase(it);
+    ++c.next_send;
+    // Responses queued behind a close die with the connection.
+    if (c.close_after_write) break;
+  }
   FlushWrite(w, c);
 }
 
@@ -416,8 +552,9 @@ void HttpServer::WorkerLoop(int index) {
     Phase phase = phase_.load();
     if (phase == Phase::kRunning) continue;
     if (phase == Phase::kForceStop) break;
-    // Draining: leave once nothing on this worker is mid-request or
-    // mid-write. Idle keep-alive connections are simply closed.
+    // Draining: leave once nothing on this worker is mid-request (which
+    // includes async responses not yet completed) or mid-write. Idle
+    // keep-alive connections are simply closed.
     bool busy = false;
     for (auto& [id, conn] : w.conns) busy = busy || conn->busy();
     if (!busy) break;
@@ -442,20 +579,25 @@ void HttpServer::HandlerLoop() {
       work = std::move(work_.front());
       work_.pop_front();
     }
-    HttpResponse response = handler_(work.request);
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    handled_.fetch_add(1, std::memory_order_relaxed);
-    responses_.fetch_add(1, std::memory_order_relaxed);
-    Completion done;
-    done.conn_id = work.conn_id;
-    done.bytes = SerializeResponse(response, work.request.keep_alive);
-    done.keep_alive = work.request.keep_alive;
-    Worker& w = *workers_[static_cast<size_t>(work.worker)];
-    {
-      std::lock_guard<std::mutex> lock(w.mu);
-      w.completions.push_back(std::move(done));
+    auto state = std::make_shared<WriterState>();
+    state->core = core_;
+    state->worker = work.worker;
+    state->conn_id = work.conn_id;
+    state->seq = work.seq;
+    state->keep_alive = work.keep_alive;
+    handler_busy_.fetch_add(1, std::memory_order_relaxed);
+    async_handler_(work.request, ResponseWriter(state));
+    handler_busy_.fetch_sub(1, std::memory_order_relaxed);
+    // Handler returned without completing: the continuation is parked
+    // elsewhere (async_pending until its owner completes the writer). The
+    // two flag bits keep the gauge exact when completion races the return.
+    int old = state->flags.fetch_or(WriterState::kHandlerReturned,
+                                    std::memory_order_acq_rel);
+    if (!(old & WriterState::kCompleted)) {
+      async_pending_.fetch_add(1, std::memory_order_relaxed);
     }
-    Wake(w);
+    // `state` drops here: if the handler kept no copy and never completed,
+    // ~WriterState answers 500 so the connection is not wedged.
   }
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,18 +28,27 @@ struct HttpServerOptions {
   /// Event-loop threads; each owns an epoll instance and a share of the
   /// connections.
   int num_workers = 2;
-  /// Threads executing the request handler. Handlers may block (the
-  /// gateway's /query waits on the inference dispatcher), so they run off
-  /// the event loops.
+  /// Threads invoking the request handler. With the async handler API a
+  /// handler thread is only occupied while the handler *runs* (it may hand
+  /// its ResponseWriter to another subsystem and return immediately), so
+  /// in-flight requests are bounded by `max_inflight`, not by this.
   int num_handler_threads = 4;
-  /// Requests admitted to the handler pool (queued + executing) before new
-  /// ones are answered 503 directly from the event loop.
+  /// Requests admitted (response not yet completed) before new ones are
+  /// answered 503 directly from the event loop. This is the true
+  /// concurrency bound of the async path: an admitted request holds its
+  /// slot until its ResponseWriter completes, not until the handler
+  /// returns.
   size_t max_inflight = 256;
+  /// Pipelined requests admitted per connection before parsing pauses
+  /// (responses are still written in request order; this bounds the
+  /// per-connection reorder buffer).
+  size_t max_pipeline = 16;
   /// Connections idle longer than this (no request in flight, nothing
   /// buffered) are closed.
   double idle_timeout_seconds = 60.0;
-  /// Stop() waits this long for in-flight requests and buffered responses
-  /// to drain before force-closing connections.
+  /// Stop() waits this long for in-flight requests — including async
+  /// responses not yet completed — and buffered output to drain before
+  /// force-closing connections.
   double drain_timeout_seconds = 5.0;
   HttpParserLimits limits;
   int listen_backlog = 128;
@@ -47,19 +57,33 @@ struct HttpServerOptions {
   int send_buffer_bytes = 0;
 };
 
-/// Monotonic counters; conservation invariant once quiet:
+/// Monotonic counters plus stage-occupancy gauges. Conservation invariant
+/// once quiet:
 ///   requests_total == responses_total, and
 ///   responses_total == handled + rejected_overload + parse_errors +
 ///                      rejected_draining.
 struct HttpServerStats {
   uint64_t accepted_connections = 0;
   uint64_t requests_total = 0;    // complete requests parsed
-  uint64_t responses_total = 0;   // responses serialized (any status)
-  uint64_t handled = 0;           // answered by the handler
+  uint64_t responses_total = 0;   // responses produced (any status)
+  uint64_t handled = 0;           // completed through a ResponseWriter
   uint64_t rejected_overload = 0; // 503 at the in-flight cap
   uint64_t rejected_draining = 0; // 503 while stopping
   uint64_t parse_errors = 0;      // 4xx/5xx straight from the parser
   uint64_t timed_out_connections = 0;
+
+  /// Gauges (sampled at stats() time) separating the stages of the async
+  /// path, so saturation of each is observable independently:
+  ///   admission (inflight) -> handler queue -> handler execution
+  ///   (handler_busy) -> async completion wait (async_pending).
+  size_t inflight = 0;        // admitted, response not yet completed
+  uint64_t inflight_peak = 0; // high-watermark of `inflight` since Start()
+  size_t handler_queue = 0;   // parsed requests waiting for a handler thread
+  size_t handler_busy = 0;    // threads currently inside the handler
+  /// Requests whose handler has returned but whose ResponseWriter has not
+  /// completed yet — the continuation is parked in another subsystem (e.g.
+  /// an inference batch queue).
+  size_t async_pending = 0;
 };
 
 /// From-scratch epoll HTTP/1.1 server (the Figure 2/18 front door):
@@ -69,21 +93,60 @@ struct HttpServerStats {
 ///   * each worker owns its connections exclusively — nonblocking reads
 ///     into a per-connection buffer, an incremental HttpParser, and a
 ///     per-connection write buffer flushed via EPOLLOUT on partial writes;
-///   * complete requests are executed on a separate handler pool (bounded
-///     by `max_inflight`, overflow answered 503 inline), and the response
-///     is posted back to the owning worker through a mailbox + eventfd;
-///   * keep-alive and pipelining: requests on one connection are answered
-///     in order; parsing pauses while one is in flight and resumes from
-///     the buffered bytes afterwards;
+///   * complete requests are admitted against `max_inflight` (overflow
+///     answered 503 inline) and dispatched to a handler pool; the handler
+///     receives a ResponseWriter it may complete later from any thread —
+///     the response is posted back to the owning worker through a mailbox
+///     + eventfd;
+///   * keep-alive and pipelining: up to `max_pipeline` requests per
+///     connection may be in flight at once; completions arriving out of
+///     order are buffered and written strictly in request order;
 ///   * Stop() drains: accepting ends, new requests get 503, in-flight
-///     responses are written out, then connections close.
+///     requests — including async responses whose handler already
+///     returned — are completed and written out, then connections close.
 ///
-/// The Handler runs concurrently on the pool; it must be thread-safe.
+/// Handlers run concurrently on the pool; they must be thread-safe.
 class HttpServer {
  public:
+  /// Synchronous handler: the returned response completes the request.
+  /// Runs as a thin adapter over the async API.
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  struct WriterState;
+
+  /// Completion handle for one request. Copyable (copies share the same
+  /// one-shot state — the first Complete() wins, later calls are no-ops)
+  /// so it can be captured in std::function continuations. Thread-safe:
+  /// Complete() may be called from any thread, including after the server
+  /// started draining (the response is still delivered) or after Stop()
+  /// finished (the completion is dropped safely). If every copy is
+  /// destroyed without completing, a 500 is generated so the connection
+  /// and the admission slot are not leaked.
+  class ResponseWriter {
+   public:
+    ResponseWriter() = default;
+
+    /// Completes the request; one-shot, thread-safe.
+    void Complete(const HttpResponse& response);
+
+    bool completed() const;
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class HttpServer;
+    explicit ResponseWriter(std::shared_ptr<WriterState> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<WriterState> state_;
+  };
+
+  /// Asynchronous handler: may complete the writer inline or hand it to
+  /// another thread and return. Returning without completing parks the
+  /// request (counted in the async_pending gauge) until some owner of the
+  /// writer completes it.
+  using AsyncHandler = std::function<void(const HttpRequest&, ResponseWriter)>;
+
   HttpServer(Handler handler, HttpServerOptions options = {});
+  HttpServer(AsyncHandler handler, HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -106,6 +169,15 @@ class HttpServer {
  private:
   enum class Phase { kRunning, kDraining, kForceStop };
 
+  /// One response ready to be written; `seq` orders it among its
+  /// connection's pipelined requests.
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::string bytes;
+    bool keep_alive = true;
+  };
+
   struct Connection {
     int fd = -1;
     uint64_t id = 0;
@@ -113,7 +185,13 @@ class HttpServer {
     std::string outbuf;
     size_t out_off = 0;
     HttpParser parser;
-    bool in_flight = false;        // request with the handler pool
+    uint64_t next_seq = 0;   // sequence assigned to the next parsed request
+    uint64_t next_send = 0;  // sequence of the next response to emit
+    /// Responses completed out of request order, keyed by sequence.
+    std::map<uint64_t, Completion> ready;
+    /// No further requests will be parsed (parse error, Connection: close,
+    /// or a drain rejection); pending responses still go out in order.
+    bool parse_done = false;
     bool close_after_write = false;
     bool peer_closed = false;
     bool want_read = true;
@@ -121,13 +199,9 @@ class HttpServer {
     double last_activity = 0.0;
 
     Connection(HttpParserLimits limits) : parser(limits) {}
-    bool busy() const { return in_flight || out_off < outbuf.size(); }
-  };
-
-  struct Completion {
-    uint64_t conn_id = 0;
-    std::string bytes;
-    bool keep_alive = true;
+    /// Requests parsed whose responses have not been emitted yet.
+    size_t pending() const { return next_seq - next_send; }
+    bool busy() const { return pending() > 0 || out_off < outbuf.size(); }
   };
 
   struct Worker {
@@ -146,9 +220,39 @@ class HttpServer {
   struct Work {
     int worker = 0;
     uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    bool keep_alive = true;
     HttpRequest request;
   };
 
+ public:
+  /// Shared between the server and every outstanding ResponseWriter; the
+  /// server pointer is nulled under `mu` during Stop(), after which late
+  /// completions are dropped instead of touching freed workers.
+  struct AsyncCore {
+    std::mutex mu;
+    HttpServer* server = nullptr;
+  };
+
+  /// One-shot completion state behind ResponseWriter. `flags` bit 0 is
+  /// "completed", bit 1 is "handler returned" (used to keep the
+  /// async_pending gauge exact under the completion/return race).
+  struct WriterState {
+    static constexpr int kCompleted = 1;
+    static constexpr int kHandlerReturned = 2;
+
+    std::shared_ptr<AsyncCore> core;
+    int worker = 0;
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    bool keep_alive = true;
+    std::atomic<int> flags{0};
+
+    void Complete(const HttpResponse& response);
+    ~WriterState();  // completes with 500 if nobody ever completed
+  };
+
+ private:
   void AcceptLoop();
   void WorkerLoop(int index);
   void HandlerLoop();
@@ -160,24 +264,30 @@ class HttpServer {
   void UpdateEpoll(Worker& w, Connection& c);
   void OnReadable(Worker& w, Connection& c);
   void TryParse(Worker& w, Connection& c);
-  /// Serializes `response` into the connection's write buffer and flushes.
-  void Respond(Worker& w, Connection& c, const HttpResponse& response,
-               bool keep_alive);
+  /// Queues `response` as the completion of sequence `seq` (event-loop
+  /// responses: parse errors, 503s) and pumps in-order output.
+  void QueueResponse(Worker& w, Connection& c, uint64_t seq,
+                     const HttpResponse& response, bool keep_alive);
+  /// Moves consecutive ready completions into the write buffer and
+  /// flushes. May close (destroy) the connection.
+  void PumpResponses(Worker& w, Connection& c);
   void FlushWrite(Worker& w, Connection& c);
   void IdleSweep(Worker& w);
   double Now() const;
 
-  Handler handler_;
+  AsyncHandler async_handler_;
   HttpServerOptions opts_;
   Socket listener_;
   uint16_t port_ = 0;
   bool running_ = false;
 
+  std::shared_ptr<AsyncCore> core_;
+
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
   std::vector<std::thread> handler_threads_;
 
-  std::mutex work_mu_;
+  mutable std::mutex work_mu_;
   std::condition_variable work_cv_;
   std::deque<Work> work_;
   bool stop_handlers_ = false;  // guarded by work_mu_
@@ -185,6 +295,9 @@ class HttpServer {
   std::atomic<Phase> phase_{Phase::kRunning};
   std::atomic<bool> stop_accepting_{false};
   std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> inflight_peak_{0};
+  std::atomic<size_t> handler_busy_{0};
+  std::atomic<int64_t> async_pending_{0};
   std::atomic<uint64_t> next_conn_id_{1};
 
   // Stats counters.

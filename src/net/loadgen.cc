@@ -42,6 +42,7 @@ struct WorkerTally {
   int64_t completed = 0;
   int64_t overdue = 0;
   int64_t rejected = 0;
+  int64_t deadline = 0;
   int64_t errors = 0;
 
   explicit WorkerTally(size_t num_windows) : windows(num_windows) {}
@@ -55,7 +56,9 @@ struct WorkerTally {
 void RecordResponse(const LoadGenOptions& opts, WorkerTally& tally,
                     double arrival, double latency, int status, bool ok) {
   LoadGenWindow& w = tally.WindowAt(arrival, opts.window_seconds);
-  if (!ok || (status / 100 != 2 && status != 503)) {
+  // 503 (shed) and 504 (queue deadline) are well-formed server answers
+  // under load, not transport errors; they are counted separately.
+  if (!ok || (status / 100 != 2 && status != 503 && status != 504)) {
     ++tally.errors;
     ++w.errors;
     return;
@@ -70,6 +73,10 @@ void RecordResponse(const LoadGenOptions& opts, WorkerTally& tally,
   if (status == 503) {
     ++tally.rejected;
     ++w.rejected;
+  }
+  if (status == 504) {
+    ++tally.deadline;
+    ++w.deadline;
   }
 }
 
@@ -240,6 +247,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& opts) {
     report.completed += tally.completed;
     report.overdue += tally.overdue;
     report.rejected += tally.rejected;
+    report.deadline += tally.deadline;
     report.errors += tally.errors;
     report.latency.Merge(tally.latency);
     for (size_t i = 0; i < num_windows; ++i) {
@@ -248,6 +256,7 @@ LoadGenReport RunLoadGen(const LoadGenOptions& opts) {
       report.windows[i].completed += w.completed;
       report.windows[i].overdue += w.overdue;
       report.windows[i].rejected += w.rejected;
+      report.windows[i].deadline += w.deadline;
       report.windows[i].errors += w.errors;
     }
   }
@@ -274,11 +283,11 @@ std::string LoadGenReport::ToString() const {
   }
   out += StrFormat(
       "total arrived=%lld completed=%lld overdue=%lld rejected=%lld "
-      "dropped=%lld errors=%lld rps=%.1f\n",
+      "deadline=%lld dropped=%lld errors=%lld rps=%.1f\n",
       static_cast<long long>(arrived), static_cast<long long>(completed),
       static_cast<long long>(overdue), static_cast<long long>(rejected),
-      static_cast<long long>(dropped), static_cast<long long>(errors),
-      achieved_rps);
+      static_cast<long long>(deadline), static_cast<long long>(dropped),
+      static_cast<long long>(errors), achieved_rps);
   out += StrFormat(
       "latency mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f\n",
       latency.mean(), latency.P50(), latency.P95(), latency.P99(),

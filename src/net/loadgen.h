@@ -48,22 +48,25 @@ struct LoadGenOptions {
 struct LoadGenWindow {
   double t_begin = 0.0;
   int64_t arrived = 0;
-  int64_t completed = 0;  // any HTTP response, including 503
+  int64_t completed = 0;  // any HTTP response, including 503/504
   int64_t overdue = 0;    // completed with latency > tau
   int64_t rejected = 0;   // completed with status 503 (overload shedding)
+  int64_t deadline = 0;   // completed with status 504 (queue SLO expiry)
   int64_t errors = 0;     // transport failures / unexpected statuses
   int64_t dropped = 0;    // never sent (backlog cap)
 };
 
 /// Whole-run report. Conservation (asserted in tests):
 ///   arrived == completed + errors + dropped, and the window sums match
-///   the totals. `rejected` and `overdue` are subsets of `completed`.
+///   the totals. `rejected`, `deadline` and `overdue` are subsets of
+///   `completed`.
 struct LoadGenReport {
   std::vector<LoadGenWindow> windows;
   int64_t arrived = 0;
   int64_t completed = 0;
   int64_t overdue = 0;
   int64_t rejected = 0;
+  int64_t deadline = 0;
   int64_t errors = 0;
   int64_t dropped = 0;
   LatencyHistogram latency;

@@ -26,10 +26,55 @@ GatewayResponse FromStatus(const Status& status) {
     case StatusCode::kFailedPrecondition:
       code = 409;
       break;
+    case StatusCode::kUnavailable:
+      code = 503;  // retryable: queue full / shedding
+      break;
+    case StatusCode::kDeadlineExceeded:
+      code = 504;  // queue wait exceeded the job's SLO tau
+      break;
     default:
       code = 500;
   }
   return Error(code, status.ToString());
+}
+
+/// Parses the /query feature body ("v1,v2,...") into a [1, dim] tensor.
+Result<Tensor> ParseFeatureBody(const GatewayRequest& request) {
+  if (request.body.empty()) {
+    return Status::InvalidArgument(
+        "missing feature body (comma-separated floats)");
+  }
+  std::vector<float> values;
+  for (const std::string& field : Split(request.body, ',')) {
+    if (field.empty()) return Status::InvalidArgument("empty feature field");
+    char* end = nullptr;
+    float v = std::strtof(field.c_str(), &end);
+    if (end == field.c_str()) {
+      return Status::InvalidArgument(
+          StrFormat("bad feature '%s'", field.c_str()));
+    }
+    values.push_back(v);
+  }
+  // Size must be read before the move: argument evaluation order is
+  // unspecified and GCC moves the by-value parameter first.
+  auto num_features = static_cast<int64_t>(values.size());
+  return Tensor({1, num_features}, std::move(values));
+}
+
+GatewayResponse FormatPrediction(const Prediction& prediction) {
+  std::vector<std::string> votes;
+  votes.reserve(prediction.votes.size());
+  for (int64_t v : prediction.votes) votes.push_back(std::to_string(v));
+  return GatewayResponse{
+      200, StrFormat("label=%lld&votes=%s",
+                     static_cast<long long>(prediction.label),
+                     Join(votes, ",").c_str())};
+}
+
+/// Job id of a "/jobs/<id>/query" path ("" when malformed).
+std::string QueryRouteJobId(const std::string& path) {
+  return path.size() > 6 + 6 ? path.substr(6, path.size() - 6 - 6)
+                             : std::string();
 }
 
 }  // namespace
@@ -121,8 +166,17 @@ GatewayResponse Gateway::Dispatch(const GatewayRequest& request) {
     if (path == "/query") return Query(request);
     return Undeploy(request);
   }
-  // GET-only job status/metrics routes.
+  // Job-scoped routes: POST /jobs/<id>/query (the data plane), GET for
+  // status/metrics.
   if (StartsWith(path, "/jobs/")) {
+    if (EndsWith(path, "/query")) {
+      if (request.method != "POST") {
+        return Error(405, StrFormat("use POST %s", path.c_str()));
+      }
+      std::string job_id = QueryRouteJobId(path);
+      if (job_id.empty()) return Error(400, "missing job id in path");
+      return QueryJob(job_id, request);
+    }
     if (request.method != "GET") {
       return Error(405, StrFormat("use GET %s", path.c_str()));
     }
@@ -134,6 +188,34 @@ GatewayResponse Gateway::Dispatch(const GatewayRequest& request) {
   }
   return Error(404, StrFormat("no route %s %s", request.method.c_str(),
                               path.c_str()));
+}
+
+void Gateway::DispatchAsync(const GatewayRequest& request,
+                            AsyncCompletion done) {
+  RAFIKI_CHECK(done != nullptr);
+  const std::string& path = request.path;
+  if (request.method == "POST") {
+    if (path == "/query") {
+      auto it = request.params.find("job");
+      if (it == request.params.end()) {
+        done(Error(400, "missing job parameter"));
+        return;
+      }
+      QueryAsync(it->second, request, std::move(done));
+      return;
+    }
+    if (StartsWith(path, "/jobs/") && EndsWith(path, "/query")) {
+      std::string job_id = QueryRouteJobId(path);
+      if (job_id.empty()) {
+        done(Error(400, "missing job id in path"));
+        return;
+      }
+      QueryAsync(job_id, request, std::move(done));
+      return;
+    }
+  }
+  // Control plane (and non-query errors): answer inline.
+  done(Dispatch(request));
 }
 
 GatewayResponse Gateway::Train(const GatewayRequest& request) {
@@ -216,32 +298,37 @@ GatewayResponse Gateway::Deploy(const GatewayRequest& request) {
 GatewayResponse Gateway::Query(const GatewayRequest& request) {
   auto it = request.params.find("job");
   if (it == request.params.end()) return Error(400, "missing job parameter");
-  if (request.body.empty()) {
-    return Error(400, "missing feature body (comma-separated floats)");
-  }
-  std::vector<float> values;
-  for (const std::string& field : Split(request.body, ',')) {
-    if (field.empty()) return Error(400, "empty feature field");
-    char* end = nullptr;
-    float v = std::strtof(field.c_str(), &end);
-    if (end == field.c_str()) {
-      return Error(400, StrFormat("bad feature '%s'", field.c_str()));
-    }
-    values.push_back(v);
-  }
-  // Size must be read before the move: argument evaluation order is
-  // unspecified and GCC moves the by-value parameter first.
-  auto num_features = static_cast<int64_t>(values.size());
-  Tensor features({1, num_features}, std::move(values));
-  Result<Prediction> prediction = rafiki_->Query(it->second, features);
+  return QueryJob(it->second, request);
+}
+
+GatewayResponse Gateway::QueryJob(const std::string& job_id,
+                                  const GatewayRequest& request) {
+  Result<Tensor> features = ParseFeatureBody(request);
+  if (!features.ok()) return Error(400, features.status().message());
+  Result<Prediction> prediction = rafiki_->Query(job_id, *features);
   if (!prediction.ok()) return FromStatus(prediction.status());
-  std::vector<std::string> votes;
-  votes.reserve(prediction->votes.size());
-  for (int64_t v : prediction->votes) votes.push_back(std::to_string(v));
-  return GatewayResponse{
-      200, StrFormat("label=%lld&votes=%s",
-                     static_cast<long long>(prediction->label),
-                     Join(votes, ",").c_str())};
+  return FormatPrediction(*prediction);
+}
+
+void Gateway::QueryAsync(const std::string& job_id,
+                         const GatewayRequest& request,
+                         AsyncCompletion done) {
+  Result<Tensor> features = ParseFeatureBody(request);
+  if (!features.ok()) {
+    done(Error(400, features.status().message()));
+    return;
+  }
+  Status submitted = rafiki_->QueryAsync(
+      job_id, std::move(*features), [done](Result<Prediction> prediction) {
+        if (!prediction.ok()) {
+          done(FromStatus(prediction.status()));
+          return;
+        }
+        done(FormatPrediction(*prediction));
+      });
+  // A rejected submission never runs the continuation: answer inline
+  // (404 unknown job, 503 queue full, 400 bad dimension).
+  if (!submitted.ok()) done(FromStatus(submitted));
 }
 
 GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
@@ -251,12 +338,13 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
   return GatewayResponse{
       200,
       StrFormat("arrived=%lld&processed=%lld&overdue=%lld&dropped=%lld&"
-                "batches=%lld&max_batch=%lld&mean_batch=%.3f&"
+                "expired=%lld&batches=%lld&max_batch=%lld&mean_batch=%.3f&"
                 "mean_latency=%.6f&queue=%lld&p50=%.6f&p95=%.6f&p99=%.6f",
                 static_cast<long long>(metrics->arrived),
                 static_cast<long long>(metrics->processed),
                 static_cast<long long>(metrics->overdue),
                 static_cast<long long>(metrics->dropped),
+                static_cast<long long>(metrics->expired),
                 static_cast<long long>(metrics->batches),
                 static_cast<long long>(metrics->max_batch),
                 metrics->mean_batch, metrics->mean_latency,

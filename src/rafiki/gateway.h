@@ -1,6 +1,7 @@
 #ifndef RAFIKI_RAFIKI_GATEWAY_H_
 #define RAFIKI_RAFIKI_GATEWAY_H_
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -38,14 +39,17 @@ struct GatewayResponse {
 ///   GET  /jobs/<job_id>                        -> done=0|1&best=...&trials=N
 ///   POST /deploy   job=<job_id>                -> job_id=infer...
 ///   POST /query    job=<infer_id>  body: "v1,v2,..." -> label=K&votes=...
+///   POST /jobs/<infer_id>/query    body: "v1,v2,..." -> label=K&votes=...
 ///   GET  /jobs/<infer_id>/metrics              -> arrived=..&processed=..&
-///                  overdue=..&dropped=..&batches=..&max_batch=..&
-///                  mean_batch=..&mean_latency=..&queue=..&p50=..&p95=..&
-///                  p99=..   (live serving counters + latency percentiles)
+///                  overdue=..&dropped=..&expired=..&batches=..&
+///                  max_batch=..&mean_batch=..&mean_latency=..&queue=..&
+///                  p50=..&p95=..&p99=..   (live serving counters +
+///                  latency percentiles)
 ///   POST /undeploy job=<infer_id>              -> ok
 ///
 /// Error mapping: unknown path -> 404; known path with the wrong method ->
-/// 405; oversized request line or body -> 413.
+/// 405; oversized request line or body -> 413; queue full -> 503; queue
+/// deadline exceeded -> 504.
 class Gateway {
  public:
   /// Request-line and body size caps enforced by Handle() (413 beyond).
@@ -63,6 +67,20 @@ class Gateway {
   /// calls this concurrently from its handler pool.
   GatewayResponse Dispatch(const GatewayRequest& request);
 
+  /// Continuation invoked exactly once with the response. Synchronous
+  /// routes (and early errors) run it on the calling thread before
+  /// DispatchAsync returns; async query completions run it later on the
+  /// inference job's dispatcher thread — it must be cheap and thread-safe.
+  using AsyncCompletion = std::function<void(GatewayResponse)>;
+
+  /// Splits the data plane from the control plane: query routes
+  /// (POST /query, POST /jobs/<id>/query) go through the facade's
+  /// continuation chain so the calling thread never blocks while the
+  /// request waits in a batch queue; every other route (train / deploy /
+  /// status / metrics / undeploy) is control plane and is answered
+  /// synchronously via Dispatch before DispatchAsync returns.
+  void DispatchAsync(const GatewayRequest& request, AsyncCompletion done);
+
   /// Request parser (exposed for tests). Parameter keys and values are
   /// percent-decoded ('+' in a value decodes to space), so real HTTP query
   /// strings round-trip through the text protocol unchanged.
@@ -74,6 +92,10 @@ class Gateway {
   GatewayResponse InferMetrics(const std::string& job_id);
   GatewayResponse Deploy(const GatewayRequest& request);
   GatewayResponse Query(const GatewayRequest& request);
+  GatewayResponse QueryJob(const std::string& job_id,
+                           const GatewayRequest& request);
+  void QueryAsync(const std::string& job_id, const GatewayRequest& request,
+                  AsyncCompletion done);
   GatewayResponse Undeploy(const GatewayRequest& request);
 
   Rafiki* rafiki_;

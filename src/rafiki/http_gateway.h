@@ -1,11 +1,20 @@
 #ifndef RAFIKI_RAFIKI_HTTP_GATEWAY_H_
 #define RAFIKI_RAFIKI_HTTP_GATEWAY_H_
 
+#include <functional>
+
 #include "net/http.h"
 #include "net/http_server.h"
 #include "rafiki/gateway.h"
 
 namespace rafiki::api {
+
+/// Optional front-door gauge source for the metrics route. When provided,
+/// successful `GET /jobs/<id>/metrics` responses are extended with
+/// `inflight=&inflight_peak=&handler_busy=&async_pending=` so handler-pool
+/// occupancy and parked async responses are observable independently of
+/// the job-level queue. Must be callable from any handler thread.
+using ServerStatsFn = std::function<net::HttpServerStats()>;
 
 /// Maps one parsed HTTP request onto the gateway's request form:
 /// percent-decoded path, query parameters decoded key/value ('+' in values
@@ -17,8 +26,18 @@ net::HttpResponse ToHttp(const GatewayResponse& response);
 
 /// A thread-safe net::HttpServer handler that serves `gateway` — the glue
 /// between the epoll front door and the routing layer. `gateway` must
-/// outlive the server.
-net::HttpServer::Handler MakeGatewayHttpHandler(Gateway* gateway);
+/// outlive the server. Every route is answered synchronously: a query
+/// pins its handler thread until the batch completes.
+net::HttpServer::Handler MakeGatewayHttpHandler(
+    Gateway* gateway, ServerStatsFn server_stats = nullptr);
+
+/// Async variant: query routes hand their ResponseWriter to the inference
+/// runtime's continuation chain and release the handler thread
+/// immediately, so in-flight queries are bounded by the server's
+/// max_inflight rather than its handler-pool size. Control-plane routes
+/// still complete inline. `gateway` must outlive the server.
+net::HttpServer::AsyncHandler MakeGatewayAsyncHttpHandler(
+    Gateway* gateway, ServerStatsFn server_stats = nullptr);
 
 }  // namespace rafiki::api
 

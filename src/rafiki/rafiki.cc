@@ -264,6 +264,23 @@ Result<Prediction> Rafiki::Query(const std::string& inference_job_id,
   return Prediction{answer.label, std::move(answer.votes)};
 }
 
+Status Rafiki::QueryAsync(const std::string& inference_job_id,
+                          Tensor features,
+                          std::function<void(Result<Prediction>)> done) {
+  if (done == nullptr) {
+    return Status::InvalidArgument("QueryAsync requires a callback");
+  }
+  return runtime_.SubmitAsync(
+      inference_job_id, std::move(features),
+      [done = std::move(done)](Result<serving::EnsemblePrediction> answer) {
+        if (!answer.ok()) {
+          done(answer.status());
+          return;
+        }
+        done(Prediction{answer->label, std::move(answer->votes)});
+      });
+}
+
 Status Rafiki::Undeploy(const std::string& inference_job_id) {
   return runtime_.Undeploy(inference_job_id);
 }

@@ -1,6 +1,7 @@
 #ifndef RAFIKI_RAFIKI_RAFIKI_H_
 #define RAFIKI_RAFIKI_RAFIKI_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -119,6 +120,14 @@ class Rafiki {
   /// and the paper's best-accuracy tie-break.
   Result<Prediction> Query(const std::string& inference_job_id,
                            const Tensor& features);
+
+  /// Continuation-based variant of Query: `done` runs on the job's
+  /// dispatcher thread when the batch containing the request completes
+  /// (or when it expires / the job is undeployed). A non-OK return means
+  /// the request was not enqueued and `done` will never run. `done` must
+  /// not call Undeploy or destroy this Rafiki.
+  Status QueryAsync(const std::string& inference_job_id, Tensor features,
+                    std::function<void(Result<Prediction>)> done);
 
   /// Batch variant used by the SQL UDF; rows go through the same batched
   /// runtime path with backpressure.

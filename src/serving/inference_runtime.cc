@@ -197,8 +197,11 @@ void InferenceRuntime::StopJob(Job& job) {
   if (job.dispatcher.joinable()) job.dispatcher.join();
 }
 
-Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
-    const std::string& job_id, Tensor features) {
+Status InferenceRuntime::SubmitAsync(const std::string& job_id,
+                                     Tensor features, Callback done) {
+  if (done == nullptr) {
+    return Status::InvalidArgument("SubmitAsync requires a callback");
+  }
   std::shared_ptr<Job> job = FindJob(job_id);
   if (job == nullptr) {
     return Status::NotFound(StrFormat("no inference job '%s'",
@@ -217,9 +220,8 @@ Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
 
   Pending pending;
   pending.features = std::move(features);
+  pending.done = std::move(done);
   pending.arrival = job->NowSeconds();
-  std::future<Result<EnsemblePrediction>> future =
-      pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(job->mu);
     if (job->stopping) {
@@ -235,6 +237,19 @@ Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
     job->queue.push_back(std::move(pending));
   }
   job->cv.notify_one();
+  return Status::OK();
+}
+
+Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
+    const std::string& job_id, Tensor features) {
+  auto promise =
+      std::make_shared<std::promise<Result<EnsemblePrediction>>>();
+  std::future<Result<EnsemblePrediction>> future = promise->get_future();
+  RAFIKI_RETURN_IF_ERROR(SubmitAsync(
+      job_id, std::move(features),
+      [promise](Result<EnsemblePrediction> answer) {
+        promise->set_value(std::move(answer));
+      }));
   return future;
 }
 
@@ -322,6 +337,29 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
     if (job->stopping) break;
 
     double now = job->NowSeconds();
+    if (opts.expire_overdue) {
+      // Queue-deadline: a request already older than tau cannot possibly
+      // meet the SLO — answer it kDeadlineExceeded now instead of letting
+      // it occupy batch capacity. FIFO queue, so waits are longest at the
+      // front and the scan stops at the first fresh request.
+      std::vector<Pending> expired;
+      while (!job->queue.empty() &&
+             now - job->queue.front().arrival > opts.tau) {
+        expired.push_back(std::move(job->queue.front()));
+        job->queue.pop_front();
+      }
+      if (!expired.empty()) {
+        auto n = static_cast<int64_t>(expired.size());
+        job->stats.expired += n;
+        job->stats.overdue += n;
+        lock.unlock();
+        for (Pending& p : expired) {
+          p.done(Status::DeadlineExceeded(
+              StrFormat("queue wait exceeded tau=%.6fs", opts.tau)));
+        }
+        continue;
+      }
+    }
     ServingObs obs;
     obs.now = now;
     obs.tau = opts.tau;
@@ -383,7 +421,7 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
     job->stats.dropped += static_cast<int64_t>(leftover.size());
   }
   for (Pending& p : leftover) {
-    p.promise.set_value(Status::Unavailable(
+    p.done(Status::Unavailable(
         StrFormat("inference job '%s' undeployed", job->id.c_str())));
   }
 }
@@ -425,10 +463,10 @@ void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
       job.latency_hist.Add(completion - p.arrival);
     }
   }
-  // Fulfill after the counters: a caller woken by its future immediately
-  // sees its own request reflected in Metrics().
+  // Invoke continuations after the counters: a caller resumed by its
+  // callback immediately sees its own request reflected in Metrics().
   for (int64_t r = 0; r < b; ++r) {
-    batch[static_cast<size_t>(r)].promise.set_value(
+    batch[static_cast<size_t>(r)].done(
         std::move(answers[static_cast<size_t>(r)]));
   }
 }

@@ -54,18 +54,29 @@ struct RuntimeOptions {
   /// calibrated latency profiles; OFF uses zero-latency profiles (the
   /// policy then flushes purely on queue waiting time).
   bool calibrate = true;
+  /// When ON, a request whose queue wait alone already exceeds tau is
+  /// completed early with kDeadlineExceeded (the gateway maps it to HTTP
+  /// 504) instead of occupying batch capacity for an answer that is
+  /// already overdue. Counted in both `overdue` and `expired`. OFF by
+  /// default: the paper's SLO is soft, so the classic behaviour is to
+  /// answer late rather than not at all.
+  bool expire_overdue = false;
 };
 
 /// Per-job serving counters (the live analogue of ServingMetrics).
 /// Conservation: at any quiescent point arrived == processed + dropped +
-/// queued, and after Undeploy arrived == processed + dropped.
+/// expired + queued, and after Undeploy arrived == processed + dropped +
+/// expired.
 struct InferenceJobMetrics {
   int64_t arrived = 0;
   int64_t processed = 0;
-  /// Served, but later than tau after submission.
+  /// Served (or expired) later than tau after submission.
   int64_t overdue = 0;
   /// Rejected at a full queue plus requests failed by Undeploy.
   int64_t dropped = 0;
+  /// Completed early with kDeadlineExceeded because the queue wait already
+  /// exceeded tau (only with RuntimeOptions::expire_overdue).
+  int64_t expired = 0;
   int64_t batches = 0;
   int64_t max_batch = 0;
   double mean_batch = 0.0;    // processed / batches
@@ -114,6 +125,12 @@ std::vector<EnsemblePrediction> MajorityVoteRows(
 ///    as dropped.
 class InferenceRuntime {
  public:
+  /// Continuation invoked exactly once with the request's outcome.
+  /// Runs on the job's dispatcher thread — it must be fast (hand heavy
+  /// work elsewhere) and must NOT call Undeploy or destroy the runtime
+  /// (the dispatcher would join itself).
+  using Callback = std::function<void(Result<EnsemblePrediction>)>;
+
   InferenceRuntime() = default;
   ~InferenceRuntime();
 
@@ -130,10 +147,20 @@ class InferenceRuntime {
   /// releases the job. NotFound for unknown ids. Safe to race with Submit.
   Status Undeploy(const std::string& job_id);
 
-  /// Enqueues one request (features: [dim] or [1, dim]). The future
-  /// resolves when the dispatcher has served the batch containing it.
-  /// Errors: NotFound (unknown/undeploying job), Unavailable (queue full;
-  /// retryable), InvalidArgument (wrong feature dimension).
+  /// Enqueues one request (features: [dim] or [1, dim]) with a
+  /// continuation: `done` is invoked from the dispatcher thread when the
+  /// batch containing the request completes (or when it expires /
+  /// is failed by Undeploy). The submitting thread is never blocked.
+  /// A non-OK return means the request was NOT enqueued and `done` will
+  /// never run: NotFound (unknown/undeploying job), Unavailable (queue
+  /// full; retryable), InvalidArgument (wrong feature dimension).
+  /// Once enqueued, `done` runs exactly once with either a prediction,
+  /// kDeadlineExceeded (queue wait > tau, with expire_overdue), or
+  /// kUnavailable (job undeployed while queued).
+  Status SubmitAsync(const std::string& job_id, Tensor features,
+                     Callback done);
+
+  /// Future-based wrapper over SubmitAsync for callers that want to block.
   Result<std::future<Result<EnsemblePrediction>>> Submit(
       const std::string& job_id, Tensor features);
 
@@ -153,7 +180,7 @@ class InferenceRuntime {
  private:
   struct Pending {
     Tensor features;  // [1, dim]
-    std::promise<Result<EnsemblePrediction>> promise;
+    Callback done;    // invoked exactly once, dispatcher thread
     double arrival = 0.0;  // job-clock seconds
   };
 

@@ -137,8 +137,15 @@ ps::ModelCheckpoint SurrogateTrainer::Checkpoint() const {
 
 std::unique_ptr<Trainable> SurrogateFactory::Create(
     const tuning::Trial& trial) {
+  (void)trial;
   SurrogateOptions opts = options_;
-  opts.seed = seed_rng_.Fork().Next64();
+  // Create() is called concurrently from study workers; Fork() mutates
+  // the shared seed Rng, so it must be serialized (TSan flagged the
+  // unguarded version).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts.seed = seed_rng_.Fork().Next64();
+  }
   return std::make_unique<SurrogateTrainer>(opts);
 }
 

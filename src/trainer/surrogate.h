@@ -2,6 +2,7 @@
 #define RAFIKI_TRAINER_SURROGATE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
@@ -87,6 +88,7 @@ class SurrogateTrainer : public Trainable {
 };
 
 /// Factory producing surrogate trainers with per-trial forked seeds.
+/// Create() is thread-safe: the shared seed Rng is forked under a mutex.
 class SurrogateFactory : public TrainerFactory {
  public:
   explicit SurrogateFactory(SurrogateOptions options)
@@ -96,6 +98,7 @@ class SurrogateFactory : public TrainerFactory {
 
  private:
   SurrogateOptions options_;
+  std::mutex mu_;
   Rng seed_rng_;
 };
 

@@ -1,5 +1,6 @@
 #include "rafiki/gateway.h"
 
+#include <future>
 #include <thread>
 
 #include "common/string_util.h"
@@ -236,6 +237,128 @@ TEST_F(GatewayTest, InferenceMetricsRoute) {
   EXPECT_EQ(gateway_.Handle("GET /jobs/ghost/metrics").status, 404);
   EXPECT_EQ(gateway_.Handle("POST /undeploy job=" + infer).status, 200);
   EXPECT_EQ(gateway_.Handle("GET /jobs/" + infer + "/metrics").status, 404);
+}
+
+TEST_F(GatewayTest, JobScopedQueryRoute) {
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = rafiki_.Deploy({handle});
+  ASSERT_TRUE(deployed.ok());
+
+  // POST /jobs/<id>/query is the same data plane as POST /query?job=<id>.
+  GatewayResponse query =
+      gateway_.Handle("POST /jobs/" + *deployed + "/query\n0,1,0,0");
+  ASSERT_EQ(query.status, 200) << query.body;
+  EXPECT_EQ(Field(query.body, "label"), "1");
+
+  EXPECT_EQ(gateway_.Handle("GET /jobs/" + *deployed + "/query").status,
+            405);
+  EXPECT_EQ(gateway_.Handle("POST /jobs//query\n0,1,0,0").status, 400);
+  EXPECT_EQ(gateway_.Handle("POST /jobs/ghost/query\n0,1,0,0").status, 404);
+  ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
+}
+
+TEST_F(GatewayTest, DispatchAsyncCompletesQueryFromDispatcherThread) {
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = rafiki_.Deploy({handle});
+  ASSERT_TRUE(deployed.ok());
+
+  auto parsed = Gateway::Parse("POST /query job=" + *deployed + "\n0,0,1,0");
+  ASSERT_TRUE(parsed.ok());
+  std::promise<GatewayResponse> promise;
+  std::future<GatewayResponse> future = promise.get_future();
+  gateway_.DispatchAsync(*parsed, [&promise](GatewayResponse response) {
+    promise.set_value(std::move(response));
+  });
+  GatewayResponse response = future.get();
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(Field(response.body, "label"), "2");
+
+  // Control-plane routes complete inline (same answers as Dispatch).
+  auto metrics_req =
+      Gateway::Parse("GET /jobs/" + *deployed + "/metrics\n");
+  ASSERT_TRUE(metrics_req.ok());
+  GatewayResponse metrics;
+  gateway_.DispatchAsync(*metrics_req, [&metrics](GatewayResponse r) {
+    metrics = std::move(r);
+  });
+  EXPECT_EQ(metrics.status, 200) << metrics.body;
+  EXPECT_EQ(Field(metrics.body, "processed"), "1");
+  EXPECT_EQ(Field(metrics.body, "expired"), "0");
+
+  // Async submission errors answer inline too: unknown job is a 404.
+  auto ghost = Gateway::Parse("POST /query job=ghost\n1,2");
+  ASSERT_TRUE(ghost.ok());
+  GatewayResponse ghost_resp;
+  gateway_.DispatchAsync(*ghost, [&ghost_resp](GatewayResponse r) {
+    ghost_resp = std::move(r);
+  });
+  EXPECT_EQ(ghost_resp.status, 404);
+  ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
+}
+
+TEST_F(GatewayTest, QueueDeadlineMapsTo504) {
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  serving::RuntimeOptions options;
+  options.tau = 1e-9;  // unmeetable: every query expires in the queue
+  options.expire_overdue = true;
+  options.calibrate = false;
+  auto deployed = rafiki_.Deploy({handle}, options);
+  ASSERT_TRUE(deployed.ok());
+
+  // Sync path: the gateway maps kDeadlineExceeded to HTTP 504.
+  GatewayResponse sync_resp =
+      gateway_.Handle("POST /query job=" + *deployed + "\n0,1,0,0");
+  EXPECT_EQ(sync_resp.status, 504) << sync_resp.body;
+
+  // Async path: same mapping through the continuation.
+  auto parsed = Gateway::Parse("POST /jobs/" + *deployed + "/query\n0,1,0,0");
+  ASSERT_TRUE(parsed.ok());
+  std::promise<GatewayResponse> promise;
+  std::future<GatewayResponse> future = promise.get_future();
+  gateway_.DispatchAsync(*parsed, [&promise](GatewayResponse response) {
+    promise.set_value(std::move(response));
+  });
+  EXPECT_EQ(future.get().status, 504);
+
+  GatewayResponse metrics =
+      gateway_.Handle("GET /jobs/" + *deployed + "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(Field(metrics.body, "expired"), "2");
+  EXPECT_EQ(Field(metrics.body, "processed"), "0");
+  ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
 }
 
 TEST_F(GatewayTest, StatusMapping) {

@@ -1,3 +1,5 @@
+#include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +123,105 @@ TEST(HttpEndToEndTest, FullLifecycleOverRealTcp) {
   EXPECT_EQ(stats.responses_total,
             stats.handled + stats.rejected_overload + stats.parse_errors +
                 stats.rejected_draining);
+}
+
+TEST(HttpEndToEndTest, AsyncConcurrentSubmitStorm) {
+  // 8 threads x 64 queries through the full continuation chain: epoll
+  // server (async handler, 2 handler threads) -> gateway DispatchAsync ->
+  // InferenceRuntime::SubmitAsync -> batch completion -> ResponseWriter.
+  // TSan runs this; it is the data-race canary for the whole async path.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+
+  Rafiki rafiki;
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  auto deployed = rafiki.Deploy({handle});
+  ASSERT_TRUE(deployed.ok());
+  std::string infer = *deployed;
+
+  Gateway gateway(&rafiki);
+  net::HttpServerOptions opts;
+  opts.num_workers = 2;
+  opts.num_handler_threads = 2;  // far fewer than concurrent queries
+  opts.max_inflight = 1024;
+  // Late-bound stats cell: the handler exists before the server it gauges.
+  auto server_cell = std::make_shared<net::HttpServer*>(nullptr);
+  net::HttpServer server(
+      MakeGatewayAsyncHttpHandler(&gateway,
+                                  [server_cell] {
+                                    net::HttpServer* s = *server_cell;
+                                    return s ? s->stats()
+                                             : net::HttpServerStats{};
+                                  }),
+      opts);
+  *server_cell = &server;
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      net::HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        int hot = (t + i) % 3;
+        std::string body = StrFormat("%d,%d,%d,0", hot == 0 ? 1 : 0,
+                                     hot == 1 ? 1 : 0, hot == 2 ? 1 : 0);
+        auto resp = client.Post("/jobs/" + infer + "/query", body);
+        if (!resp.ok() || resp->status != 200 ||
+            Field(resp->body, "label") != std::to_string(hot)) {
+          ++wrong;
+          continue;
+        }
+        ++ok_count;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+
+  auto metrics = rafiki.InferenceMetrics(infer);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, kThreads * kPerThread);
+  EXPECT_EQ(metrics->processed, kThreads * kPerThread);
+  EXPECT_EQ(metrics->dropped, 0);
+  EXPECT_EQ(metrics->expired, 0);
+
+  // The metrics route reports the front door's own gauges. The metrics
+  // request itself is the only in-flight work: its handler is running
+  // (pool occupancy 1) and nothing is parked async.
+  net::HttpClient probe("127.0.0.1", server.port());
+  auto gauges = probe.Get("/jobs/" + infer + "/metrics");
+  ASSERT_TRUE(gauges.ok());
+  ASSERT_EQ(gauges->status, 200) << gauges->body;
+  EXPECT_EQ(Field(gauges->body, "expired"), "0");
+  EXPECT_EQ(Field(gauges->body, "inflight"), "1");
+  EXPECT_EQ(Field(gauges->body, "handler_busy"), "1");
+  EXPECT_EQ(Field(gauges->body, "async_pending"), "0");
+  EXPECT_FALSE(Field(gauges->body, "inflight_peak").empty());
+
+  server.Stop();
+  net::HttpServerStats stats = server.stats();
+  // + 1: the gauge probe above.
+  EXPECT_EQ(stats.requests_total,
+            static_cast<uint64_t>(kThreads * kPerThread + 1));
+  EXPECT_EQ(stats.requests_total, stats.responses_total);
+  EXPECT_EQ(stats.handled, stats.responses_total);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.async_pending, 0u);
 }
 
 }  // namespace

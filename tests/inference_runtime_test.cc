@@ -6,7 +6,10 @@
 #include "serving/inference_runtime.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -356,6 +359,105 @@ TEST(RafikiServingLifecycleTest, QueryBatchRacingUndeployStaysClean) {
     for (std::thread& t : threads) t.join();
     EXPECT_TRUE(rafiki.Query(id, rows).status().IsNotFound());
   }
+}
+
+TEST(InferenceRuntimeTest, SubmitAsyncDeliversCallback) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 0.05;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  std::promise<Result<EnsemblePrediction>> promise;
+  std::future<Result<EnsemblePrediction>> future = promise.get_future();
+  Status submitted = runtime.SubmitAsync(
+      "j", OneHot(4, 2), [&promise](Result<EnsemblePrediction> answer) {
+        promise.set_value(std::move(answer));
+      });
+  ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+  Result<EnsemblePrediction> answer = future.get();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->label, 2);
+
+  // Rejected submissions return a status and never run the callback.
+  EXPECT_TRUE(runtime
+                  .SubmitAsync("ghost", OneHot(4, 0),
+                               [](Result<EnsemblePrediction>) { FAIL(); })
+                  .IsNotFound());
+  EXPECT_TRUE(runtime
+                  .SubmitAsync("j", OneHot(7, 0),
+                               [](Result<EnsemblePrediction>) { FAIL(); })
+                  .IsInvalidArgument());
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, QueueDeadlineExpiresOverdueRequests) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  // A tau no request can meet: everything must expire with
+  // kDeadlineExceeded instead of being forwarded through the model.
+  options.tau = 1e-9;
+  options.expire_overdue = true;
+  options.calibrate = false;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  constexpr int kRequests = 16;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Status> outcomes;
+  for (int i = 0; i < kRequests; ++i) {
+    Status submitted = runtime.SubmitAsync(
+        "j", OneHot(4, i % 4), [&](Result<EnsemblePrediction> answer) {
+          std::lock_guard<std::mutex> lock(mu);
+          outcomes.push_back(answer.status());
+          cv.notify_all();
+        });
+    ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] {
+      return outcomes.size() == kRequests;
+    }));
+    for (const Status& s : outcomes) {
+      EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+    }
+  }
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, kRequests);
+  EXPECT_EQ(metrics->expired, kRequests);
+  EXPECT_EQ(metrics->overdue, kRequests);  // expiries count as overdue
+  EXPECT_EQ(metrics->processed, 0);
+  EXPECT_EQ(metrics->dropped, 0);
+  // Conservation with the expired term.
+  EXPECT_EQ(metrics->arrived, metrics->processed + metrics->dropped +
+                                  metrics->expired + metrics->queue_depth);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, GenerousDeadlineDoesNotExpire) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 30.0;  // nothing plausibly waits this long
+  options.expire_overdue = true;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+  auto submitted = runtime.Submit("j", OneHot(4, 1));
+  ASSERT_TRUE(submitted.ok());
+  Result<EnsemblePrediction> answer = submitted->get();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->label, 1);
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->expired, 0);
+  EXPECT_EQ(metrics->processed, 1);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
 }
 
 TEST(RafikiServingLifecycleTest, FacadeMetricsReportBatching) {
