@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
                  "usage: rafiki_loadgen --port=N [--host=H] [--target=/path]\n"
                  "  [--method=GET|POST] [--body=...] [--rate=R] [--period=T]\n"
                  "  [--duration=S] [--connections=C] [--tau=S] [--window=S]\n"
-                 "  [--noise=SD] [--seed=N] [--closed] [--fail-on-error]\n");
+                 "  [--noise=SD] [--seed=N] [--closed] [--pipeline=D]\n"
+                 "  [--fail-on-error]\n");
     return 2;
   }
   const char* target = FlagValue(argc, argv, "target");
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   opts.noise_stddev = FlagDouble(argc, argv, "noise", 0.1);
   opts.connections =
       static_cast<int>(FlagDouble(argc, argv, "connections", 4));
+  opts.pipeline = static_cast<int>(FlagDouble(argc, argv, "pipeline", 1));
   opts.tau = FlagDouble(argc, argv, "tau", 0.1);
   opts.window_seconds = FlagDouble(argc, argv, "window", 1.0);
   opts.seed = static_cast<uint64_t>(FlagDouble(argc, argv, "seed", 1));

@@ -1,0 +1,274 @@
+#ifndef RAFIKI_COMMON_MPSC_RING_H_
+#define RAFIKI_COMMON_MPSC_RING_H_
+
+// Flat queue structures for the serving data plane.
+//
+// MpscRing<T> is a bounded lock-free multi-producer/single-consumer ring
+// (Vyukov-style sequence-stamped slots) used as the submit queue between
+// request handlers and a dispatcher thread. FutexDoorbell is the matching
+// wakeup primitive: producers ring it after a push, the consumer sleeps on
+// it (with a timeout) when the ring is empty, and the syscall is skipped
+// entirely when nobody is waiting. RingDeque<T> is a plain single-threaded
+// growable circular buffer used for capacity-retaining FIFO scratch queues
+// (it grows on demand but never shrinks, so steady-state push/pop performs
+// no allocation).
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rafiki {
+
+/// Bounded lock-free MPSC ring. Capacity is rounded up to a power of two.
+///
+/// Protocol: every slot carries a sequence stamp. A producer claims a
+/// position by CAS on the tail counter, writes the value, then publishes by
+/// stamping the slot with position+1; the consumer pops position `head` only
+/// once the stamp equals head+1 and releases the slot for the next lap by
+/// stamping it head+capacity. Close() sets a high bit in the tail counter
+/// via fetch_or, which makes every in-flight and future claim-CAS fail, so
+/// no value can be enqueued after Close() — the consumer's final
+/// DrainClosed() therefore observes every value that was ever accepted.
+template <typename T>
+class MpscRing {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit MpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. kFull means the consumer has fallen a full lap behind;
+  /// kClosed means Close() happened first and the value was not consumed.
+  PushResult TryPush(T&& value) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (pos & kClosedBit) return PushResult::kClosed;
+      Slot& slot = slots_[pos & mask_];
+      uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return PushResult::kOk;
+        }
+        // CAS failure reloaded `pos`; loop re-checks the closed bit.
+      } else if (dif < 0) {
+        return PushResult::kFull;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side: pops up to `max` values, invoking sink(T&&) for each.
+  /// Returns the number popped. Single consumer only.
+  template <typename Sink>
+  size_t ConsumeBatch(size_t max, Sink&& sink) {
+    size_t n = 0;
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    while (n < max) {
+      Slot& slot = slots_[head & mask_];
+      uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq != head + 1) break;  // empty, or a claim not yet published
+      sink(std::move(slot.value));
+      slot.value = T{};  // release owned resources even if the sink didn't
+      slot.seq.store(head + capacity(), std::memory_order_release);
+      ++head;
+      ++n;
+    }
+    head_.store(head, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Marks the ring closed. After this returns, every TryPush reports
+  /// kClosed (including pushes already racing with the close).
+  void Close() { tail_.fetch_or(kClosedBit, std::memory_order_acq_rel); }
+
+  bool closed() const {
+    return (tail_.load(std::memory_order_relaxed) & kClosedBit) != 0;
+  }
+
+  /// Consumer side, only after Close(): drains every accepted value,
+  /// spin-waiting for claims that were in flight when the ring closed.
+  template <typename Sink>
+  size_t DrainClosed(Sink&& sink) {
+    uint64_t end = tail_.load(std::memory_order_acquire) & ~kClosedBit;
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t n = 0;
+    while (head < end) {
+      Slot& slot = slots_[head & mask_];
+      while (slot.seq.load(std::memory_order_acquire) != head + 1) {
+        // The claimant is between its CAS and its publish store.
+      }
+      sink(std::move(slot.value));
+      slot.value = T{};  // release owned resources even if the sink didn't
+      slot.seq.store(head + capacity(), std::memory_order_release);
+      ++head;
+      ++n;
+    }
+    head_.store(head, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Racy size estimate, for gauges only.
+  size_t ApproxSize() const {
+    uint64_t tail = tail_.load(std::memory_order_relaxed) & ~kClosedBit;
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+ private:
+  static constexpr uint64_t kClosedBit = 1ull << 63;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  // Producers contend on tail_, the consumer owns head_: separate lines.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::vector<Slot> slots_;
+  size_t mask_ = 0;
+};
+
+/// Futex-based wakeup for a single sleeping consumer. The fast path
+/// (consumer busy, or nobody waiting) is one or two atomic ops and no
+/// syscall. The wait protocol is the standard one that cannot lose a
+/// wakeup:
+///
+///   consumer: e = PrepareWait(); if (work) { CancelWait(); } else Wait(e);
+///   producer: <publish work>; Notify();
+///
+/// PrepareWait registers the waiter BEFORE the consumer re-checks for work,
+/// and Notify bumps the epoch word BEFORE checking for waiters (both
+/// seq_cst), so either the consumer sees the work, or the producer sees the
+/// waiter / the epoch no longer matches and the futex wait returns at once.
+class FutexDoorbell {
+ public:
+  static_assert(sizeof(std::atomic<uint32_t>) == sizeof(uint32_t));
+
+  /// Registers the (single) consumer as a waiter; returns the epoch to
+  /// pass to Wait. The registration is a 0/1 flag, not a count: the ring
+  /// is single-consumer, and a flag lets Notify claim the registration
+  /// with one exchange so a burst of pushes pays exactly one wake per
+  /// sleep — not one per push while the woken consumer waits for CPU.
+  uint32_t PrepareWait() {
+    waiters_.store(1, std::memory_order_seq_cst);
+    return word_.load(std::memory_order_seq_cst);
+  }
+
+  /// Undoes PrepareWait when the re-check found work.
+  void CancelWait() { waiters_.store(0, std::memory_order_seq_cst); }
+
+  /// Sleeps until Notify() bumps the epoch past `expected`, or the timeout
+  /// (seconds; <= 0 means no timeout) elapses. Deregisters the waiter.
+  void Wait(uint32_t expected, double timeout_seconds) {
+    timespec ts;
+    timespec* tsp = nullptr;
+    if (timeout_seconds > 0) {
+      ts.tv_sec = static_cast<time_t>(timeout_seconds);
+      ts.tv_nsec = static_cast<long>(
+          (timeout_seconds - static_cast<double>(ts.tv_sec)) * 1e9);
+      tsp = &ts;
+    }
+    syscall(SYS_futex, reinterpret_cast<uint32_t*>(&word_),
+            FUTEX_WAIT_PRIVATE, expected, tsp, nullptr, 0);
+    // Notify usually cleared the flag already; clearing again covers the
+    // timeout path and is idempotent.
+    waiters_.store(0, std::memory_order_seq_cst);
+  }
+
+  /// Producer side: called after publishing work. When nobody is waiting
+  /// this is a single uncontended load: the epoch only has to move when a
+  /// registered waiter could sleep on the old value. A waiter that races
+  /// past this load has not called Wait yet — its post-PrepareWait
+  /// re-check of the queue (both seq_cst, Dekker-style) sees the item
+  /// published before this load and cancels instead of sleeping. The
+  /// exchange arbitrates concurrent producers: exactly one claims the
+  /// registration and issues the wake; a missed FUTEX_WAIT is impossible
+  /// because the epoch bump happens before the wake, so a consumer that
+  /// was still short of the syscall sees the moved epoch and returns.
+  void Notify() {
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    if (waiters_.exchange(0, std::memory_order_seq_cst) == 0) return;
+    word_.fetch_add(1, std::memory_order_seq_cst);
+    syscall(SYS_futex, reinterpret_cast<uint32_t*>(&word_),
+            FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+  }
+
+ private:
+  std::atomic<uint32_t> word_{0};
+  std::atomic<uint32_t> waiters_{0};
+};
+
+/// Growable single-threaded circular FIFO. Unlike std::deque it is one flat
+/// allocation that is reused forever: steady-state push/pop never touches
+/// the heap. Indexing is relative to the front.
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void push_back(T&& value) {
+    if (size_ == buf_.size()) Grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  T& front() { return buf_[head_]; }
+  T& operator[](size_t i) { return buf_[(head_ + i) & (buf_.size() - 1)]; }
+
+  void pop_front() {
+    buf_[head_] = T{};  // release owned resources promptly
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+  void clear() {
+    while (size_ > 0) pop_front();
+  }
+
+ private:
+  void Grow() {
+    size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace rafiki
+
+#endif  // RAFIKI_COMMON_MPSC_RING_H_

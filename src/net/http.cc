@@ -15,35 +15,66 @@ int HexDigit(char c) {
   return -1;
 }
 
-std::string TrimOws(const std::string& s) {
-  size_t b = 0;
-  size_t e = s.size();
-  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
-  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
-  return s.substr(b, e - b);
-}
-
-std::string ToLower(std::string s) {
-  for (char& c : s) {
+void LowerInPlace(std::string* s) {
+  for (char& c : *s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
-  return s;
+}
+
+/// Case-insensitive equality of [p, p+n) against lowercase `want`.
+bool NameIs(const char* p, size_t n, const char* want) {
+  if (n != std::strlen(want)) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::tolower(static_cast<unsigned char>(p[i])) != want[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// True when a comma-separated Connection header value contains `token`
-/// (case-insensitive).
-bool HasConnectionToken(const std::string& value, const char* token) {
-  for (const std::string& part : Split(ToLower(value), ',')) {
-    if (TrimOws(part) == token) return true;
+/// (case-insensitive, `token` already lowercase). Scans in place — this
+/// runs per request on the keep-alive fast path and must not allocate.
+bool HasConnectionToken(const char* value, size_t size, const char* token) {
+  size_t tlen = std::strlen(token);
+  size_t i = 0;
+  while (i < size) {
+    while (i < size &&
+           (value[i] == ' ' || value[i] == '\t' || value[i] == ',')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < size && value[i] != ',') ++i;
+    size_t end = i;
+    while (end > start && (value[end - 1] == ' ' || value[end - 1] == '\t')) {
+      --end;
+    }
+    if (NameIs(value + start, end - start, token)) return true;
   }
   return false;
 }
 
+bool HasConnectionToken(const std::string& value, const char* token) {
+  return HasConnectionToken(value.data(), value.size(), token);
+}
+
+/// Appends the decimal form of `v` without going through printf.
+void AppendUint(uint64_t v, std::string* out) {
+  char buf[20];
+  size_t n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) out->push_back(buf[--n]);
+}
+
 /// Strict non-negative integer parse for Content-Length.
-bool ParseContentLength(const std::string& s, size_t* out) {
-  if (s.empty() || s.size() > 18) return false;
+bool ParseContentLength(const char* s, size_t n, size_t* out) {
+  if (n == 0 || n > 18) return false;
   size_t v = 0;
-  for (char c : s) {
+  for (size_t i = 0; i < n; ++i) {
+    char c = s[i];
     if (c < '0' || c > '9') return false;
     v = v * 10 + static_cast<size_t>(c - '0');
   }
@@ -106,34 +137,77 @@ const std::string* HttpRequest::FindHeader(
   return nullptr;
 }
 
-std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
-  std::string out = StrFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: %s\r\n",
-      response.status, ReasonPhrase(response.status),
-      response.content_type.c_str(), response.body.size(),
-      keep_alive ? "keep-alive" : "close");
-  for (const auto& [name, value] : response.headers) {
-    out += name;
-    out += ": ";
-    out += value;
-    out += "\r\n";
+const std::string* HttpRequest::FindHeader(const char* lowercase_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lowercase_name) return &value;
   }
-  out += "\r\n";
+  return nullptr;
+}
+
+void HttpRequest::swap(HttpRequest& other) noexcept {
+  method.swap(other.method);
+  target.swap(other.target);
+  path.swap(other.path);
+  query.swap(other.query);
+  std::swap(version_minor, other.version_minor);
+  headers.swap(other.headers);
+  body.swap(other.body);
+  std::swap(keep_alive, other.keep_alive);
+}
+
+void SerializeResponseHeadersTo(const HttpResponse& response, bool keep_alive,
+                                std::string* out) {
+  out->clear();
+  out->append("HTTP/1.1 ");
+  AppendUint(static_cast<uint64_t>(response.status), out);
+  out->push_back(' ');
+  out->append(ReasonPhrase(response.status));
+  out->append("\r\nContent-Type: ");
+  out->append(response.content_type);
+  out->append("\r\nContent-Length: ");
+  AppendUint(response.body.size(), out);
+  out->append("\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n");
+  for (const auto& [name, value] : response.headers) {
+    out->append(name);
+    out->append(": ");
+    out->append(value);
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  SerializeResponseHeadersTo(response, keep_alive, &out);
   out += response.body;
   return out;
+}
+
+void SerializeRequestTo(const std::string& method, const std::string& target,
+                        const std::string& host, const std::string& body,
+                        bool keep_alive, std::string* out) {
+  out->clear();
+  out->append(method);
+  out->push_back(' ');
+  out->append(target);
+  out->append(" HTTP/1.1\r\nHost: ");
+  out->append(host);
+  out->append("\r\nContent-Length: ");
+  AppendUint(body.size(), out);
+  out->append("\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n\r\n");
+  out->append(body);
 }
 
 std::string SerializeRequest(const std::string& method,
                              const std::string& target,
                              const std::string& host, const std::string& body,
                              bool keep_alive) {
-  std::string out = StrFormat(
-      "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %zu\r\n"
-      "Connection: %s\r\n\r\n",
-      method.c_str(), target.c_str(), host.c_str(), body.size(),
-      keep_alive ? "keep-alive" : "close");
-  out += body;
+  std::string out;
+  SerializeRequestTo(method, target, host, body, keep_alive, &out);
   return out;
 }
 
@@ -148,9 +222,19 @@ void HttpParser::Reset() {
   line_.clear();
   header_bytes_ = 0;
   content_length_ = 0;
+  header_count_ = 0;
   error_status_ = 400;
   error_.clear();
-  request_ = HttpRequest{};
+  // Clear the request in place: the strings (and the header pairs beyond
+  // header_count_, trimmed later in FinishHeaders) keep their capacity for
+  // the next request on this connection.
+  request_.method.clear();
+  request_.target.clear();
+  request_.path.clear();
+  request_.query.clear();
+  request_.version_minor = 1;
+  request_.body.clear();
+  request_.keep_alive = true;
 }
 
 size_t HttpParser::Feed(const char* data, size_t size) {
@@ -189,21 +273,23 @@ size_t HttpParser::Feed(const char* data, size_t size) {
 
     line_.pop_back();  // '\n'
     if (!line_.empty() && line_.back() == '\r') line_.pop_back();
-    std::string line;
-    line.swap(line_);
+    // Process line_ in place (no swap: the buffer keeps its capacity for
+    // the next line), then clear it for the next iteration.
     if (state_ == State::kRequestLine) {
       // Tolerate blank line(s) before the request line (RFC 7230 §3.5).
-      if (line.empty()) continue;
-      if (!FinishRequestLine(line)) break;
-      state_ = State::kHeaders;
+      if (!line_.empty()) {
+        if (!FinishRequestLine(line_)) break;
+        state_ = State::kHeaders;
+      }
     } else {  // kHeaders
-      header_bytes_ += line.size() + 2;
-      if (line.empty()) {
+      header_bytes_ += line_.size() + 2;
+      if (line_.empty()) {
         FinishHeaders();
-      } else if (!FinishHeaderLine(line)) {
+      } else if (!FinishHeaderLine(line_)) {
         break;
       }
     }
+    line_.clear();
   }
   return consumed;
 }
@@ -217,9 +303,9 @@ bool HttpParser::FinishRequestLine(const std::string& line) {
     Fail(400, "malformed request line");
     return false;
   }
-  request_.method = line.substr(0, sp1);
-  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string version = line.substr(sp2 + 1);
+  request_.method.assign(line, 0, sp1);
+  request_.target.assign(line, sp1 + 1, sp2 - sp1 - 1);
+  const char* version = line.c_str() + sp2 + 1;
   if (request_.method.empty() || request_.target.empty()) {
     Fail(400, "malformed request line");
     return false;
@@ -234,25 +320,26 @@ bool HttpParser::FinishRequestLine(const std::string& line) {
     Fail(400, "request target must be origin-form (/path)");
     return false;
   }
-  if (version == "HTTP/1.1") {
+  if (line.compare(sp2 + 1, std::string::npos, "HTTP/1.1") == 0) {
     request_.version_minor = 1;
     request_.keep_alive = true;
-  } else if (version == "HTTP/1.0") {
+  } else if (line.compare(sp2 + 1, std::string::npos, "HTTP/1.0") == 0) {
     request_.version_minor = 0;
     request_.keep_alive = false;
-  } else if (version.compare(0, 5, "HTTP/") == 0) {
-    Fail(505, StrFormat("unsupported version '%s'", version.c_str()));
+  } else if (std::strncmp(version, "HTTP/", 5) == 0) {
+    Fail(505, StrFormat("unsupported version '%s'", version));
     return false;
   } else {
-    Fail(400, StrFormat("malformed version '%s'", version.c_str()));
+    Fail(400, StrFormat("malformed version '%s'", version));
     return false;
   }
   size_t qmark = request_.target.find('?');
   if (qmark == std::string::npos) {
     request_.path = request_.target;
+    request_.query.clear();
   } else {
-    request_.path = request_.target.substr(0, qmark);
-    request_.query = request_.target.substr(qmark + 1);
+    request_.path.assign(request_.target, 0, qmark);
+    request_.query.assign(request_.target, qmark + 1, std::string::npos);
   }
   return true;
 }
@@ -263,8 +350,8 @@ bool HttpParser::FinishHeaderLine(const std::string& line) {
     Fail(400, "malformed header line");
     return false;
   }
-  std::string name = line.substr(0, colon);
-  for (char c : name) {
+  for (size_t i = 0; i < colon; ++i) {
+    char c = line[i];
     // RFC 7230 forbids whitespace inside or after the field name.
     if (c == ' ' || c == '\t' ||
         std::iscntrl(static_cast<unsigned char>(c))) {
@@ -272,12 +359,25 @@ bool HttpParser::FinishHeaderLine(const std::string& line) {
       return false;
     }
   }
-  request_.headers.emplace_back(ToLower(std::move(name)),
-                                TrimOws(line.substr(colon + 1)));
+  size_t vb = colon + 1;
+  size_t ve = line.size();
+  while (vb < ve && (line[vb] == ' ' || line[vb] == '\t')) ++vb;
+  while (ve > vb && (line[ve - 1] == ' ' || line[ve - 1] == '\t')) --ve;
+  // Reuse a retired header pair (and its string capacities) when one is
+  // available from a previous request on this connection.
+  if (header_count_ == request_.headers.size()) {
+    request_.headers.emplace_back();
+  }
+  auto& header = request_.headers[header_count_++];
+  header.first.assign(line, 0, colon);
+  LowerInPlace(&header.first);
+  header.second.assign(line, vb, ve - vb);
   return true;
 }
 
 void HttpParser::FinishHeaders() {
+  // Trim pairs retired by Reset() before FindHeader can see them.
+  request_.headers.resize(header_count_);
   if (request_.FindHeader("transfer-encoding") != nullptr) {
     Fail(501, "transfer-encoding not supported; use Content-Length");
     return;
@@ -295,7 +395,8 @@ void HttpParser::FinishHeaders() {
     state_ = State::kComplete;
     return;
   }
-  if (!ParseContentLength(*length, &content_length_)) {
+  if (!ParseContentLength(length->data(), length->size(),
+                          &content_length_)) {
     Fail(400, StrFormat("bad Content-Length '%s'", length->c_str()));
     return;
   }
@@ -339,35 +440,33 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
     if (nl == nullptr) break;
     line_.pop_back();
     if (!line_.empty() && line_.back() == '\r') line_.pop_back();
-    std::string line;
-    line.swap(line_);
     if (state_ == State::kStatusLine) {
-      if (line.empty()) continue;
+      if (line_.empty()) continue;
       // "HTTP/1.x NNN Reason"
-      size_t sp = line.find(' ');
-      if (sp == std::string::npos || line.compare(0, 5, "HTTP/") != 0 ||
-          sp + 4 > line.size()) {
+      size_t sp = line_.find(' ');
+      if (sp == std::string::npos || line_.compare(0, 5, "HTTP/") != 0 ||
+          sp + 4 > line_.size()) {
         state_ = State::kError;
         error_ = "malformed status line";
         break;
       }
       status_ = 0;
-      for (size_t i = sp + 1; i < sp + 4 && i < line.size(); ++i) {
-        if (line[i] < '0' || line[i] > '9') {
+      for (size_t i = sp + 1; i < sp + 4 && i < line_.size(); ++i) {
+        if (line_[i] < '0' || line_[i] > '9') {
           status_ = -1;
           break;
         }
-        status_ = status_ * 10 + (line[i] - '0');
+        status_ = status_ * 10 + (line_[i] - '0');
       }
       if (status_ < 100) {
         state_ = State::kError;
         error_ = "malformed status code";
         break;
       }
-      keep_alive_ = line.compare(0, 9, "HTTP/1.0 ") != 0;
+      keep_alive_ = line_.compare(0, 9, "HTTP/1.0 ") != 0;
       state_ = State::kHeaders;
     } else {  // kHeaders
-      if (line.empty()) {
+      if (line_.empty()) {
         if (have_length_) {
           state_ = content_length_ == 0 ? State::kComplete : State::kBody;
         } else if (!keep_alive_) {
@@ -377,19 +476,41 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
         }
         continue;
       }
-      size_t colon = line.find(':');
-      if (colon == std::string::npos) continue;  // tolerate junk headers
-      std::string name = ToLower(line.substr(0, colon));
-      std::string value = TrimOws(line.substr(colon + 1));
-      if (name == "content-length") {
-        have_length_ = ParseContentLength(value, &content_length_);
-      } else if (name == "connection") {
-        if (HasConnectionToken(value, "close")) keep_alive_ = false;
-        if (HasConnectionToken(value, "keep-alive")) keep_alive_ = true;
+      size_t colon = line_.find(':');
+      if (colon == std::string::npos) {  // tolerate junk headers
+        line_.clear();
+        continue;
+      }
+      size_t vb = colon + 1;
+      size_t ve = line_.size();
+      while (vb < ve && (line_[vb] == ' ' || line_[vb] == '\t')) ++vb;
+      while (ve > vb && (line_[ve - 1] == ' ' || line_[ve - 1] == '\t')) --ve;
+      if (NameIs(line_.data(), colon, "content-length")) {
+        have_length_ =
+            ParseContentLength(line_.data() + vb, ve - vb, &content_length_);
+      } else if (NameIs(line_.data(), colon, "connection")) {
+        if (HasConnectionToken(line_.data() + vb, ve - vb, "close")) {
+          keep_alive_ = false;
+        }
+        if (HasConnectionToken(line_.data() + vb, ve - vb, "keep-alive")) {
+          keep_alive_ = true;
+        }
       }
     }
+    line_.clear();
   }
   return consumed;
+}
+
+void HttpResponseParser::Reset() {
+  state_ = State::kStatusLine;
+  line_.clear();
+  content_length_ = 0;
+  have_length_ = false;
+  status_ = 0;
+  keep_alive_ = true;
+  body_.clear();  // capacity retained for the next response
+  error_.clear();
 }
 
 void HttpResponseParser::FinishEof() {

@@ -31,8 +31,16 @@ struct HttpRequest {
   /// HTTP/1.0 to false; a Connection: close / keep-alive header overrides.
   bool keep_alive = true;
 
-  /// First header with the given lowercase name, or nullptr.
+  /// First header with the given lowercase name, or nullptr. The
+  /// const char* overload avoids materializing a std::string per lookup
+  /// (names longer than the SSO buffer would allocate on every request).
   const std::string* FindHeader(const std::string& lowercase_name) const;
+  const std::string* FindHeader(const char* lowercase_name) const;
+
+  /// Swaps all fields; used to move a parsed request into a pooled slot
+  /// while handing the slot's previous string capacities back to the
+  /// parser for reuse.
+  void swap(HttpRequest& other) noexcept;
 };
 
 /// One HTTP response to serialize. Content-Length and Connection are
@@ -48,11 +56,26 @@ struct HttpResponse {
 /// keep-alive|close headers.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
+/// In-place variant: serializes the status line and headers (everything up
+/// to and including the blank line, but NOT the body) into `*out`,
+/// replacing its contents. The body is sent separately via scatter-gather,
+/// so steady-state serialization reuses `out`'s capacity and never
+/// concatenates the body.
+void SerializeResponseHeadersTo(const HttpResponse& response, bool keep_alive,
+                                std::string* out);
+
 /// Wire form of a client request (Host, Content-Length, Connection).
 std::string SerializeRequest(const std::string& method,
                              const std::string& target,
                              const std::string& host, const std::string& body,
                              bool keep_alive);
+
+/// In-place variant of SerializeRequest (headers AND body) into `*out`,
+/// replacing its contents; the client reuses one wire buffer per
+/// connection.
+void SerializeRequestTo(const std::string& method, const std::string& target,
+                        const std::string& host, const std::string& body,
+                        bool keep_alive, std::string* out);
 
 /// Input-size limits enforced during parsing. Exceeding one turns the
 /// parser into the error state with the corresponding 4xx status.
@@ -87,7 +110,10 @@ class HttpParser {
   /// The parsed request; valid once done().
   HttpRequest& request() { return request_; }
 
-  /// Prepares for the next request on the same connection.
+  /// Prepares for the next request on the same connection. Retains the
+  /// capacity of every internal buffer (and of the strings inside
+  /// request(), which may have been swapped with a recycled slot), so a
+  /// steady-state keep-alive parse loop performs no heap allocations.
   void Reset();
 
  private:
@@ -103,6 +129,10 @@ class HttpParser {
   std::string line_;  // accumulates the current request/header line
   size_t header_bytes_ = 0;
   size_t content_length_ = 0;
+  // Headers parsed into the current request. request_.headers keeps its
+  // pairs alive across Reset() so their string capacities are reused; the
+  // vector is trimmed to header_count_ when the header block completes.
+  size_t header_count_ = 0;
   int error_status_ = 400;
   std::string error_;
   HttpRequest request_;
@@ -119,6 +149,10 @@ class HttpResponseParser {
   size_t Feed(const char* data, size_t size);
   /// Signals EOF from the peer; completes a read-until-close body.
   void FinishEof();
+
+  /// Prepares for the next response on the same connection, retaining the
+  /// body buffer's capacity.
+  void Reset();
 
   State state() const { return state_; }
   bool done() const { return state_ == State::kComplete; }

@@ -16,45 +16,52 @@ Status HttpClient::EnsureConnected() {
   return Status::OK();
 }
 
-Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
-  RAFIKI_RETURN_IF_ERROR(SendAll(sock_.fd(), wire.data(), wire.size()));
-  HttpResponseParser parser;
+Result<int> HttpClient::RoundTrip() {
+  RAFIKI_RETURN_IF_ERROR(SendAll(sock_.fd(), wire_.data(), wire_.size()));
+  parser_.Reset();
   char buf[16 * 1024];
-  while (!parser.done() && !parser.failed()) {
+  while (!parser_.done() && !parser_.failed()) {
     RAFIKI_ASSIGN_OR_RETURN(size_t n, RecvSome(sock_.fd(), buf, sizeof(buf)));
     if (n == 0) {
-      parser.FinishEof();
+      parser_.FinishEof();
       break;
     }
-    parser.Feed(buf, n);
+    parser_.Feed(buf, n);
   }
-  if (parser.failed()) {
+  if (parser_.failed()) {
     sock_.Close();
     return Status::Internal(
-        StrFormat("bad response: %s", parser.error().c_str()));
+        StrFormat("bad response: %s", parser_.error().c_str()));
   }
-  HttpResponse response;
-  response.status = parser.status();
-  response.body = parser.body();
-  if (!parser.keep_alive()) sock_.Close();
-  return response;
+  if (!parser_.keep_alive()) sock_.Close();
+  return parser_.status();
+}
+
+Result<int> HttpClient::RequestView(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body) {
+  bool was_connected = sock_.valid();
+  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
+  SerializeRequestTo(method, target, host_, body, /*keep_alive=*/true,
+                     &wire_);
+  Result<int> status = RoundTrip();
+  if (status.ok()) return status;
+  // A reused connection may have been closed server-side (idle timeout)
+  // between requests; retry exactly once on a fresh connection.
+  if (!was_connected) return status;
+  sock_.Close();
+  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
+  return RoundTrip();
 }
 
 Result<HttpResponse> HttpClient::Request(const std::string& method,
                                          const std::string& target,
                                          const std::string& body) {
-  bool was_connected = sock_.valid();
-  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
-  std::string wire =
-      SerializeRequest(method, target, host_, body, /*keep_alive=*/true);
-  Result<HttpResponse> response = RoundTrip(wire);
-  if (response.ok()) return response;
-  // A reused connection may have been closed server-side (idle timeout)
-  // between requests; retry exactly once on a fresh connection.
-  if (!was_connected) return response;
-  sock_.Close();
-  RAFIKI_RETURN_IF_ERROR(EnsureConnected());
-  return RoundTrip(wire);
+  RAFIKI_ASSIGN_OR_RETURN(int status, RequestView(method, target, body));
+  HttpResponse response;
+  response.status = status;
+  response.body = parser_.body();
+  return response;
 }
 
 }  // namespace rafiki::net

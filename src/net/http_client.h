@@ -17,8 +17,21 @@ class HttpClient {
  public:
   HttpClient(std::string host, uint16_t port, double timeout_seconds = 20.0);
 
-  /// Sends one request and blocks for the full response. Reconnects and
-  /// retries once if the kept-alive connection turned out dead.
+  /// Allocation-free round trip for hot loops: serializes into a wire
+  /// buffer owned by the client and parses into an owned response parser,
+  /// so a steady-state keep-alive request/response cycle reuses every
+  /// buffer. Returns the HTTP status code; the response body is readable
+  /// via body() until the next call. Reconnects and retries once if the
+  /// kept-alive connection turned out dead.
+  Result<int> RequestView(const std::string& method, const std::string& target,
+                          const std::string& body = "");
+
+  /// Body of the last successful RequestView (borrowed; overwritten by the
+  /// next request on this client).
+  const std::string& body() const { return parser_.body(); }
+
+  /// Sends one request and blocks for the full response. Copying wrapper
+  /// over RequestView for callers that want an owned HttpResponse.
   Result<HttpResponse> Request(const std::string& method,
                                const std::string& target,
                                const std::string& body = "");
@@ -36,12 +49,14 @@ class HttpClient {
 
  private:
   Status EnsureConnected();
-  Result<HttpResponse> RoundTrip(const std::string& wire);
+  Result<int> RoundTrip();
 
   std::string host_;
   uint16_t port_;
   double timeout_;
   Socket sock_;
+  std::string wire_;          // serialized request, capacity reused
+  HttpResponseParser parser_;  // response state, body capacity reused
 };
 
 }  // namespace rafiki::net

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <new>
 
 #include "common/logging.h"
 
@@ -22,12 +23,28 @@ constexpr size_t kMaxBufferedInput = 64 * 1024;
 
 constexpr uint64_t kWakeToken = 0;  // epoll data id of the wake eventfd
 
-HttpResponse OverloadResponse(const char* why) {
-  HttpResponse resp;
-  resp.status = 503;
-  resp.body = std::string("error=") + why;
-  resp.headers.emplace_back("Retry-After", "1");
-  return resp;
+/// epoll_wait batch size: one syscall drains readiness for this many
+/// connections before the loop touches the mailbox or the work queue.
+constexpr int kEpollBatch = 256;
+
+/// iovec entries per sendmsg: up to 32 responses (header + body each) per
+/// flush syscall.
+constexpr int kMaxIov = 64;
+
+/// Full idle sweeps are O(connections); run them at most once a second.
+constexpr double kSweepInterval = 1.0;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void FillOverload(HttpServer::ResponseSlot* slot, const char* why) {
+  slot->response.status = 503;
+  slot->response.body.assign("error=");
+  slot->response.body.append(why);
+  slot->response.headers.emplace_back("Retry-After", "1");
 }
 
 /// The synchronous Handler is a thin adapter: the returned response
@@ -40,10 +57,90 @@ HttpServer::AsyncHandler WrapSyncHandler(HttpServer::Handler handler) {
   };
 }
 
+/// Allocator with per-thread free lists of single-object blocks, used to
+/// recycle the allocate_shared node behind every WriterState. A block is
+/// cached on whichever thread drops the last reference; the steady state
+/// (handler allocates, completes inline, releases on the same thread) hits
+/// the cache every time and never touches the heap.
+template <typename T>
+class FreeListAllocator {
+ public:
+  using value_type = T;
+
+  FreeListAllocator() = default;
+  template <typename U>
+  FreeListAllocator(const FreeListAllocator<U>&) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    if (n == 1) {
+      auto& cache = Cache();
+      if (!cache.empty()) {
+        void* p = cache.back();
+        cache.pop_back();
+        return static_cast<T*>(p);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) {
+    if (n == 1) {
+      auto& cache = Cache();
+      if (cache.size() < kMaxCached) {
+        cache.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const FreeListAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const FreeListAllocator<U>&) const {
+    return false;
+  }
+
+ private:
+  static constexpr size_t kMaxCached = 256;
+
+  struct CacheHolder {
+    std::vector<void*> blocks;
+    ~CacheHolder() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  };
+
+  static std::vector<void*>& Cache() {
+    static thread_local CacheHolder holder;
+    return holder.blocks;
+  }
+};
+
+/// Copies a response into the slot's arena, reusing string capacities.
+void CopyResponseInto(const HttpResponse& from, HttpResponse* to) {
+  to->status = from.status;
+  to->body = from.body;
+  to->content_type = from.content_type;
+  to->headers = from.headers;
+}
+
+/// Identity of the worker whose event loop is running on this thread (the
+/// Worker object's address, type-erased because Worker is private). A
+/// completion posted from the owning worker's own thread goes straight to
+/// its local queue — no mailbox lock, no eventfd wakeup.
+thread_local const void* t_worker_identity = nullptr;
+
 }  // namespace
 
 void HttpServer::ResponseWriter::Complete(const HttpResponse& response) {
   if (state_ != nullptr) state_->Complete(response);
+}
+
+HttpResponse& HttpServer::ResponseWriter::response() const {
+  return state_->slot->response;
 }
 
 bool HttpServer::ResponseWriter::completed() const {
@@ -55,11 +152,20 @@ bool HttpServer::ResponseWriter::completed() const {
 void HttpServer::WriterState::Complete(const HttpResponse& response) {
   int old = flags.fetch_or(kCompleted, std::memory_order_acq_rel);
   if (old & kCompleted) return;  // one-shot: first completion wins
-  // Serialize the response before taking the core lock (it can be large).
-  std::string bytes = SerializeResponse(response, keep_alive);
+  ResponseSlot* s = slot;
+  slot = nullptr;
+  // Build and serialize in the slot's arena before taking the core lock.
+  // Completing with the slot's own response() skips the copy entirely.
+  if (&response != &s->response) CopyResponseInto(response, &s->response);
+  SerializeResponseHeadersTo(s->response, keep_alive, &s->head);
   std::lock_guard<std::mutex> lock(core->mu);
   HttpServer* server = core->server;
-  if (server == nullptr) return;  // server torn down: drop safely
+  if (server == nullptr) {
+    // Server torn down: drop safely. The handler's hold (if still
+    // outstanding) disposes of the slot; otherwise we do.
+    if (s->holds.fetch_sub(1, std::memory_order_acq_rel) == 1) delete s;
+    return;
+  }
   // Completion is where the request stops being "in flight": the admission
   // slot frees here, not when the handler returned.
   server->inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -71,12 +177,18 @@ void HttpServer::WriterState::Complete(const HttpResponse& response) {
   Completion done;
   done.conn_id = conn_id;
   done.seq = seq;
-  done.bytes = std::move(bytes);
+  done.slot = s;
   done.keep_alive = keep_alive;
   Worker& w = *server->workers_[static_cast<size_t>(worker)];
+  if (static_cast<const void*>(&w) == t_worker_identity) {
+    // Completed on the owning worker's own thread (inline handler): the
+    // worker drains this queue within the current tick.
+    w.inline_completions.push_back(std::move(done));
+    return;
+  }
   {
     std::lock_guard<std::mutex> wlock(w.mu);
-    w.completions.push_back(std::move(done));
+    w.completions.push_back(done);
   }
   server->Wake(w);
 }
@@ -211,7 +323,24 @@ void HttpServer::Stop() {
   }
   handler_threads_.clear();
 
+  // 5. Free the arenas. Every producer is gone (workers and handlers
+  //    joined, core severed), so mailbox contents and pools are ours:
+  //    completion slots here hold the response-path reference and — with
+  //    the handlers joined — no handler hold remains; `returned` slots
+  //    already reached zero holds.
   for (auto& w : workers_) {
+    for (Completion& done : w->completions) {
+      if (done.slot->holds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        delete done.slot;
+      }
+    }
+    w->completions.clear();
+    for (ResponseSlot* s : w->returned) delete s;
+    w->returned.clear();
+    for (int fd : w->pending_fds) ::close(fd);
+    w->pending_fds.clear();
+    for (ResponseSlot* s : w->slot_pool) delete s;
+    w->slot_pool.clear();
     if (w->epoll_fd >= 0) ::close(w->epoll_fd);
     if (w->wake_fd >= 0) ::close(w->wake_fd);
   }
@@ -273,45 +402,130 @@ void HttpServer::Wake(Worker& w) {
   (void)n;  // EAGAIN means a wakeup is already pending — fine.
 }
 
+HttpServer::ResponseSlot* HttpServer::AcquireSlot(Worker& w) {
+  if (w.slot_pool.empty()) {
+    // A slot whose last hold dropped on a handler thread may still be
+    // sitting in the `returned` mailbox (the worker only drains it at tick
+    // boundaries); reclaim those before minting a cold arena.
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.returned_scratch.swap(w.returned);
+    }
+    for (ResponseSlot* s : w.returned_scratch) RecycleSlot(w, s);
+    w.returned_scratch.clear();
+  }
+  if (!w.slot_pool.empty()) {
+    ResponseSlot* s = w.slot_pool.back();
+    w.slot_pool.pop_back();
+    return s;
+  }
+  return new ResponseSlot();
+}
+
+void HttpServer::RecycleSlot(Worker& w, ResponseSlot* slot) {
+  // Reset to defaults while keeping every string/vector capacity (that IS
+  // the arena). The request is fully overwritten at the next parse.
+  slot->response.status = 200;
+  slot->response.body.clear();
+  slot->response.content_type = "text/plain";
+  slot->response.headers.clear();
+  slot->head.clear();
+  // Bound the pool by the worst simultaneous demand this worker can see.
+  if (w.slot_pool.size() <
+      opts_.max_inflight + 2 * opts_.max_pipeline + 16) {
+    w.slot_pool.push_back(slot);
+  } else {
+    delete slot;
+  }
+}
+
+void HttpServer::ReleaseSlotHold(Worker& w, ResponseSlot* slot) {
+  if (slot->holds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    RecycleSlot(w, slot);
+  }
+  // Otherwise the handler is still reading the request; its release will
+  // route the slot back through the worker's `returned` mailbox.
+}
+
+void HttpServer::FlushWorkBatch(Worker& w) {
+  if (w.work_batch.empty()) return;
+  size_t n = w.work_batch.size();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (Work& work : w.work_batch) work_.push_back(std::move(work));
+  }
+  if (n == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  w.work_batch.clear();
+}
+
 void HttpServer::DrainMailbox(Worker& w) {
-  std::vector<int> fds;
-  std::vector<Completion> completions;
   {
     std::lock_guard<std::mutex> lock(w.mu);
-    fds.swap(w.pending_fds);
-    completions.swap(w.completions);
+    w.fds_scratch.swap(w.pending_fds);
+    w.completions_scratch.swap(w.completions);
+    w.returned_scratch.swap(w.returned);
   }
-  for (int fd : fds) AddConnection(w, fd);
-  for (Completion& done : completions) {
-    auto it = w.conns.find(done.conn_id);
-    if (it == w.conns.end()) continue;  // connection died mid-request
-    Connection& c = *it->second;
-    const uint64_t conn_id = done.conn_id;
-    c.last_activity = Now();
-    c.ready.emplace(done.seq, std::move(done));
-    PumpResponses(w, c);
-    // The map may have dropped the connection inside PumpResponses.
-    auto again = w.conns.find(conn_id);
-    if (again == w.conns.end()) continue;
-    Connection& alive = *again->second;
-    if (!alive.want_read && !alive.peer_closed &&
-        alive.inbuf.size() < kMaxBufferedInput) {
-      alive.want_read = true;
-      UpdateEpoll(w, alive);
-    }
-    // Pipelined requests already buffered: parse the next one now.
-    if (!alive.close_after_write) TryParse(w, alive);
-    auto fin = w.conns.find(conn_id);
-    if (fin != w.conns.end() && fin->second->peer_closed &&
-        !fin->second->busy()) {
-      CloseConnection(w, *fin->second);
-    }
+  for (int fd : w.fds_scratch) AddConnection(w, fd);
+  w.fds_scratch.clear();
+  // Slots whose last hold was dropped on a handler thread.
+  for (ResponseSlot* s : w.returned_scratch) RecycleSlot(w, s);
+  w.returned_scratch.clear();
+  for (Completion& done : w.completions_scratch) ApplyCompletion(w, done);
+  w.completions_scratch.clear();
+}
+
+void HttpServer::ApplyCompletion(Worker& w, const Completion& done) {
+  auto it = w.conns.find(done.conn_id);
+  if (it == w.conns.end()) {
+    // Connection died mid-request; drop the response.
+    ReleaseSlotHold(w, done.slot);
+    return;
+  }
+  Connection& c = *it->second;
+  const uint64_t conn_id = done.conn_id;
+  c.last_activity = Now();
+  WindowEntry& entry = c.window[done.seq & c.window_mask];
+  entry.slot = done.slot;
+  entry.keep_alive = done.keep_alive;
+  PumpResponses(w, c);
+  // Defensive re-lookup: nothing above should drop the connection today
+  // (the flush that could is deferred to end of tick), but TryParse below
+  // can, so the id-based discipline stays uniform.
+  auto again = w.conns.find(conn_id);
+  if (again == w.conns.end()) return;
+  Connection& alive = *again->second;
+  if (!alive.want_read && !alive.peer_closed &&
+      alive.inbuf.size() - alive.in_off < kMaxBufferedInput) {
+    alive.want_read = true;
+    UpdateEpoll(w, alive);
+  }
+  // Pipelined requests already buffered: parse the next one now.
+  if (!alive.close_after_write) TryParse(w, alive);
+  auto fin = w.conns.find(conn_id);
+  if (fin != w.conns.end() && fin->second->peer_closed &&
+      !fin->second->busy()) {
+    CloseConnection(w, *fin->second);
+  }
+}
+
+void HttpServer::DrainInlineCompletions(Worker& w) {
+  // ApplyCompletion may parse further pipelined requests, whose inline
+  // handlers append here — keep going until the queue is genuinely dry.
+  while (!w.inline_completions.empty()) {
+    Completion done = std::move(w.inline_completions.front());
+    w.inline_completions.pop_front();
+    ApplyCompletion(w, done);
   }
 }
 
 void HttpServer::AddConnection(Worker& w, int fd) {
   uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
-  auto conn = std::make_unique<Connection>(opts_.limits);
+  auto conn = std::make_unique<Connection>(opts_.limits,
+                                           RoundUpPow2(opts_.max_pipeline));
   conn->fd = fd;
   conn->id = id;
   conn->last_activity = Now();
@@ -326,6 +540,18 @@ void HttpServer::AddConnection(Worker& w, int fd) {
 }
 
 void HttpServer::CloseConnection(Worker& w, Connection& c) {
+  // Release every response still owned by this connection. Requests whose
+  // handler/writer is still out keep their slot alive via those holds.
+  for (WindowEntry& entry : c.window) {
+    if (entry.slot != nullptr) {
+      ReleaseSlotHold(w, entry.slot);
+      entry.slot = nullptr;
+    }
+  }
+  while (!c.outq.empty()) {
+    ReleaseSlotHold(w, c.outq.front().slot);
+    c.outq.pop_front();
+  }
   ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
   ::close(c.fd);
   w.conns.erase(c.id);  // destroys c
@@ -348,12 +574,17 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
     if (n > 0) {
       c.inbuf.append(buf, static_cast<size_t>(n));
       c.last_activity = Now();
-      if (c.pending() > 0 && c.inbuf.size() >= kMaxBufferedInput) {
+      if (c.pending() > 0 &&
+          c.inbuf.size() - c.in_off >= kMaxBufferedInput) {
         // Pipelining backpressure: stop reading until responses go out.
         c.want_read = false;
         UpdateEpoll(w, c);
         break;
       }
+      // A short read means the socket buffer is (almost certainly) empty;
+      // skip the EAGAIN confirmation recv. Epoll is level-triggered, so
+      // any bytes that race in are reported again on the next tick.
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
       continue;
     }
     if (n < 0) {
@@ -378,37 +609,50 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
 }
 
 void HttpServer::TryParse(Worker& w, Connection& c) {
-  const uint64_t conn_id = c.id;  // survives a close inside QueueResponse
+  const uint64_t conn_id = c.id;  // survives a close inside QueueSlotResponse
   while (!c.parse_done && c.pending() < opts_.max_pipeline &&
-         !c.inbuf.empty()) {
-    size_t consumed = c.parser.Feed(c.inbuf.data(), c.inbuf.size());
-    c.inbuf.erase(0, consumed);
+         c.in_off < c.inbuf.size()) {
+    size_t consumed =
+        c.parser.Feed(c.inbuf.data() + c.in_off, c.inbuf.size() - c.in_off);
+    c.in_off += consumed;
+    if (c.in_off == c.inbuf.size()) {
+      // Fully consumed: reset the buffer (capacity kept) so the offset
+      // never grows without bound.
+      c.inbuf.clear();
+      c.in_off = 0;
+    }
     if (c.parser.failed()) {
       parse_errors_.fetch_add(1, std::memory_order_relaxed);
-      HttpResponse resp;
-      resp.status = c.parser.error_status();
-      resp.body = "error=" + c.parser.error();
+      ResponseSlot* slot = AcquireSlot(w);
+      slot->response.status = c.parser.error_status();
+      slot->response.body.assign("error=");
+      slot->response.body.append(c.parser.error());
       c.inbuf.clear();  // framing is lost; discard and close after reply
+      c.in_off = 0;
       c.parse_done = true;
-      QueueResponse(w, c, c.next_seq++, resp, /*keep_alive=*/false);
+      QueueSlotResponse(w, c, c.next_seq++, slot, /*keep_alive=*/false);
       return;
     }
     if (!c.parser.done()) return;  // need more bytes
 
     requests_.fetch_add(1, std::memory_order_relaxed);
-    HttpRequest request = std::move(c.parser.request());
+    // Claim an arena and swap the parsed request into it; the parser gets
+    // the slot's retired strings (and their capacities) back.
+    ResponseSlot* slot = AcquireSlot(w);
+    slot->request.swap(c.parser.request());
     c.parser.Reset();
     c.last_activity = Now();
     uint64_t seq = c.next_seq++;
+    bool keep_alive = slot->request.keep_alive;
     // After "Connection: close" no further request may be answered on
     // this connection; stop parsing so pipelined bytes are not consumed.
-    if (!request.keep_alive) c.parse_done = true;
+    if (!keep_alive) c.parse_done = true;
 
     if (phase_.load() != Phase::kRunning) {
       rejected_draining_.fetch_add(1, std::memory_order_relaxed);
       c.parse_done = true;
-      QueueResponse(w, c, seq, OverloadResponse("server shutting down"),
-                    /*keep_alive=*/false);
+      FillOverload(slot, "server shutting down");
+      QueueSlotResponse(w, c, seq, slot, /*keep_alive=*/false);
       return;
     }
     // Admission control: bounded in-flight (admitted, not yet completed)
@@ -417,68 +661,166 @@ void HttpServer::TryParse(Worker& w, Connection& c) {
         opts_.max_inflight) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-      QueueResponse(w, c, seq, OverloadResponse("server overloaded"),
-                    request.keep_alive);
+      FillOverload(slot, "server overloaded");
+      QueueSlotResponse(w, c, seq, slot, keep_alive);
       if (w.conns.find(conn_id) == w.conns.end()) return;  // write error
       continue;  // connection stays usable; try the next pipelined request
     }
     // Track the concurrency high-watermark (the async path's headline
     // number: it can far exceed num_handler_threads).
-    uint64_t cur = static_cast<uint64_t>(inflight_.load()) ;
+    uint64_t cur = static_cast<uint64_t>(inflight_.load());
     uint64_t peak = inflight_peak_.load(std::memory_order_relaxed);
     while (cur > peak && !inflight_peak_.compare_exchange_weak(
                              peak, cur, std::memory_order_relaxed)) {
     }
+    // Two holds: the handler reads `request` until it returns; the
+    // response path carries the slot from WriterState back to the flush.
+    slot->holds.store(2, std::memory_order_relaxed);
     Work work;
     work.worker = w.index;
     work.conn_id = c.id;
     work.seq = seq;
-    work.keep_alive = request.keep_alive;
-    work.request = std::move(request);
-    {
-      std::lock_guard<std::mutex> lock(work_mu_);
-      work_.push_back(std::move(work));
+    work.keep_alive = keep_alive;
+    work.slot = slot;
+    if (opts_.inline_handlers) {
+      // Run-to-completion: invoke the handler right here. Its completion
+      // (if inline) lands in w.inline_completions and is applied at the
+      // tick's drain point — never mid-parse, so `c` stays valid.
+      RunHandlerInline(w, work);
+    } else {
+      w.work_batch.push_back(work);
     }
-    work_cv_.notify_one();
     // Keep parsing: with async completion, pipelined requests proceed
     // concurrently (bounded by max_pipeline) and responses are re-ordered
     // to request order on completion.
   }
 }
 
-void HttpServer::QueueResponse(Worker& w, Connection& c, uint64_t seq,
-                               const HttpResponse& response,
-                               bool keep_alive) {
+void HttpServer::RunHandlerInline(Worker& w, const Work& work) {
+  {
+    auto state = std::allocate_shared<WriterState>(
+        FreeListAllocator<WriterState>());
+    state->core = core_;
+    state->slot = work.slot;
+    state->worker = work.worker;
+    state->conn_id = work.conn_id;
+    state->seq = work.seq;
+    state->keep_alive = work.keep_alive;
+    handler_busy_.fetch_add(1, std::memory_order_relaxed);
+    async_handler_(work.slot->request, ResponseWriter(state));
+    handler_busy_.fetch_sub(1, std::memory_order_relaxed);
+    int old = state->flags.fetch_or(WriterState::kHandlerReturned,
+                                    std::memory_order_acq_rel);
+    if (!(old & WriterState::kCompleted)) {
+      async_pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // `state` drops here; an uncompleted, unparked writer answers 500 via
+    // ~WriterState exactly as on the pool path.
+  }
+  // Handler hold: released on the worker thread, so the last release can
+  // recycle directly instead of bouncing through the `returned` mailbox.
+  if (work.slot->holds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    RecycleSlot(w, work.slot);
+  }
+}
+
+void HttpServer::QueueSlotResponse(Worker& w, Connection& c, uint64_t seq,
+                                   ResponseSlot* slot, bool keep_alive) {
   responses_.fetch_add(1, std::memory_order_relaxed);
-  Completion done;
-  done.conn_id = c.id;
-  done.seq = seq;
-  done.bytes = SerializeResponse(response, keep_alive);
-  done.keep_alive = keep_alive;
-  c.ready.emplace(seq, std::move(done));
+  SerializeResponseHeadersTo(slot->response, keep_alive, &slot->head);
+  slot->holds.store(1, std::memory_order_relaxed);  // response path only
+  WindowEntry& entry = c.window[seq & c.window_mask];
+  entry.slot = slot;
+  entry.keep_alive = keep_alive;
   PumpResponses(w, c);
 }
 
 void HttpServer::PumpResponses(Worker& w, Connection& c) {
-  for (;;) {
-    auto it = c.ready.find(c.next_send);
-    if (it == c.ready.end()) break;  // next-in-order not completed yet
-    c.outbuf += it->second.bytes;
-    if (!it->second.keep_alive) c.close_after_write = true;
-    c.ready.erase(it);
+  while (!c.close_after_write) {
+    WindowEntry& entry = c.window[c.next_send & c.window_mask];
+    if (entry.slot == nullptr) break;  // next-in-order not completed yet
+    OutItem item;
+    item.slot = entry.slot;
+    item.off = 0;
+    item.close_after = !entry.keep_alive;
+    entry.slot = nullptr;
+    c.outq.push_back(std::move(item));
     ++c.next_send;
     // Responses queued behind a close die with the connection.
-    if (c.close_after_write) break;
+    if (item.close_after) c.close_after_write = true;
   }
-  FlushWrite(w, c);
+  // Defer the socket write to the end of the loop tick: every response
+  // completed this tick rides the same gather flush (one sendmsg per
+  // connection per tick instead of one per response).
+  if (!c.outq.empty() && !c.flush_pending) {
+    c.flush_pending = true;
+    w.flush_queue.push_back(c.id);
+  }
+}
+
+void HttpServer::FlushPendingWrites(Worker& w) {
+  // FlushWrite never stages new flushes and may only erase connections,
+  // so a plain index walk over the tick's list is safe.
+  for (size_t i = 0; i < w.flush_queue.size(); ++i) {
+    auto it = w.conns.find(w.flush_queue[i]);
+    if (it == w.conns.end()) continue;  // closed earlier this tick
+    Connection& c = *it->second;
+    c.flush_pending = false;
+    FlushWrite(w, c);
+  }
+  w.flush_queue.clear();
 }
 
 void HttpServer::FlushWrite(Worker& w, Connection& c) {
-  while (c.out_off < c.outbuf.size()) {
-    ssize_t n = ::send(c.fd, c.outbuf.data() + c.out_off,
-                       c.outbuf.size() - c.out_off, MSG_NOSIGNAL);
+  while (!c.outq.empty()) {
+    // Gather up to kMaxIov segments across the queued responses: header
+    // block and body each contribute one iovec, no concatenation copy.
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    size_t n_items = c.outq.size();
+    for (size_t i = 0; i < n_items && iov_count + 2 <= kMaxIov; ++i) {
+      OutItem& item = c.outq[i];
+      const std::string& head = item.slot->head;
+      const std::string& body = item.slot->response.body;
+      size_t off = item.off;  // nonzero only for the front item
+      if (off < head.size()) {
+        iov[iov_count].iov_base = const_cast<char*>(head.data()) + off;
+        iov[iov_count].iov_len = head.size() - off;
+        ++iov_count;
+        off = 0;
+      } else {
+        off -= head.size();
+      }
+      if (off < body.size()) {
+        iov[iov_count].iov_base = const_cast<char*>(body.data()) + off;
+        iov[iov_count].iov_len = body.size() - off;
+        ++iov_count;
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      c.out_off += static_cast<size_t>(n);
+      size_t left = static_cast<size_t>(n);
+      while (left > 0) {
+        OutItem& front = c.outq.front();
+        size_t total =
+            front.slot->head.size() + front.slot->response.body.size();
+        size_t remain = total - front.off;
+        if (left < remain) {
+          front.off += left;
+          break;
+        }
+        left -= remain;
+        bool close_now = front.close_after;
+        ReleaseSlotHold(w, front.slot);
+        c.outq.pop_front();
+        if (close_now) {
+          CloseConnection(w, c);
+          return;
+        }
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -492,12 +834,6 @@ void HttpServer::FlushWrite(Worker& w, Connection& c) {
     CloseConnection(w, c);  // broken pipe / reset
     return;
   }
-  c.outbuf.clear();
-  c.out_off = 0;
-  if (c.close_after_write) {
-    CloseConnection(w, c);
-    return;
-  }
   if (c.want_write) {
     c.want_write = false;
     UpdateEpoll(w, c);
@@ -506,6 +842,8 @@ void HttpServer::FlushWrite(Worker& w, Connection& c) {
 
 void HttpServer::IdleSweep(Worker& w) {
   double now = Now();
+  if (now - w.last_sweep < kSweepInterval) return;
+  w.last_sweep = now;
   std::vector<uint64_t> expired;
   for (auto& [id, conn] : w.conns) {
     if (!conn->busy() &&
@@ -523,22 +861,24 @@ void HttpServer::IdleSweep(Worker& w) {
 
 void HttpServer::WorkerLoop(int index) {
   Worker& w = *workers_[static_cast<size_t>(index)];
-  epoll_event events[64];
+  t_worker_identity = &w;
+  std::vector<epoll_event> events(kEpollBatch);
   for (;;) {
-    int n = ::epoll_wait(w.epoll_fd, events, 64, /*timeout_ms=*/50);
+    int n = ::epoll_wait(w.epoll_fd, events.data(), kEpollBatch,
+                         /*timeout_ms=*/50);
     DrainMailbox(w);
     for (int i = 0; i < n; ++i) {
-      uint64_t id = events[i].data.u64;
+      uint64_t id = events[static_cast<size_t>(i)].data.u64;
       if (id == kWakeToken) {
+        // eventfd reads reset the counter atomically: one read drains it.
         uint64_t junk;
-        while (::read(w.wake_fd, &junk, sizeof(junk)) > 0) {
-        }
+        (void)!::read(w.wake_fd, &junk, sizeof(junk));
         continue;
       }
       auto it = w.conns.find(id);
       if (it == w.conns.end()) continue;  // closed earlier this sweep
       Connection& c = *it->second;
-      uint32_t ev = events[i].events;
+      uint32_t ev = events[static_cast<size_t>(i)].events;
       if (ev & EPOLLOUT) {
         FlushWrite(w, c);
         if (w.conns.find(id) == w.conns.end()) continue;
@@ -547,6 +887,12 @@ void HttpServer::WorkerLoop(int index) {
         OnReadable(w, c);
       }
     }
+    // Inline handlers completed during this tick: file their responses
+    // before the tick's single gather flush below.
+    DrainInlineCompletions(w);
+    FlushPendingWrites(w);
+    // Hand the whole tick's admitted requests to the pool at once.
+    FlushWorkBatch(w);
     IdleSweep(w);
 
     Phase phase = phase_.load();
@@ -566,6 +912,13 @@ void HttpServer::WorkerLoop(int index) {
     auto it = w.conns.find(id);
     if (it != w.conns.end()) CloseConnection(w, *it->second);
   }
+  // Inline completions that never got applied (force stop mid-tick): their
+  // connections are gone; just release the response-path holds.
+  while (!w.inline_completions.empty()) {
+    ReleaseSlotHold(w, w.inline_completions.front().slot);
+    w.inline_completions.pop_front();
+  }
+  t_worker_identity = nullptr;
   w.exited.store(true);
 }
 
@@ -576,28 +929,45 @@ void HttpServer::HandlerLoop() {
       std::unique_lock<std::mutex> lock(work_mu_);
       work_cv_.wait(lock, [&] { return stop_handlers_ || !work_.empty(); });
       if (work_.empty()) return;  // stop_handlers_ && drained
-      work = std::move(work_.front());
+      work = work_.front();
       work_.pop_front();
     }
-    auto state = std::make_shared<WriterState>();
-    state->core = core_;
-    state->worker = work.worker;
-    state->conn_id = work.conn_id;
-    state->seq = work.seq;
-    state->keep_alive = work.keep_alive;
-    handler_busy_.fetch_add(1, std::memory_order_relaxed);
-    async_handler_(work.request, ResponseWriter(state));
-    handler_busy_.fetch_sub(1, std::memory_order_relaxed);
-    // Handler returned without completing: the continuation is parked
-    // elsewhere (async_pending until its owner completes the writer). The
-    // two flag bits keep the gauge exact when completion races the return.
-    int old = state->flags.fetch_or(WriterState::kHandlerReturned,
-                                    std::memory_order_acq_rel);
-    if (!(old & WriterState::kCompleted)) {
-      async_pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+      auto state = std::allocate_shared<WriterState>(
+          FreeListAllocator<WriterState>());
+      state->core = core_;
+      state->slot = work.slot;
+      state->worker = work.worker;
+      state->conn_id = work.conn_id;
+      state->seq = work.seq;
+      state->keep_alive = work.keep_alive;
+      handler_busy_.fetch_add(1, std::memory_order_relaxed);
+      async_handler_(work.slot->request, ResponseWriter(state));
+      handler_busy_.fetch_sub(1, std::memory_order_relaxed);
+      // Handler returned without completing: the continuation is parked
+      // elsewhere (async_pending until its owner completes the writer).
+      // The two flag bits keep the gauge exact when completion races the
+      // return.
+      int old = state->flags.fetch_or(WriterState::kHandlerReturned,
+                                      std::memory_order_acq_rel);
+      if (!(old & WriterState::kCompleted)) {
+        async_pending_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // `state` drops here: if the handler kept no copy and never
+      // completed, ~WriterState answers 500 so the connection is not
+      // wedged.
     }
-    // `state` drops here: if the handler kept no copy and never completed,
-    // ~WriterState answers 500 so the connection is not wedged.
+    // The request is no longer being read: drop the handler's hold. If the
+    // response already flushed (or was dropped with the connection), this
+    // is the last hold and the slot goes back via the worker's mailbox.
+    if (work.slot->holds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Worker& w = *workers_[static_cast<size_t>(work.worker)];
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.returned.push_back(work.slot);
+      }
+      Wake(w);
+    }
   }
 }
 

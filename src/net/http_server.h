@@ -5,9 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mpsc_ring.h"
 #include "common/result.h"
 #include "net/http.h"
 #include "net/socket.h"
@@ -55,6 +54,15 @@ struct HttpServerOptions {
   /// When > 0, shrink each accepted socket's SO_SNDBUF (tests use this to
   /// force partial writes through the EPOLLOUT path).
   int send_buffer_bytes = 0;
+  /// Run-to-completion mode: handlers are invoked directly on the owning
+  /// event-loop thread instead of the handler pool, and completions that
+  /// happen inline skip the mailbox + eventfd wakeup entirely. This
+  /// removes two thread handoffs per request — the dominant per-request
+  /// cost on small machines — but is only safe when every handler is
+  /// non-blocking: it must either complete its writer immediately or park
+  /// it elsewhere and return. A handler that blocks (e.g. synchronous
+  /// inference) stalls the whole event loop.
+  bool inline_handlers = false;
 };
 
 /// Monotonic counters plus stage-occupancy gauges. Conservation invariant
@@ -92,7 +100,8 @@ struct HttpServerStats {
 ///     `num_workers` event-loop threads;
 ///   * each worker owns its connections exclusively — nonblocking reads
 ///     into a per-connection buffer, an incremental HttpParser, and a
-///     per-connection write buffer flushed via EPOLLOUT on partial writes;
+///     per-connection scatter-gather output queue flushed via EPOLLOUT on
+///     partial writes;
 ///   * complete requests are admitted against `max_inflight` (overflow
 ///     answered 503 inline) and dispatched to a handler pool; the handler
 ///     receives a ResponseWriter it may complete later from any thread —
@@ -105,9 +114,17 @@ struct HttpServerStats {
 ///     requests — including async responses whose handler already
 ///     returned — are completed and written out, then connections close.
 ///
+/// Data-plane memory model: every request rides in a pooled ResponseSlot
+/// (request + response + serialized header block). Slots are recycled
+/// through per-worker free lists, responses are serialized in place and
+/// written with sendmsg scatter-gather (header iovec + body iovec), so a
+/// steady-state keep-alive round trip performs no heap allocations.
+///
 /// Handlers run concurrently on the pool; they must be thread-safe.
 class HttpServer {
  public:
+  struct ResponseSlot;
+
   /// Synchronous handler: the returned response completes the request.
   /// Runs as a thin adapter over the async API.
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -128,6 +145,12 @@ class HttpServer {
 
     /// Completes the request; one-shot, thread-safe.
     void Complete(const HttpResponse& response);
+
+    /// The request's pooled response object, for filling in place (avoids
+    /// copying the body into the slot at completion). Only valid on a
+    /// writer that has not completed; passing it to Complete() is detected
+    /// and skips the copy.
+    HttpResponse& response() const;
 
     bool completed() const;
     bool valid() const { return state_ != nullptr; }
@@ -166,29 +189,67 @@ class HttpServer {
 
   HttpServerStats stats() const;
 
+  /// One pooled request/response arena. The request is parsed into it, the
+  /// response is built and serialized in it, and its bytes are written to
+  /// the socket straight from it; afterwards it returns to a per-worker
+  /// free list with all string capacities intact.
+  ///
+  /// `holds` counts outstanding users: the handler (reading `request`
+  /// until it returns) and the response path (WriterState -> completion
+  /// mailbox -> in-order window -> output queue -> flushed). Whoever
+  /// releases the last hold recycles (or deletes) the slot; this is what
+  /// makes it safe for a completion to race the handler's return.
+  struct ResponseSlot {
+    HttpRequest request;
+    HttpResponse response;
+    std::string head;  // serialized status line + headers (wire form)
+    std::atomic<int> holds{0};
+  };
+
  private:
   enum class Phase { kRunning, kDraining, kForceStop };
 
   /// One response ready to be written; `seq` orders it among its
-  /// connection's pipelined requests.
+  /// connection's pipelined requests. The slot travels by raw pointer —
+  /// ownership is tracked by ResponseSlot::holds.
   struct Completion {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
-    std::string bytes;
+    ResponseSlot* slot = nullptr;
     bool keep_alive = true;
+  };
+
+  /// A response waiting its turn in the per-connection in-order window,
+  /// indexed by seq & (window size - 1).
+  struct WindowEntry {
+    ResponseSlot* slot = nullptr;
+    bool keep_alive = true;
+  };
+
+  /// A response being written: `off` is the byte offset already sent of
+  /// head + body viewed as one contiguous stream.
+  struct OutItem {
+    ResponseSlot* slot = nullptr;
+    size_t off = 0;
+    bool close_after = false;
   };
 
   struct Connection {
     int fd = -1;
     uint64_t id = 0;
+    /// Raw input; consumed bytes are tracked by `in_off` (no memmove) and
+    /// the buffer is reset once fully parsed.
     std::string inbuf;
-    std::string outbuf;
-    size_t out_off = 0;
+    size_t in_off = 0;
     HttpParser parser;
     uint64_t next_seq = 0;   // sequence assigned to the next parsed request
     uint64_t next_send = 0;  // sequence of the next response to emit
-    /// Responses completed out of request order, keyed by sequence.
-    std::map<uint64_t, Completion> ready;
+    /// Responses completed out of request order, direct-indexed by
+    /// sequence (valid because parsing pauses at max_pipeline pending).
+    std::vector<WindowEntry> window;
+    uint64_t window_mask = 0;
+    /// In-order responses being flushed, front partially written first.
+    RingDeque<OutItem> outq;
     /// No further requests will be parsed (parse error, Connection: close,
     /// or a drain rejection); pending responses still go out in order.
     bool parse_done = false;
@@ -196,25 +257,18 @@ class HttpServer {
     bool peer_closed = false;
     bool want_read = true;
     bool want_write = false;
+    /// Queued in the worker's flush list for this loop tick. Responses
+    /// completed within one tick accumulate in `outq` and go out in a
+    /// single gather write at the end of the tick, instead of one
+    /// sendmsg per completion.
+    bool flush_pending = false;
     double last_activity = 0.0;
 
-    Connection(HttpParserLimits limits) : parser(limits) {}
+    Connection(HttpParserLimits limits, size_t window_size)
+        : parser(limits), window(window_size), window_mask(window_size - 1) {}
     /// Requests parsed whose responses have not been emitted yet.
     size_t pending() const { return next_seq - next_send; }
-    bool busy() const { return pending() > 0 || out_off < outbuf.size(); }
-  };
-
-  struct Worker {
-    int index = 0;
-    int epoll_fd = -1;
-    int wake_fd = -1;
-    std::thread thread;
-    std::mutex mu;  // guards the two mailboxes below
-    std::vector<int> pending_fds;
-    std::vector<Completion> completions;
-    /// Owned exclusively by the worker thread.
-    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
-    std::atomic<bool> exited{false};
+    bool busy() const { return pending() > 0 || !outq.empty(); }
   };
 
   struct Work {
@@ -222,7 +276,39 @@ class HttpServer {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
     bool keep_alive = true;
-    HttpRequest request;
+    ResponseSlot* slot = nullptr;
+  };
+
+  struct Worker {
+    int index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex mu;  // guards the three mailboxes below
+    std::vector<int> pending_fds;
+    std::vector<Completion> completions;
+    /// Slots whose last hold was released off-worker; recycled here.
+    std::vector<ResponseSlot*> returned;
+    /// Everything below is owned exclusively by the worker thread.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    /// Free list of recycled slots (capacity-warm arenas).
+    std::vector<ResponseSlot*> slot_pool;
+    /// Admitted work gathered during one event-loop tick, pushed to the
+    /// handler queue with a single lock + notify.
+    std::vector<Work> work_batch;
+    // Drain scratch: swapped with the mailboxes so both sides keep their
+    // vector capacity (no per-tick allocation).
+    std::vector<int> fds_scratch;
+    std::vector<Completion> completions_scratch;
+    std::vector<ResponseSlot*> returned_scratch;
+    /// Completions produced on this worker's own thread (inline_handlers
+    /// fast path); never locked — only the owning thread touches it.
+    RingDeque<Completion> inline_completions;
+    /// Connections (by id) with staged responses awaiting the end-of-tick
+    /// gather flush; guarded by the owning thread only.
+    std::vector<uint64_t> flush_queue;
+    double last_sweep = 0.0;
+    std::atomic<bool> exited{false};
   };
 
  public:
@@ -236,12 +322,14 @@ class HttpServer {
 
   /// One-shot completion state behind ResponseWriter. `flags` bit 0 is
   /// "completed", bit 1 is "handler returned" (used to keep the
-  /// async_pending gauge exact under the completion/return race).
+  /// async_pending gauge exact under the completion/return race). Holds
+  /// the response-path reference on `slot` until Complete() posts it.
   struct WriterState {
     static constexpr int kCompleted = 1;
     static constexpr int kHandlerReturned = 2;
 
     std::shared_ptr<AsyncCore> core;
+    ResponseSlot* slot = nullptr;
     int worker = 0;
     uint64_t conn_id = 0;
     uint64_t seq = 0;
@@ -259,18 +347,39 @@ class HttpServer {
 
   void Wake(Worker& w);
   void DrainMailbox(Worker& w);
+  /// Applies one completed response: files it in its connection's in-order
+  /// window, pumps output, and resumes reading/parsing. May close the
+  /// connection.
+  void ApplyCompletion(Worker& w, const Completion& done);
+  /// Applies completions produced on this worker's own thread (the
+  /// inline_handlers fast path) until none remain.
+  void DrainInlineCompletions(Worker& w);
+  /// Runs the handler for one admitted request on the calling (worker)
+  /// thread; inline completions land in w.inline_completions.
+  void RunHandlerInline(Worker& w, const Work& work);
   void AddConnection(Worker& w, int fd);
   void CloseConnection(Worker& w, Connection& c);
   void UpdateEpoll(Worker& w, Connection& c);
   void OnReadable(Worker& w, Connection& c);
   void TryParse(Worker& w, Connection& c);
-  /// Queues `response` as the completion of sequence `seq` (event-loop
-  /// responses: parse errors, 503s) and pumps in-order output.
-  void QueueResponse(Worker& w, Connection& c, uint64_t seq,
-                     const HttpResponse& response, bool keep_alive);
-  /// Moves consecutive ready completions into the write buffer and
+
+  ResponseSlot* AcquireSlot(Worker& w);
+  /// Returns a slot to the worker's free list with capacities intact.
+  void RecycleSlot(Worker& w, ResponseSlot* slot);
+  /// Drops one hold; recycles on the last release (worker thread only).
+  void ReleaseSlotHold(Worker& w, ResponseSlot* slot);
+  /// Flushes the tick's admitted work to the handler queue in one lock.
+  void FlushWorkBatch(Worker& w);
+
+  /// Queues the response already built in `slot` as the completion of
+  /// sequence `seq` (event-loop responses: parse errors, 503s) and pumps
+  /// in-order output. Takes over the slot's single hold.
+  void QueueSlotResponse(Worker& w, Connection& c, uint64_t seq,
+                         ResponseSlot* slot, bool keep_alive);
+  /// Moves consecutive ready completions into the output queue and
   /// flushes. May close (destroy) the connection.
   void PumpResponses(Worker& w, Connection& c);
+  void FlushPendingWrites(Worker& w);
   void FlushWrite(Worker& w, Connection& c);
   void IdleSweep(Worker& w);
   double Now() const;
@@ -289,7 +398,7 @@ class HttpServer {
 
   mutable std::mutex work_mu_;
   std::condition_variable work_cv_;
-  std::deque<Work> work_;
+  RingDeque<Work> work_;
   bool stop_handlers_ = false;  // guarded by work_mu_
 
   std::atomic<Phase> phase_{Phase::kRunning};

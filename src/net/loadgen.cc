@@ -1,6 +1,11 @@
 #include "net/loadgen.h"
 
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -10,7 +15,9 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "net/http.h"
 #include "net/http_client.h"
+#include "net/socket.h"
 #include "serving/sine_arrival.h"
 
 namespace rafiki::net {
@@ -101,30 +108,281 @@ void OpenLoopWorker(RunState& state, WorkerTally& tally) {
     if (wait > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(wait));
     }
-    Result<HttpResponse> response =
-        client.Request(opts.method, opts.target, opts.body);
+    // RequestView reuses the client's wire and body buffers: the measuring
+    // loop itself allocates nothing per request.
+    Result<int> status = client.RequestView(opts.method, opts.target,
+                                            opts.body);
     double latency = state.Now() - arrival;
-    RecordResponse(opts, tally, arrival, latency,
-                   response.ok() ? response->status : 0, response.ok());
+    RecordResponse(opts, tally, arrival, latency, status.ok() ? *status : 0,
+                   status.ok());
   }
 }
 
-/// Closed-loop worker: back-to-back request/response until the deadline.
-void ClosedLoopWorker(RunState& state, WorkerTally& tally) {
-  const LoadGenOptions& opts = *state.opts;
-  HttpClient client(opts.host, opts.port, opts.timeout_seconds);
-  for (;;) {
-    double start = state.Now();
-    if (start >= opts.duration_seconds) return;
-    Result<HttpResponse> response =
-        client.Request(opts.method, opts.target, opts.body);
-    double latency = state.Now() - start;
-    RecordResponse(opts, tally, start, latency,
-                   response.ok() ? response->status : 0, response.ok());
-    LoadGenWindow& w = tally.WindowAt(start, opts.window_seconds);
-    ++w.arrived;
+/// Closed-loop driver: one epoll thread multiplexes every connection,
+/// keeping exactly one request outstanding per connection and firing the
+/// next the instant a response completes. The request's wire bytes are
+/// serialized once up front and replayed verbatim, and each connection
+/// reuses one response parser, so the generator does no per-request
+/// formatting or heap work — unlike a thread-per-connection client, whose
+/// context switches bottleneck the measurement on few-core machines.
+class ClosedLoopMux {
+ public:
+  ClosedLoopMux(RunState& state, WorkerTally& tally)
+      : state_(state),
+        opts_(*state.opts),
+        tally_(tally),
+        depth_(static_cast<uint32_t>(std::max(opts_.pipeline, 1))) {}
+
+  void Run() {
+    SerializeRequestTo(opts_.method, opts_.target,
+                       opts_.host + ":" + std::to_string(opts_.port),
+                       opts_.body, /*keep_alive=*/true, &wire_);
+    epfd_ = ::epoll_create1(0);
+    if (epfd_ < 0) return;
+    conns_.resize(static_cast<size_t>(opts_.connections));
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = conns_[i];
+      c.starts.assign(depth_, 0.0);
+      if (!Connect(i)) {
+        c.dead = true;
+        continue;
+      }
+      for (uint32_t d = 0; d < depth_; ++d) QueueRequest(i);
+      ContinueSend(i);
+    }
+    epoll_event events[64];
+    const double hard_stop =
+        opts_.duration_seconds +
+        (opts_.timeout_seconds > 0 ? opts_.timeout_seconds : 5.0);
+    while (inflight_ > 0 && state_.Now() < hard_stop) {
+      int n = ::epoll_wait(epfd_, events, 64, 20);
+      for (int e = 0; e < n; ++e) {
+        size_t i = static_cast<size_t>(events[e].data.u64);
+        Conn& c = conns_[i];
+        if (c.dead) continue;
+        if ((events[e].events & EPOLLOUT) != 0) ContinueSend(i);
+        if (!c.dead &&
+            (events[e].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+          OnReadable(i);
+        }
+      }
+    }
+    // Requests still outstanding at the hard stop never got an answer:
+    // record them as errors so every arrival stays accounted for.
+    double now = state_.Now();
+    for (Conn& c : conns_) {
+      while (c.done_seq != c.issue_seq) {
+        RecordResponse(opts_, tally_, c.starts[c.done_seq % depth_],
+                       now - c.starts[c.done_seq % depth_], 0, false);
+        ++c.done_seq;
+        --inflight_;
+      }
+    }
+    ::close(epfd_);
   }
-}
+
+ private:
+  struct Conn {
+    Socket sock;
+    HttpResponseParser parser;
+    /// Issue timestamps of in-flight requests, indexed by seq % depth.
+    /// HTTP pipelining answers in order, so done_seq walks behind
+    /// issue_seq and issue_seq - done_seq <= depth always holds.
+    std::vector<double> starts;
+    uint32_t issue_seq = 0;
+    uint32_t done_seq = 0;
+    /// Whole requests queued for transmission but not yet fully sent,
+    /// and the byte offset inside the first of them.
+    uint32_t to_send = 0;
+    size_t send_off = 0;
+    bool want_write = false;
+    bool dead = false;
+  };
+
+  bool Connect(size_t i) {
+    Conn& c = conns_[i];
+    Result<Socket> sock =
+        ConnectTcp(opts_.host, opts_.port, opts_.timeout_seconds);
+    if (!sock.ok()) return false;
+    c.sock = std::move(*sock);
+    if (!SetNonBlocking(c.sock.fd(), true).ok()) return false;
+    (void)SetNoDelay(c.sock.fd());
+    c.want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = static_cast<uint64_t>(i);
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, c.sock.fd(), &ev) == 0;
+  }
+
+  void Disconnect(size_t i) {
+    Conn& c = conns_[i];
+    if (c.sock.valid()) {
+      (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, c.sock.fd(), nullptr);
+      c.sock.Close();
+    }
+    c.to_send = 0;
+    c.send_off = 0;
+  }
+
+  void SetWantWrite(size_t i, bool on) {
+    Conn& c = conns_[i];
+    if (c.want_write == on) return;
+    c.want_write = on;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.u64 = static_cast<uint64_t>(i);
+    (void)::epoll_ctl(epfd_, EPOLL_CTL_MOD, c.sock.fd(), &ev);
+  }
+
+  /// Books a new arrival on connection `i` and queues its wire bytes.
+  /// Call only while the deadline has not passed; follow with
+  /// ContinueSend (batched so several queued requests share one syscall).
+  void QueueRequest(size_t i) {
+    Conn& c = conns_[i];
+    double start = state_.Now();
+    ++tally_.WindowAt(start, opts_.window_seconds).arrived;
+    c.starts[c.issue_seq % depth_] = start;
+    ++c.issue_seq;
+    ++c.to_send;
+    ++inflight_;
+  }
+
+  /// Flushes queued requests with scatter-gather: every iovec points at
+  /// the one serialized request, so a burst of N pipelined requests is a
+  /// single sendmsg of N*|wire| bytes with zero copies.
+  void ContinueSend(size_t i) {
+    Conn& c = conns_[i];
+    while (c.to_send > 0) {
+      iovec iov[kMaxSendIov];
+      uint32_t cnt = std::min(c.to_send, kMaxSendIov);
+      iov[0].iov_base = const_cast<char*>(wire_.data()) + c.send_off;
+      iov[0].iov_len = wire_.size() - c.send_off;
+      for (uint32_t k = 1; k < cnt; ++k) {
+        iov[k].iov_base = const_cast<char*>(wire_.data());
+        iov[k].iov_len = wire_.size();
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = cnt;
+      ssize_t n = ::sendmsg(c.sock.fd(), &msg, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        SetWantWrite(i, true);
+        return;
+      }
+      if (n < 0) {
+        FailConnection(i);
+        return;
+      }
+      auto sent = static_cast<size_t>(n);
+      while (sent > 0) {
+        size_t first = wire_.size() - c.send_off;
+        if (sent >= first) {
+          sent -= first;
+          c.send_off = 0;
+          --c.to_send;
+        } else {
+          c.send_off += sent;
+          sent = 0;
+        }
+      }
+    }
+    SetWantWrite(i, false);
+  }
+
+  void OnReadable(size_t i) {
+    Conn& c = conns_[i];
+    char buf[65536];
+    uint32_t queued = 0;
+    for (;;) {
+      ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        size_t off = 0;
+        while (off < static_cast<size_t>(n)) {
+          off += c.parser.Feed(buf + off, static_cast<size_t>(n) - off);
+          if (c.parser.failed()) {
+            FailConnection(i);
+            return;
+          }
+          if (!c.parser.done()) continue;
+          // One pipelined response completed; more may follow in `buf`.
+          double now = state_.Now();
+          RecordResponse(opts_, tally_, c.starts[c.done_seq % depth_],
+                         now - c.starts[c.done_seq % depth_],
+                         c.parser.status(), true);
+          ++c.done_seq;
+          --inflight_;
+          bool reuse = c.parser.keep_alive();
+          c.parser.Reset();
+          if (!reuse) {
+            // The server is closing after this response; everything still
+            // in flight on this connection is lost.
+            FailConnection(i);
+            return;
+          }
+          if (now < opts_.duration_seconds) {
+            QueueRequest(i);
+            ++queued;
+          }
+        }
+        // Level-style short read: less than the buffer means the socket
+        // is drained; a full buffer may have more behind it.
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or transport error. An EOF can legitimately terminate a
+      // read-until-close body; anything else kills what is in flight.
+      if (n == 0 && c.done_seq != c.issue_seq &&
+          c.parser.state() == HttpResponseParser::State::kBodyUntilClose) {
+        c.parser.FinishEof();
+        double now = state_.Now();
+        RecordResponse(opts_, tally_, c.starts[c.done_seq % depth_],
+                       now - c.starts[c.done_seq % depth_],
+                       c.parser.status(), true);
+        ++c.done_seq;
+        --inflight_;
+        c.parser.Reset();
+      }
+      FailConnection(i);
+      return;
+    }
+    if (queued > 0) ContinueSend(i);
+  }
+
+  /// Records everything in flight on `i` as transport errors, then
+  /// reconnects and refills the pipeline while the deadline allows.
+  void FailConnection(size_t i) {
+    Conn& c = conns_[i];
+    double now = state_.Now();
+    while (c.done_seq != c.issue_seq) {
+      RecordResponse(opts_, tally_, c.starts[c.done_seq % depth_],
+                     now - c.starts[c.done_seq % depth_], 0, false);
+      ++c.done_seq;
+      --inflight_;
+    }
+    c.parser.Reset();
+    Disconnect(i);
+    if (now >= opts_.duration_seconds || !Connect(i)) {
+      c.dead = true;
+      return;
+    }
+    for (uint32_t d = 0; d < depth_; ++d) QueueRequest(i);
+    ContinueSend(i);
+  }
+
+  static constexpr uint32_t kMaxSendIov = 64;
+
+  RunState& state_;
+  const LoadGenOptions& opts_;
+  WorkerTally& tally_;
+  const uint32_t depth_;
+  std::string wire_;
+  std::vector<Conn> conns_;
+  int epfd_ = -1;
+  int64_t inflight_ = 0;
+};
 
 /// Scheduler: walks real time in small ticks, asks the sine process how
 /// many requests arrive per tick (Equations 8-9 + Gaussian noise), and
@@ -209,26 +467,18 @@ LoadGenReport RunLoadGen(const LoadGenOptions& opts) {
   std::vector<LoadGenWindow> arrival_windows(num_windows);
 
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(opts.connections));
-  for (int i = 0; i < opts.connections; ++i) {
-    WorkerTally& tally = tallies[static_cast<size_t>(i)];
-    if (opts.open_loop) {
-      workers.emplace_back([&state, &tally] { OpenLoopWorker(state, tally); });
-    } else {
-      workers.emplace_back(
-          [&state, &tally] { ClosedLoopWorker(state, tally); });
-    }
-  }
   if (opts.open_loop) {
+    workers.reserve(static_cast<size_t>(opts.connections));
+    for (int i = 0; i < opts.connections; ++i) {
+      WorkerTally& tally = tallies[static_cast<size_t>(i)];
+      workers.emplace_back([&state, &tally] { OpenLoopWorker(state, tally); });
+    }
     ScheduleArrivals(state, arrival_windows);
   } else {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(opts.duration_seconds));
-    {
-      std::lock_guard<std::mutex> lock(state.mu);
-      state.done_scheduling = true;
-    }
-    state.cv.notify_all();
+    // One epoll thread drives all closed-loop connections; the remaining
+    // tallies stay zero and merge as no-ops.
+    workers.emplace_back(
+        [&state, &tallies] { ClosedLoopMux(state, tallies[0]).Run(); });
   }
   for (std::thread& t : workers) t.join();
   double elapsed = state.Now();

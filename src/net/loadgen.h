@@ -31,8 +31,16 @@ struct LoadGenOptions {
   /// Sine period T in seconds; 0 disables the sine (constant rate).
   double sine_period = 60.0;
   double noise_stddev = 0.1;
-  /// Concurrent keep-alive connections (one worker thread each).
+  /// Concurrent keep-alive connections. Open loop runs one worker thread
+  /// per connection; closed loop multiplexes all of them on one epoll
+  /// thread.
   int connections = 4;
+  /// Closed loop only: requests kept in flight per connection (HTTP
+  /// pipelining). 1 is the classic closed loop — next request only after
+  /// the previous answer. Depths > 1 let both sides coalesce several
+  /// requests per syscall and per TCP segment, which is what it takes to
+  /// push the transport past the per-round-trip floor of loopback.
+  int pipeline = 1;
   /// Client-observed latency SLO; completions slower than this count as
   /// overdue (measured from the scheduled arrival in open loop).
   double tau = 0.1;

@@ -89,7 +89,13 @@ net::HttpServer::AsyncHandler MakeGatewayAsyncHttpHandler(
         *request, [writer, server_stats, path](GatewayResponse response) {
           MaybeAppendServerGauges(path, server_stats, &response);
           net::HttpServer::ResponseWriter w = writer;
-          w.Complete(ToHttp(response));
+          // Build the reply in the request's pooled slot: completing with
+          // the writer's own response() skips the copy into the slot.
+          net::HttpResponse& out = w.response();
+          out.status = response.status;
+          out.body.assign(response.body);
+          out.body.push_back('\n');
+          w.Complete(out);
         });
   };
 }

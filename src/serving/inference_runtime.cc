@@ -124,6 +124,7 @@ Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
   job->opts = options;
   job->models = std::move(models);
   job->epoch = std::chrono::steady_clock::now();
+  job->ring = std::make_unique<MpscRing<Pending>>(options.queue_capacity);
 
   job->input_dim = DeriveInputDim(job->models.front());
   if (job->input_dim <= 0) {
@@ -189,11 +190,12 @@ Status InferenceRuntime::Undeploy(const std::string& job_id) {
 }
 
 void InferenceRuntime::StopJob(Job& job) {
-  {
-    std::lock_guard<std::mutex> lock(job.mu);
-    job.stopping = true;
-  }
-  job.cv.notify_all();
+  // Close the ring BEFORE publishing `stopping`: when the dispatcher
+  // acquire-loads stopping == true, the closed bit is already visible, so
+  // its final DrainClosed() observes every value a producer ever enqueued.
+  if (job.ring != nullptr) job.ring->Close();
+  job.stopping.store(true, std::memory_order_release);
+  job.doorbell.Notify();
   if (job.dispatcher.joinable()) job.dispatcher.join();
 }
 
@@ -218,25 +220,45 @@ Status InferenceRuntime::SubmitAsync(const std::string& job_id,
                   static_cast<long long>(job->input_dim)));
   }
 
+  if (job->stopping.load(std::memory_order_acquire)) {
+    return Status::NotFound(
+        StrFormat("inference job '%s' is undeploying", job_id.c_str()));
+  }
+
   Pending pending;
   pending.features = std::move(features);
   pending.done = std::move(done);
   pending.arrival = job->NowSeconds();
-  {
-    std::lock_guard<std::mutex> lock(job->mu);
-    if (job->stopping) {
+
+  // Lock-free admission: count the arrival, reserve a queue slot on the
+  // atomic gauge (the exact-capacity gate), then publish into the ring.
+  job->arrived.fetch_add(1, std::memory_order_relaxed);
+  int64_t depth = job->queued.fetch_add(1, std::memory_order_acq_rel);
+  if (depth >= static_cast<int64_t>(job->opts.queue_capacity)) {
+    job->queued.fetch_sub(1, std::memory_order_acq_rel);
+    job->dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        StrFormat("inference job '%s' queue full", job_id.c_str()));
+  }
+  switch (job->ring->TryPush(std::move(pending))) {
+    case MpscRing<Pending>::PushResult::kOk:
+      break;
+    case MpscRing<Pending>::PushResult::kClosed:
+      // Undeploy raced us after the reservation. The request was never
+      // accepted, so the arrival is uncounted again — the books still
+      // close at arrived == processed + dropped + expired.
+      job->queued.fetch_sub(1, std::memory_order_acq_rel);
+      job->arrived.fetch_sub(1, std::memory_order_relaxed);
       return Status::NotFound(
           StrFormat("inference job '%s' is undeploying", job_id.c_str()));
-    }
-    ++job->stats.arrived;
-    if (job->queue.size() >= job->opts.queue_capacity) {
-      ++job->stats.dropped;
+    case MpscRing<Pending>::PushResult::kFull:
+      // Unreachable: the `queued` gate is tighter than the ring capacity.
+      job->queued.fetch_sub(1, std::memory_order_acq_rel);
+      job->dropped.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(
           StrFormat("inference job '%s' queue full", job_id.c_str()));
-    }
-    job->queue.push_back(std::move(pending));
   }
-  job->cv.notify_one();
+  job->doorbell.Notify();
   return Status::OK();
 }
 
@@ -305,6 +327,8 @@ Result<InferenceJobMetrics> InferenceRuntime::Metrics(
   }
   std::lock_guard<std::mutex> lock(job->mu);
   InferenceJobMetrics stats = job->stats;
+  stats.arrived = job->arrived.load(std::memory_order_relaxed);
+  stats.dropped = job->dropped.load(std::memory_order_relaxed);
   if (stats.batches > 0) {
     stats.mean_batch = static_cast<double>(stats.processed) /
                        static_cast<double>(stats.batches);
@@ -316,7 +340,7 @@ Result<InferenceJobMetrics> InferenceRuntime::Metrics(
     stats.p95_latency = job->latency_hist.P95();
     stats.p99_latency = job->latency_hist.P99();
   }
-  stats.queue_depth = static_cast<int64_t>(job->queue.size());
+  stats.queue_depth = job->queued.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -331,10 +355,30 @@ std::vector<std::string> InferenceRuntime::Jobs() const {
 void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
   const RuntimeOptions& opts = job->opts;
   const double delta = opts.backoff_delta_fraction * opts.tau;
-  for (;;) {
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->cv.wait(lock, [&] { return job->stopping || !job->queue.empty(); });
-    if (job->stopping) break;
+  MpscRing<Pending>& ring = *job->ring;
+  // Dispatcher-local FIFO: the ring is drained into it in batches, and the
+  // policy works against it without any shared lock. Requests here still
+  // count as "queued" — the gauge drops only when they are batched,
+  // expired, or failed at shutdown.
+  RingDeque<Pending> lq;
+  auto take = [&lq](Pending&& p) { lq.push_back(std::move(p)); };
+  std::vector<Pending> expired;  // scratch, capacity reused
+
+  while (!job->stopping.load(std::memory_order_acquire)) {
+    ring.ConsumeBatch(opts.queue_capacity, take);
+    if (lq.empty()) {
+      // Sleep until a producer rings the doorbell. PrepareWait/recheck
+      // closes the race with a push that lands between the emptiness check
+      // and the futex wait; the timeout re-evaluates deadline pressure.
+      uint32_t epoch = job->doorbell.PrepareWait();
+      if (job->stopping.load(std::memory_order_acquire) ||
+          ring.ApproxSize() > 0) {
+        job->doorbell.CancelWait();
+        continue;
+      }
+      job->doorbell.Wait(epoch, opts.max_poll_seconds);
+      continue;
+    }
 
     double now = job->NowSeconds();
     if (opts.expire_overdue) {
@@ -342,21 +386,23 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       // meet the SLO — answer it kDeadlineExceeded now instead of letting
       // it occupy batch capacity. FIFO queue, so waits are longest at the
       // front and the scan stops at the first fresh request.
-      std::vector<Pending> expired;
-      while (!job->queue.empty() &&
-             now - job->queue.front().arrival > opts.tau) {
-        expired.push_back(std::move(job->queue.front()));
-        job->queue.pop_front();
+      while (!lq.empty() && now - lq.front().arrival > opts.tau) {
+        expired.push_back(std::move(lq.front()));
+        lq.pop_front();
       }
       if (!expired.empty()) {
         auto n = static_cast<int64_t>(expired.size());
-        job->stats.expired += n;
-        job->stats.overdue += n;
-        lock.unlock();
+        job->queued.fetch_sub(n, std::memory_order_acq_rel);
+        {
+          std::lock_guard<std::mutex> lock(job->mu);
+          job->stats.expired += n;
+          job->stats.overdue += n;
+        }
         for (Pending& p : expired) {
           p.done(Status::DeadlineExceeded(
               StrFormat("queue wait exceeded tau=%.6fs", opts.tau)));
         }
+        expired.clear();
         continue;
       }
     }
@@ -365,11 +411,11 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
     obs.tau = opts.tau;
     obs.batch_sizes = &opts.batch_sizes;
     obs.models = &job->profiles;
-    obs.queue_len = job->queue.size();
-    size_t wait_count = std::min<size_t>(job->queue.size(), 64);
+    obs.queue_len = lq.size();
+    size_t wait_count = std::min<size_t>(lq.size(), 64);
     obs.queue_waits.reserve(wait_count);
     for (size_t i = 0; i < wait_count; ++i) {
-      obs.queue_waits.push_back(now - job->queue[i].arrival);
+      obs.queue_waits.push_back(now - lq[i].arrival);
     }
     // The dispatcher is the only executor and runs batches synchronously,
     // so every model is free at decision time.
@@ -377,11 +423,11 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
 
     ServingAction action = job->policy->Decide(obs);
     int64_t b = std::min<int64_t>(action.batch_size,
-                                  static_cast<int64_t>(job->queue.size()));
+                                  static_cast<int64_t>(lq.size()));
     if (!action.process || b <= 0) {
       // Algorithm 3 said wait: sleep until the oldest request would trip
       // the deadline flush (c(b_eff) + w(q_0) + delta >= tau) or a new
-      // arrival re-triggers a decision.
+      // arrival rings the doorbell and re-triggers a decision.
       int64_t feasible =
           LargestFeasibleBatch(opts.batch_sizes, obs.queue_len);
       int64_t effective =
@@ -394,33 +440,40 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       double until_flush = opts.tau - delta - worst_latency - oldest;
       double sleep_s =
           std::clamp(until_flush, 100e-6, opts.max_poll_seconds);
-      job->cv.wait_for(lock, std::chrono::duration<double>(sleep_s));
+      uint32_t epoch = job->doorbell.PrepareWait();
+      if (job->stopping.load(std::memory_order_acquire) ||
+          ring.ApproxSize() > 0) {
+        job->doorbell.CancelWait();
+      } else {
+        job->doorbell.Wait(epoch, sleep_s);
+      }
       continue;
     }
 
     std::vector<Pending> batch;
     batch.reserve(static_cast<size_t>(b));
     for (int64_t i = 0; i < b; ++i) {
-      batch.push_back(std::move(job->queue.front()));
-      job->queue.pop_front();
+      batch.push_back(std::move(lq.front()));
+      lq.pop_front();
     }
-    lock.unlock();
+    job->queued.fetch_sub(b, std::memory_order_acq_rel);
     ProcessBatch(*job, std::move(batch));
   }
 
-  // Shutdown: fail whatever is still queued; those requests arrived but
-  // were never served, so they count as dropped (keeps arrived ==
-  // processed + dropped after Undeploy).
-  std::vector<Pending> leftover;
-  {
-    std::lock_guard<std::mutex> lock(job->mu);
-    while (!job->queue.empty()) {
-      leftover.push_back(std::move(job->queue.front()));
-      job->queue.pop_front();
-    }
-    job->stats.dropped += static_cast<int64_t>(leftover.size());
+  // Shutdown: StopJob closed the ring before `stopping` became visible, so
+  // DrainClosed observes every request any producer ever enqueued. Fail
+  // them (plus anything already local); they arrived but were never
+  // served, so they count as dropped (keeps arrived == processed +
+  // dropped + expired after Undeploy).
+  ring.DrainClosed(take);
+  if (!lq.empty()) {
+    auto n = static_cast<int64_t>(lq.size());
+    job->queued.fetch_sub(n, std::memory_order_acq_rel);
+    job->dropped.fetch_add(n, std::memory_order_relaxed);
   }
-  for (Pending& p : leftover) {
+  while (!lq.empty()) {
+    Pending p = std::move(lq.front());
+    lq.pop_front();
     p.done(Status::Unavailable(
         StrFormat("inference job '%s' undeployed", job->id.c_str())));
   }

@@ -1,10 +1,9 @@
 #ifndef RAFIKI_SERVING_INFERENCE_RUNTIME_H_
 #define RAFIKI_SERVING_INFERENCE_RUNTIME_H_
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -13,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mpsc_ring.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "model/profile.h"
@@ -114,15 +114,18 @@ std::vector<EnsemblePrediction> MajorityVoteRows(
 ///    snapshots, so `Undeploy` can never free a job under a concurrent
 ///    query (the use-after-free the old facade had is gone by
 ///    construction).
-///  * The registry mutex only guards the id -> job map; each job has its
-///    own mutex for queue + counters. Lock order is registry -> job, and
-///    neither is held across a forward pass.
+///  * The registry mutex only guards the id -> job map. The submit path is
+///    lock-free: producers reserve capacity on an atomic gauge, push into a
+///    bounded MPSC ring, and ring a futex doorbell; the dispatcher drains
+///    the ring in batches into a thread-local queue. A job mutex remains
+///    only around the dispatcher-written metrics, for Metrics() snapshots.
 ///  * All forwards for one job run on its single dispatcher thread, so
 ///    `nn::Net` (which is stateful during Forward) needs no internal
 ///    locking.
-///  * `Undeploy` removes the job from the map, signals the dispatcher and
-///    joins it; queued requests are failed with kUnavailable and counted
-///    as dropped.
+///  * `Undeploy` closes the ring (every racing or later Submit observes
+///    kClosed — nothing can be enqueued past the close), signals the
+///    dispatcher and joins it; accepted-but-unserved requests are failed
+///    with kUnavailable and counted as dropped, keeping the books exact.
 class InferenceRuntime {
  public:
   /// Continuation invoked exactly once with the request's outcome.
@@ -194,13 +197,26 @@ class InferenceRuntime {
     std::unique_ptr<SchedulerPolicy> policy;  // dispatcher-thread only
     std::chrono::steady_clock::time_point epoch;
 
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Pending> queue;  // guarded by mu
-    bool stopping = false;      // guarded by mu
-    InferenceJobMetrics stats;  // guarded by mu
-    double latency_sum = 0.0;   // guarded by mu
-    LatencyHistogram latency_hist;  // guarded by mu
+    /// Lock-free submit path. Producers push, the dispatcher is the sole
+    /// consumer; the doorbell wakes it without a syscall when it is busy.
+    /// Sized >= opts.queue_capacity (the ring rounds up to a power of
+    /// two); `queued` — not ring occupancy — is the admission gate, so the
+    /// configured capacity stays exact.
+    std::unique_ptr<MpscRing<Pending>> ring;
+    FutexDoorbell doorbell;
+    std::atomic<bool> stopping{false};
+
+    /// Producer-side counters. `queued` counts requests admitted but not
+    /// yet batched, expired, or failed (ring + dispatcher-local queue): the
+    /// "queued" term of the conservation identity and the admission gate.
+    std::atomic<int64_t> arrived{0};
+    std::atomic<int64_t> dropped{0};
+    std::atomic<int64_t> queued{0};
+
+    std::mutex mu;  // guards the dispatcher-written fields below
+    InferenceJobMetrics stats;      // processed/overdue/expired/batches/...
+    double latency_sum = 0.0;
+    LatencyHistogram latency_hist;
 
     std::thread dispatcher;
 

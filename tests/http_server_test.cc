@@ -345,6 +345,150 @@ TEST(HttpServerTest, PartialWritesFlushViaEpollout) {
   server.Stop();
 }
 
+TEST(HttpServerTest, InlineHandlersServeMixedInlineAndParkedCompletions) {
+  // Run-to-completion mode: handlers execute on the event-loop thread.
+  // /inline/N completes its writer immediately (the no-handoff fast path);
+  // /parked/N hands the writer to a background thread, so its completion
+  // comes back through the cross-thread mailbox while later pipelined
+  // requests complete inline — responses must still be emitted in strict
+  // request order.
+  std::mutex mu;
+  std::vector<HttpServer::ResponseWriter> parked;
+  HttpServerOptions opts;
+  opts.inline_handlers = true;
+  opts.num_workers = 1;
+  HttpServer server(
+      HttpServer::AsyncHandler(
+          [&](const HttpRequest& request, HttpServer::ResponseWriter writer) {
+            if (request.path.rfind("/parked/", 0) == 0) {
+              std::lock_guard<std::mutex> lock(mu);
+              parked.push_back(std::move(writer));
+              return;  // completed later, from another thread
+            }
+            HttpResponse& out = writer.response();
+            out.body.assign("inline ");
+            out.body.append(request.path);
+            writer.Complete(out);
+          }),
+      opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread completer([&] {
+    // Complete parked writers out-of-band once both are captured.
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      if (parked.size() >= 2) break;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    for (HttpServer::ResponseWriter& w : parked) {
+      HttpResponse resp;
+      resp.body = "parked";
+      w.Complete(resp);
+    }
+    parked.clear();
+  });
+
+  // Pipelined burst: parked, inline, parked, inline. The two inline
+  // responses are ready first but must wait behind their parked
+  // predecessors.
+  auto sock = ConnectTcp("127.0.0.1", server.port(), 10.0);
+  ASSERT_TRUE(sock.ok());
+  std::string wire =
+      "GET /parked/0 HTTP/1.1\r\n\r\n"
+      "GET /inline/1 HTTP/1.1\r\n\r\n"
+      "GET /parked/2 HTTP/1.1\r\n\r\n"
+      "GET /inline/3 HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(SendAll(sock->fd(), wire.data(), wire.size()).ok());
+  std::vector<std::string> bodies;
+  std::string buffered;
+  HttpResponseParser parser;
+  char buf[4096];
+  while (bodies.size() < 4) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u);
+    buffered.append(buf, *n);
+    for (;;) {
+      size_t consumed = parser.Feed(buffered.data(), buffered.size());
+      buffered.erase(0, consumed);
+      if (!parser.done()) break;
+      EXPECT_EQ(parser.status(), 200);
+      bodies.push_back(parser.body());
+      parser.Reset();
+      if (buffered.empty()) break;
+    }
+  }
+  completer.join();
+  EXPECT_EQ(bodies, (std::vector<std::string>{
+                        "parked", "inline /inline/1", "parked",
+                        "inline /inline/3"}));
+  server.Stop();
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_total, 4u);
+  EXPECT_EQ(stats.responses_total, 4u);
+  EXPECT_EQ(stats.handled, 4u);
+}
+
+TEST(HttpServerTest, TornWritevResumesMidGatherAcrossPipelinedResponses) {
+  // Pipelined requests queue several responses in one connection's output
+  // queue, so a single sendmsg gathers many head+body iovec pairs. A tiny
+  // SO_SNDBUF forces the kernel to accept partial writes that land in the
+  // middle of an iovec and in the middle of the queue; the EPOLLOUT resume
+  // path must pick up at the exact byte offset, across item boundaries,
+  // without corrupting or reordering anything.
+  constexpr int kRequests = 10;
+  HttpServerOptions opts;
+  opts.send_buffer_bytes = 4096;
+  opts.num_workers = 1;  // all responses share one worker's outq
+  HttpServer server(
+      [](const HttpRequest& request) {
+        // Distinct odd-sized bodies so partial-write boundaries never line
+        // up with item boundaries: request /p3 gets 3*8191 bytes of 'd'.
+        int i = std::stoi(request.path.substr(2));
+        HttpResponse resp;
+        resp.body.assign(static_cast<size_t>(i + 1) * 8191,
+                         static_cast<char>('a' + i));
+        return resp;
+      },
+      opts);
+  ASSERT_TRUE(server.Start().ok());
+  auto sock = ConnectTcp("127.0.0.1", server.port(), 10.0);
+  ASSERT_TRUE(sock.ok());
+  std::string wire;
+  for (int i = 0; i < kRequests; ++i) {
+    wire += "GET /p" + std::to_string(i) + " HTTP/1.1\r\n\r\n";
+  }
+  ASSERT_TRUE(SendAll(sock->fd(), wire.data(), wire.size()).ok());
+  std::string buffered;
+  HttpResponseParser parser;
+  char buf[8192];
+  int got = 0;
+  while (got < kRequests) {
+    Result<size_t> n = RecvSome(sock->fd(), buf, sizeof(buf));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u) << "connection closed after " << got << " responses";
+    buffered.append(buf, *n);
+    for (;;) {
+      size_t consumed = parser.Feed(buffered.data(), buffered.size());
+      buffered.erase(0, consumed);
+      if (!parser.done()) break;
+      EXPECT_EQ(parser.status(), 200);
+      std::string want(static_cast<size_t>(got + 1) * 8191,
+                       static_cast<char>('a' + got));
+      EXPECT_EQ(parser.body(), want) << "response " << got << " corrupted";
+      ++got;
+      parser.Reset();
+      if (buffered.empty()) break;
+    }
+  }
+  server.Stop();
+  HttpServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_total, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.responses_total, static_cast<uint64_t>(kRequests));
+}
+
 TEST(HttpServerTest, ConcurrentClientsAllServed) {
   HttpServer server(EchoHandler);
   ASSERT_TRUE(server.Start().ok());

@@ -234,6 +234,69 @@ TEST(InferenceRuntimeTest, BoundedQueueDropsWhenFull) {
   }
 }
 
+TEST(InferenceRuntimeTest, ConcurrentSubmitStormConservesAccounting) {
+  // Regression for the lock-free submit path: with many producers racing
+  // the MPSC ring (and the bounded-queue admission gate dropping under
+  // pressure), the books must still balance exactly at quiescence:
+  //
+  //   arrived == processed + dropped + expired,  queue_depth == 0
+  //
+  // where every term is cross-checked against caller-side counts. The old
+  // mutex+condvar queue made this trivially true; the ring + atomic
+  // counters have to earn it.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 0.0005;  // flush aggressively so the storm makes progress
+  options.queue_capacity = 16;  // small: the admission gate really drops
+  options.calibrate = false;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  std::atomic<long> accepted{0};
+  std::atomic<long> rejected{0};
+  std::atomic<long> served{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto submitted = runtime.Submit("j", OneHot(4, 1));
+        if (!submitted.ok()) {
+          ASSERT_TRUE(submitted.status().IsUnavailable())
+              << submitted.status().ToString();
+          ++rejected;
+          continue;
+        }
+        ++accepted;
+        // Resolve inline: keeps a lid on in-flight futures and guarantees
+        // every accepted request is fully processed before the thread
+        // exits (nothing is racing Undeploy here, so no drops past this
+        // point).
+        Result<EnsemblePrediction> answer = submitted->get();
+        ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+        ASSERT_EQ(answer->label, 1);
+        ++served;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->arrived, static_cast<long>(kThreads) * kPerThread);
+  EXPECT_EQ(metrics->arrived, accepted.load() + rejected.load());
+  EXPECT_EQ(metrics->processed, served.load());
+  EXPECT_EQ(metrics->dropped, rejected.load());
+  EXPECT_EQ(metrics->expired, 0);
+  EXPECT_EQ(metrics->arrived,
+            metrics->processed + metrics->dropped + metrics->expired);
+  EXPECT_EQ(metrics->queue_depth, 0);
+  EXPECT_GT(served.load(), 0);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
 TEST(InferenceRuntimeTest, ConcurrentQueryUndeployStress) {
   // Regression for the facade's old use-after-free: queries racing
   // undeploy must only ever observe clean errors. Run it under
