@@ -737,8 +737,18 @@ BENCHMARK(BM_HttpEcho)
 // requests/s), inflight_peak (server gauge), mean_batch (runtime metric).
 constexpr int kServeConnections = 256;
 
-void RunServeClosedLoop(benchmark::State& state, bool async_mode) {
+void RunServeClosedLoop(benchmark::State& state, bool async_mode,
+                        bool rl_policy = false) {
   int handler_threads = static_cast<int>(state.range(0));
+
+  // Isolation settle (setup, not timed): the previous serving bench
+  // abandons up to 256 client sockets at its hard stop and the server
+  // drains responses into them for a while after; on a 1-core host that
+  // kernel-side teardown (RSTs, orphan reaping) overlaps the next bench's
+  // 256-SYN connect burst and silently halves its established
+  // connections. A short pause lets the stack quiesce so each bench
+  // measures the server, not its predecessor's corpse.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2500));
 
   api::Rafiki service;
   ps::ModelCheckpoint ckpt;
@@ -755,7 +765,11 @@ void RunServeClosedLoop(benchmark::State& state, bool async_mode) {
   handle.scope = "study/bench/best";
   handle.model_name = "mlp";
   handle.accuracy = 0.9;
-  auto deployed = service.Deploy({handle});
+  serving::RuntimeOptions runtime_opts;
+  if (rl_policy) {
+    runtime_opts.policy_factory = serving::MakeRlSchedulerFactory();
+  }
+  auto deployed = service.Deploy({handle}, runtime_opts);
   if (!deployed.ok()) {
     state.SkipWithError("Deploy failed");
     return;
@@ -766,6 +780,10 @@ void RunServeClosedLoop(benchmark::State& state, bool async_mode) {
   opts.num_workers = 2;
   opts.num_handler_threads = handler_threads;
   opts.max_inflight = 1024;
+  // All 256 connections SYN at once; the default backlog of 128 drops half
+  // the handshakes whenever the acceptor is briefly starved, and the
+  // 1s-later SYN retransmit lands outside the measurement window.
+  opts.listen_backlog = 1024;
   net::HttpServer::AsyncHandler handler;
   if (async_mode) {
     handler = api::MakeGatewayAsyncHttpHandler(&gateway);
@@ -831,6 +849,18 @@ void BM_ServeClosedLoopAsync(benchmark::State& state) {
 // Two handler threads only: the continuation path must carry all 256
 // connections regardless, with batches formed by the policy, not the pool.
 BENCHMARK(BM_ServeClosedLoopAsync)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeClosedLoopRl(benchmark::State& state) {
+  RunServeClosedLoop(state, /*async_mode=*/true, /*rl_policy=*/true);
+}
+// Same continuation path as Async/2 but dispatched by the actor-critic
+// scheduler learning online — the delta against BM_ServeClosedLoopAsync/2
+// is the end-to-end cost of Featurize + policy forward + Record per batch.
+BENCHMARK(BM_ServeClosedLoopRl)
     ->Arg(2)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)

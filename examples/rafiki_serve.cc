@@ -10,9 +10,10 @@
 // auto-deploys a small hand-built MLP so /query and /jobs/<id>/metrics work
 // immediately; the startup lines
 //   dataset=demo
-//   infer_job=<id> input_dim=<d>
+//   infer_job=<id> input_dim=<d> policy=<greedy|rl>
 //   listening port=<p> workers=<n>
-// are machine-parseable (scripts/smoke_serve.sh relies on them). SIGINT or
+// are machine-parseable (scripts/smoke_serve.sh relies on them), as are the
+// drain-time "job metrics ..." and "conservation ... ok=1" lines. SIGINT or
 // SIGTERM triggers a graceful drain-then-stop.
 
 #include <atomic>
@@ -26,6 +27,7 @@
 #include "common/string_util.h"
 #include "data/dataset.h"
 #include "rafiki/http_gateway.h"
+#include "serving/rl_scheduler.h"
 
 namespace {
 
@@ -43,6 +45,17 @@ int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
   return fallback;
 }
 
+std::string FlagString(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (rafiki::StartsWith(argv[i], prefix)) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,9 +68,19 @@ int main(int argc, char** argv) {
   // a handler thread); default is the continuation-based async path.
   bool sync_mode = FlagInt(argc, argv, "sync", 0) != 0;
   // Serving SLO tau in milliseconds; queries queued longer than this are
-  // answered 504 instead of occupying batch capacity.
-  double tau =
-      static_cast<double>(FlagInt(argc, argv, "tau-ms", 50)) / 1000.0;
+  // answered 504 instead of occupying batch capacity. --tau-ms=0 disables
+  // the queue deadline (soft SLO at the default tau) instead of tripping
+  // the runtime's tau > 0 validation.
+  int64_t tau_ms = FlagInt(argc, argv, "tau-ms", 50);
+  // --policy=greedy|rl selects the dispatch policy of the auto-deployed
+  // job: the paper's greedy Algorithm 3 or the §5.2 actor-critic scheduler
+  // learning online from realized Equation 7 rewards.
+  std::string policy = FlagString(argc, argv, "policy", "greedy");
+  if (policy != "greedy" && policy != "rl") {
+    std::fprintf(stderr, "--policy must be greedy|rl, got '%s'\n",
+                 policy.c_str());
+    return 2;
+  }
   constexpr int64_t kInputDim = 4;
   constexpr int64_t kClasses = 3;
 
@@ -89,12 +112,17 @@ int main(int argc, char** argv) {
   handle.model_name = "mlp";
   handle.accuracy = 0.9;
   rafiki::serving::RuntimeOptions serve_opts;
-  serve_opts.tau = tau;
-  serve_opts.expire_overdue = true;
+  if (tau_ms > 0) {
+    serve_opts.tau = static_cast<double>(tau_ms) / 1000.0;
+    serve_opts.expire_overdue = true;
+  }
+  if (policy == "rl") {
+    serve_opts.policy_factory = rafiki::serving::MakeRlSchedulerFactory();
+  }
   auto deployed = service.Deploy({handle}, serve_opts);
   RAFIKI_CHECK_OK(deployed.status());
-  std::printf("infer_job=%s input_dim=%lld\n", deployed->c_str(),
-              static_cast<long long>(kInputDim));
+  std::printf("infer_job=%s input_dim=%lld policy=%s\n", deployed->c_str(),
+              static_cast<long long>(kInputDim), policy.c_str());
 
   rafiki::api::Gateway gateway(&service);
   rafiki::net::HttpServerOptions opts;
@@ -155,12 +183,29 @@ int main(int argc, char** argv) {
   if (metrics.ok()) {
     std::printf(
         "job metrics arrived=%lld processed=%lld expired=%lld "
-        "batches=%lld mean_batch=%.3f max_batch=%lld\n",
+        "batches=%lld mean_batch=%.3f max_batch=%lld policy=%s "
+        "learn_steps=%lld reward=%.3f\n",
         static_cast<long long>(metrics->arrived),
         static_cast<long long>(metrics->processed),
         static_cast<long long>(metrics->expired),
         static_cast<long long>(metrics->batches), metrics->mean_batch,
-        static_cast<long long>(metrics->max_batch));
+        static_cast<long long>(metrics->max_batch),
+        metrics->policy.c_str(),
+        static_cast<long long>(metrics->learn_steps), metrics->reward_sum);
+    // The books must close after the drain: every arrival is processed,
+    // dropped, expired, or still queued (nothing lost, nothing double
+    // counted). smoke_serve.sh asserts ok=1.
+    bool conserved =
+        metrics->arrived == metrics->processed + metrics->dropped +
+                                metrics->expired + metrics->queue_depth;
+    std::printf(
+        "conservation arrived=%lld processed=%lld dropped=%lld "
+        "expired=%lld queued=%lld ok=%d\n",
+        static_cast<long long>(metrics->arrived),
+        static_cast<long long>(metrics->processed),
+        static_cast<long long>(metrics->dropped),
+        static_cast<long long>(metrics->expired),
+        static_cast<long long>(metrics->queue_depth), conserved ? 1 : 0);
   }
   return 0;
 }

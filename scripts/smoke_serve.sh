@@ -108,3 +108,66 @@ if [[ -z "$peak" || "$peak" -le 2 ]]; then
   exit 1
 fi
 echo "smoke: OK (inflight_peak=$peak)"
+
+# --- RL policy storm -------------------------------------------------------
+# Boot a second server under the actor-critic scheduler and hit it with an
+# open-loop sine (the Figure 12 load shape) at a tight-ish tau so some
+# queries expire. On drain, the accounting must still close exactly
+# ("conservation ... ok=1") and the policy must actually have learned
+# (nonzero learn_steps) — the live counterpart of the runtime's
+# exactly-once expiry regression test.
+rl_port=$((port + 1))
+"$serve" --port="$rl_port" --workers=2 --handlers=2 --max-inflight=1024 \
+  --tau-ms=100 --policy=rl >"$log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "rl server exited during startup:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  grep -q '^listening port=' "$log" && break
+  sleep 0.1
+done
+rl_job="$(sed -n 's/^infer_job=\([^ ]*\).*/\1/p' "$log")"
+if [[ -z "$rl_job" ]]; then
+  echo "rl server never became ready:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+if ! grep -q '^infer_job=.* policy=rl' "$log"; then
+  echo "rl server did not report policy=rl:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: rl server pid=$server_pid port=$rl_port infer_job=$rl_job"
+
+"$loadgen" --port="$rl_port" --method=POST \
+  --target="/jobs/$rl_job/query" --body="0,1,0,0" \
+  --rate=400 --period=2 --duration=3 --connections=8 --tau=0.1
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$server_pid" || {
+  echo "rl server exited non-zero:" >&2
+  cat "$log" >&2
+  exit 1
+}
+server_pid=""
+grep '^job metrics ' "$log" || true
+if ! grep -q '^conservation .* ok=1$' "$log"; then
+  echo "rl drain accounting did not close:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep '^conservation ' "$log"
+learned="$(sed -n 's/.* learn_steps=\([0-9]*\).*/\1/p' "$log" | head -1)"
+if [[ -z "$learned" || "$learned" -eq 0 ]]; then
+  echo "rl policy recorded no learn steps: '$learned'" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: OK (rl learn_steps=$learned)"

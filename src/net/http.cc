@@ -36,7 +36,6 @@ bool NameIs(const char* p, size_t n, const char* want) {
 /// (case-insensitive, `token` already lowercase). Scans in place — this
 /// runs per request on the keep-alive fast path and must not allocate.
 bool HasConnectionToken(const char* value, size_t size, const char* token) {
-  size_t tlen = std::strlen(token);
   size_t i = 0;
   while (i < size) {
     while (i < size &&
@@ -124,6 +123,7 @@ const char* ReasonPhrase(int status) {
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 505: return "HTTP Version Not Supported";
     default: return status < 400 ? "OK" : "Error";
   }

@@ -523,11 +523,12 @@ std::string LoadGenReport::ToString() const {
   for (const LoadGenWindow& w : windows) {
     out += StrFormat(
         "window t=%.1f arrived=%lld completed=%lld overdue=%lld "
-        "rejected=%lld dropped=%lld errors=%lld\n",
+        "rejected=%lld deadline=%lld dropped=%lld errors=%lld\n",
         w.t_begin, static_cast<long long>(w.arrived),
         static_cast<long long>(w.completed),
         static_cast<long long>(w.overdue),
         static_cast<long long>(w.rejected),
+        static_cast<long long>(w.deadline),
         static_cast<long long>(w.dropped),
         static_cast<long long>(w.errors));
   }

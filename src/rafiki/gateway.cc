@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "net/http.h"
+#include "serving/rl_scheduler.h"
 
 namespace rafiki::api {
 namespace {
@@ -288,9 +289,20 @@ GatewayResponse Gateway::JobStatus(const std::string& job_id) {
 GatewayResponse Gateway::Deploy(const GatewayRequest& request) {
   auto it = request.params.find("job");
   if (it == request.params.end()) return Error(400, "missing job parameter");
+  // Per-job scheduling-policy selection; validated before the model lookup
+  // so a bad policy is a 400 even for unknown jobs.
+  serving::RuntimeOptions options;
+  auto policy = request.params.find("policy");
+  if (policy != request.params.end()) {
+    if (policy->second == "rl") {
+      options.policy_factory = serving::MakeRlSchedulerFactory();
+    } else if (policy->second != "greedy") {
+      return Error(400, "policy must be greedy|rl");
+    }
+  }
   Result<std::vector<ModelHandle>> models = rafiki_->GetModels(it->second);
   if (!models.ok()) return FromStatus(models.status());
-  Result<std::string> deployed = rafiki_->Deploy(*models);
+  Result<std::string> deployed = rafiki_->Deploy(*models, options);
   if (!deployed.ok()) return FromStatus(deployed.status());
   return GatewayResponse{200, "job_id=" + *deployed};
 }
@@ -339,7 +351,9 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
       200,
       StrFormat("arrived=%lld&processed=%lld&overdue=%lld&dropped=%lld&"
                 "expired=%lld&batches=%lld&max_batch=%lld&mean_batch=%.3f&"
-                "mean_latency=%.6f&queue=%lld&p50=%.6f&p95=%.6f&p99=%.6f",
+                "mean_latency=%.6f&queue=%lld&p50=%.6f&p95=%.6f&p99=%.6f&"
+                "policy=%s&learn_steps=%lld&reward=%.6f&accuracy_sum=%.6f&"
+                "reward_overdue=%lld&reward_pending=%lld",
                 static_cast<long long>(metrics->arrived),
                 static_cast<long long>(metrics->processed),
                 static_cast<long long>(metrics->overdue),
@@ -350,7 +364,11 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
                 metrics->mean_batch, metrics->mean_latency,
                 static_cast<long long>(metrics->queue_depth),
                 metrics->p50_latency, metrics->p95_latency,
-                metrics->p99_latency)};
+                metrics->p99_latency, metrics->policy.c_str(),
+                static_cast<long long>(metrics->learn_steps),
+                metrics->reward_sum, metrics->accuracy_sum,
+                static_cast<long long>(metrics->reward_overdue),
+                static_cast<long long>(metrics->reward_pending_overdue))};
 }
 
 GatewayResponse Gateway::Undeploy(const GatewayRequest& request) {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "serving/greedy_batch.h"
+#include "serving/reward.h"
 
 namespace rafiki::serving {
 namespace {
@@ -146,13 +147,27 @@ Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
         CalibrateProfile(m, job->input_dim, max_b, options.calibrate));
     job->accuracies.push_back(m.accuracy);
   }
-  if (job->models.size() == 1) {
+  if (options.policy_factory != nullptr) {
+    PolicyInit init;
+    init.num_models = job->models.size();
+    init.batch_sizes = options.batch_sizes;
+    init.accuracies = job->accuracies;
+    init.profiles = &job->profiles;
+    init.tau = options.tau;
+    init.beta = options.beta;
+    init.backoff_delta_fraction = options.backoff_delta_fraction;
+    job->policy = options.policy_factory(init);
+    if (job->policy == nullptr) {
+      return Status::InvalidArgument("policy_factory returned no policy");
+    }
+  } else if (job->models.size() == 1) {
     job->policy = std::make_unique<GreedyBatchPolicy>(
         /*model_index=*/0, options.backoff_delta_fraction);
   } else {
     job->policy = std::make_unique<SyncEnsembleGreedyPolicy>(
         options.backoff_delta_fraction);
   }
+  job->stats.policy = job->policy->name();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -363,6 +378,13 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
   RingDeque<Pending> lq;
   auto take = [&lq](Pending&& p) { lq.push_back(std::move(p)); };
   std::vector<Pending> expired;  // scratch, capacity reused
+  // Expiries not yet folded into a reward: Equation 7 charges overdue at
+  // batch completion, so an expired (504) request is charged against the
+  // NEXT dispatched batch — exactly once. Dispatcher-local; the
+  // reward_pending_overdue gauge mirrors it for observers.
+  int64_t expired_unrewarded = 0;
+  const uint32_t all_models_mask =
+      (1u << static_cast<uint32_t>(job->models.size())) - 1u;
 
   while (!job->stopping.load(std::memory_order_acquire)) {
     ring.ConsumeBatch(opts.queue_capacity, take);
@@ -393,10 +415,12 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       if (!expired.empty()) {
         auto n = static_cast<int64_t>(expired.size());
         job->queued.fetch_sub(n, std::memory_order_acq_rel);
+        expired_unrewarded += n;
         {
           std::lock_guard<std::mutex> lock(job->mu);
           job->stats.expired += n;
           job->stats.overdue += n;
+          job->stats.reward_pending_overdue += n;
         }
         for (Pending& p : expired) {
           p.done(Status::DeadlineExceeded(
@@ -407,15 +431,25 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       }
     }
     ServingObs obs;
-    obs.now = now;
     obs.tau = opts.tau;
     obs.batch_sizes = &opts.batch_sizes;
     obs.models = &job->profiles;
     obs.queue_len = lq.size();
+    // Stamp the queue features at the moment Decide() runs, not at tick
+    // start: the expiry scan and its 504 continuations above take real
+    // time, and a stale `now` would understate every wait the agent sees.
+    // Producers stamp `arrival` before the ring push the dispatcher
+    // consumed, and the clock is monotonic, so waits are never negative.
+    now = job->NowSeconds();
+    obs.now = now;
     size_t wait_count = std::min<size_t>(lq.size(), 64);
     obs.queue_waits.reserve(wait_count);
     for (size_t i = 0; i < wait_count; ++i) {
-      obs.queue_waits.push_back(now - lq[i].arrival);
+      double wait = now - lq[i].arrival;
+#ifndef NDEBUG
+      RAFIKI_CHECK_GE(wait, 0.0) << "stale queue-wait feature";
+#endif
+      obs.queue_waits.push_back(wait);
     }
     // The dispatcher is the only executor and runs batches synchronously,
     // so every model is free at decision time.
@@ -457,7 +491,19 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       lq.pop_front();
     }
     job->queued.fetch_sub(b, std::memory_order_acq_rel);
-    ProcessBatch(*job, std::move(batch));
+    // Sanitize the mask for execution (the policy's own action object is
+    // preserved for Feedback, which re-encodes it): bits beyond the
+    // deployed models are dropped, and an empty selection degrades to the
+    // full ensemble so the batch is still answered.
+    uint32_t mask = action.model_mask & all_models_mask;
+    if (mask == 0) mask = all_models_mask;
+    double reward =
+        ProcessBatch(*job, std::move(batch), mask, expired_unrewarded);
+    expired_unrewarded = 0;
+    // Online learning from the realized outcome (no-op for greedy): runs
+    // on this dispatcher thread, after the stats fold, so Metrics readers
+    // never see a batch whose reward is missing.
+    job->policy->Feedback(obs, action, reward);
   }
 
   // Shutdown: StopJob closed the ring before `stopping` became visible, so
@@ -479,7 +525,20 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
   }
 }
 
-void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
+double InferenceRuntime::EnsembleAccuracy(const Job& job, uint32_t mask) {
+  if (job.opts.ensemble_accuracy != nullptr) {
+    return job.opts.ensemble_accuracy(mask);
+  }
+  double best = 0.0;
+  for (size_t m = 0; m < job.accuracies.size(); ++m) {
+    if (mask & (1u << m)) best = std::max(best, job.accuracies[m]);
+  }
+  return best;
+}
+
+double InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch,
+                                      uint32_t model_mask,
+                                      int64_t expired_unrewarded) {
   auto b = static_cast<int64_t>(batch.size());
   Tensor features({b, job.input_dim});
   for (int64_t r = 0; r < b; ++r) {
@@ -488,14 +547,19 @@ void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
                 static_cast<size_t>(job.input_dim) * sizeof(float));
   }
 
+  // Only the models the policy selected run (the ensemble bit-vector v of
+  // §5.2); the vote and its accuracy tie-break are over that subset.
   std::vector<std::vector<int64_t>> votes;
+  std::vector<double> vote_accuracies;
   votes.reserve(job.models.size());
-  for (ServableModel& m : job.models) {
-    Tensor logits = m.net.Forward(features, /*train=*/false);
+  for (size_t m = 0; m < job.models.size(); ++m) {
+    if ((model_mask & (1u << m)) == 0) continue;
+    Tensor logits = job.models[m].net.Forward(features, /*train=*/false);
     votes.push_back(logits.ArgmaxRows());
+    vote_accuracies.push_back(job.accuracies[m]);
   }
   std::vector<EnsemblePrediction> answers =
-      MajorityVoteRows(votes, job.accuracies);
+      MajorityVoteRows(votes, vote_accuracies);
 
   double completion = job.NowSeconds();
   int64_t overdue = 0;
@@ -505,12 +569,23 @@ void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
     latency_sum += latency;
     if (latency > job.opts.tau) ++overdue;
   }
+  // Realized Equation 7 reward for this dispatch: the batch's own overdue
+  // completions plus any expiries since the previous batch, each charged
+  // exactly once.
+  double accuracy = EnsembleAccuracy(job, model_mask);
+  int64_t charged = overdue + expired_unrewarded;
+  double reward = BatchReward(accuracy, b, charged, job.opts.beta);
   {
     std::lock_guard<std::mutex> lock(job.mu);
     job.stats.processed += b;
     job.stats.overdue += overdue;
     ++job.stats.batches;
     job.stats.max_batch = std::max(job.stats.max_batch, b);
+    job.stats.reward_sum += reward;
+    job.stats.accuracy_sum += accuracy * static_cast<double>(b);
+    job.stats.reward_overdue += charged;
+    job.stats.reward_pending_overdue -= expired_unrewarded;
+    if (job.policy->learns()) ++job.stats.learn_steps;
     job.latency_sum += latency_sum;
     for (const Pending& p : batch) {
       job.latency_hist.Add(completion - p.arrival);
@@ -522,6 +597,7 @@ void InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch) {
     batch[static_cast<size_t>(r)].done(
         std::move(answers[static_cast<size_t>(r)]));
   }
+  return reward;
 }
 
 }  // namespace rafiki::serving

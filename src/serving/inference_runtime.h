@@ -61,6 +61,20 @@ struct RuntimeOptions {
   /// default: the paper's SLO is soft, so the classic behaviour is to
   /// answer late rather than not at all.
   bool expire_overdue = false;
+  /// Pluggable scheduling-policy hook: when set, the per-job policy is
+  /// built from it at deploy time (e.g. MakeRlSchedulerFactory) and drives
+  /// every dispatch decision; when null the paper's greedy Algorithm 3
+  /// (single model) / sync-ensemble greedy (|M| > 1) is used. The policy
+  /// runs exclusively on the job's dispatcher thread.
+  PolicyFactory policy_factory;
+  /// Equation 7 accuracy/latency balance for the realized per-batch reward
+  /// fed back through SchedulerPolicy::Feedback.
+  double beta = 1.0;
+  /// Surrogate ensemble accuracy a(M[v]) used in the reward; null defaults
+  /// to the most accurate selected member (exact for |M| = 1, a lower
+  /// bound for larger ensembles — plug an EnsembleAccuracyTable here for
+  /// the Figure 6 surrogate).
+  std::function<double(uint32_t)> ensemble_accuracy;
 };
 
 /// Per-job serving counters (the live analogue of ServingMetrics).
@@ -88,12 +102,30 @@ struct InferenceJobMetrics {
   double p50_latency = 0.0;
   double p95_latency = 0.0;
   double p99_latency = 0.0;
+  /// Scheduling-policy gauges. `reward_sum` accumulates the realized
+  /// Equation 7 reward a(M[v]) * (b - beta * overdue) per dispatched
+  /// batch; `accuracy_sum` accumulates a(M[v]) * b (so a window's mean
+  /// served accuracy is delta(accuracy_sum) / delta(processed));
+  /// `learn_steps` counts Feedback deliveries to a learning policy.
+  /// Expiry accounting: an expired (504) request is charged to the reward
+  /// of the NEXT dispatched batch, exactly once — `reward_overdue` counts
+  /// overdue already charged, `reward_pending_overdue` expiries awaiting
+  /// their charge; at any quiescent point
+  ///   overdue == reward_overdue + reward_pending_overdue.
+  std::string policy;
+  int64_t learn_steps = 0;
+  double reward_sum = 0.0;
+  double accuracy_sum = 0.0;
+  int64_t reward_overdue = 0;
+  int64_t reward_pending_overdue = 0;
 };
 
 /// Majority-vote answer with per-model transparency (§5.2 / Figure 6).
 struct EnsemblePrediction {
   int64_t label = -1;
-  std::vector<int64_t> votes;  // one label per deployed model
+  /// One label per model that voted — the policy-selected subset, which is
+  /// every deployed model under the default greedy policies.
+  std::vector<int64_t> votes;
 };
 
 /// Majority vote over per-model row labels with the paper's best-accuracy
@@ -230,7 +262,13 @@ class InferenceRuntime {
   std::shared_ptr<Job> FindJob(const std::string& job_id) const;
   static void StopJob(Job& job);
   static void DispatchLoop(const std::shared_ptr<Job>& job);
-  static void ProcessBatch(Job& job, std::vector<Pending> batch);
+  /// Runs one batch on the models selected by `model_mask`, answers its
+  /// continuations, and folds the realized Equation 7 reward — including
+  /// `expired_unrewarded` not-yet-charged expiries — into the job stats in
+  /// one atomic update. Returns the reward for the policy's Feedback.
+  static double ProcessBatch(Job& job, std::vector<Pending> batch,
+                             uint32_t model_mask, int64_t expired_unrewarded);
+  static double EnsembleAccuracy(const Job& job, uint32_t model_mask);
 
   mutable std::mutex mu_;  // guards jobs_ only
   std::map<std::string, std::shared_ptr<Job>> jobs_;

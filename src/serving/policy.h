@@ -2,6 +2,8 @@
 #define RAFIKI_SERVING_POLICY_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,12 +42,37 @@ class SchedulerPolicy {
   virtual ServingAction Decide(const ServingObs& obs) = 0;
 
   /// Reward feedback (Equation 7) for the action returned by the matching
-  /// Decide call; no-op for non-learning policies.
+  /// Decide call; no-op for non-learning policies. Only ever invoked for
+  /// dispatch actions (process == true), with the same obs Decide saw.
   virtual void Feedback(const ServingObs& obs, const ServingAction& action,
                         double reward) {}
 
+  /// True for policies whose Feedback() updates an agent (drives the
+  /// learn_steps metric; lets callers know a warm-up phase is meaningful).
+  virtual bool learns() const { return false; }
+
   virtual std::string name() const = 0;
 };
+
+/// Deploy-time view handed to a PolicyFactory: everything needed to size a
+/// per-job policy. `profiles` points at the job's calibrated c(m, b) table
+/// and is only guaranteed valid for the duration of the factory call —
+/// policies receive the live profiles again through every ServingObs.
+struct PolicyInit {
+  size_t num_models = 0;
+  std::vector<int64_t> batch_sizes;            // B
+  std::vector<double> accuracies;              // per deployed model
+  const std::vector<model::ModelProfile>* profiles = nullptr;
+  double tau = 0.0;
+  double beta = 1.0;
+  double backoff_delta_fraction = 0.1;
+};
+
+/// Builds the per-job scheduling policy at deploy time. The returned
+/// policy is owned by the job and called exclusively from its dispatcher
+/// thread (Decide and Feedback both), so it needs no internal locking.
+using PolicyFactory =
+    std::function<std::unique_ptr<SchedulerPolicy>(const PolicyInit&)>;
 
 /// Largest batch size in B that is <= queue_len; 0 when queue_len is below
 /// min(B) (Algorithm 3 line 7).

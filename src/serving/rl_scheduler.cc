@@ -149,4 +149,22 @@ double RlSchedulerPolicy::NormalizeReward(double raw_reward) const {
   return raw_reward / max_batch_;
 }
 
+PolicyFactory MakeRlSchedulerFactory(RlSchedulerOptions options) {
+  return [options](const PolicyInit& init)
+             -> std::unique_ptr<SchedulerPolicy> {
+    std::shared_ptr<const model::EnsembleAccuracyTable> table;
+    if (init.num_models > 1) {
+      // a(M[v]) for the joint mask/batch action space, estimated over the
+      // job's calibrated profiles with the paper's correlated-error model.
+      table = std::make_shared<model::EnsembleAccuracyTable>(
+          *init.profiles, model::PredictionSimOptions{},
+          /*num_requests=*/20000);
+    }
+    auto policy = std::make_unique<RlSchedulerPolicy>(
+        init.num_models, init.batch_sizes, table.get(), options);
+    policy->OwnAccuracyTable(std::move(table));
+    return policy;
+  };
+}
+
 }  // namespace rafiki::serving

@@ -65,6 +65,7 @@ class RlSchedulerPolicy : public SchedulerPolicy {
   ServingAction Decide(const ServingObs& obs) override;
   void Feedback(const ServingObs& obs, const ServingAction& action,
                 double reward) override;
+  bool learns() const override { return true; }
   std::string name() const override { return "rl"; }
 
   /// Normalizes an Equation 7 reward into roughly [-beta, 1].
@@ -81,6 +82,13 @@ class RlSchedulerPolicy : public SchedulerPolicy {
   /// Builds the §5.2 state feature vector (public for tests).
   std::vector<double> Featurize(const ServingObs& obs) const;
 
+  /// Transfers ownership of the accuracy table the constructor was pointed
+  /// at (used by MakeRlSchedulerFactory, which builds the table and the
+  /// policy together).
+  void OwnAccuracyTable(std::shared_ptr<const model::EnsembleAccuracyTable> t) {
+    owned_table_ = std::move(t);
+  }
+
  private:
   ServingAction DecodeAction(int action) const;
   int EncodeAction(const ServingAction& action) const;
@@ -88,12 +96,20 @@ class RlSchedulerPolicy : public SchedulerPolicy {
   size_t num_models_;
   std::vector<int64_t> batch_sizes_;
   const model::EnsembleAccuracyTable* accuracy_table_;
+  std::shared_ptr<const model::EnsembleAccuracyTable> owned_table_;
   RlSchedulerOptions options_;
   int num_actions_;
   int state_dim_;
   std::unique_ptr<rl::ActorCritic> agent_;
   double max_batch_;
 };
+
+/// RuntimeOptions::policy_factory adapter: builds a per-job RL scheduler
+/// from the deploy-time PolicyInit. For |M| > 1 it Monte-Carlo-estimates
+/// and owns the a(M[v]) surrogate table (Figure 6) over the calibrated
+/// profiles; for |M| = 1 the mask collapses per §7.2.1 and no table is
+/// needed.
+PolicyFactory MakeRlSchedulerFactory(RlSchedulerOptions options = {});
 
 }  // namespace rafiki::serving
 

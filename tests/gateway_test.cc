@@ -6,6 +6,10 @@
 #include "common/string_util.h"
 #include "data/dataset.h"
 #include "gtest/gtest.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "rafiki/http_gateway.h"
+#include "serving/rl_scheduler.h"
 
 namespace rafiki::api {
 namespace {
@@ -358,6 +362,114 @@ TEST_F(GatewayTest, QueueDeadlineMapsTo504) {
   ASSERT_EQ(metrics.status, 200);
   EXPECT_EQ(Field(metrics.body, "expired"), "2");
   EXPECT_EQ(Field(metrics.body, "processed"), "0");
+  ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
+}
+
+TEST_F(GatewayTest, DeployPolicyParamValidatedBeforeJobLookup) {
+  // A bad policy is a 400 even for an unknown job; a good one falls
+  // through to the normal 404.
+  EXPECT_EQ(gateway_.Handle("POST /deploy job=ghost&policy=bogus").status,
+            400);
+  EXPECT_EQ(gateway_.Handle("POST /deploy job=ghost&policy=rl").status, 404);
+  EXPECT_EQ(gateway_.Handle("POST /deploy job=ghost&policy=greedy").status,
+            404);
+}
+
+TEST_F(GatewayTest, MetricsExposePolicyGauges) {
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  serving::RuntimeOptions options;
+  options.policy_factory = serving::MakeRlSchedulerFactory();
+  auto deployed = rafiki_.Deploy({handle}, options);
+  ASSERT_TRUE(deployed.ok());
+
+  GatewayResponse query =
+      gateway_.Handle("POST /query job=" + *deployed + "\n0,1,0,0");
+  ASSERT_EQ(query.status, 200) << query.body;
+
+  GatewayResponse metrics =
+      gateway_.Handle("GET /jobs/" + *deployed + "/metrics");
+  ASSERT_EQ(metrics.status, 200) << metrics.body;
+  EXPECT_EQ(Field(metrics.body, "policy"), "rl");
+  EXPECT_EQ(Field(metrics.body, "learn_steps"), "1");
+  EXPECT_GT(std::stod(Field(metrics.body, "reward")), 0.0);
+  EXPECT_NEAR(std::stod(Field(metrics.body, "accuracy_sum")), 0.9, 1e-6);
+  EXPECT_EQ(Field(metrics.body, "reward_overdue"), "0");
+  EXPECT_EQ(Field(metrics.body, "reward_pending"), "0");
+  ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
+}
+
+TEST_F(GatewayTest, HttpAdapters504ParitySyncVsAsync) {
+  // Satellite regression: the queue deadline must surface as HTTP 504 with
+  // identical semantics through BOTH front-door adapters — the blocking
+  // Handler (--sync=1) and the continuation-based AsyncHandler — over a
+  // real server + client round trip.
+  ps::ModelCheckpoint ckpt;
+  Tensor weight({4, 3});
+  for (int64_t i = 0; i < 3; ++i) weight.at2(i, i) = 1.0f;
+  ckpt.params.emplace_back("fc0/weight", weight);
+  ckpt.params.emplace_back("fc0/bias", Tensor({1, 3}));
+  ckpt.meta.accuracy = 0.9;
+  ASSERT_TRUE(
+      rafiki_.parameter_server().PutModel("study/fake/best", ckpt).ok());
+  ModelHandle handle;
+  handle.scope = "study/fake/best";
+  handle.model_name = "mlp";
+  handle.accuracy = 0.9;
+  serving::RuntimeOptions options;
+  options.tau = 1e-9;  // unmeetable: every query expires in the queue
+  options.expire_overdue = true;
+  options.calibrate = false;
+  auto deployed = rafiki_.Deploy({handle}, options);
+  ASSERT_TRUE(deployed.ok());
+  const std::string target = "/query?job=" + *deployed;
+
+  net::HttpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 1;
+  opts.num_handler_threads = 1;
+
+  {
+    // Sync adapter behind an async shim — exactly what rafiki_serve
+    // --sync=1 runs.
+    net::HttpServer::Handler sync = MakeGatewayHttpHandler(&gateway_);
+    net::HttpServer server(
+        [sync](const net::HttpRequest& request,
+               net::HttpServer::ResponseWriter writer) {
+          writer.Complete(sync(request));
+        },
+        opts);
+    ASSERT_TRUE(server.Start().ok());
+    net::HttpClient client("127.0.0.1", server.port());
+    auto status = client.RequestView("POST", target, "0,1,0,0");
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    EXPECT_EQ(*status, 504) << client.body();
+    server.Stop();
+  }
+  {
+    net::HttpServer server(MakeGatewayAsyncHttpHandler(&gateway_), opts);
+    ASSERT_TRUE(server.Start().ok());
+    net::HttpClient client("127.0.0.1", server.port());
+    auto status = client.RequestView("POST", target, "0,1,0,0");
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    EXPECT_EQ(*status, 504) << client.body();
+    server.Stop();
+  }
+
+  GatewayResponse metrics =
+      gateway_.Handle("GET /jobs/" + *deployed + "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(Field(metrics.body, "expired"), "2");
   ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
 }
 

@@ -17,6 +17,8 @@
 #include "nn/layer.h"
 #include "ps/parameter_server.h"
 #include "rafiki/rafiki.h"
+#include "serving/greedy_batch.h"
+#include "serving/rl_scheduler.h"
 
 namespace rafiki::serving {
 namespace {
@@ -552,6 +554,300 @@ TEST(RafikiServingLifecycleTest, FacadeMetricsReportBatching) {
   EXPECT_GT(metrics->max_batch, 1) << "bulk query did not batch";
   EXPECT_TRUE(rafiki.Undeploy(*deployed).ok());
   EXPECT_TRUE(rafiki.InferenceMetrics(*deployed).status().IsNotFound());
+}
+
+/// Forwards every policy call to a shared RlSchedulerPolicy, so a test can
+/// keep inspecting the agent after the job (which owns the forwarder) is
+/// undeployed. Safe: Undeploy joins the dispatcher, so the test's later
+/// reads happen-after every Decide/Feedback.
+class SharedRlPolicy : public SchedulerPolicy {
+ public:
+  explicit SharedRlPolicy(std::shared_ptr<RlSchedulerPolicy> inner)
+      : inner_(std::move(inner)) {}
+  ServingAction Decide(const ServingObs& obs) override {
+    return inner_->Decide(obs);
+  }
+  void Feedback(const ServingObs& obs, const ServingAction& action,
+                double reward) override {
+    inner_->Feedback(obs, action, reward);
+  }
+  bool learns() const override { return true; }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::shared_ptr<RlSchedulerPolicy> inner_;
+};
+
+TEST(InferenceRuntimeTest, PolicyFactoryReceivesCalibratedInit) {
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.85, "id"));
+  RuntimeOptions options;
+  options.tau = 0.25;
+  options.beta = 2.0;
+  options.batch_sizes = {2, 8};
+  options.calibrate = false;
+  PolicyInit seen;
+  options.policy_factory =
+      [&seen](const PolicyInit& init) -> std::unique_ptr<SchedulerPolicy> {
+    seen = init;
+    return std::make_unique<GreedyBatchPolicy>(0,
+                                               init.backoff_delta_fraction);
+  };
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+  EXPECT_EQ(seen.num_models, 1u);
+  EXPECT_EQ(seen.batch_sizes, (std::vector<int64_t>{2, 8}));
+  ASSERT_EQ(seen.accuracies.size(), 1u);
+  EXPECT_DOUBLE_EQ(seen.accuracies[0], 0.85);
+  EXPECT_DOUBLE_EQ(seen.tau, 0.25);
+  EXPECT_DOUBLE_EQ(seen.beta, 2.0);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+
+  // A factory returning no policy is a deploy-time error, not a crash.
+  std::vector<ServableModel> models2;
+  models2.push_back(MakeIdentityModel(4, 0.85, "id"));
+  options.policy_factory = [](const PolicyInit&) {
+    return std::unique_ptr<SchedulerPolicy>();
+  };
+  EXPECT_TRUE(runtime.Deploy("j2", std::move(models2), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(InferenceRuntimeTest, RewardAccountingMatchesEq7OnCleanPath) {
+  // With a generous tau nothing is overdue, so the cumulative Equation 7
+  // reward must be exactly a * processed (and accuracy_sum a * processed),
+  // independent of how the requests were batched.
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 30.0;
+  // B = {1}: greedy dispatches every request immediately (no wait-backoff),
+  // so the test is fast and the batching split is fully determined.
+  options.batch_sizes = {1};
+  options.calibrate = false;
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto submitted = runtime.Submit("j", OneHot(4, i % 4));
+    ASSERT_TRUE(submitted.ok());
+    ASSERT_TRUE(submitted->get().ok());
+  }
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->policy, "greedy");
+  EXPECT_EQ(metrics->learn_steps, 0);  // greedy does not learn
+  EXPECT_EQ(metrics->processed, 10);
+  EXPECT_EQ(metrics->reward_overdue, 0);
+  EXPECT_EQ(metrics->reward_pending_overdue, 0);
+  EXPECT_NEAR(metrics->reward_sum, 0.9 * 10, 1e-9);
+  EXPECT_NEAR(metrics->accuracy_sum, 0.9 * 10, 1e-9);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, RlPolicyStormConservesAccountingAndExpiryReward) {
+  // Satellite regression (live vs simulator reward accounting): under an
+  // RL policy with expire_overdue, a 504-expired request must enter the
+  // reward stream as overdue EXACTLY once — charged to the next dispatched
+  // batch — never double-counted, never dropped. The invariant
+  //   overdue == reward_overdue + reward_pending_overdue
+  // holds at quiescence together with full conservation.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 400;
+  // A wide model so batches take real time and queue waits genuinely trip
+  // the deadline under the storm.
+  constexpr int64_t kDim = 256;
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(kDim, 0.9, "wide"));
+  RuntimeOptions options;
+  options.tau = 0.002;
+  options.expire_overdue = true;
+  options.calibrate = false;
+  options.policy_factory = MakeRlSchedulerFactory();
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  std::atomic<long> accepted{0};
+  std::atomic<long> rejected{0};
+  std::atomic<long> served{0};
+  std::atomic<long> expired_seen{0};
+  std::atomic<long> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Status submitted = runtime.SubmitAsync(
+            "j", OneHot(kDim, i % kDim),
+            [&](Result<EnsemblePrediction> answer) {
+              if (answer.ok()) {
+                ++served;
+              } else {
+                EXPECT_EQ(answer.status().code(),
+                          StatusCode::kDeadlineExceeded)
+                    << answer.status().ToString();
+                ++expired_seen;
+              }
+              ++answered;
+            });
+        if (submitted.ok()) {
+          ++accepted;
+        } else {
+          ASSERT_TRUE(submitted.IsUnavailable()) << submitted.ToString();
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Quiesce: every accepted request gets its continuation.
+  for (int spin = 0; spin < 20000 && answered.load() < accepted.load();
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(answered.load(), accepted.load());
+
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->policy, "rl");
+  EXPECT_EQ(metrics->arrived, static_cast<long>(kThreads) * kPerThread);
+  EXPECT_EQ(metrics->processed, served.load());
+  EXPECT_EQ(metrics->expired, expired_seen.load());
+  EXPECT_EQ(metrics->dropped, rejected.load());
+  EXPECT_EQ(metrics->queue_depth, 0);
+  EXPECT_EQ(metrics->arrived,
+            metrics->processed + metrics->dropped + metrics->expired);
+  // The storm is designed to actually expire requests; if this ever goes
+  // to zero the regression below is vacuous.
+  EXPECT_GT(metrics->expired, 0);
+  // Exactly-once expiry charging holds at this quiescent point even if the
+  // storm expired everything (possible under sanitizer slowdown).
+  EXPECT_EQ(metrics->overdue,
+            metrics->reward_overdue + metrics->reward_pending_overdue);
+  EXPECT_GE(metrics->reward_pending_overdue, 0);
+
+  // Quiet trickle: an idle dispatcher answers a lone request well inside
+  // tau regardless of how slow the build is, and that first dispatched
+  // batch must charge the storm's expiry backlog into its reward — after
+  // which NOTHING is left pending. Retries tolerate scheduler hiccups.
+  bool trickled = false;
+  for (int i = 0; i < 200 && !trickled; ++i) {
+    auto one = runtime.Submit("j", OneHot(kDim, 0));
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    trickled = one->get().ok();
+  }
+  ASSERT_TRUE(trickled) << "no request survived an idle dispatcher";
+
+  metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->processed, 0);
+  EXPECT_GT(metrics->learn_steps, 0);
+  EXPECT_EQ(metrics->reward_pending_overdue, 0);
+  EXPECT_EQ(metrics->overdue, metrics->reward_overdue);
+  EXPECT_EQ(metrics->arrived,
+            metrics->processed + metrics->dropped + metrics->expired);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
+}
+
+TEST(InferenceRuntimeTest, RlSingleModelLiveConvergesToEq7Optimum) {
+  // Satellite: |M| = 1 mask collapse (§7.2.1) on the LIVE runtime. With a
+  // zero-latency profile and a generous tau nothing is overdue, so the
+  // Equation 7 reward is a * min(b, queue) and the optimum at a full queue
+  // of 8 is the largest batch. Train online (seeded exploration) against a
+  // fixed arrival trace of 8-request rounds, then assert the greedy
+  // (explore=false) action at a full-queue state converged to it.
+  const std::vector<int64_t> kBatches = {1, 2, 4, 8};
+  RlSchedulerOptions rl;
+  rl.agent.seed = 11;
+  rl.agent.update_every = 16;
+  rl.agent.policy_lr = 5e-3;
+  rl.agent.value_lr = 5e-3;
+  rl.throughput_shaping = 0.0;  // pure Equation 7
+  auto shared = std::make_shared<RlSchedulerPolicy>(
+      /*num_models=*/1, kBatches, /*accuracy_table=*/nullptr, rl);
+
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.9, "id"));
+  RuntimeOptions options;
+  options.tau = 10.0;
+  options.batch_sizes = kBatches;
+  options.calibrate = false;
+  options.policy_factory = [shared](const PolicyInit&) {
+    return std::make_unique<SharedRlPolicy>(shared);
+  };
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+
+  constexpr int kRounds = 400;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<Result<EnsemblePrediction>>> futures;
+    for (int i = 0; i < 8; ++i) {
+      auto submitted = runtime.Submit("j", OneHot(4, i % 4));
+      ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+      futures.push_back(std::move(*submitted));
+    }
+    for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  }
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->learn_steps, 100);
+  EXPECT_GT(metrics->reward_sum, 0.0);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());  // joins the dispatcher
+
+  // Evaluate the learned policy greedily at a full-queue state.
+  shared->set_explore(false);
+  std::vector<model::ModelProfile> profiles(1);  // zero-latency
+  profiles[0].top1_accuracy = 0.9;
+  ServingObs obs;
+  obs.now = 1.0;
+  obs.tau = 10.0;
+  obs.batch_sizes = &kBatches;
+  obs.models = &profiles;
+  obs.queue_waits.assign(8, 0.001);
+  obs.queue_len = 8;
+  obs.busy_remaining.assign(1, 0.0);
+  ServingAction action = shared->Decide(obs);
+  ASSERT_TRUE(action.process);
+  EXPECT_EQ(action.model_mask, 1u);
+  EXPECT_EQ(action.batch_size, 8)
+      << "did not converge to the Eq. 7 optimum batch";
+}
+
+TEST(InferenceRuntimeTest, RlPolicyHonorsModelSubsetSelection) {
+  // A policy that selects a strict subset must only have those models run
+  // (and vote): with model 0 an identity net and model 1 a negated one,
+  // mask = 0b01 must answer argmax even though the negated model would
+  // win an all-models accuracy tie-break.
+  class FixedMaskPolicy : public SchedulerPolicy {
+   public:
+    ServingAction Decide(const ServingObs& obs) override {
+      if (obs.queue_len == 0) return ServingAction{};
+      return ServingAction{true, /*model_mask=*/1u, /*batch_size=*/1};
+    }
+    std::string name() const override { return "fixed_mask"; }
+  };
+  InferenceRuntime runtime;
+  std::vector<ServableModel> models;
+  models.push_back(MakeIdentityModel(4, 0.6, "id"));
+  models.push_back(MakeIdentityModel(4, 0.99, "neg", /*negate=*/true));
+  RuntimeOptions options;
+  options.tau = 30.0;
+  options.calibrate = false;
+  options.policy_factory = [](const PolicyInit&) {
+    return std::make_unique<FixedMaskPolicy>();
+  };
+  ASSERT_TRUE(runtime.Deploy("j", std::move(models), options).ok());
+  auto submitted = runtime.Submit("j", OneHot(4, 2));
+  ASSERT_TRUE(submitted.ok());
+  Result<EnsemblePrediction> answer = submitted->get();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->label, 2);  // the negated model never voted
+  ASSERT_EQ(answer->votes.size(), 1u);
+  auto metrics = runtime.Metrics("j");
+  ASSERT_TRUE(metrics.ok());
+  // Reward uses the accuracy of the SELECTED subset (0.6), not the best
+  // deployed model's.
+  EXPECT_NEAR(metrics->accuracy_sum, 0.6, 1e-9);
+  ASSERT_TRUE(runtime.Undeploy("j").ok());
 }
 
 }  // namespace
