@@ -738,8 +738,11 @@ BENCHMARK(BM_HttpEcho)
 constexpr int kServeConnections = 256;
 
 void RunServeClosedLoop(benchmark::State& state, bool async_mode,
-                        bool rl_policy = false) {
-  int handler_threads = static_cast<int>(state.range(0));
+                        bool rl_policy = false, int replicas = 1,
+                        int handler_threads = 0) {
+  if (handler_threads == 0) {
+    handler_threads = static_cast<int>(state.range(0));
+  }
 
   // Isolation settle (setup, not timed): the previous serving bench
   // abandons up to 256 client sockets at its hard stop and the server
@@ -769,6 +772,7 @@ void RunServeClosedLoop(benchmark::State& state, bool async_mode,
   if (rl_policy) {
     runtime_opts.policy_factory = serving::MakeRlSchedulerFactory();
   }
+  runtime_opts.replicas = replicas;
   auto deployed = service.Deploy({handle}, runtime_opts);
   if (!deployed.ok()) {
     state.SkipWithError("Deploy failed");
@@ -829,6 +833,8 @@ void RunServeClosedLoop(benchmark::State& state, bool async_mode,
   state.counters["rps"] = rps / static_cast<double>(state.iterations());
   state.counters["inflight_peak"] = static_cast<double>(stats.inflight_peak);
   state.counters["mean_batch"] = metrics.ok() ? metrics->mean_batch : 0.0;
+  state.counters["replicas"] =
+      metrics.ok() ? static_cast<double>(metrics->replicas) : 0.0;
 }
 
 void BM_ServeClosedLoopSync(benchmark::State& state) {
@@ -862,6 +868,25 @@ void BM_ServeClosedLoopRl(benchmark::State& state) {
 // is the end-to-end cost of Featurize + policy forward + Record per batch.
 BENCHMARK(BM_ServeClosedLoopRl)
     ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeClosedLoopReplicas(benchmark::State& state) {
+  RunServeClosedLoop(state, /*async_mode=*/true, /*rl_policy=*/false,
+                     /*replicas=*/static_cast<int>(state.range(0)),
+                     /*handler_threads=*/2);
+}
+// Arg is the replica-dispatcher count of the deployed job (static, no
+// autoscale): same continuation path and 2-thread handler pool as Async/2,
+// so the delta isolates the replicated serving plane — sharded rings,
+// least-loaded router, per-replica net clones. On a multicore host req/s
+// scales with replicas; on a 1-core runner real-time stays flat and the
+// replication cost/benefit shows up in cpu_time and mean_batch instead.
+BENCHMARK(BM_ServeClosedLoopReplicas)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

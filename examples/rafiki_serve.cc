@@ -81,6 +81,16 @@ int main(int argc, char** argv) {
                  policy.c_str());
     return 2;
   }
+  // --replicas=N caps the job at N dispatcher replicas; static by default
+  // (all N start immediately). --autoscale=1 instead starts at one replica
+  // and lets the ReplicaController grow/shrink within [1, N] from queue
+  // pressure (its dwell is shortened so short smoke storms can trip it).
+  int64_t replicas = FlagInt(argc, argv, "replicas", 1);
+  bool autoscale = FlagInt(argc, argv, "autoscale", 0) != 0;
+  if (replicas < 1 || replicas > 64) {
+    std::fprintf(stderr, "--replicas must be in [1, 64]\n");
+    return 2;
+  }
   constexpr int64_t kInputDim = 4;
   constexpr int64_t kClasses = 3;
 
@@ -119,10 +129,22 @@ int main(int argc, char** argv) {
   if (policy == "rl") {
     serve_opts.policy_factory = rafiki::serving::MakeRlSchedulerFactory();
   }
+  serve_opts.max_replicas = static_cast<int>(replicas);
+  if (autoscale) {
+    serve_opts.autoscale = true;
+    serve_opts.replicas = 1;
+    serve_opts.min_replicas = 1;
+    serve_opts.autoscale_dwell = 0.1;
+  } else {
+    serve_opts.replicas = static_cast<int>(replicas);
+  }
   auto deployed = service.Deploy({handle}, serve_opts);
   RAFIKI_CHECK_OK(deployed.status());
-  std::printf("infer_job=%s input_dim=%lld policy=%s\n", deployed->c_str(),
-              static_cast<long long>(kInputDim), policy.c_str());
+  std::printf("infer_job=%s input_dim=%lld policy=%s replicas=%lld "
+              "autoscale=%d\n",
+              deployed->c_str(), static_cast<long long>(kInputDim),
+              policy.c_str(), static_cast<long long>(replicas),
+              autoscale ? 1 : 0);
 
   rafiki::api::Gateway gateway(&service);
   rafiki::net::HttpServerOptions opts;
@@ -192,6 +214,15 @@ int main(int argc, char** argv) {
         static_cast<long long>(metrics->max_batch),
         metrics->policy.c_str(),
         static_cast<long long>(metrics->learn_steps), metrics->reward_sum);
+    std::printf(
+        "replica metrics replicas=%lld peak=%lld scale_ups=%lld "
+        "scale_downs=%lld steals=%lld variant_level=%lld\n",
+        static_cast<long long>(metrics->replicas),
+        static_cast<long long>(metrics->replicas_peak),
+        static_cast<long long>(metrics->scale_ups),
+        static_cast<long long>(metrics->scale_downs),
+        static_cast<long long>(metrics->steals),
+        static_cast<long long>(metrics->variant_level));
     // The books must close after the drain: every arrival is processed,
     // dropped, expired, or still queued (nothing lost, nothing double
     // counted). smoke_serve.sh asserts ok=1.

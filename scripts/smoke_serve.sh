@@ -171,3 +171,69 @@ if [[ -z "$learned" || "$learned" -eq 0 ]]; then
   exit 1
 fi
 echo "smoke: OK (rl learn_steps=$learned)"
+
+# --- Replica autoscale storm -----------------------------------------------
+# Boot a third server whose job may grow to 4 dispatcher replicas
+# (--autoscale=1 starts at one and lets the ReplicaController scale on
+# queue pressure). The 256-connection closed-loop storm keeps the submit
+# queue well above the scale-up threshold, so the controller must add
+# replicas during the run; on drain the accounting must still close
+# exactly ("conservation ... ok=1") across every add/remove, and the
+# reported replica peak must exceed 1 (proof the storm scaled the plane,
+# not just rode the single seed replica).
+replica_port=$((port + 2))
+"$serve" --port="$replica_port" --workers=2 --handlers=2 \
+  --max-inflight=1024 --tau-ms=500 --replicas=4 --autoscale=1 \
+  >"$log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "replica server exited during startup:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  grep -q '^listening port=' "$log" && break
+  sleep 0.1
+done
+replica_job="$(sed -n 's/^infer_job=\([^ ]*\).*/\1/p' "$log")"
+if [[ -z "$replica_job" ]]; then
+  echo "replica server never became ready:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+if ! grep -q '^infer_job=.* replicas=4 autoscale=1' "$log"; then
+  echo "replica server did not report replicas=4 autoscale=1:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: replica server pid=$server_pid port=$replica_port infer_job=$replica_job"
+
+"$loadgen" --port="$replica_port" --method=POST \
+  --target="/jobs/$replica_job/query" --body="0,1,0,0" \
+  --closed --connections=256 --duration=3 --tau=1 --fail-on-error
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$server_pid" || {
+  echo "replica server exited non-zero:" >&2
+  cat "$log" >&2
+  exit 1
+}
+server_pid=""
+grep '^replica metrics ' "$log" || true
+if ! grep -q '^conservation .* ok=1$' "$log"; then
+  echo "replica drain accounting did not close:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep '^conservation ' "$log"
+replica_peak="$(sed -n 's/^replica metrics .* peak=\([0-9]*\).*/\1/p' "$log" | head -1)"
+if [[ -z "$replica_peak" || "$replica_peak" -le 1 ]]; then
+  echo "controller never scaled past one replica: peak='$replica_peak'" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "smoke: OK (replica peak=$replica_peak)"

@@ -109,6 +109,16 @@ class MpscRing {
     return (tail_.load(std::memory_order_relaxed) & kClosedBit) != 0;
   }
 
+  /// Re-opens a closed ring so a restarted consumer can serve it again
+  /// (replica scale-up after a scale-down). Call only after the previous
+  /// consumer's DrainClosed() has returned and that consumer is gone:
+  /// positions continue where they left off, so the slot stamps stay
+  /// consistent across the close/reopen cycle. A producer whose claim-CAS
+  /// races the Close/Reopen pair either observes the closed bit (kClosed,
+  /// no value enqueued) or lands its push at a position past the drained
+  /// range — never inside it — so no accepted value is ever lost.
+  void Reopen() { tail_.fetch_and(~kClosedBit, std::memory_order_acq_rel); }
+
   /// Consumer side, only after Close(): drains every accepted value,
   /// spin-waiting for claims that were in flight when the ring closed.
   template <typename Sink>

@@ -441,4 +441,39 @@ void Flatten::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
               static_cast<size_t>(grad_output.numel()) * sizeof(float));
 }
 
+std::unique_ptr<Layer> Linear::Clone() const {
+  Rng rng(0);  // init_std = 0: the draw is overwritten below anyway
+  auto out = std::make_unique<Linear>(in_features_, out_features_,
+                                      /*init_std=*/0.0f, rng, name_);
+  out->weight_.value = weight_.value;
+  out->bias_.value = bias_.value;
+  return out;
+}
+
+std::unique_ptr<Layer> Dropout::Clone() const {
+  auto out = std::make_unique<Dropout>(rate_, /*seed=*/0, name_);
+  out->rng_ = rng_;  // same mask stream as the source from this point on
+  return out;
+}
+
+std::unique_ptr<Layer> Conv2D::Clone() const {
+  Rng rng(0);
+  auto out = std::make_unique<Conv2D>(in_channels_, out_channels_, kernel_,
+                                      padding_, /*init_std=*/0.0f, rng,
+                                      name_);
+  out->weight_.value = weight_.value;
+  out->bias_.value = bias_.value;
+  return out;
+}
+
+std::unique_ptr<Layer> BatchNorm::Clone() const {
+  auto out = std::make_unique<BatchNorm>(features_, name_, momentum_,
+                                         epsilon_);
+  out->gamma_.value = gamma_.value;
+  out->beta_.value = beta_.value;
+  out->running_mean_ = running_mean_;
+  out->running_var_ = running_var_;
+  return out;
+}
+
 }  // namespace rafiki::nn

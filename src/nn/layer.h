@@ -64,6 +64,12 @@ class Layer {
   /// lifetime of the layer.
   virtual std::vector<ParamTensor*> Params() { return {}; }
 
+  /// Deep copy carrying configuration, parameter values, and inference
+  /// statistics (e.g. BatchNorm running moments) but fresh caches and zero
+  /// gradient accumulators — what a serving replica needs to run the same
+  /// model on its own thread without sharing mutable state.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -79,6 +85,7 @@ class Linear : public Layer {
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
   std::string name() const override { return name_; }
 
   int64_t in_features() const { return in_features_; }
@@ -100,6 +107,9 @@ class Relu : public Layer {
   void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Relu>(name_);
+  }
   std::string name() const override { return name_; }
 
  private:
@@ -115,6 +125,7 @@ class Dropout : public Layer {
   void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
+  std::unique_ptr<Layer> Clone() const override;
   std::string name() const override { return name_; }
 
   float rate() const { return rate_; }
@@ -141,6 +152,7 @@ class Conv2D : public Layer {
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&weight_, &bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
   std::string name() const override { return name_; }
 
   int64_t kernel() const { return kernel_; }
@@ -172,6 +184,7 @@ class BatchNorm : public Layer {
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
   std::vector<ParamTensor*> Params() override { return {&gamma_, &beta_}; }
+  std::unique_ptr<Layer> Clone() const override;
   std::string name() const override { return name_; }
 
   const Tensor& running_mean() const { return running_mean_; }
@@ -202,6 +215,9 @@ class MaxPool2D : public Layer {
   void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<MaxPool2D>(window_, name_);
+  }
   std::string name() const override { return name_; }
 
  private:
@@ -218,6 +234,9 @@ class Flatten : public Layer {
   void ForwardInto(const Tensor& input, bool train, Tensor* out) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   Shape Reserve(const Shape& input_shape) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Flatten>(name_);
+  }
   std::string name() const override { return name_; }
 
  private:

@@ -93,6 +93,12 @@ void Net::CopyParamsFrom(Net& src) {
   }
 }
 
+Net Net::Clone() const {
+  Net out;
+  for (const auto& layer : layers_) out.Add(layer->Clone());
+  return out;
+}
+
 Net MakeMlp(const std::vector<int64_t>& dims, float init_std, float dropout,
             Rng& rng) {
   RAFIKI_CHECK_GE(dims.size(), 2u);

@@ -87,6 +87,11 @@ class Net {
   /// used to sync data-parallel replicas with the master each step.
   void CopyParamsFrom(Net& src);
 
+  /// Deep copy: same architecture and parameter values (via Layer::Clone),
+  /// fresh caches and workspaces. Lets a serving replica run the same model
+  /// on its own thread without sharing any mutable forward state.
+  Net Clone() const;
+
   size_t num_layers() const { return layers_.size(); }
   Layer& layer(size_t i) { return *layers_[i]; }
 

@@ -300,6 +300,39 @@ GatewayResponse Gateway::Deploy(const GatewayRequest& request) {
       return Error(400, "policy must be greedy|rl");
     }
   }
+  // Replicated serving plane: `replicas=N` caps the job at N dispatcher
+  // replicas. Static by default (all N start immediately); `autoscale=1`
+  // instead starts at one replica and lets the ReplicaController grow and
+  // shrink the set within [1, N] from queue pressure.
+  auto get_int = [&](const char* key, long long fallback,
+                     bool* ok) -> long long {
+    auto p = request.params.find(key);
+    if (p == request.params.end()) return fallback;
+    const std::string& value = p->second;
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() ||
+        errno == ERANGE) {
+      *ok = false;
+      return fallback;
+    }
+    return parsed;
+  };
+  bool params_ok = true;
+  long long replicas = get_int("replicas", 1, &params_ok);
+  long long autoscale = get_int("autoscale", 0, &params_ok);
+  if (!params_ok || replicas < 1 || replicas > 64) {
+    return Error(400, "replicas must be an integer in [1, 64]");
+  }
+  options.max_replicas = static_cast<int>(replicas);
+  if (autoscale != 0) {
+    options.autoscale = true;
+    options.replicas = 1;
+    options.min_replicas = 1;
+  } else {
+    options.replicas = static_cast<int>(replicas);
+  }
   Result<std::vector<ModelHandle>> models = rafiki_->GetModels(it->second);
   if (!models.ok()) return FromStatus(models.status());
   Result<std::string> deployed = rafiki_->Deploy(*models, options);
@@ -347,8 +380,7 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
   Result<serving::InferenceJobMetrics> metrics =
       rafiki_->InferenceMetrics(job_id);
   if (!metrics.ok()) return FromStatus(metrics.status());
-  return GatewayResponse{
-      200,
+  std::string body =
       StrFormat("arrived=%lld&processed=%lld&overdue=%lld&dropped=%lld&"
                 "expired=%lld&batches=%lld&max_batch=%lld&mean_batch=%.3f&"
                 "mean_latency=%.6f&queue=%lld&p50=%.6f&p95=%.6f&p99=%.6f&"
@@ -368,7 +400,32 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
                 static_cast<long long>(metrics->learn_steps),
                 metrics->reward_sum, metrics->accuracy_sum,
                 static_cast<long long>(metrics->reward_overdue),
-                static_cast<long long>(metrics->reward_pending_overdue))};
+                static_cast<long long>(metrics->reward_pending_overdue));
+  body += StrFormat(
+      "&replicas=%lld&replicas_peak=%lld&scale_ups=%lld&scale_downs=%lld&"
+      "steals=%lld&variant_level=%lld&variant_shifts=%lld",
+      static_cast<long long>(metrics->replicas),
+      static_cast<long long>(metrics->replicas_peak),
+      static_cast<long long>(metrics->scale_ups),
+      static_cast<long long>(metrics->scale_downs),
+      static_cast<long long>(metrics->steals),
+      static_cast<long long>(metrics->variant_level),
+      static_cast<long long>(metrics->variant_shifts));
+  // One gauge row per replica slot ever activated; each row was read under
+  // that replica's stats mutex, so depth/processed/steals are consistent.
+  for (const serving::ReplicaGauges& g : metrics->replica_gauges) {
+    body += StrFormat(
+        "&r%lld_active=%d&r%lld_queue=%lld&r%lld_processed=%lld&"
+        "r%lld_steals=%lld",
+        static_cast<long long>(g.replica), g.active ? 1 : 0,
+        static_cast<long long>(g.replica),
+        static_cast<long long>(g.queue_depth),
+        static_cast<long long>(g.replica),
+        static_cast<long long>(g.processed),
+        static_cast<long long>(g.replica),
+        static_cast<long long>(g.steals));
+  }
+  return GatewayResponse{200, std::move(body)};
 }
 
 GatewayResponse Gateway::Undeploy(const GatewayRequest& request) {

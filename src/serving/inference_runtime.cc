@@ -60,6 +60,35 @@ model::ModelProfile CalibrateProfile(ServableModel& model, int64_t dim,
   return profile;
 }
 
+/// variant_masks[L] drops the L slowest models (by latency at the largest
+/// batch size) from the full ensemble — the controller's accuracy-for-
+/// latency ladder. The last level keeps only the fastest model.
+std::vector<uint32_t> BuildVariantMasks(
+    const std::vector<model::ModelProfile>& profiles, int64_t max_batch) {
+  size_t n = profiles.size();
+  std::vector<size_t> by_slowest(n);
+  for (size_t i = 0; i < n; ++i) by_slowest[i] = i;
+  std::stable_sort(by_slowest.begin(), by_slowest.end(),
+                   [&](size_t a, size_t b) {
+                     return profiles[a].BatchLatency(max_batch) >
+                            profiles[b].BatchLatency(max_batch);
+                   });
+  uint32_t mask = (1u << static_cast<uint32_t>(n)) - 1u;
+  std::vector<uint32_t> masks;
+  masks.reserve(n);
+  for (size_t level = 0; level < n; ++level) {
+    masks.push_back(mask);
+    mask &= ~(1u << static_cast<uint32_t>(by_slowest[level]));
+  }
+  return masks;
+}
+
+/// Consecutive-tick thresholds for the controller's hysteresis (on top of
+/// the dwell time): sustained signals, not single-tick spikes.
+constexpr int kScaleDownTicks = 3;
+constexpr int kDownshiftTicks = 3;
+constexpr int kUpshiftTicks = 5;
+
 }  // namespace
 
 std::vector<EnsemblePrediction> MajorityVoteRows(
@@ -101,6 +130,29 @@ InferenceRuntime::~InferenceRuntime() {
   for (auto& [id, job] : jobs) StopJob(*job);
 }
 
+std::unique_ptr<SchedulerPolicy> InferenceRuntime::MakePolicy(
+    const Job& job, size_t replica_index) {
+  if (job.opts.policy_factory != nullptr) {
+    PolicyInit init;
+    init.num_models = job.prototypes.size();
+    init.batch_sizes = job.opts.batch_sizes;
+    init.accuracies = job.accuracies;
+    init.profiles = &job.profiles;
+    init.tau = job.opts.tau;
+    init.beta = job.opts.beta;
+    init.backoff_delta_fraction = job.opts.backoff_delta_fraction;
+    init.replica_index = replica_index;
+    init.num_replicas = job.max_replicas;
+    return job.opts.policy_factory(init);
+  }
+  if (job.prototypes.size() == 1) {
+    return std::make_unique<GreedyBatchPolicy>(
+        /*model_index=*/0, job.opts.backoff_delta_fraction);
+  }
+  return std::make_unique<SyncEnsembleGreedyPolicy>(
+      job.opts.backoff_delta_fraction);
+}
+
 Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
                                              std::vector<ServableModel> models,
                                              RuntimeOptions options) {
@@ -119,23 +171,42 @@ Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
   if (options.queue_capacity == 0) {
     return Status::InvalidArgument("queue capacity must be positive");
   }
+  if (options.replicas < 1 || options.min_replicas < 1) {
+    return Status::InvalidArgument("replicas and min_replicas must be >= 1");
+  }
+  if (options.max_replicas < 0) {
+    return Status::InvalidArgument("max_replicas must be >= 0");
+  }
 
   auto job = std::make_shared<Job>();
   job->id = job_id;
   job->opts = options;
-  job->models = std::move(models);
+  job->prototypes = std::move(models);
   job->epoch = std::chrono::steady_clock::now();
-  job->ring = std::make_unique<MpscRing<Pending>>(options.queue_capacity);
+  job->min_replicas = static_cast<size_t>(options.min_replicas);
+  job->max_replicas =
+      options.max_replicas > 0
+          ? static_cast<size_t>(options.max_replicas)
+          : std::max<size_t>(static_cast<size_t>(options.replicas),
+                             job->min_replicas);
+  if (job->max_replicas < job->min_replicas) {
+    return Status::InvalidArgument("max_replicas < min_replicas");
+  }
+  if (job->max_replicas > 64) {
+    return Status::InvalidArgument("at most 64 replicas per job");
+  }
+  size_t initial = std::clamp(static_cast<size_t>(options.replicas),
+                              job->min_replicas, job->max_replicas);
 
-  job->input_dim = DeriveInputDim(job->models.front());
+  job->input_dim = DeriveInputDim(job->prototypes.front());
   if (job->input_dim <= 0) {
     return Status::InvalidArgument(
         StrFormat("cannot derive input dim of model '%s'",
-                  job->models.front().name.c_str()));
+                  job->prototypes.front().name.c_str()));
   }
   int64_t max_b = *std::max_element(options.batch_sizes.begin(),
                                     options.batch_sizes.end());
-  for (ServableModel& m : job->models) {
+  for (ServableModel& m : job->prototypes) {
     int64_t dim = DeriveInputDim(m);
     if (dim != job->input_dim) {
       return Status::InvalidArgument(
@@ -147,27 +218,17 @@ Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
         CalibrateProfile(m, job->input_dim, max_b, options.calibrate));
     job->accuracies.push_back(m.accuracy);
   }
-  if (options.policy_factory != nullptr) {
-    PolicyInit init;
-    init.num_models = job->models.size();
-    init.batch_sizes = options.batch_sizes;
-    init.accuracies = job->accuracies;
-    init.profiles = &job->profiles;
-    init.tau = options.tau;
-    init.beta = options.beta;
-    init.backoff_delta_fraction = options.backoff_delta_fraction;
-    job->policy = options.policy_factory(init);
-    if (job->policy == nullptr) {
+  job->variant_masks = BuildVariantMasks(job->profiles, max_b);
+  {
+    // Validate the factory once before committing the job: a factory that
+    // yields no policy is a deploy-time error, not a scale-up surprise.
+    std::unique_ptr<SchedulerPolicy> probe = MakePolicy(*job, 0);
+    if (probe == nullptr) {
       return Status::InvalidArgument("policy_factory returned no policy");
     }
-  } else if (job->models.size() == 1) {
-    job->policy = std::make_unique<GreedyBatchPolicy>(
-        /*model_index=*/0, options.backoff_delta_fraction);
-  } else {
-    job->policy = std::make_unique<SyncEnsembleGreedyPolicy>(
-        options.backoff_delta_fraction);
+    job->policy_name = probe->name();
   }
-  job->stats.policy = job->policy->name();
+  job->slots.resize(job->max_replicas);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -177,7 +238,10 @@ Result<std::string> InferenceRuntime::Deploy(const std::string& job_id,
     }
     jobs_[job_id] = job;
   }
-  job->dispatcher = std::thread([job] { DispatchLoop(job); });
+  for (size_t i = 0; i < initial; ++i) StartReplica(job, i);
+  if (options.autoscale) {
+    job->controller = std::thread([job] { ControllerLoop(job); });
+  }
   return job_id;
 }
 
@@ -204,14 +268,91 @@ Status InferenceRuntime::Undeploy(const std::string& job_id) {
   return Status::OK();
 }
 
+void InferenceRuntime::StartReplica(const std::shared_ptr<Job>& job,
+                                    size_t index) {
+  Replica* r;
+  if (job->created.load(std::memory_order_relaxed) <= index) {
+    auto fresh = std::make_unique<Replica>();
+    fresh->index = index;
+    fresh->ring = std::make_unique<MpscRing<Pending>>(job->opts.queue_capacity);
+    fresh->models.reserve(job->prototypes.size());
+    for (const ServableModel& proto : job->prototypes) {
+      ServableModel clone;
+      clone.net = proto.net.Clone();
+      clone.accuracy = proto.accuracy;
+      clone.name = proto.name;
+      clone.input_dim = job->input_dim;
+      fresh->models.push_back(std::move(clone));
+    }
+    fresh->profiles = job->profiles;
+    fresh->policy = MakePolicy(*job, index);
+    RAFIKI_CHECK(fresh->policy != nullptr);  // validated at Deploy
+    job->slots[index] = std::move(fresh);
+    r = job->slots[index].get();
+    // Publish the slot before it becomes routable (paired with the
+    // acquire loads in SubmitAsync / Metrics).
+    job->created.store(index + 1, std::memory_order_release);
+  } else {
+    // Re-activating a slot retired earlier: its previous dispatcher was
+    // joined and its ring fully drained, so Reopen is safe. Policy state
+    // (e.g. a learned RL agent) carries over.
+    r = job->slots[index].get();
+    r->ring->Reopen();
+    r->stopping.store(false, std::memory_order_release);
+  }
+  r->dispatcher = std::thread([job, r] { ReplicaLoop(job, r); });
+  job->active.store(index + 1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->replicas_peak =
+        std::max(job->replicas_peak, static_cast<int64_t>(index + 1));
+  }
+}
+
+void InferenceRuntime::RetireReplica(Job& job, size_t index) {
+  Replica& r = *job.slots[index];
+  // Unpublish from the router first: new submissions stop picking this
+  // slot. Racing producers that already picked it bounce off the closed
+  // ring (kClosed) and re-route.
+  job.active.store(index, std::memory_order_release);
+  // Close the ring BEFORE publishing `stopping` (the dispatcher's drain
+  // invariant: when it acquire-loads stopping == true, the closed bit is
+  // already visible, so DrainClosed observes every accepted value).
+  r.ring->Close();
+  r.stopping.store(true, std::memory_order_release);
+  r.doorbell.Notify();
+  if (r.dispatcher.joinable()) r.dispatcher.join();
+}
+
 void InferenceRuntime::StopJob(Job& job) {
-  // Close the ring BEFORE publishing `stopping`: when the dispatcher
-  // acquire-loads stopping == true, the closed bit is already visible, so
-  // its final DrainClosed() observes every value a producer ever enqueued.
-  if (job.ring != nullptr) job.ring->Close();
+  // Stop the controller first so no resize can race the teardown; after
+  // the join, this thread is the only lifecycle writer.
+  if (job.controller.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(job.ctl_mu);
+      job.ctl_stop = true;
+    }
+    job.ctl_cv.notify_all();
+    job.controller.join();
+  }
+  // Job-level stopping turns the dispatchers' drain path from "re-route to
+  // a surviving replica" into "fail as dropped". Published before any
+  // per-replica stopping store, so a dispatcher that observes its own
+  // stopping flag also observes the job flag.
   job.stopping.store(true, std::memory_order_release);
-  job.doorbell.Notify();
-  if (job.dispatcher.joinable()) job.dispatcher.join();
+  size_t created = job.created.load(std::memory_order_acquire);
+  for (size_t i = 0; i < created; ++i) {
+    Replica& r = *job.slots[i];
+    if (!r.stopping.load(std::memory_order_acquire)) {
+      r.ring->Close();
+      r.stopping.store(true, std::memory_order_release);
+    }
+    r.doorbell.Notify();
+  }
+  for (size_t i = 0; i < created; ++i) {
+    if (job.slots[i]->dispatcher.joinable()) job.slots[i]->dispatcher.join();
+  }
+  job.active.store(0, std::memory_order_release);
 }
 
 Status InferenceRuntime::SubmitAsync(const std::string& job_id,
@@ -246,7 +387,9 @@ Status InferenceRuntime::SubmitAsync(const std::string& job_id,
   pending.arrival = job->NowSeconds();
 
   // Lock-free admission: count the arrival, reserve a queue slot on the
-  // atomic gauge (the exact-capacity gate), then publish into the ring.
+  // job-wide atomic gauge (the exact-capacity gate), then route to the
+  // least-loaded replica. The gauge reservation also guarantees the
+  // chosen ring has room (rings are sized >= queue_capacity).
   job->arrived.fetch_add(1, std::memory_order_relaxed);
   int64_t depth = job->queued.fetch_add(1, std::memory_order_acq_rel);
   if (depth >= static_cast<int64_t>(job->opts.queue_capacity)) {
@@ -255,10 +398,8 @@ Status InferenceRuntime::SubmitAsync(const std::string& job_id,
     return Status::Unavailable(
         StrFormat("inference job '%s' queue full", job_id.c_str()));
   }
-  switch (job->ring->TryPush(std::move(pending))) {
-    case MpscRing<Pending>::PushResult::kOk:
-      break;
-    case MpscRing<Pending>::PushResult::kClosed:
+  for (int attempt = 0;; ++attempt) {
+    if (job->stopping.load(std::memory_order_acquire)) {
       // Undeploy raced us after the reservation. The request was never
       // accepted, so the arrival is uncounted again — the books still
       // close at arrived == processed + dropped + expired.
@@ -266,15 +407,50 @@ Status InferenceRuntime::SubmitAsync(const std::string& job_id,
       job->arrived.fetch_sub(1, std::memory_order_relaxed);
       return Status::NotFound(
           StrFormat("inference job '%s' is undeploying", job_id.c_str()));
-    case MpscRing<Pending>::PushResult::kFull:
-      // Unreachable: the `queued` gate is tighter than the ring capacity.
-      job->queued.fetch_sub(1, std::memory_order_acq_rel);
-      job->dropped.fetch_add(1, std::memory_order_relaxed);
-      return Status::Unavailable(
-          StrFormat("inference job '%s' queue full", job_id.c_str()));
+    }
+    // Least-loaded router: queued + inflight approximates each replica's
+    // time-to-drain. Racy reads are fine — misrouting costs balance, not
+    // correctness, and stealing re-levels any transient skew.
+    size_t active = job->active.load(std::memory_order_acquire);
+    size_t best = SIZE_MAX;
+    int64_t best_load = INT64_MAX;
+    for (size_t i = 0; i < active; ++i) {
+      Replica* r = job->slots[i].get();
+      if (r->stopping.load(std::memory_order_relaxed)) continue;
+      int64_t load = r->queued.load(std::memory_order_relaxed) +
+                     r->inflight.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) {
+      // No routable replica this instant (mid-resize window, or Deploy
+      // still starting the first dispatcher). Brief and self-correcting:
+      // yield and re-scan, bounded so a wedged job cannot hang callers.
+      if (attempt >= 1024) {
+        job->queued.fetch_sub(1, std::memory_order_acq_rel);
+        job->dropped.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable(
+            StrFormat("inference job '%s' has no routable replica",
+                      job_id.c_str()));
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    Replica* r = job->slots[best].get();
+    r->queued.fetch_add(1, std::memory_order_acq_rel);
+    if (r->ring->TryPush(std::move(pending)) ==
+        MpscRing<Pending>::PushResult::kOk) {
+      r->doorbell.Notify();
+      return Status::OK();
+    }
+    // kClosed: the replica retired between the scan and the push (TryPush
+    // leaves `pending` intact on failure) — undo its gauge and re-scan.
+    // kFull is unreachable (ring >= job capacity gate) but handled the
+    // same way for robustness.
+    r->queued.fetch_sub(1, std::memory_order_acq_rel);
   }
-  job->doorbell.Notify();
-  return Status::OK();
 }
 
 Result<std::future<Result<EnsemblePrediction>>> InferenceRuntime::Submit(
@@ -303,8 +479,8 @@ Result<std::vector<EnsemblePrediction>> InferenceRuntime::QueryBatch(
     Tensor row({1, dim});
     std::memcpy(row.data(), features.data() + r * dim,
                 static_cast<size_t>(dim) * sizeof(float));
-    // Backpressure: a full queue is retryable; give the dispatcher a bounded
-    // amount of time to drain before giving up on the whole batch.
+    // Backpressure: a full queue is retryable; give the dispatchers a
+    // bounded amount of time to drain before giving up on the whole batch.
     int attempts = 0;
     for (;;) {
       Result<std::future<Result<EnsemblePrediction>>> submitted =
@@ -340,22 +516,63 @@ Result<InferenceJobMetrics> InferenceRuntime::Metrics(
     return Status::NotFound(StrFormat("no inference job '%s'",
                                       job_id.c_str()));
   }
-  std::lock_guard<std::mutex> lock(job->mu);
-  InferenceJobMetrics stats = job->stats;
+  InferenceJobMetrics stats;
+  stats.policy = job->policy_name;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    stats.replicas_peak = job->replicas_peak;
+    stats.scale_ups = job->scale_ups;
+    stats.scale_downs = job->scale_downs;
+    stats.variant_shifts = job->variant_shifts;
+  }
   stats.arrived = job->arrived.load(std::memory_order_relaxed);
   stats.dropped = job->dropped.load(std::memory_order_relaxed);
+  stats.queue_depth = job->queued.load(std::memory_order_relaxed);
+  stats.variant_level = job->variant_level.load(std::memory_order_relaxed);
+  size_t active = job->active.load(std::memory_order_acquire);
+  size_t created = job->created.load(std::memory_order_acquire);
+  stats.replicas = static_cast<int64_t>(active);
+  double latency_sum = 0.0;
+  LatencyHistogram hist;
+  stats.replica_gauges.reserve(created);
+  for (size_t i = 0; i < created; ++i) {
+    Replica& r = *job->slots[i];
+    // One mutex hold per replica covers its whole gauge row (queue depth,
+    // processed, steals) plus the aggregate fold, so each row is an
+    // internally consistent snapshot.
+    std::lock_guard<std::mutex> lock(r.mu);
+    ReplicaGauges g;
+    g.replica = static_cast<int64_t>(i);
+    g.active = i < active;
+    g.queue_depth = r.queued.load(std::memory_order_relaxed) +
+                    r.inflight.load(std::memory_order_relaxed);
+    g.processed = r.stats.processed;
+    g.steals = r.steals.load(std::memory_order_relaxed);
+    stats.replica_gauges.push_back(g);
+    stats.processed += r.stats.processed;
+    stats.overdue += r.stats.overdue;
+    stats.expired += r.stats.expired;
+    stats.batches += r.stats.batches;
+    stats.max_batch = std::max(stats.max_batch, r.stats.max_batch);
+    stats.learn_steps += r.stats.learn_steps;
+    stats.reward_sum += r.stats.reward_sum;
+    stats.accuracy_sum += r.stats.accuracy_sum;
+    stats.reward_overdue += r.stats.reward_overdue;
+    stats.reward_pending_overdue += r.stats.reward_pending_overdue;
+    stats.steals += g.steals;
+    latency_sum += r.stats.latency_sum;
+    hist.Merge(r.stats.latency_hist);
+  }
   if (stats.batches > 0) {
     stats.mean_batch = static_cast<double>(stats.processed) /
                        static_cast<double>(stats.batches);
   }
   if (stats.processed > 0) {
-    stats.mean_latency = job->latency_sum /
-                         static_cast<double>(stats.processed);
-    stats.p50_latency = job->latency_hist.P50();
-    stats.p95_latency = job->latency_hist.P95();
-    stats.p99_latency = job->latency_hist.P99();
+    stats.mean_latency = latency_sum / static_cast<double>(stats.processed);
+    stats.p50_latency = hist.P50();
+    stats.p95_latency = hist.P95();
+    stats.p99_latency = hist.P99();
   }
-  stats.queue_depth = job->queued.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -367,38 +584,108 @@ std::vector<std::string> InferenceRuntime::Jobs() const {
   return out;
 }
 
-void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
+void InferenceRuntime::MaybePostSteal(Job& job, Replica& self) {
+  size_t active = job.active.load(std::memory_order_acquire);
+  if (active <= 1) return;
+  size_t victim = SIZE_MAX;
+  auto best_q = static_cast<int64_t>(job.opts.steal_threshold);
+  for (size_t i = 0; i < active; ++i) {
+    Replica* r = job.slots[i].get();
+    if (r == &self || r->stopping.load(std::memory_order_relaxed)) continue;
+    int64_t q = r->queued.load(std::memory_order_relaxed);
+    if (q > best_q) {
+      best_q = q;
+      victim = i;
+    }
+  }
+  if (victim == SIZE_MAX) return;
+  // One pending thief per victim; losing the CAS means someone else asked
+  // first, and our doorbell timeout retries soon anyway.
+  uint32_t expected = kNoThief;
+  job.slots[victim]->steal_request.compare_exchange_strong(
+      expected, static_cast<uint32_t>(self.index),
+      std::memory_order_acq_rel, std::memory_order_relaxed);
+}
+
+void InferenceRuntime::ServiceStealRequest(Job& job, Replica& self,
+                                           RingDeque<Pending>& lq) {
+  if (self.steal_request.load(std::memory_order_relaxed) == kNoThief) return;
+  uint32_t thief_idx =
+      self.steal_request.exchange(kNoThief, std::memory_order_acq_rel);
+  if (thief_idx == kNoThief) return;
+  // A surplus below the threshold drops the request: the thief retries
+  // against the then-longest queue after its poll timeout.
+  if (lq.size() <= job.opts.steal_threshold) return;
+  if (thief_idx >= job.created.load(std::memory_order_acquire)) return;
+  Replica* thief = job.slots[thief_idx].get();
+  if (thief == &self) return;
+  // Donate half the local queue, oldest first (they reach service soonest
+  // on the idle thief). The donation runs the ordinary MPSC producer
+  // protocol against the thief's ring, so the thief's single-consumer
+  // invariant — and hence exactly-once completion — is untouched.
+  size_t donate = lq.size() / 2;
+  int64_t moved = 0;
+  for (size_t i = 0; i < donate; ++i) {
+    if (thief->stopping.load(std::memory_order_relaxed)) break;
+    Pending p = std::move(lq.front());
+    lq.pop_front();
+    thief->queued.fetch_add(1, std::memory_order_acq_rel);
+    self.queued.fetch_sub(1, std::memory_order_acq_rel);
+    if (thief->ring->TryPush(std::move(p)) !=
+        MpscRing<Pending>::PushResult::kOk) {
+      // Thief retired under us (TryPush left `p` intact): undo the gauge
+      // transfer and keep the request local.
+      thief->queued.fetch_sub(1, std::memory_order_acq_rel);
+      self.queued.fetch_add(1, std::memory_order_acq_rel);
+      lq.push_back(std::move(p));
+      break;
+    }
+    ++moved;
+  }
+  if (moved > 0) {
+    thief->steals.fetch_add(moved, std::memory_order_relaxed);
+    thief->doorbell.Notify();
+  }
+}
+
+void InferenceRuntime::ReplicaLoop(const std::shared_ptr<Job>& job,
+                                   Replica* self) {
   const RuntimeOptions& opts = job->opts;
   const double delta = opts.backoff_delta_fraction * opts.tau;
-  MpscRing<Pending>& ring = *job->ring;
+  MpscRing<Pending>& ring = *self->ring;
   // Dispatcher-local FIFO: the ring is drained into it in batches, and the
   // policy works against it without any shared lock. Requests here still
-  // count as "queued" — the gauge drops only when they are batched,
-  // expired, or failed at shutdown.
+  // count as "queued" — the gauges drop only when they are batched,
+  // expired, donated, or failed at shutdown.
   RingDeque<Pending> lq;
   auto take = [&lq](Pending&& p) { lq.push_back(std::move(p)); };
   std::vector<Pending> expired;  // scratch, capacity reused
   // Expiries not yet folded into a reward: Equation 7 charges overdue at
   // batch completion, so an expired (504) request is charged against the
-  // NEXT dispatched batch — exactly once. Dispatcher-local; the
-  // reward_pending_overdue gauge mirrors it for observers.
-  int64_t expired_unrewarded = 0;
+  // NEXT batch this replica dispatches — exactly once. The carry persists
+  // across a scale-down/up cycle of this slot.
+  int64_t expired_unrewarded = self->expired_carry;
+  self->expired_carry = 0;
   const uint32_t all_models_mask =
-      (1u << static_cast<uint32_t>(job->models.size())) - 1u;
+      (1u << static_cast<uint32_t>(self->models.size())) - 1u;
 
-  while (!job->stopping.load(std::memory_order_acquire)) {
+  while (!self->stopping.load(std::memory_order_acquire)) {
     ring.ConsumeBatch(opts.queue_capacity, take);
+    ServiceStealRequest(*job, *self, lq);
     if (lq.empty()) {
-      // Sleep until a producer rings the doorbell. PrepareWait/recheck
-      // closes the race with a push that lands between the emptiness check
-      // and the futex wait; the timeout re-evaluates deadline pressure.
-      uint32_t epoch = job->doorbell.PrepareWait();
-      if (job->stopping.load(std::memory_order_acquire) ||
+      // Before sleeping, ask the most loaded replica for work; its
+      // donation lands in our ring and rings our doorbell.
+      MaybePostSteal(*job, *self);
+      // PrepareWait/recheck closes the race with a push that lands between
+      // the emptiness check and the futex wait; the timeout re-evaluates
+      // deadline pressure (and retries the steal).
+      uint32_t epoch = self->doorbell.PrepareWait();
+      if (self->stopping.load(std::memory_order_acquire) ||
           ring.ApproxSize() > 0) {
-        job->doorbell.CancelWait();
+        self->doorbell.CancelWait();
         continue;
       }
-      job->doorbell.Wait(epoch, opts.max_poll_seconds);
+      self->doorbell.Wait(epoch, opts.max_poll_seconds);
       continue;
     }
 
@@ -414,13 +701,14 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       }
       if (!expired.empty()) {
         auto n = static_cast<int64_t>(expired.size());
+        self->queued.fetch_sub(n, std::memory_order_acq_rel);
         job->queued.fetch_sub(n, std::memory_order_acq_rel);
         expired_unrewarded += n;
         {
-          std::lock_guard<std::mutex> lock(job->mu);
-          job->stats.expired += n;
-          job->stats.overdue += n;
-          job->stats.reward_pending_overdue += n;
+          std::lock_guard<std::mutex> lock(self->mu);
+          self->stats.expired += n;
+          self->stats.overdue += n;
+          self->stats.reward_pending_overdue += n;
         }
         for (Pending& p : expired) {
           p.done(Status::DeadlineExceeded(
@@ -433,7 +721,7 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
     ServingObs obs;
     obs.tau = opts.tau;
     obs.batch_sizes = &opts.batch_sizes;
-    obs.models = &job->profiles;
+    obs.models = &self->profiles;
     obs.queue_len = lq.size();
     // Stamp the queue features at the moment Decide() runs, not at tick
     // start: the expiry scan and its 504 continuations above take real
@@ -451,11 +739,11 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
 #endif
       obs.queue_waits.push_back(wait);
     }
-    // The dispatcher is the only executor and runs batches synchronously,
-    // so every model is free at decision time.
-    obs.busy_remaining.assign(job->profiles.size(), 0.0);
+    // This replica is the only executor of its clones and runs batches
+    // synchronously, so every model is free at decision time.
+    obs.busy_remaining.assign(self->profiles.size(), 0.0);
 
-    ServingAction action = job->policy->Decide(obs);
+    ServingAction action = self->policy->Decide(obs);
     int64_t b = std::min<int64_t>(action.batch_size,
                                   static_cast<int64_t>(lq.size()));
     if (!action.process || b <= 0) {
@@ -467,19 +755,19 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       int64_t effective =
           feasible > 0 ? feasible : static_cast<int64_t>(obs.queue_len);
       double worst_latency = 0.0;
-      for (const model::ModelProfile& m : job->profiles) {
+      for (const model::ModelProfile& m : self->profiles) {
         worst_latency = std::max(worst_latency, m.BatchLatency(effective));
       }
       double oldest = obs.queue_waits.empty() ? 0.0 : obs.queue_waits[0];
       double until_flush = opts.tau - delta - worst_latency - oldest;
       double sleep_s =
           std::clamp(until_flush, 100e-6, opts.max_poll_seconds);
-      uint32_t epoch = job->doorbell.PrepareWait();
-      if (job->stopping.load(std::memory_order_acquire) ||
+      uint32_t epoch = self->doorbell.PrepareWait();
+      if (self->stopping.load(std::memory_order_acquire) ||
           ring.ApproxSize() > 0) {
-        job->doorbell.CancelWait();
+        self->doorbell.CancelWait();
       } else {
-        job->doorbell.Wait(epoch, sleep_s);
+        self->doorbell.Wait(epoch, sleep_s);
       }
       continue;
     }
@@ -490,38 +778,229 @@ void InferenceRuntime::DispatchLoop(const std::shared_ptr<Job>& job) {
       batch.push_back(std::move(lq.front()));
       lq.pop_front();
     }
+    self->queued.fetch_sub(b, std::memory_order_acq_rel);
     job->queued.fetch_sub(b, std::memory_order_acq_rel);
+    self->inflight.store(b, std::memory_order_relaxed);
     // Sanitize the mask for execution (the policy's own action object is
     // preserved for Feedback, which re-encodes it): bits beyond the
     // deployed models are dropped, and an empty selection degrades to the
-    // full ensemble so the batch is still answered.
+    // full ensemble. The controller's variant mask is applied last and
+    // wins — under a downshift the slowest models must not run even if
+    // the policy selected only them.
     uint32_t mask = action.model_mask & all_models_mask;
     if (mask == 0) mask = all_models_mask;
+    int level = std::clamp(
+        job->variant_level.load(std::memory_order_relaxed), 0,
+        static_cast<int>(job->variant_masks.size()) - 1);
+    uint32_t variant = job->variant_masks[static_cast<size_t>(level)];
+    uint32_t exec = mask & variant;
+    if (exec == 0) exec = variant;
     double reward =
-        ProcessBatch(*job, std::move(batch), mask, expired_unrewarded);
+        ProcessBatch(*job, *self, std::move(batch), exec, expired_unrewarded);
+    self->inflight.store(0, std::memory_order_relaxed);
     expired_unrewarded = 0;
     // Online learning from the realized outcome (no-op for greedy): runs
     // on this dispatcher thread, after the stats fold, so Metrics readers
     // never see a batch whose reward is missing.
-    job->policy->Feedback(obs, action, reward);
+    self->policy->Feedback(obs, action, reward);
   }
 
-  // Shutdown: StopJob closed the ring before `stopping` became visible, so
-  // DrainClosed observes every request any producer ever enqueued. Fail
-  // them (plus anything already local); they arrived but were never
-  // served, so they count as dropped (keeps arrived == processed +
-  // dropped + expired after Undeploy).
+  // Drain: whoever retired us closed the ring before `stopping` became
+  // visible, so DrainClosed observes every request any producer ever
+  // enqueued here.
   ring.DrainClosed(take);
-  if (!lq.empty()) {
-    auto n = static_cast<int64_t>(lq.size());
-    job->queued.fetch_sub(n, std::memory_order_acq_rel);
-    job->dropped.fetch_add(n, std::memory_order_relaxed);
+  self->expired_carry = expired_unrewarded;
+  if (job->stopping.load(std::memory_order_acquire)) {
+    // Undeploy: the requests arrived but will never be served — fail them
+    // as dropped (keeps arrived == processed + dropped + expired).
+    if (!lq.empty()) {
+      auto n = static_cast<int64_t>(lq.size());
+      self->queued.fetch_sub(n, std::memory_order_acq_rel);
+      job->queued.fetch_sub(n, std::memory_order_acq_rel);
+      job->dropped.fetch_add(n, std::memory_order_relaxed);
+    }
+    while (!lq.empty()) {
+      Pending p = std::move(lq.front());
+      lq.pop_front();
+      p.done(Status::Unavailable(
+          StrFormat("inference job '%s' undeployed", job->id.c_str())));
+    }
+    return;
   }
+  // Scale-down: the job lives on, so every drained request is re-routed
+  // to a surviving replica (the controller guarantees at least
+  // min_replicas >= 1 stay active). Only if re-routing is truly
+  // impossible — Undeploy racing in behind us — does a request fail.
   while (!lq.empty()) {
     Pending p = std::move(lq.front());
     lq.pop_front();
-    p.done(Status::Unavailable(
-        StrFormat("inference job '%s' undeployed", job->id.c_str())));
+    bool moved = false;
+    while (!moved) {
+      if (job->stopping.load(std::memory_order_acquire)) break;
+      size_t active = job->active.load(std::memory_order_acquire);
+      size_t best = SIZE_MAX;
+      int64_t best_load = INT64_MAX;
+      for (size_t i = 0; i < active; ++i) {
+        Replica* r = job->slots[i].get();
+        if (r == self || r->stopping.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        int64_t load = r->queued.load(std::memory_order_relaxed) +
+                       r->inflight.load(std::memory_order_relaxed);
+        if (load < best_load) {
+          best_load = load;
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX) {
+        std::this_thread::yield();
+        continue;
+      }
+      Replica* target = job->slots[best].get();
+      target->queued.fetch_add(1, std::memory_order_acq_rel);
+      self->queued.fetch_sub(1, std::memory_order_acq_rel);
+      if (target->ring->TryPush(std::move(p)) ==
+          MpscRing<Pending>::PushResult::kOk) {
+        target->doorbell.Notify();
+        moved = true;
+      } else {
+        self->queued.fetch_add(1, std::memory_order_acq_rel);
+        target->queued.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    if (!moved) {
+      self->queued.fetch_sub(1, std::memory_order_acq_rel);
+      job->queued.fetch_sub(1, std::memory_order_acq_rel);
+      job->dropped.fetch_add(1, std::memory_order_relaxed);
+      p.done(Status::Unavailable(
+          StrFormat("inference job '%s' undeployed", job->id.c_str())));
+    }
+  }
+}
+
+void InferenceRuntime::ControllerLoop(const std::shared_ptr<Job>& job) {
+  const RuntimeOptions& opts = job->opts;
+  const int64_t max_b = *std::max_element(opts.batch_sizes.begin(),
+                                          opts.batch_sizes.end());
+  const auto max_level =
+      static_cast<int>(job->variant_masks.size()) - 1;
+  double last_resize = job->NowSeconds();
+  double last_shift = last_resize;
+  int low_ticks = 0;
+  int high_overdue_ticks = 0;
+  int low_overdue_ticks = 0;
+  int64_t prev_overdue = 0;
+  int64_t prev_completed = 0;
+
+  std::unique_lock<std::mutex> lock(job->ctl_mu);
+  for (;;) {
+    job->ctl_cv.wait_for(lock,
+                         std::chrono::duration<double>(opts.autoscale_interval),
+                         [&] { return job->ctl_stop; });
+    if (job->ctl_stop) break;
+    lock.unlock();
+
+    size_t active = job->active.load(std::memory_order_acquire);
+    int64_t queued = job->queued.load(std::memory_order_relaxed);
+    int64_t inflight = 0;
+    for (size_t i = 0; i < active; ++i) {
+      inflight += job->slots[i]->inflight.load(std::memory_order_relaxed);
+    }
+    double now = job->NowSeconds();
+
+    // Horizontal scaling, with hysteresis: a dwell between resizes, and
+    // scale-down additionally requires several consecutive low ticks.
+    auto up_at = static_cast<int64_t>(opts.scale_up_pressure *
+                                      static_cast<double>(active) *
+                                      static_cast<double>(max_b));
+    auto down_at = static_cast<int64_t>(
+        opts.scale_down_pressure * static_cast<double>(active - 1) *
+        static_cast<double>(max_b));
+    if (active < job->max_replicas && queued > up_at &&
+        now - last_resize >= opts.autoscale_dwell) {
+      StartReplica(job, active);
+      {
+        std::lock_guard<std::mutex> stats_lock(job->mu);
+        ++job->scale_ups;
+      }
+      last_resize = now;
+      low_ticks = 0;
+    } else if (active > job->min_replicas) {
+      if (queued + inflight <= down_at) {
+        ++low_ticks;
+      } else {
+        low_ticks = 0;
+      }
+      if (low_ticks >= kScaleDownTicks &&
+          now - last_resize >= opts.autoscale_dwell) {
+        RetireReplica(*job, active - 1);
+        {
+          std::lock_guard<std::mutex> stats_lock(job->mu);
+          ++job->scale_downs;
+        }
+        last_resize = now;
+        low_ticks = 0;
+      }
+    } else {
+      low_ticks = 0;
+    }
+
+    // Accuracy-for-latency variant ladder (Loki-style): once horizontal
+    // scaling is exhausted and the overdue fraction stays high, drop the
+    // slowest models; restore them when pressure stays low.
+    if (max_level > 0) {
+      int64_t overdue = 0;
+      int64_t completed = 0;
+      size_t created = job->created.load(std::memory_order_acquire);
+      for (size_t i = 0; i < created; ++i) {
+        Replica& r = *job->slots[i];
+        std::lock_guard<std::mutex> stats_lock(r.mu);
+        overdue += r.stats.overdue;
+        completed += r.stats.processed + r.stats.expired;
+      }
+      int64_t d_over = overdue - prev_overdue;
+      int64_t d_comp = completed - prev_completed;
+      prev_overdue = overdue;
+      prev_completed = completed;
+      if (d_comp > 0) {
+        double rate = static_cast<double>(d_over) /
+                      static_cast<double>(d_comp);
+        if (rate > opts.downshift_overdue_rate) {
+          ++high_overdue_ticks;
+          low_overdue_ticks = 0;
+        } else if (rate < opts.upshift_overdue_rate &&
+                   queued <= static_cast<int64_t>(active) * max_b) {
+          ++low_overdue_ticks;
+          high_overdue_ticks = 0;
+        } else {
+          high_overdue_ticks = 0;
+          low_overdue_ticks = 0;
+        }
+      }
+      int level = job->variant_level.load(std::memory_order_relaxed);
+      if (level < max_level && high_overdue_ticks >= kDownshiftTicks &&
+          active >= job->max_replicas &&
+          now - last_shift >= opts.autoscale_dwell) {
+        job->variant_level.store(level + 1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> stats_lock(job->mu);
+          ++job->variant_shifts;
+        }
+        last_shift = now;
+        high_overdue_ticks = 0;
+      } else if (level > 0 && low_overdue_ticks >= kUpshiftTicks &&
+                 now - last_shift >= 2.0 * opts.autoscale_dwell) {
+        job->variant_level.store(level - 1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> stats_lock(job->mu);
+          ++job->variant_shifts;
+        }
+        last_shift = now;
+        low_overdue_ticks = 0;
+      }
+    }
+
+    lock.lock();
   }
 }
 
@@ -536,7 +1015,8 @@ double InferenceRuntime::EnsembleAccuracy(const Job& job, uint32_t mask) {
   return best;
 }
 
-double InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch,
+double InferenceRuntime::ProcessBatch(Job& job, Replica& self,
+                                      std::vector<Pending> batch,
                                       uint32_t model_mask,
                                       int64_t expired_unrewarded) {
   auto b = static_cast<int64_t>(batch.size());
@@ -547,14 +1027,15 @@ double InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch,
                 static_cast<size_t>(job.input_dim) * sizeof(float));
   }
 
-  // Only the models the policy selected run (the ensemble bit-vector v of
-  // §5.2); the vote and its accuracy tie-break are over that subset.
+  // Only the models the policy (and variant) selected run — on this
+  // replica's own clones; the vote and its accuracy tie-break are over
+  // that subset.
   std::vector<std::vector<int64_t>> votes;
   std::vector<double> vote_accuracies;
-  votes.reserve(job.models.size());
-  for (size_t m = 0; m < job.models.size(); ++m) {
+  votes.reserve(self.models.size());
+  for (size_t m = 0; m < self.models.size(); ++m) {
     if ((model_mask & (1u << m)) == 0) continue;
-    Tensor logits = job.models[m].net.Forward(features, /*train=*/false);
+    Tensor logits = self.models[m].net.Forward(features, /*train=*/false);
     votes.push_back(logits.ArgmaxRows());
     vote_accuracies.push_back(job.accuracies[m]);
   }
@@ -570,25 +1051,25 @@ double InferenceRuntime::ProcessBatch(Job& job, std::vector<Pending> batch,
     if (latency > job.opts.tau) ++overdue;
   }
   // Realized Equation 7 reward for this dispatch: the batch's own overdue
-  // completions plus any expiries since the previous batch, each charged
-  // exactly once.
+  // completions plus any expiries on this replica since its previous
+  // batch, each charged exactly once.
   double accuracy = EnsembleAccuracy(job, model_mask);
   int64_t charged = overdue + expired_unrewarded;
   double reward = BatchReward(accuracy, b, charged, job.opts.beta);
   {
-    std::lock_guard<std::mutex> lock(job.mu);
-    job.stats.processed += b;
-    job.stats.overdue += overdue;
-    ++job.stats.batches;
-    job.stats.max_batch = std::max(job.stats.max_batch, b);
-    job.stats.reward_sum += reward;
-    job.stats.accuracy_sum += accuracy * static_cast<double>(b);
-    job.stats.reward_overdue += charged;
-    job.stats.reward_pending_overdue -= expired_unrewarded;
-    if (job.policy->learns()) ++job.stats.learn_steps;
-    job.latency_sum += latency_sum;
+    std::lock_guard<std::mutex> lock(self.mu);
+    self.stats.processed += b;
+    self.stats.overdue += overdue;
+    ++self.stats.batches;
+    self.stats.max_batch = std::max(self.stats.max_batch, b);
+    self.stats.reward_sum += reward;
+    self.stats.accuracy_sum += accuracy * static_cast<double>(b);
+    self.stats.reward_overdue += charged;
+    self.stats.reward_pending_overdue -= expired_unrewarded;
+    if (self.policy->learns()) ++self.stats.learn_steps;
+    self.stats.latency_sum += latency_sum;
     for (const Pending& p : batch) {
-      job.latency_hist.Add(completion - p.arrival);
+      self.stats.latency_hist.Add(completion - p.arrival);
     }
   }
   // Invoke continuations after the counters: a caller resumed by its

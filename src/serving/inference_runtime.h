@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -43,7 +44,8 @@ struct RuntimeOptions {
   /// Candidate batch sizes B.
   std::vector<int64_t> batch_sizes = {1, 2, 4, 8, 16, 32};
   /// Bounded request queue; submissions beyond it are rejected
-  /// (kUnavailable) and counted as dropped.
+  /// (kUnavailable) and counted as dropped. The gauge is job-wide: the sum
+  /// of all replica queues never exceeds it.
   size_t queue_capacity = 4096;
   /// AIMD back-off constant delta = fraction * tau (Alg. 3).
   double backoff_delta_fraction = 0.1;
@@ -61,11 +63,12 @@ struct RuntimeOptions {
   /// default: the paper's SLO is soft, so the classic behaviour is to
   /// answer late rather than not at all.
   bool expire_overdue = false;
-  /// Pluggable scheduling-policy hook: when set, the per-job policy is
-  /// built from it at deploy time (e.g. MakeRlSchedulerFactory) and drives
-  /// every dispatch decision; when null the paper's greedy Algorithm 3
-  /// (single model) / sync-ensemble greedy (|M| > 1) is used. The policy
-  /// runs exclusively on the job's dispatcher thread.
+  /// Pluggable scheduling-policy hook: when set, each replica's policy is
+  /// built from it at deploy/scale-up time (e.g. MakeRlSchedulerFactory)
+  /// and drives every dispatch decision on that replica; when null the
+  /// paper's greedy Algorithm 3 (single model) / sync-ensemble greedy
+  /// (|M| > 1) is used. Each policy instance runs exclusively on its
+  /// replica's dispatcher thread.
   PolicyFactory policy_factory;
   /// Equation 7 accuracy/latency balance for the realized per-batch reward
   /// fed back through SchedulerPolicy::Feedback.
@@ -75,12 +78,66 @@ struct RuntimeOptions {
   /// bound for larger ensembles — plug an EnsembleAccuracyTable here for
   /// the Figure 6 surrogate).
   std::function<double(uint32_t)> ensemble_accuracy;
+
+  /// --- Replicated serving plane (DESIGN.md §15) ---
+  /// Initial number of replica dispatchers. Each replica owns clones of
+  /// every deployed net, its own submit ring, doorbell, latency profile
+  /// copy, and policy instance; a least-loaded router shards submissions
+  /// across them and idle replicas steal work from loaded ones.
+  int replicas = 1;
+  /// Autoscaling bounds. max_replicas == 0 defaults to
+  /// max(replicas, min_replicas). Replica slots up to max_replicas are
+  /// addressable for the job's whole life (nets are cloned lazily on first
+  /// activation), so max_replicas bounds peak memory.
+  int min_replicas = 1;
+  int max_replicas = 0;
+  /// ON starts a ReplicaController thread that resizes the replica set
+  /// within [min_replicas, max_replicas] from queue pressure and, once
+  /// horizontal scaling is exhausted, downshifts the ensemble variant
+  /// (drops the slowest models) under sustained overdue pressure —
+  /// accuracy traded for latency, with hysteresis both ways.
+  bool autoscale = false;
+  /// Controller tick period, seconds.
+  double autoscale_interval = 0.02;
+  /// Minimum time between two resize (or variant-shift) actions: the
+  /// hysteresis dwell that prevents flapping.
+  double autoscale_dwell = 0.25;
+  /// Scale up when queued > scale_up_pressure * active * max(B): the
+  /// backlog exceeds what the active replicas clear in one full batch each.
+  double scale_up_pressure = 1.0;
+  /// Scale down when queued + inflight stays below
+  /// scale_down_pressure * (active - 1) * max(B) for several consecutive
+  /// ticks — the remaining replicas absorb the load with slack.
+  double scale_down_pressure = 0.25;
+  /// Variant downshift when the per-tick overdue fraction (d overdue /
+  /// d completions) exceeds this while the replica set is maxed out;
+  /// upshift restores accuracy when it falls back below
+  /// upshift_overdue_rate with an idle queue.
+  double downshift_overdue_rate = 0.20;
+  double upshift_overdue_rate = 0.02;
+  /// A victim replica donates half its local queue to a requesting thief
+  /// only while holding more than this many requests.
+  size_t steal_threshold = 2;
+};
+
+/// Point-in-time gauges of one serving replica, read under the same mutex
+/// hold as its processed counter so the triple is internally consistent.
+struct ReplicaGauges {
+  /// Slot index; slots keep their lifetime counters across scale-down, so
+  /// an inactive slot still reports what it processed while it ran.
+  int64_t replica = 0;
+  bool active = false;
+  int64_t queue_depth = 0;
+  int64_t processed = 0;
+  /// Requests this replica stole (received via donation) from loaded
+  /// replicas while it was idle.
+  int64_t steals = 0;
 };
 
 /// Per-job serving counters (the live analogue of ServingMetrics).
 /// Conservation: at any quiescent point arrived == processed + dropped +
 /// expired + queued, and after Undeploy arrived == processed + dropped +
-/// expired.
+/// expired — summed over every replica the job ever ran.
 struct InferenceJobMetrics {
   int64_t arrived = 0;
   int64_t processed = 0;
@@ -95,7 +152,8 @@ struct InferenceJobMetrics {
   int64_t max_batch = 0;
   double mean_batch = 0.0;    // processed / batches
   double mean_latency = 0.0;  // seconds, submission -> response
-  /// Requests waiting in the queue at the moment Metrics() was read.
+  /// Requests waiting in any replica queue at the moment Metrics() was
+  /// read.
   int64_t queue_depth = 0;
   /// Latency percentiles over all processed requests (log-bucketed
   /// histogram, so values are quantized to bucket midpoints).
@@ -106,18 +164,31 @@ struct InferenceJobMetrics {
   /// Equation 7 reward a(M[v]) * (b - beta * overdue) per dispatched
   /// batch; `accuracy_sum` accumulates a(M[v]) * b (so a window's mean
   /// served accuracy is delta(accuracy_sum) / delta(processed));
-  /// `learn_steps` counts Feedback deliveries to a learning policy.
+  /// `learn_steps` counts Feedback deliveries to learning policies.
   /// Expiry accounting: an expired (504) request is charged to the reward
-  /// of the NEXT dispatched batch, exactly once — `reward_overdue` counts
-  /// overdue already charged, `reward_pending_overdue` expiries awaiting
-  /// their charge; at any quiescent point
-  ///   overdue == reward_overdue + reward_pending_overdue.
+  /// of the NEXT batch its replica dispatches, exactly once —
+  /// `reward_overdue` counts overdue already charged,
+  /// `reward_pending_overdue` expiries awaiting their charge; at any
+  /// quiescent point overdue == reward_overdue + reward_pending_overdue.
   std::string policy;
   int64_t learn_steps = 0;
   double reward_sum = 0.0;
   double accuracy_sum = 0.0;
   int64_t reward_overdue = 0;
   int64_t reward_pending_overdue = 0;
+  /// Replicated-plane gauges: currently active replica dispatchers, the
+  /// lifetime peak, controller resize counts, total stolen requests, and
+  /// the current accuracy variant (0 = full ensemble; level L drops the L
+  /// slowest models).
+  int64_t replicas = 0;
+  int64_t replicas_peak = 0;
+  int64_t scale_ups = 0;
+  int64_t scale_downs = 0;
+  int64_t steals = 0;
+  int64_t variant_level = 0;
+  int64_t variant_shifts = 0;
+  /// One entry per replica slot ever activated, in slot order.
+  std::vector<ReplicaGauges> replica_gauges;
 };
 
 /// Majority-vote answer with per-model transparency (§5.2 / Figure 6).
@@ -136,32 +207,41 @@ std::vector<EnsemblePrediction> MajorityVoteRows(
     const std::vector<double>& accuracies);
 
 /// The live serving tier: owns deployed models, accepts concurrent
-/// `Submit` calls into a bounded FIFO queue, and answers them from a
-/// per-job dispatcher thread that forms batches with the paper's greedy
-/// policy (Algorithm 3; the sync-ensemble variant when several models are
-/// deployed) against the latency SLO tau.
+/// `Submit` calls, and answers them from per-job replica dispatcher
+/// threads that form batches with the paper's greedy policy (Algorithm 3;
+/// the sync-ensemble variant when several models are deployed) against the
+/// latency SLO tau.
 ///
-/// Ownership / threading model (see DESIGN.md §"Inference runtime"):
-///  * Jobs live behind `std::shared_ptr`; callers and the dispatcher hold
-///    snapshots, so `Undeploy` can never free a job under a concurrent
-///    query (the use-after-free the old facade had is gone by
-///    construction).
+/// Ownership / threading model (see DESIGN.md §15 "Replicated serving
+/// plane"):
+///  * Jobs live behind `std::shared_ptr`; callers, dispatchers, and the
+///    controller hold snapshots, so `Undeploy` can never free a job under
+///    a concurrent query.
 ///  * The registry mutex only guards the id -> job map. The submit path is
-///    lock-free: producers reserve capacity on an atomic gauge, push into a
-///    bounded MPSC ring, and ring a futex doorbell; the dispatcher drains
-///    the ring in batches into a thread-local queue. A job mutex remains
-///    only around the dispatcher-written metrics, for Metrics() snapshots.
-///  * All forwards for one job run on its single dispatcher thread, so
-///    `nn::Net` (which is stateful during Forward) needs no internal
-///    locking.
-///  * `Undeploy` closes the ring (every racing or later Submit observes
-///    kClosed — nothing can be enqueued past the close), signals the
-///    dispatcher and joins it; accepted-but-unserved requests are failed
-///    with kUnavailable and counted as dropped, keeping the books exact.
+///    lock-free: producers reserve capacity on a job-wide atomic gauge,
+///    pick the least-loaded replica (queue depth + inflight batch), push
+///    into that replica's bounded MPSC ring, and ring its futex doorbell.
+///  * Each replica owns deep clones of every net (`nn::Net` is stateful
+///    during Forward), its own policy instance, and its own mutex-guarded
+///    stats, so replicas never share mutable state on the hot path. An
+///    idle replica posts a steal request on the most loaded replica before
+///    sleeping; the victim donates half its local queue through the
+///    thief's ring (the normal MPSC producer path), so correctness is
+///    unchanged by stealing.
+///  * A `ReplicaController` thread (opt-in) resizes the replica set within
+///    [min, max] and downshifts the ensemble variant under sustained
+///    overdue pressure. Retired replicas re-route their drained queues to
+///    the surviving replicas, keeping conservation and exactly-once
+///    completion across every resize.
+///  * `Undeploy` stops the controller, closes every ring (every racing or
+///    later Submit observes kClosed — nothing can be enqueued past the
+///    close), signals the dispatchers and joins them; accepted-but-
+///    unserved requests are failed with kUnavailable and counted as
+///    dropped, keeping the books exact.
 class InferenceRuntime {
  public:
   /// Continuation invoked exactly once with the request's outcome.
-  /// Runs on the job's dispatcher thread — it must be fast (hand heavy
+  /// Runs on a replica dispatcher thread — it must be fast (hand heavy
   /// work elsewhere) and must NOT call Undeploy or destroy the runtime
   /// (the dispatcher would join itself).
   using Callback = std::function<void(Result<EnsemblePrediction>)>;
@@ -172,26 +252,28 @@ class InferenceRuntime {
   InferenceRuntime(const InferenceRuntime&) = delete;
   InferenceRuntime& operator=(const InferenceRuntime&) = delete;
 
-  /// Deploys `models` as job `job_id` and starts its dispatcher.
-  /// AlreadyExists if the id is taken.
+  /// Deploys `models` as job `job_id` and starts its replica dispatchers
+  /// (and controller, with autoscale). AlreadyExists if the id is taken.
   Result<std::string> Deploy(const std::string& job_id,
                              std::vector<ServableModel> models,
                              RuntimeOptions options = {});
 
-  /// Stops the dispatcher, fails queued requests (kUnavailable) and
-  /// releases the job. NotFound for unknown ids. Safe to race with Submit.
+  /// Stops the controller and every dispatcher, fails queued requests
+  /// (kUnavailable) and releases the job. NotFound for unknown ids. Safe
+  /// to race with Submit.
   Status Undeploy(const std::string& job_id);
 
   /// Enqueues one request (features: [dim] or [1, dim]) with a
-  /// continuation: `done` is invoked from the dispatcher thread when the
-  /// batch containing the request completes (or when it expires /
-  /// is failed by Undeploy). The submitting thread is never blocked.
+  /// continuation: `done` is invoked from a replica dispatcher thread when
+  /// the batch containing the request completes (or when it expires / is
+  /// failed by Undeploy). The submitting thread is never blocked.
   /// A non-OK return means the request was NOT enqueued and `done` will
   /// never run: NotFound (unknown/undeploying job), Unavailable (queue
   /// full; retryable), InvalidArgument (wrong feature dimension).
   /// Once enqueued, `done` runs exactly once with either a prediction,
   /// kDeadlineExceeded (queue wait > tau, with expire_overdue), or
-  /// kUnavailable (job undeployed while queued).
+  /// kUnavailable (job undeployed while queued) — regardless of how many
+  /// times the request migrates between replicas (stealing, scale-down).
   Status SubmitAsync(const std::string& job_id, Tensor features,
                      Callback done);
 
@@ -206,7 +288,7 @@ class InferenceRuntime {
   Result<std::vector<EnsemblePrediction>> QueryBatch(const std::string& job_id,
                                                      const Tensor& features);
 
-  /// Live counters of one job.
+  /// Live counters of one job, aggregated over all its replicas.
   Result<InferenceJobMetrics> Metrics(const std::string& job_id) const;
 
   /// Ids of currently deployed jobs.
@@ -215,42 +297,118 @@ class InferenceRuntime {
  private:
   struct Pending {
     Tensor features;  // [1, dim]
-    Callback done;    // invoked exactly once, dispatcher thread
+    Callback done;    // invoked exactly once, on some dispatcher thread
     double arrival = 0.0;  // job-clock seconds
+  };
+
+  /// Lifetime counters one replica dispatcher accumulates, guarded by the
+  /// replica's mutex. They survive scale-down (slots are never destroyed),
+  /// so job aggregates stay exact across any resize history.
+  struct ReplicaStats {
+    int64_t processed = 0;
+    int64_t overdue = 0;
+    int64_t expired = 0;
+    int64_t batches = 0;
+    int64_t max_batch = 0;
+    int64_t learn_steps = 0;
+    double reward_sum = 0.0;
+    double accuracy_sum = 0.0;
+    int64_t reward_overdue = 0;
+    int64_t reward_pending_overdue = 0;
+    double latency_sum = 0.0;
+    LatencyHistogram latency_hist;
+  };
+
+  static constexpr uint32_t kNoThief = UINT32_MAX;
+
+  /// One replica dispatcher: its own submit ring, doorbell, net clones,
+  /// profile copy, policy, and stats. Constructed once (lazily, at first
+  /// activation) and then reused across scale-down/up cycles: the ring is
+  /// closed and reopened, the thread restarted, and the policy retains its
+  /// learned state.
+  struct Replica {
+    size_t index = 0;
+    /// Sized >= queue_capacity: the job-wide `queued` gate bounds the total
+    /// pendings anywhere at queue_capacity, so one ring can absorb them
+    /// all and kFull is unreachable even under donation and re-routing.
+    std::unique_ptr<MpscRing<Pending>> ring;
+    FutexDoorbell doorbell;
+    /// This replica is being retired (scale-down or Undeploy). Set only
+    /// after its ring is closed.
+    std::atomic<bool> stopping{false};
+    /// Requests admitted to this replica, not yet batched/expired/moved.
+    std::atomic<int64_t> queued{0};
+    /// Size of the batch currently executing (router load signal).
+    std::atomic<int64_t> inflight{0};
+    /// Index of an idle replica asking for work, or kNoThief. Written by
+    /// thieves (CAS from kNoThief), consumed by this replica's dispatcher.
+    std::atomic<uint32_t> steal_request{kNoThief};
+    /// Requests donated INTO this replica by loaded victims.
+    std::atomic<int64_t> steals{0};
+    /// Expiries awaiting their Equation 7 charge when the dispatcher last
+    /// exited; reloaded on restart so the exactly-once charge survives a
+    /// scale-down/up cycle. Dispatcher-only (threads are joined between).
+    int64_t expired_carry = 0;
+    std::vector<ServableModel> models;          // deep clones, this thread only
+    std::vector<model::ModelProfile> profiles;  // copy of job calibration
+    std::unique_ptr<SchedulerPolicy> policy;    // this thread only
+    std::thread dispatcher;
+    std::mutex mu;  // guards stats
+    ReplicaStats stats;
   };
 
   struct Job {
     std::string id;
     RuntimeOptions opts;
-    std::vector<ServableModel> models;
+    int64_t input_dim = 0;
+    size_t min_replicas = 1;
+    size_t max_replicas = 1;
+    /// Pristine models as deployed; never served, only cloned when a
+    /// replica slot is first activated. Calibration ran on these once.
+    std::vector<ServableModel> prototypes;
     std::vector<model::ModelProfile> profiles;  // calibrated c(m, b)
     std::vector<double> accuracies;
-    int64_t input_dim = 0;
-    std::unique_ptr<SchedulerPolicy> policy;  // dispatcher-thread only
+    /// variant_masks[L] = deployed-model bit-mask with the L slowest
+    /// models (by full-batch latency) removed; level 0 is the full
+    /// ensemble and the last level keeps only the fastest model.
+    std::vector<uint32_t> variant_masks;
     std::chrono::steady_clock::time_point epoch;
+    std::string policy_name;
 
-    /// Lock-free submit path. Producers push, the dispatcher is the sole
-    /// consumer; the doorbell wakes it without a syscall when it is busy.
-    /// Sized >= opts.queue_capacity (the ring rounds up to a power of
-    /// two); `queued` — not ring occupancy — is the admission gate, so the
-    /// configured capacity stays exact.
-    std::unique_ptr<MpscRing<Pending>> ring;
-    FutexDoorbell doorbell;
+    /// Fixed-size slot table (max_replicas entries, never resized after
+    /// Deploy). slots[i] is constructed at most once — publication is
+    /// ordered by `created` — and never destroyed while the job lives, so
+    /// lock-free readers can traverse it safely.
+    std::vector<std::unique_ptr<Replica>> slots;
+    /// Routable replicas: slots [0, active) serve traffic. Only Deploy,
+    /// the controller, and StopJob write it (mutually serialized).
+    std::atomic<size_t> active{0};
+    /// Constructed slots: [0, created) are safe to dereference.
+    std::atomic<size_t> created{0};
+    /// Job-level shutdown (Undeploy), as opposed to per-replica stopping.
     std::atomic<bool> stopping{false};
+    /// Current accuracy variant level, applied by every replica at batch
+    /// execution time.
+    std::atomic<int> variant_level{0};
 
     /// Producer-side counters. `queued` counts requests admitted but not
-    /// yet batched, expired, or failed (ring + dispatcher-local queue): the
+    /// yet batched, expired, or failed (all rings + all local queues): the
     /// "queued" term of the conservation identity and the admission gate.
     std::atomic<int64_t> arrived{0};
     std::atomic<int64_t> dropped{0};
     std::atomic<int64_t> queued{0};
 
-    std::mutex mu;  // guards the dispatcher-written fields below
-    InferenceJobMetrics stats;      // processed/overdue/expired/batches/...
-    double latency_sum = 0.0;
-    LatencyHistogram latency_hist;
+    /// ReplicaController plumbing (autoscale only).
+    std::thread controller;
+    std::mutex ctl_mu;
+    std::condition_variable ctl_cv;
+    bool ctl_stop = false;
 
-    std::thread dispatcher;
+    std::mutex mu;  // guards the controller-written gauges below
+    int64_t replicas_peak = 0;
+    int64_t scale_ups = 0;
+    int64_t scale_downs = 0;
+    int64_t variant_shifts = 0;
 
     double NowSeconds() const {
       return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -261,13 +419,38 @@ class InferenceRuntime {
 
   std::shared_ptr<Job> FindJob(const std::string& job_id) const;
   static void StopJob(Job& job);
-  static void DispatchLoop(const std::shared_ptr<Job>& job);
-  /// Runs one batch on the models selected by `model_mask`, answers its
-  /// continuations, and folds the realized Equation 7 reward — including
-  /// `expired_unrewarded` not-yet-charged expiries — into the job stats in
-  /// one atomic update. Returns the reward for the policy's Feedback.
-  static double ProcessBatch(Job& job, std::vector<Pending> batch,
-                             uint32_t model_mask, int64_t expired_unrewarded);
+  /// Builds the policy instance for one replica (factory or greedy
+  /// default).
+  static std::unique_ptr<SchedulerPolicy> MakePolicy(const Job& job,
+                                                     size_t replica_index);
+  /// Activates slot `index` (== job->active): constructs it on first use
+  /// (net clones, ring, policy) or reopens its ring, starts its dispatcher
+  /// thread, then publishes the new active count. Caller must be the only
+  /// lifecycle writer (Deploy before threads exist, else the controller).
+  static void StartReplica(const std::shared_ptr<Job>& job, size_t index);
+  /// Retires the highest active slot: unpublishes it from the router,
+  /// closes its ring, and joins its dispatcher — which re-routes every
+  /// drained request to the surviving replicas, so nothing is lost or
+  /// answered twice. Same caller constraint as StartReplica.
+  static void RetireReplica(Job& job, size_t index);
+  static void ReplicaLoop(const std::shared_ptr<Job>& job, Replica* self);
+  static void ControllerLoop(const std::shared_ptr<Job>& job);
+  /// Before sleeping on an empty queue: ask the most loaded replica
+  /// (queue > steal_threshold) for work by CAS-posting our index into its
+  /// steal_request.
+  static void MaybePostSteal(Job& job, Replica& self);
+  /// At the loop top: if a thief asked and we hold a surplus, donate half
+  /// our local queue through the thief's ring and ring its doorbell.
+  static void ServiceStealRequest(Job& job, Replica& self,
+                                  RingDeque<Pending>& lq);
+  /// Runs one batch on the replica's clones of the models selected by
+  /// `model_mask`, answers its continuations, and folds the realized
+  /// Equation 7 reward — including `expired_unrewarded` not-yet-charged
+  /// expiries — into the replica stats in one atomic update. Returns the
+  /// reward for the policy's Feedback.
+  static double ProcessBatch(Job& job, Replica& self,
+                             std::vector<Pending> batch, uint32_t model_mask,
+                             int64_t expired_unrewarded);
   static double EnsembleAccuracy(const Job& job, uint32_t model_mask);
 
   mutable std::mutex mu_;  // guards jobs_ only

@@ -66,6 +66,11 @@ struct PolicyInit {
   double tau = 0.0;
   double beta = 1.0;
   double backoff_delta_fraction = 0.1;
+  /// Which serving replica this policy will drive (each replica dispatcher
+  /// owns its own policy instance), and how many replicas the job may run.
+  /// Factories can use the index to decorrelate exploration seeds.
+  size_t replica_index = 0;
+  size_t num_replicas = 1;
 };
 
 /// Builds the per-job scheduling policy at deploy time. The returned

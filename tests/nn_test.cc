@@ -356,5 +356,30 @@ TEST(BatchNormTest, StabilizesLargeLearningRateTraining) {
   EXPECT_LT(with_bn, 1.0f) << "BN run should remain stable";
 }
 
+TEST(NetTest, CloneIsDeepAndIndependent) {
+  // Replica dispatchers serve on per-replica net clones; a clone must
+  // compute the same function yet share no parameter storage with the
+  // original.
+  Rng rng(11);
+  Net net = MakeMlp({6, 16, 3}, 0.1f, /*dropout=*/0.0f, rng);
+  Net clone = net.Clone();
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  Tensor original_logits = net.Forward(x, /*train=*/false);
+  Tensor clone_logits = clone.Forward(x, /*train=*/false);
+  ASSERT_EQ(original_logits.numel(), clone_logits.numel());
+  for (int64_t i = 0; i < original_logits.numel(); ++i) {
+    EXPECT_FLOAT_EQ(original_logits.at(i), clone_logits.at(i));
+  }
+
+  // Perturb every original parameter: the clone's output must not move.
+  for (ParamTensor* p : net.Params()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) p->value.at(i) += 1.0f;
+  }
+  Tensor after = clone.Forward(x, /*train=*/false);
+  for (int64_t i = 0; i < after.numel(); ++i) {
+    EXPECT_FLOAT_EQ(after.at(i), clone_logits.at(i));
+  }
+}
+
 }  // namespace
 }  // namespace rafiki::nn
