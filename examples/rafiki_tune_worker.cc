@@ -1,0 +1,91 @@
+// rafiki_tune_worker: one tuning worker as a real OS process. Dials the
+// master's TCP bus (rafiki_tune_master spawns these), shares the master's
+// parameter server through kPsPut/kPsGet over the wire, and runs the
+// standard StudyWorker protocol: request trial, train epoch by epoch,
+// report, finish, repeat until kNoMoreTrials.
+//
+//   ./build/examples/rafiki_tune_worker --study=demo --worker=w0
+//       --port=7070 --seed=42
+//
+// Workers are stateless (§6.3): the master's supervisor can kill -9 this
+// process at any point and respawn it with the same flags; the restarted
+// worker simply re-requests work.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/ps_service.h"
+#include "cluster/rpc_bus.h"
+#include "common/string_util.h"
+#include "trainer/surrogate.h"
+#include "tuning/study.h"
+
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (rafiki::StartsWith(argv[i], prefix)) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (rafiki::StartsWith(argv[i], prefix)) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string study = FlagString(argc, argv, "study", "demo");
+  std::string worker = FlagString(argc, argv, "worker", "w0");
+  std::string host = FlagString(argc, argv, "host", "127.0.0.1");
+  auto port = static_cast<uint16_t>(FlagInt(argc, argv, "port", 0));
+  auto seed = static_cast<uint64_t>(FlagInt(argc, argv, "seed", 1));
+  auto surrogate_seed =
+      static_cast<uint64_t>(FlagInt(argc, argv, "surrogate-seed", 99));
+  if (port == 0) {
+    std::fprintf(stderr, "--port of the master bus is required\n");
+    return 2;
+  }
+
+  rafiki::tuning::StudyConfig config;
+  config.collaborative = FlagInt(argc, argv, "collaborative", 0) != 0;
+  config.max_epochs_per_trial =
+      static_cast<int>(FlagInt(argc, argv, "max-epochs", 40));
+
+  rafiki::cluster::RpcBusOptions options;
+  options.port = port;
+  options.connect_host = host;
+  auto bus = rafiki::cluster::RpcBus::Connect(options);
+  if (!bus.ok()) {
+    std::fprintf(stderr, "cannot start bus: %s\n",
+                 bus.status().ToString().c_str());
+    return 1;
+  }
+
+  rafiki::cluster::RemoteParameterStore store(bus.value().get(), worker);
+  rafiki::trainer::SurrogateOptions surrogate;
+  surrogate.seed = surrogate_seed;
+  rafiki::trainer::SurrogateFactory factory(surrogate);
+
+  std::printf("worker=%s study=%s port=%u\n", worker.c_str(), study.c_str(),
+              port);
+  std::fflush(stdout);
+
+  rafiki::cluster::CancelToken token;
+  rafiki::tuning::StudyWorker body(study, worker, config, &factory,
+                                   bus.value().get(), &store, seed);
+  body.Run(token);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#ifndef RAFIKI_CLUSTER_BUS_H_
+#define RAFIKI_CLUSTER_BUS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/message.h"
+#include "common/status.h"
+
+namespace rafiki::cluster {
+
+/// Counters shared by every bus implementation. Frame counters are zero on
+/// the in-process loopback bus (no wire); message counters tick on both.
+struct BusStats {
+  uint64_t endpoints = 0;           // locally-registered mailboxes
+  uint64_t queued = 0;              // messages waiting across all mailboxes
+  uint64_t messages_sent = 0;       // successful Send() calls
+  uint64_t messages_delivered = 0;  // messages placed into a local mailbox
+  uint64_t send_errors = 0;         // NotFound / ResourceExhausted sends
+  uint64_t frames_sent = 0;         // TCP frames written (RpcBus only)
+  uint64_t frames_received = 0;     // TCP frames decoded (RpcBus only)
+  uint64_t reconnects = 0;          // upstream re-dials (RpcBus leaf only)
+};
+
+/// The channel between study masters and workers — the paper's RPC layer
+/// between Docker containers (§6.1). Two implementations share this
+/// contract: the in-process `MessageBus` (named mailboxes, the loopback
+/// transport every existing test runs on) and the TCP `RpcBus`
+/// (length-prefixed frames over real sockets, for multi-process tuning).
+///
+/// Semantics every implementation must honor:
+///  * `Send` to an endpoint nobody registered (or whose peer died) fails
+///    NotFound — a dropped RPC the protocol layers retry around;
+///  * mailboxes are bounded: `Send` into a full mailbox fails
+///    ResourceExhausted instead of buffering without limit;
+///  * `Receive` blocks until a message arrives or the endpoint closes
+///    (nullopt = closed-and-drained); `TryReceive` never blocks.
+class Bus {
+ public:
+  virtual ~Bus() = default;
+
+  /// Creates a local mailbox. AlreadyExists if the name is taken.
+  virtual Status RegisterEndpoint(const std::string& name) = 0;
+
+  /// Removes a local mailbox, waking any blocked receiver.
+  virtual Status RemoveEndpoint(const std::string& name) = 0;
+
+  /// Delivers `message` to `to`'s mailbox (local or across the wire).
+  virtual Status Send(const std::string& to, Message message) = 0;
+
+  /// Blocks until a message arrives at local endpoint `name` or it closes.
+  virtual std::optional<Message> Receive(const std::string& name) = 0;
+
+  /// Bounded-wait receive: nullopt on timeout as well as on close. Lets a
+  /// worker notice a dead master instead of blocking forever on a reply
+  /// that will never come.
+  virtual std::optional<Message> ReceiveFor(
+      const std::string& name, std::chrono::milliseconds timeout) = 0;
+
+  /// Non-blocking receive from a local endpoint.
+  virtual std::optional<Message> TryReceive(const std::string& name) = 0;
+
+  /// Closes every local endpoint (used at shutdown).
+  virtual void CloseAll() = 0;
+
+  /// True if `name` is deliverable from here (local, or known-remote).
+  virtual bool HasEndpoint(const std::string& name) const = 0;
+
+  /// True if local endpoint `name` is closed (or never existed): no future
+  /// Receive can yield a message. RPC-style callers use this to abort
+  /// retry loops when their own bus is being torn down, instead of
+  /// spinning out their full timeout budget.
+  virtual bool EndpointClosed(const std::string& name) const = 0;
+
+  /// Depth of a local mailbox (0 for unknown/remote endpoints).
+  virtual size_t QueueDepth(const std::string& name) const = 0;
+
+  virtual BusStats Stats() const = 0;
+};
+
+}  // namespace rafiki::cluster
+
+#endif  // RAFIKI_CLUSTER_BUS_H_

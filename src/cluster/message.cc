@@ -22,6 +22,14 @@ const char* MessageTypeToString(MessageType type) {
       return "kStop";
     case MessageType::kShutdown:
       return "kShutdown";
+    case MessageType::kPsPut:
+      return "kPsPut";
+    case MessageType::kPsGet:
+      return "kPsGet";
+    case MessageType::kPsValue:
+      return "kPsValue";
+    case MessageType::kPsAck:
+      return "kPsAck";
   }
   return "unknown";
 }

@@ -19,6 +19,12 @@ enum class MessageType {
   kPut,           // master -> worker: publish your parameters to the PS
   kStop,          // master -> worker: early-stop the current trial
   kShutdown,      // manager -> anyone: terminate event loop
+  // Parameter-server access for out-of-process workers (§6.2): the PS
+  // lives in the master process; worker processes reach it through these.
+  kPsPut,    // worker -> ps service: store a checkpoint blob under a scope
+  kPsGet,    // worker -> ps service: fetch the checkpoint of a scope
+  kPsValue,  // ps service -> worker: kPsGet reply (ok flag + blob)
+  kPsAck,    // ps service -> worker: kPsPut reply (ok flag)
 };
 
 const char* MessageTypeToString(MessageType type);

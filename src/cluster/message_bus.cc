@@ -11,7 +11,7 @@ Status MessageBus::RegisterEndpoint(const std::string& name) {
     return Status::AlreadyExists(
         StrFormat("endpoint '%s' exists", name.c_str()));
   }
-  it->second = std::make_shared<Mailbox>();
+  it->second = std::make_shared<Mailbox>(mailbox_capacity_);
   return Status::OK();
 }
 
@@ -33,9 +33,16 @@ Status MessageBus::RemoveEndpoint(const std::string& name) {
 Status MessageBus::Send(const std::string& to, Message message) {
   std::shared_ptr<Mailbox> box = Find(to);
   if (box == nullptr) {
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound(StrFormat("no endpoint '%s'", to.c_str()));
   }
-  box->Push(std::move(message));
+  if (!box->TryPush(std::move(message))) {
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        StrFormat("mailbox '%s' full (%zu messages)", to.c_str(),
+                  box->capacity()));
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -43,6 +50,13 @@ std::optional<Message> MessageBus::Receive(const std::string& name) {
   std::shared_ptr<Mailbox> box = Find(name);
   if (box == nullptr) return std::nullopt;
   return box->Pop();
+}
+
+std::optional<Message> MessageBus::ReceiveFor(
+    const std::string& name, std::chrono::milliseconds timeout) {
+  std::shared_ptr<Mailbox> box = Find(name);
+  if (box == nullptr) return std::nullopt;
+  return box->PopFor(timeout);
 }
 
 std::optional<Message> MessageBus::TryReceive(const std::string& name) {
@@ -56,6 +70,11 @@ void MessageBus::CloseAll() {
   for (auto& [name, box] : endpoints_) box->Close();
 }
 
+bool MessageBus::EndpointClosed(const std::string& name) const {
+  std::shared_ptr<Mailbox> box = Find(name);
+  return box == nullptr || box->closed();
+}
+
 bool MessageBus::HasEndpoint(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return endpoints_.count(name) > 0;
@@ -64,6 +83,20 @@ bool MessageBus::HasEndpoint(const std::string& name) const {
 size_t MessageBus::QueueDepth(const std::string& name) const {
   std::shared_ptr<Mailbox> box = Find(name);
   return box == nullptr ? 0 : box->size();
+}
+
+BusStats MessageBus::Stats() const {
+  BusStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.endpoints = endpoints_.size();
+    for (const auto& [name, box] : endpoints_) stats.queued += box->size();
+  }
+  stats.messages_sent = sent_.load(std::memory_order_relaxed);
+  // Loopback delivery is synchronous: every successful send is a delivery.
+  stats.messages_delivered = stats.messages_sent;
+  stats.send_errors = send_errors_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::shared_ptr<MessageBus::Mailbox> MessageBus::Find(

@@ -1,53 +1,77 @@
 #ifndef RAFIKI_CLUSTER_MESSAGE_BUS_H_
 #define RAFIKI_CLUSTER_MESSAGE_BUS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "cluster/bus.h"
 #include "cluster/message.h"
 #include "common/blocking_queue.h"
 #include "common/status.h"
 
 namespace rafiki::cluster {
 
-/// Named mailboxes connecting masters and workers — the in-process stand-in
-/// for the RPC channels between Docker containers in the paper's deployment
-/// (§6.1). Sending to a missing endpoint fails with NotFound (the node is
-/// dead), which the protocol layers treat like a dropped RPC.
-class MessageBus {
+/// Named mailboxes connecting masters and workers — the in-process loopback
+/// implementation of `Bus`, standing in for the RPC channels between Docker
+/// containers in the paper's deployment (§6.1). Sending to a missing
+/// endpoint fails with NotFound (the node is dead), which the protocol
+/// layers treat like a dropped RPC.
+///
+/// Mailboxes are bounded: a full mailbox rejects Send with
+/// ResourceExhausted, the same backpressure the TCP bus applies when a
+/// peer's outbox fills, so protocols behave identically on both transports.
+class MessageBus : public Bus {
  public:
+  /// Default per-mailbox capacity. Generous for the study protocol (a
+  /// worker has at most a handful of frames in flight) while still bounding
+  /// a runaway producer.
+  static constexpr size_t kDefaultMailboxCapacity = 4096;
+
+  explicit MessageBus(size_t mailbox_capacity = kDefaultMailboxCapacity)
+      : mailbox_capacity_(mailbox_capacity) {}
+
   /// Creates a mailbox. AlreadyExists if the name is taken.
-  Status RegisterEndpoint(const std::string& name);
+  Status RegisterEndpoint(const std::string& name) override;
 
   /// Removes a mailbox, waking any blocked receiver.
-  Status RemoveEndpoint(const std::string& name);
+  Status RemoveEndpoint(const std::string& name) override;
 
-  /// Delivers `message` to `to`'s mailbox.
-  Status Send(const std::string& to, Message message);
+  /// Delivers `message` to `to`'s mailbox; ResourceExhausted when full.
+  Status Send(const std::string& to, Message message) override;
 
   /// Blocks until a message arrives at `name` or the endpoint is closed.
   /// nullopt means closed-and-drained.
-  std::optional<Message> Receive(const std::string& name);
+  std::optional<Message> Receive(const std::string& name) override;
+
+  /// Bounded-wait receive; nullopt on timeout or close.
+  std::optional<Message> ReceiveFor(const std::string& name,
+                                    std::chrono::milliseconds timeout) override;
 
   /// Non-blocking receive.
-  std::optional<Message> TryReceive(const std::string& name);
+  std::optional<Message> TryReceive(const std::string& name) override;
 
   /// Closes every endpoint (used at shutdown).
-  void CloseAll();
+  void CloseAll() override;
 
-  bool HasEndpoint(const std::string& name) const;
-  size_t QueueDepth(const std::string& name) const;
+  bool HasEndpoint(const std::string& name) const override;
+  bool EndpointClosed(const std::string& name) const override;
+  size_t QueueDepth(const std::string& name) const override;
+  BusStats Stats() const override;
 
  private:
   using Mailbox = BlockingQueue<Message>;
 
   std::shared_ptr<Mailbox> Find(const std::string& name) const;
 
+  const size_t mailbox_capacity_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Mailbox>> endpoints_;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> send_errors_{0};
 };
 
 }  // namespace rafiki::cluster

@@ -1,0 +1,191 @@
+#include "cluster/process_runner.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rafiki::cluster {
+
+ProcessRunner::~ProcessRunner() { Shutdown(); }
+
+Result<pid_t> ProcessRunner::Fork(const ProcessSpec& spec) {
+  std::vector<char*> argv;
+  argv.reserve(spec.args.size() + 2);
+  argv.push_back(const_cast<char*>(spec.binary.c_str()));
+  for (const std::string& arg : spec.args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    return Status::Internal(StrFormat("fork: %s", std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls between fork and exec (the
+    // parent may be multi-threaded).
+    execv(spec.binary.c_str(), argv.data());
+    _exit(127);  // exec failed; 127 matches the shell's convention
+  }
+  return pid;
+}
+
+ProcessExit ProcessRunner::MakeExit(const std::string& name,
+                                    int wait_status) {
+  ProcessExit exit;
+  exit.name = name;
+  if (WIFSIGNALED(wait_status)) {
+    exit.signaled = true;
+    exit.signal = WTERMSIG(wait_status);
+  } else if (WIFEXITED(wait_status)) {
+    exit.exit_code = WEXITSTATUS(wait_status);
+  }
+  return exit;
+}
+
+bool ProcessRunner::ReapLocked(const std::string& name, Process& proc,
+                               bool block) {
+  if (!proc.running) return true;
+  int wait_status = 0;
+  pid_t reaped;
+  do {
+    reaped = waitpid(proc.pid, &wait_status, block ? 0 : WNOHANG);
+  } while (reaped < 0 && errno == EINTR);
+  if (reaped == 0) return false;  // still running (WNOHANG)
+  if (reaped < 0) {
+    // ECHILD: someone else reaped it; treat as a clean exit of unknown
+    // status rather than losing the entry.
+    proc.exit = ProcessExit{name, 0, false, 0};
+  } else {
+    proc.exit = MakeExit(name, wait_status);
+  }
+  proc.running = false;
+  return true;
+}
+
+Status ProcessRunner::Spawn(const std::string& name,
+                            const ProcessSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it != procs_.end() && !ReapLocked(name, it->second, /*block=*/false)) {
+    return Status::AlreadyExists(
+        StrFormat("process '%s' is running", name.c_str()));
+  }
+  auto forked = Fork(spec);
+  if (!forked.ok()) return forked.status();
+  Process& proc = procs_[name];
+  int restarts = proc.restarts;  // survives respawn of a finished name
+  proc = Process{};
+  proc.spec = spec;
+  proc.pid = forked.value();
+  proc.running = true;
+  proc.restarts = restarts;
+  return Status::OK();
+}
+
+Status ProcessRunner::Kill(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound(StrFormat("no process '%s'", name.c_str()));
+  }
+  if (ReapLocked(name, it->second, /*block=*/false)) {
+    return Status::FailedPrecondition(
+        StrFormat("process '%s' already exited", name.c_str()));
+  }
+  kill(it->second.pid, SIGKILL);
+  ReapLocked(name, it->second, /*block=*/true);
+  return Status::OK();
+}
+
+Status ProcessRunner::Restart(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound(StrFormat("no process '%s'", name.c_str()));
+  }
+  Process& proc = it->second;
+  if (!ReapLocked(name, proc, /*block=*/false)) {
+    kill(proc.pid, SIGKILL);
+    ReapLocked(name, proc, /*block=*/true);
+  }
+  auto forked = Fork(proc.spec);
+  if (!forked.ok()) return forked.status();
+  proc.pid = forked.value();
+  proc.running = true;
+  proc.restarts += 1;
+  return Status::OK();
+}
+
+bool ProcessRunner::IsRunning(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) return false;
+  // const_cast: probing liveness reaps as a side effect, which only
+  // mutates bookkeeping, not the observable set of processes.
+  auto* self = const_cast<ProcessRunner*>(this);
+  return !self->ReapLocked(name, const_cast<Process&>(it->second),
+                           /*block=*/false);
+}
+
+int ProcessRunner::RestartCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  return it == procs_.end() ? 0 : it->second.restarts;
+}
+
+Result<ProcessExit> ProcessRunner::Wait(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound(StrFormat("no process '%s'", name.c_str()));
+  }
+  ReapLocked(name, it->second, /*block=*/true);
+  return it->second.exit;
+}
+
+std::vector<ProcessExit> ProcessRunner::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProcessExit> exits;
+  for (auto& [name, proc] : procs_) {
+    if (!proc.running) continue;
+    if (ReapLocked(name, proc, /*block=*/false)) {
+      exits.push_back(proc.exit);
+    }
+  }
+  return exits;
+}
+
+Result<pid_t> ProcessRunner::Pid(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound(StrFormat("no process '%s'", name.c_str()));
+  }
+  return it->second.pid;
+}
+
+std::vector<std::string> ProcessRunner::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(procs_.size());
+  for (const auto& [name, proc] : procs_) names.push_back(name);
+  return names;
+}
+
+void ProcessRunner::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, proc] : procs_) {
+    if (ReapLocked(name, proc, /*block=*/false)) continue;
+    kill(proc.pid, SIGKILL);
+    ReapLocked(name, proc, /*block=*/true);
+  }
+}
+
+}  // namespace rafiki::cluster

@@ -1,0 +1,101 @@
+#ifndef RAFIKI_CLUSTER_PROCESS_RUNNER_H_
+#define RAFIKI_CLUSTER_PROCESS_RUNNER_H_
+
+#include <sys/types.h>
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rafiki::cluster {
+
+/// How a supervised process ended. `signaled` distinguishes a crash or a
+/// kill -9 (restart it) from a clean exit (it finished its work).
+struct ProcessExit {
+  std::string name;
+  int exit_code = 0;   // valid when !signaled
+  bool signaled = false;
+  int signal = 0;      // valid when signaled
+};
+
+/// Command line for a supervised process; retained so Restart can relaunch
+/// the same binary with the same arguments.
+struct ProcessSpec {
+  std::string binary;
+  std::vector<std::string> args;  // argv[1..]; argv[0] is `binary`
+};
+
+/// Fork/exec analogue of NodeManager: where NodeManager runs "containers"
+/// as threads, ProcessRunner runs them as real child processes, so failure
+/// injection is an actual SIGKILL and recovery crosses a process boundary
+/// (the paper's §6.3 deployment, Docker containers per node). Tracks
+/// restart counts for the recovery ledger.
+///
+/// Thread-safe. Children are reaped only through this class (waitpid by
+/// exact pid), so it composes with other child-process users.
+class ProcessRunner {
+ public:
+  ProcessRunner() = default;
+  ~ProcessRunner();
+  ProcessRunner(const ProcessRunner&) = delete;
+  ProcessRunner& operator=(const ProcessRunner&) = delete;
+
+  /// Fork/execs `spec` under `name`. AlreadyExists while a process of that
+  /// name is still running (a finished name may be respawned).
+  Status Spawn(const std::string& name, const ProcessSpec& spec);
+
+  /// SIGKILLs the process and reaps it — failure injection. NotFound if
+  /// unknown; FailedPrecondition if it already exited.
+  Status Kill(const std::string& name);
+
+  /// Kills the process if still running, relaunches its retained spec, and
+  /// increments its restart count (crash recovery).
+  Status Restart(const std::string& name);
+
+  /// True while the child has neither exited nor been reaped.
+  bool IsRunning(const std::string& name) const;
+
+  int RestartCount(const std::string& name) const;
+
+  /// Blocks until the child exits and returns how it ended. Immediate if
+  /// it was already reaped.
+  Result<ProcessExit> Wait(const std::string& name);
+
+  /// Non-blocking sweep: reaps every child that has exited since the last
+  /// call and returns their exits. A supervisor loop polls this and
+  /// restarts the casualties.
+  std::vector<ProcessExit> Poll();
+
+  Result<pid_t> Pid(const std::string& name) const;
+
+  std::vector<std::string> List() const;
+
+  /// Kills and reaps everything (also run by the destructor).
+  void Shutdown();
+
+ private:
+  struct Process {
+    ProcessSpec spec;
+    pid_t pid = -1;
+    bool running = false;
+    ProcessExit exit;  // valid once !running
+    int restarts = 0;
+  };
+
+  static Result<pid_t> Fork(const ProcessSpec& spec);
+  static ProcessExit MakeExit(const std::string& name, int wait_status);
+  /// Reaps `proc` if it has exited; blocking when `block`. Returns whether
+  /// the process is now reaped. Requires mu_.
+  bool ReapLocked(const std::string& name, Process& proc, bool block);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Process> procs_;
+};
+
+}  // namespace rafiki::cluster
+
+#endif  // RAFIKI_CLUSTER_PROCESS_RUNNER_H_

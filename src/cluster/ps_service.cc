@@ -1,0 +1,210 @@
+#include "cluster/ps_service.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "ps/checkpoint_codec.h"
+
+namespace rafiki::cluster {
+namespace {
+
+/// One request attempt: how long to keep resending into a down link, then
+/// how long to wait for the reply. Three attempts cover a master restart.
+constexpr auto kSendBudget = std::chrono::seconds(5);
+constexpr auto kReplyBudget = std::chrono::seconds(5);
+constexpr int kAttempts = 3;
+constexpr auto kRetryPause = std::chrono::milliseconds(5);
+
+}  // namespace
+
+PsService::PsService(Bus* bus, ps::ParameterStore* store)
+    : bus_(bus), store_(store) {
+  RAFIKI_CHECK(bus != nullptr);
+  RAFIKI_CHECK(store != nullptr);
+}
+
+PsService::~PsService() { Stop(); }
+
+Status PsService::Start() {
+  Status status = bus_->RegisterEndpoint(kPsEndpoint);
+  if (!status.ok()) return status;
+  started_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void PsService::Stop() {
+  if (!started_.exchange(false)) return;
+  // Removing the endpoint closes the mailbox, so Loop's Receive drains and
+  // returns nullopt.
+  (void)bus_->RemoveEndpoint(kPsEndpoint);
+  if (thread_.joinable()) thread_.join();
+}
+
+void PsService::Loop() {
+  while (auto msg = bus_->Receive(kPsEndpoint)) {
+    switch (msg->type) {
+      case MessageType::kPsPut:
+        HandlePut(*msg);
+        break;
+      case MessageType::kPsGet:
+        HandleGet(*msg);
+        break;
+      default:
+        RAFIKI_LOG(WARNING) << "ps service ignoring " << msg->DebugString();
+    }
+  }
+}
+
+void PsService::HandlePut(const Message& request) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MessageType::kPsAck;
+  reply.from = kPsEndpoint;
+  reply.trial_id = request.trial_id;  // echo the request id
+
+  auto scope_it = request.str_fields.find("scope");
+  auto ckpt_it = request.str_fields.find("ckpt");
+  if (scope_it == request.str_fields.end() ||
+      ckpt_it == request.str_fields.end()) {
+    reply.str_fields["error"] = "kPsPut missing scope/ckpt";
+  } else {
+    auto ckpt = ps::DeserializeCheckpoint(ckpt_it->second);
+    if (!ckpt.ok()) {
+      reply.str_fields["error"] = ckpt.status().ToString();
+    } else {
+      Status status = store_->PutModel(scope_it->second, ckpt.value());
+      if (!status.ok()) reply.str_fields["error"] = status.ToString();
+    }
+  }
+  (void)bus_->Send(request.from, std::move(reply));
+}
+
+void PsService::HandleGet(const Message& request) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MessageType::kPsValue;
+  reply.from = kPsEndpoint;
+  reply.trial_id = request.trial_id;
+
+  auto scope_it = request.str_fields.find("scope");
+  if (scope_it == request.str_fields.end()) {
+    reply.str_fields["error"] = "kPsGet missing scope";
+  } else {
+    auto ckpt = store_->GetModel(scope_it->second);
+    if (!ckpt.ok()) {
+      reply.str_fields["error"] = ckpt.status().ToString();
+    } else {
+      reply.str_fields["ckpt"] = ps::SerializeCheckpoint(ckpt.value());
+    }
+  }
+  (void)bus_->Send(request.from, std::move(reply));
+}
+
+RemoteParameterStore::RemoteParameterStore(Bus* bus,
+                                           const std::string& client_name)
+    : bus_(bus), reply_endpoint_("ps/reply/" + client_name) {
+  RAFIKI_CHECK(bus != nullptr);
+  RAFIKI_CHECK_OK(bus_->RegisterEndpoint(reply_endpoint_));
+}
+
+RemoteParameterStore::~RemoteParameterStore() {
+  (void)bus_->RemoveEndpoint(reply_endpoint_);
+}
+
+Result<Message> RemoteParameterStore::Call(Message request,
+                                           MessageType want) {
+  Status last = Status::Unavailable("ps call never attempted");
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    int64_t id = next_request_.fetch_add(1, std::memory_order_relaxed);
+    request.trial_id = id;
+    request.from = reply_endpoint_;
+
+    // Resend until the link is up and the frame is accepted. A closed
+    // reply mailbox means our own bus is being torn down: no reply can
+    // ever arrive, so give up instead of burning the timeout budget.
+    bool sent = false;
+    auto send_deadline = std::chrono::steady_clock::now() + kSendBudget;
+    while (std::chrono::steady_clock::now() < send_deadline) {
+      if (bus_->EndpointClosed(reply_endpoint_)) {
+        return Status::Cancelled("ps reply endpoint closed (bus shutdown)");
+      }
+      Message copy = request;
+      Status status = bus_->Send(kPsEndpoint, std::move(copy));
+      if (status.ok()) {
+        sent = true;
+        break;
+      }
+      last = status;
+      std::this_thread::sleep_for(kRetryPause);
+    }
+    if (!sent) continue;
+
+    // Wait for the matching reply; stale ids from abandoned attempts are
+    // discarded.
+    auto reply_deadline = std::chrono::steady_clock::now() + kReplyBudget;
+    while (true) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= reply_deadline) {
+        last = Status::DeadlineExceeded("ps reply timed out");
+        break;
+      }
+      auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              reply_deadline - now);
+      std::optional<Message> reply =
+          bus_->ReceiveFor(reply_endpoint_, remaining);
+      if (!reply.has_value()) {
+        if (bus_->EndpointClosed(reply_endpoint_)) {
+          return Status::Cancelled(
+              "ps reply endpoint closed (bus shutdown)");
+        }
+        continue;  // timeout
+      }
+      if (reply->trial_id != id || reply->type != want) continue;
+      return std::move(*reply);
+    }
+  }
+  return Status::Unavailable(
+      StrFormat("ps unreachable after %d attempts: %s", kAttempts,
+                last.ToString().c_str()));
+}
+
+Status RemoteParameterStore::PutModel(const std::string& scope,
+                                      const ps::ModelCheckpoint& ckpt) {
+  Message request;
+  request.type = MessageType::kPsPut;
+  request.str_fields["scope"] = scope;
+  request.str_fields["ckpt"] = ps::SerializeCheckpoint(ckpt);
+  auto reply = Call(std::move(request), MessageType::kPsAck);
+  if (!reply.ok()) return reply.status();
+  auto error_it = reply.value().str_fields.find("error");
+  if (error_it != reply.value().str_fields.end()) {
+    return Status::Internal(error_it->second);
+  }
+  return Status::OK();
+}
+
+Result<ps::ModelCheckpoint> RemoteParameterStore::GetModel(
+    const std::string& scope) {
+  Message request;
+  request.type = MessageType::kPsGet;
+  request.str_fields["scope"] = scope;
+  auto reply = Call(std::move(request), MessageType::kPsValue);
+  if (!reply.ok()) return reply.status();
+  auto error_it = reply.value().str_fields.find("error");
+  if (error_it != reply.value().str_fields.end()) {
+    // Pass NotFound through: an empty best-scope is an expected miss that
+    // the warm-start path treats as "train from scratch".
+    if (error_it->second.find("NOT_FOUND") != std::string::npos) {
+      return Status::NotFound(error_it->second);
+    }
+    return Status::Internal(error_it->second);
+  }
+  auto ckpt_it = reply.value().str_fields.find("ckpt");
+  if (ckpt_it == reply.value().str_fields.end()) {
+    return Status::Internal("kPsValue missing ckpt payload");
+  }
+  return ps::DeserializeCheckpoint(ckpt_it->second);
+}
+
+}  // namespace rafiki::cluster

@@ -1,0 +1,80 @@
+#ifndef RAFIKI_CLUSTER_PS_SERVICE_H_
+#define RAFIKI_CLUSTER_PS_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "cluster/bus.h"
+#include "cluster/message.h"
+#include "common/result.h"
+#include "ps/parameter_store.h"
+
+namespace rafiki::cluster {
+
+/// Endpoint the master-side PS service listens on.
+inline constexpr const char* kPsEndpoint = "ps";
+
+/// Master-side loop exposing the parameter server on the bus, so workers
+/// in other processes share the same PS through kPsPut/kPsGet messages.
+/// Requests carry the caller's reply endpoint in `from` and a request id
+/// in `trial_id` (echoed back, so stale replies are discarded); checkpoint
+/// payloads travel as ps::SerializeCheckpoint bytes in str_fields["ckpt"].
+class PsService {
+ public:
+  PsService(Bus* bus, ps::ParameterStore* store);
+  ~PsService();
+  PsService(const PsService&) = delete;
+  PsService& operator=(const PsService&) = delete;
+
+  /// Registers the "ps" endpoint and starts the serving thread.
+  Status Start();
+
+  /// Removes the endpoint and joins the thread. Idempotent.
+  void Stop();
+
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void HandlePut(const Message& request);
+  void HandleGet(const Message& request);
+
+  Bus* bus_;
+  ps::ParameterStore* store_;
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> served_{0};
+};
+
+/// Worker-side ParameterStore that forwards PutModel/GetModel to the
+/// master's PsService across the bus. Blocking with bounded retries: each
+/// call resends on a dropped link (the master restarting) and times out
+/// with DeadlineExceeded rather than hanging a trial forever.
+class RemoteParameterStore : public ps::ParameterStore {
+ public:
+  /// `client_name` must be unique per process (it names the private reply
+  /// endpoint "ps/reply/<client_name>").
+  RemoteParameterStore(Bus* bus, const std::string& client_name);
+  ~RemoteParameterStore() override;
+
+  Status PutModel(const std::string& scope,
+                  const ps::ModelCheckpoint& ckpt) override;
+  Result<ps::ModelCheckpoint> GetModel(const std::string& scope) override;
+
+ private:
+  /// Sends `request` (stamped with a fresh id) until the service answers
+  /// with `want` carrying the same id, or the deadline budget runs out.
+  Result<Message> Call(Message request, MessageType want);
+
+  Bus* bus_;
+  std::string reply_endpoint_;
+  std::atomic<int64_t> next_request_{1};
+};
+
+}  // namespace rafiki::cluster
+
+#endif  // RAFIKI_CLUSTER_PS_SERVICE_H_

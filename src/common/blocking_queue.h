@@ -1,6 +1,7 @@
 #ifndef RAFIKI_COMMON_BLOCKING_QUEUE_H_
 #define RAFIKI_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -9,8 +10,8 @@
 
 namespace rafiki {
 
-/// Unbounded multi-producer / multi-consumer FIFO queue. This is the
-/// transport underneath `cluster::MessageBus`, standing in for the RPC
+/// Multi-producer / multi-consumer FIFO queue, optionally bounded. This is
+/// the transport underneath `cluster::MessageBus`, standing in for the RPC
 /// channels between Rafiki masters and workers.
 ///
 /// `Close()` wakes all blocked consumers; after close, `Pop()` drains the
@@ -18,7 +19,9 @@ namespace rafiki {
 template <typename T>
 class BlockingQueue {
  public:
-  BlockingQueue() = default;
+  /// `capacity` of 0 means unbounded. A bounded queue rejects `TryPush`
+  /// beyond the cap; `Push` still always accepts (legacy unbounded path).
+  explicit BlockingQueue(size_t capacity = 0) : capacity_(capacity) {}
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
@@ -33,10 +36,36 @@ class BlockingQueue {
     cv_.notify_one();
   }
 
+  /// Bounded enqueue: false iff the queue is at capacity (backpressure);
+  /// pushing to a closed queue still "succeeds" by dropping, matching
+  /// `Push`'s dead-receiver semantics.
+  [[nodiscard]] bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return true;
+      if (capacity_ != 0 && items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout` for an item. nullopt on timeout or on
+  /// closed-and-drained; callers that need to distinguish check closed().
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -73,7 +102,10 @@ class BlockingQueue {
 
   bool empty() const { return size() == 0; }
 
+  size_t capacity() const { return capacity_; }
+
  private:
+  size_t capacity_ = 0;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;

@@ -21,6 +21,7 @@ enum class StatusCode {
   kDeadlineExceeded = 8,
   kInternal = 9,
   kUnimplemented = 10,
+  kResourceExhausted = 11,
 };
 
 /// Human-readable name for a status code ("OK", "NOT_FOUND", ...).
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

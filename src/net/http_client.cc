@@ -17,7 +17,7 @@ Status HttpClient::EnsureConnected() {
 }
 
 Result<int> HttpClient::RoundTrip() {
-  RAFIKI_RETURN_IF_ERROR(SendAll(sock_.fd(), wire_.data(), wire_.size()));
+  RAFIKI_RETURN_IF_ERROR(WriteFull(sock_.fd(), wire_.data(), wire_.size()));
   parser_.Reset();
   char buf[16 * 1024];
   while (!parser_.done() && !parser_.failed()) {

@@ -110,11 +110,23 @@ Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
 }
 
 Status SendAll(int fd, const char* data, size_t len) {
+  return WriteFull(fd, data, len);
+}
+
+Status WriteFull(int fd, const char* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
+    // send() first for the MSG_NOSIGNAL guarantee; non-socket fds (pipes
+    // in tests, spawned-process plumbing) fall back to write().
     ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data + sent, len - sent);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send timed out");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -122,9 +134,24 @@ Status SendAll(int fd, const char* data, size_t len) {
   return Status::OK();
 }
 
+Result<size_t> ReadFull(int fd, char* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    RAFIKI_ASSIGN_OR_RETURN(size_t n, RecvSome(fd, data + got, len - got));
+    if (n == 0) {
+      if (got == 0) return static_cast<size_t>(0);  // clean shutdown
+      return Status::Internal(
+          StrFormat("peer closed mid-record: %zu of %zu bytes", got, len));
+    }
+    got += n;
+  }
+  return len;
+}
+
 Result<size_t> RecvSome(int fd, char* data, size_t len) {
   for (;;) {
     ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0 && errno == ENOTSOCK) n = ::read(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {

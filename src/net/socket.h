@@ -69,6 +69,17 @@ Status SendAll(int fd, const char* data, size_t len);
 /// count (0 = orderly peer shutdown) or an error status.
 Result<size_t> RecvSome(int fd, char* data, size_t len);
 
+/// Writes all of [data, data+len), handling EINTR and partial writes.
+/// Works on sockets (MSG_NOSIGNAL, no SIGPIPE) and plain fds (pipes);
+/// a send/receive timeout on the fd maps to DeadlineExceeded.
+Status WriteFull(int fd, const char* data, size_t len);
+
+/// Reads exactly `len` bytes, handling EINTR and partial reads. Returns
+/// `len` on success and 0 when the peer closed cleanly before the first
+/// byte; a mid-record EOF is an Internal error (torn stream), and a
+/// receive timeout maps to DeadlineExceeded.
+Result<size_t> ReadFull(int fd, char* data, size_t len);
+
 }  // namespace rafiki::net
 
 #endif  // RAFIKI_NET_SOCKET_H_

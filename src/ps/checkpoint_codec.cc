@@ -1,0 +1,137 @@
+#include "ps/checkpoint_codec.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/serialize.h"
+
+namespace rafiki::ps {
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s.data(), s.size());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadDouble(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool ReadString(std::string* v) {
+    uint32_t len;
+    if (!ReadU32(&len)) return false;
+    if (remaining() < len) return false;
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadBytes(std::vector<uint8_t>* v, size_t len) {
+    if (remaining() < len) return false;
+    const auto* p = reinterpret_cast<const uint8_t*>(data_.data() + pos_);
+    v->assign(p, p + len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(StrFormat("truncated checkpoint %s", what));
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const ModelCheckpoint& ckpt) {
+  std::string out;
+  PutU32(static_cast<uint32_t>(ckpt.params.size()), &out);
+  for (const auto& [name, tensor] : ckpt.params) {
+    PutString(name, &out);
+    std::vector<uint8_t> bytes = storage::SerializeTensor(tensor);
+    PutU64(bytes.size(), &out);
+    out.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  PutU64(static_cast<uint64_t>(ckpt.meta.version), &out);
+  uint64_t accuracy_bits;
+  std::memcpy(&accuracy_bits, &ckpt.meta.accuracy, sizeof(accuracy_bits));
+  PutU64(accuracy_bits, &out);
+  out.push_back(static_cast<char>(ckpt.meta.visibility));
+  PutString(ckpt.meta.owner, &out);
+  return out;
+}
+
+Result<ModelCheckpoint> DeserializeCheckpoint(std::string_view bytes) {
+  Reader reader(bytes);
+  uint32_t count;
+  if (!reader.ReadU32(&count)) return Truncated("param count");
+  // Each param costs at least its two length prefixes.
+  if (count > reader.remaining() / 12) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint param count %u exceeds payload", count));
+  }
+  ModelCheckpoint ckpt;
+  ckpt.params.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.ReadString(&name)) return Truncated("param name");
+    uint64_t len;
+    if (!reader.ReadU64(&len)) return Truncated("tensor length");
+    std::vector<uint8_t> tensor_bytes;
+    if (!reader.ReadBytes(&tensor_bytes, len)) return Truncated("tensor");
+    auto tensor = storage::DeserializeTensor(tensor_bytes);
+    if (!tensor.ok()) return tensor.status();
+    ckpt.params.emplace_back(std::move(name), std::move(tensor).value());
+  }
+  int64_t version;
+  if (!reader.ReadI64(&version)) return Truncated("meta version");
+  ckpt.meta.version = version;
+  if (!reader.ReadDouble(&ckpt.meta.accuracy)) return Truncated("accuracy");
+  uint8_t visibility;
+  if (!reader.ReadU8(&visibility)) return Truncated("visibility");
+  if (visibility > static_cast<uint8_t>(Visibility::kPublic)) {
+    return Status::InvalidArgument(
+        StrFormat("bad visibility %u", visibility));
+  }
+  ckpt.meta.visibility = static_cast<Visibility>(visibility);
+  if (!reader.ReadString(&ckpt.meta.owner)) return Truncated("owner");
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%zu trailing bytes after checkpoint", reader.remaining()));
+  }
+  return ckpt;
+}
+
+}  // namespace rafiki::ps

@@ -1,0 +1,24 @@
+#ifndef RAFIKI_PS_CHECKPOINT_CODEC_H_
+#define RAFIKI_PS_CHECKPOINT_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "ps/parameter_store.h"
+
+namespace rafiki::ps {
+
+/// Binary codec for whole model checkpoints, used to carry PS traffic over
+/// the TCP bus (a kPsPut/kPsValue payload). Tensors reuse the blob-store
+/// wire format (storage::SerializeTensor); the little-endian framing
+/// matches cluster/frame.cc.
+
+std::string SerializeCheckpoint(const ModelCheckpoint& ckpt);
+
+/// InvalidArgument on truncation or trailing garbage.
+Result<ModelCheckpoint> DeserializeCheckpoint(std::string_view bytes);
+
+}  // namespace rafiki::ps
+
+#endif  // RAFIKI_PS_CHECKPOINT_CODEC_H_

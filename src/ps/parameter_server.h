@@ -10,32 +10,11 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "ps/parameter_store.h"
 #include "storage/blob_store.h"
 #include "tensor/tensor.h"
 
 namespace rafiki::ps {
-
-/// Visibility of stored parameters (§6.2: "parameters trained for the same
-/// model but different datasets can be shared as long as the privacy
-/// setting is public").
-enum class Visibility { kPrivate, kPublic };
-
-/// Metadata attached to every stored parameter.
-struct ParamMeta {
-  int64_t version = 0;
-  /// Validation performance of the trial that produced this value; used by
-  /// CoStudy to keep only improving checkpoints and by FetchShapeMatched to
-  /// prefer the best-performing donor.
-  double accuracy = 0.0;
-  Visibility visibility = Visibility::kPrivate;
-  std::string owner;  // study or job that wrote it
-};
-
-/// A complete model checkpoint: named tensors + metadata.
-struct ModelCheckpoint {
-  std::vector<std::pair<std::string, Tensor>> params;
-  ParamMeta meta;
-};
 
 /// Rafiki's distributed in-memory parameter server (§3, §6.2).
 ///
@@ -57,7 +36,7 @@ struct ModelCheckpoint {
 /// entries reads each parameter at a consistent individual revision but is
 /// not a cross-parameter atomic snapshot if a concurrent PutModel races it
 /// (the all-hot fast path, the common case, is still fully atomic).
-class ParameterServer {
+class ParameterServer : public ParameterStore {
  public:
   /// `cold_store` may be null (no spilling).
   explicit ParameterServer(storage::BlobStore* cold_store = nullptr)
@@ -82,10 +61,11 @@ class ParameterServer {
   /// Model checkpoints --------------------------------------------------------
 
   /// Atomically stores a whole model state under `scope`.
-  Status PutModel(const std::string& scope, const ModelCheckpoint& ckpt);
+  Status PutModel(const std::string& scope,
+                  const ModelCheckpoint& ckpt) override;
 
   /// Latest checkpoint stored under `scope`.
-  Result<ModelCheckpoint> GetModel(const std::string& scope);
+  Result<ModelCheckpoint> GetModel(const std::string& scope) override;
 
   /// Highest-accuracy checkpoint among all scopes with the given prefix
   /// (e.g. all trials of one study). NotFound when none exists.

@@ -1,0 +1,57 @@
+#ifndef RAFIKI_PS_PARAMETER_STORE_H_
+#define RAFIKI_PS_PARAMETER_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace rafiki::ps {
+
+/// Visibility of stored parameters (§6.2: "parameters trained for the same
+/// model but different datasets can be shared as long as the privacy
+/// setting is public").
+enum class Visibility { kPrivate, kPublic };
+
+/// Metadata attached to every stored parameter.
+struct ParamMeta {
+  int64_t version = 0;
+  /// Validation performance of the trial that produced this value; used by
+  /// CoStudy to keep only improving checkpoints and by FetchShapeMatched to
+  /// prefer the best-performing donor.
+  double accuracy = 0.0;
+  Visibility visibility = Visibility::kPrivate;
+  std::string owner;  // study or job that wrote it
+};
+
+/// A complete model checkpoint: named tensors + metadata.
+struct ModelCheckpoint {
+  std::vector<std::pair<std::string, Tensor>> params;
+  ParamMeta meta;
+};
+
+/// The slice of the parameter server a tuning worker needs: whole-model
+/// checkpoint traffic (CoStudy's Put and the alpha-greedy warm-start Get,
+/// §4.2.2). Two implementations: `ParameterServer` itself (in-process) and
+/// `cluster::RemoteParameterStore` (the same calls carried over the TCP
+/// bus to the master's PS), so a worker body is oblivious to whether it
+/// runs as a thread or as a separate process.
+class ParameterStore {
+ public:
+  virtual ~ParameterStore() = default;
+
+  /// Atomically stores a whole model state under `scope`.
+  virtual Status PutModel(const std::string& scope,
+                          const ModelCheckpoint& ckpt) = 0;
+
+  /// Latest checkpoint stored under `scope`.
+  virtual Result<ModelCheckpoint> GetModel(const std::string& scope) = 0;
+};
+
+}  // namespace rafiki::ps
+
+#endif  // RAFIKI_PS_PARAMETER_STORE_H_

@@ -27,6 +27,9 @@ GatewayResponse FromStatus(const Status& status) {
     case StatusCode::kFailedPrecondition:
       code = 409;
       break;
+    case StatusCode::kResourceExhausted:
+      code = 429;  // bounded mailbox / quota overflow
+      break;
     case StatusCode::kUnavailable:
       code = 503;  // retryable: queue full / shedding
       break;
@@ -166,6 +169,12 @@ GatewayResponse Gateway::Dispatch(const GatewayRequest& request) {
     if (path == "/deploy") return Deploy(request);
     if (path == "/query") return Query(request);
     return Undeploy(request);
+  }
+  if (path == "/cluster/metrics") {
+    if (request.method != "GET") {
+      return Error(405, "use GET /cluster/metrics");
+    }
+    return ClusterMetricsRoute();
   }
   // Job-scoped routes: POST /jobs/<id>/query (the data plane), GET for
   // status/metrics.
@@ -425,6 +434,34 @@ GatewayResponse Gateway::InferMetrics(const std::string& job_id) {
         static_cast<long long>(g.replica),
         static_cast<long long>(g.steals));
   }
+  return GatewayResponse{200, std::move(body)};
+}
+
+GatewayResponse Gateway::ClusterMetricsRoute() {
+  ClusterMetrics m = rafiki_->GetClusterMetrics();
+  std::string body = StrFormat(
+      "workers_alive=%lld&workers_total=%lld&worker_restarts=%lld&"
+      "trials_proposed=%lld&trials_completed=%lld&trials_lost=%lld&"
+      "trials_active=%lld",
+      static_cast<long long>(m.workers_alive),
+      static_cast<long long>(m.workers_total),
+      static_cast<long long>(m.worker_restarts),
+      static_cast<long long>(m.trials_proposed),
+      static_cast<long long>(m.trials_completed),
+      static_cast<long long>(m.trials_lost),
+      static_cast<long long>(m.trials_active));
+  body += StrFormat(
+      "&bus_endpoints=%llu&bus_queued=%llu&bus_sent=%llu&"
+      "bus_delivered=%llu&bus_send_errors=%llu&bus_frames_sent=%llu&"
+      "bus_frames_received=%llu&bus_reconnects=%llu",
+      static_cast<unsigned long long>(m.bus.endpoints),
+      static_cast<unsigned long long>(m.bus.queued),
+      static_cast<unsigned long long>(m.bus.messages_sent),
+      static_cast<unsigned long long>(m.bus.messages_delivered),
+      static_cast<unsigned long long>(m.bus.send_errors),
+      static_cast<unsigned long long>(m.bus.frames_sent),
+      static_cast<unsigned long long>(m.bus.frames_received),
+      static_cast<unsigned long long>(m.bus.reconnects));
   return GatewayResponse{200, std::move(body)};
 }
 

@@ -46,6 +46,13 @@ struct GatewayResponse {
 ///                  p50=..&p95=..&p99=..   (live serving counters +
 ///                  latency percentiles)
 ///   POST /undeploy job=<infer_id>              -> ok
+///   GET  /cluster/metrics                      -> workers_alive=..&
+///                  workers_total=..&worker_restarts=..&trials_proposed=..&
+///                  trials_completed=..&trials_lost=..&trials_active=..&
+///                  bus_endpoints=..&bus_queued=..&bus_sent=..&
+///                  bus_delivered=..&bus_send_errors=..&bus_frames_sent=..&
+///                  bus_frames_received=..&bus_reconnects=..  (tuning-plane
+///                  gauges across every training job)
 ///
 /// Error mapping: unknown path -> 404; known path with the wrong method ->
 /// 405; oversized request line or body -> 413; queue full -> 503; queue
@@ -90,6 +97,7 @@ class Gateway {
   GatewayResponse Train(const GatewayRequest& request);
   GatewayResponse JobStatus(const std::string& job_id);
   GatewayResponse InferMetrics(const std::string& job_id);
+  GatewayResponse ClusterMetricsRoute();
   GatewayResponse Deploy(const GatewayRequest& request);
   GatewayResponse Query(const GatewayRequest& request);
   GatewayResponse QueryJob(const std::string& job_id,

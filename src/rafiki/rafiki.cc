@@ -290,4 +290,26 @@ Result<serving::InferenceJobMetrics> Rafiki::InferenceMetrics(
   return runtime_.Metrics(inference_job_id);
 }
 
+ClusterMetrics Rafiki::GetClusterMetrics() {
+  ClusterMetrics out;
+  for (const std::string& name : manager_.ListContainers()) {
+    if (name.find("/worker/") == std::string::npos) continue;
+    ++out.workers_total;
+    if (manager_.IsRunning(name)) ++out.workers_alive;
+    out.worker_restarts += manager_.RestartCount(name);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, job] : train_jobs_) {
+      tuning::TrialLedger ledger = job->master->ledger();
+      out.trials_proposed += ledger.proposed;
+      out.trials_completed += ledger.completed;
+      out.trials_lost += ledger.lost;
+      out.trials_active += ledger.active;
+    }
+  }
+  out.bus = bus_.Stats();
+  return out;
+}
+
 }  // namespace rafiki::api

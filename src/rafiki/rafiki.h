@@ -56,6 +56,20 @@ struct JobInfo {
   int64_t trials_finished = 0;
 };
 
+/// Tuning-plane gauges across every training job (GET /cluster/metrics):
+/// worker-container liveness and restarts, the summed trial ledger, and
+/// the message-bus counters.
+struct ClusterMetrics {
+  int64_t workers_alive = 0;    // worker containers currently running
+  int64_t workers_total = 0;    // worker containers ever started
+  int64_t worker_restarts = 0;  // summed container restart counts
+  int64_t trials_proposed = 0;
+  int64_t trials_completed = 0;
+  int64_t trials_lost = 0;
+  int64_t trials_active = 0;  // trials in flight right now
+  cluster::BusStats bus;
+};
+
 /// One inference answer.
 struct Prediction {
   int64_t label = -1;
@@ -142,6 +156,10 @@ class Rafiki {
   /// overdue / dropped / batch stats / mean latency).
   Result<serving::InferenceJobMetrics> InferenceMetrics(
       const std::string& inference_job_id);
+
+  /// Live tuning-plane gauges: worker containers alive / restarted, the
+  /// trial ledger summed over all training jobs, and bus counters.
+  ClusterMetrics GetClusterMetrics();
 
   /// Shared substrate (exposed for tests and advanced use).
   ps::ParameterServer& parameter_server() { return ps_; }

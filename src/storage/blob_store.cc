@@ -1,8 +1,44 @@
 #include "storage/blob_store.h"
 
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace rafiki::storage {
+
+BlobStore::BlobStore(size_t capacity_bytes, std::string persist_dir)
+    : capacity_bytes_(capacity_bytes), persist_dir_(std::move(persist_dir)) {
+  if (!persist_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(persist_dir_, ec);
+    if (ec) {
+      RAFIKI_LOG(WARNING) << "blob store cannot create '" << persist_dir_
+                          << "': " << ec.message() << "; persistence off";
+      persist_dir_.clear();
+    }
+  }
+}
+
+std::string BlobStore::PathForKey(const std::string& key) const {
+  // One flat file per key; escape everything outside [A-Za-z0-9._-] so a
+  // hierarchical key cannot traverse directories.
+  std::string name;
+  name.reserve(key.size());
+  for (unsigned char c : key) {
+    if (std::isalnum(c) || c == '.' || c == '_' || c == '-') {
+      name.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      name += buf;
+    }
+  }
+  return persist_dir_ + "/" + name;
+}
 
 Status BlobStore::Put(const std::string& key, std::vector<uint8_t> value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -21,7 +57,28 @@ Status BlobStore::Put(const std::string& key, std::vector<uint8_t> value) {
                   capacity_bytes_));
   }
   used_bytes_ = next;
-  blobs_[key] = std::move(value);
+  const std::vector<uint8_t>& stored = (blobs_[key] = std::move(value));
+  if (!persist_dir_.empty()) {
+    // Write-through via a temp file + rename so a crash mid-write never
+    // leaves a torn checkpoint for the recovered process to read.
+    std::string path = PathForKey(key);
+    std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(stored.data()),
+                static_cast<std::streamsize>(stored.size()));
+      if (!out.good()) {
+        return Status::Internal(
+            StrFormat("cannot persist blob '%s'", key.c_str()));
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      return Status::Internal(StrFormat("cannot persist blob '%s': %s",
+                                        key.c_str(), ec.message().c_str()));
+    }
+  }
   return Status::OK();
 }
 
@@ -29,10 +86,23 @@ Result<std::vector<uint8_t>> BlobStore::Get(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   ++gets_;
   auto it = blobs_.find(key);
-  if (it == blobs_.end()) {
-    return Status::NotFound(StrFormat("no blob '%s'", key.c_str()));
+  if (it != blobs_.end()) return it->second;
+  if (!persist_dir_.empty()) {
+    // Memory miss: a predecessor process may have persisted it.
+    std::ifstream in(PathForKey(key), std::ios::binary);
+    if (in.good()) {
+      std::vector<uint8_t> value(
+          (std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>());
+      if (capacity_bytes_ == 0 ||
+          used_bytes_ + value.size() <= capacity_bytes_) {
+        used_bytes_ += value.size();
+        blobs_[key] = value;
+      }
+      return value;
+    }
   }
-  return it->second;
+  return Status::NotFound(StrFormat("no blob '%s'", key.c_str()));
 }
 
 bool BlobStore::Exists(const std::string& key) const {
@@ -48,6 +118,10 @@ Status BlobStore::Delete(const std::string& key) {
   }
   used_bytes_ -= it->second.size();
   blobs_.erase(it);
+  if (!persist_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(PathForKey(key), ec);
+  }
   return Status::OK();
 }
 

@@ -19,10 +19,13 @@ namespace rafiki::storage {
 /// Keys are hierarchical strings ("datasets/food", "params/model1/fc0/w").
 /// Thread-safe. Capacity in bytes is enforced to exercise spill/eviction
 /// behaviour; 0 means unlimited.
+///
+/// With a `persist_dir`, blobs are written through to one file per key and
+/// read back on a memory miss, so a restarted process (e.g. a recovered
+/// study master) finds the checkpoints its predecessor wrote.
 class BlobStore {
  public:
-  explicit BlobStore(size_t capacity_bytes = 0)
-      : capacity_bytes_(capacity_bytes) {}
+  explicit BlobStore(size_t capacity_bytes = 0, std::string persist_dir = "");
 
   /// Stores (overwrites) a blob. Fails with kOutOfRange if the value alone
   /// exceeds capacity.
@@ -45,10 +48,14 @@ class BlobStore {
   size_t get_count() const;
 
  private:
+  std::string PathForKey(const std::string& key) const;
+
   mutable std::mutex mu_;
   size_t capacity_bytes_;
-  size_t used_bytes_ = 0;
-  std::map<std::string, std::vector<uint8_t>> blobs_;
+  std::string persist_dir_;
+  // mutable: Get promotes persisted blobs into memory on a miss.
+  mutable size_t used_bytes_ = 0;
+  mutable std::map<std::string, std::vector<uint8_t>> blobs_;
   mutable size_t puts_ = 0;
   mutable size_t gets_ = 0;
 };

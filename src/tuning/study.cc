@@ -12,7 +12,7 @@ using cluster::Message;
 using cluster::MessageType;
 
 StudyMaster::StudyMaster(std::string study_name, StudyConfig config,
-                         TrialAdvisor* advisor, cluster::MessageBus* bus,
+                         TrialAdvisor* advisor, cluster::Bus* bus,
                          storage::BlobStore* checkpoint_store)
     : study_name_(std::move(study_name)),
       config_(config),
@@ -34,7 +34,10 @@ void StudyMaster::HandleRequest(const Message& msg) {
   // A kRequest from a worker we believe is mid-trial means the worker was
   // killed and restarted (stateless recovery, §6.3): its previous trial is
   // lost; just hand out a new one.
-  active_workers_.erase(msg.from);
+  if (active_workers_.erase(msg.from) > 0) {
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
   worker_progress_.erase(msg.from);
 
   std::optional<Trial> trial;
@@ -55,6 +58,8 @@ void StudyMaster::HandleRequest(const Message& msg) {
   reply.num_fields["alpha"] = alpha_;
   bus_->Send(msg.from, std::move(reply));
   active_workers_.insert(msg.from);
+  proposed_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_add(1, std::memory_order_relaxed);
   worker_progress_[msg.from] = WorkerProgress{-1.0, 0, trial->id()};
   // Decay alpha once per issued trial (§4.2.2).
   alpha_ = std::max(config_.alpha_min, alpha_ * config_.alpha_decay);
@@ -129,7 +134,10 @@ void StudyMaster::HandleReport(const Message& msg) {
 
 void StudyMaster::HandleFinish(const Message& msg) {
   ++num_finished_;
-  active_workers_.erase(msg.from);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (active_workers_.erase(msg.from) > 0) {
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   Result<Trial> trial = Trial::Decode(msg.str_fields.count("trial")
                                           ? msg.str_fields.at("trial")
@@ -182,10 +190,14 @@ Status StudyMaster::SaveCheckpoint() const {
   if (checkpoint_store_ == nullptr) {
     return Status::FailedPrecondition("no checkpoint store");
   }
-  // Small state blob (§6.3): finished count, best perf, alpha, best trial.
-  std::string s = StrFormat("%lld|%.17g|%.17g|%.17g|",
-                            static_cast<long long>(num_finished_),
-                            stats_.best_performance, best_p_, alpha_);
+  // Small state blob (§6.3): finished count, best perf, alpha, the trial
+  // ledger, and the best trial.
+  std::string s = StrFormat(
+      "%lld|%.17g|%.17g|%.17g|%lld|%lld|",
+      static_cast<long long>(num_finished_), stats_.best_performance,
+      best_p_, alpha_,
+      static_cast<long long>(proposed_.load(std::memory_order_relaxed)),
+      static_cast<long long>(lost_.load(std::memory_order_relaxed)));
   s += stats_.best_trial.Encode();
   return checkpoint_store_->Put("study/" + study_name_ + "/master_ckpt",
                                 std::vector<uint8_t>(s.begin(), s.end()));
@@ -199,14 +211,26 @@ Status StudyMaster::RestoreFromCheckpoint() {
   if (!blob.ok()) return blob.status();
   std::string s(blob.value().begin(), blob.value().end());
   std::vector<std::string> parts = Split(s, '|');
-  if (parts.size() < 5) return Status::InvalidArgument("bad master ckpt");
+  if (parts.size() < 7) return Status::InvalidArgument("bad master ckpt");
   num_finished_ = std::strtoll(parts[0].c_str(), nullptr, 10);
   stats_.best_performance = std::strtod(parts[1].c_str(), nullptr);
   best_p_ = std::strtod(parts[2].c_str(), nullptr);
   alpha_ = std::strtod(parts[3].c_str(), nullptr);
+  proposed_.store(std::strtoll(parts[4].c_str(), nullptr, 10),
+                  std::memory_order_relaxed);
+  int64_t lost = std::strtoll(parts[5].c_str(), nullptr, 10);
+  completed_.store(num_finished_, std::memory_order_relaxed);
+  // Trials in flight when the predecessor died are presumed lost: their
+  // workers abandon them once sends to the dead master fail, then
+  // re-request as unknown workers (the restored active set is empty).
+  int64_t in_flight = proposed_.load(std::memory_order_relaxed) -
+                      num_finished_ - lost;
+  lost_.store(lost + std::max<int64_t>(0, in_flight),
+              std::memory_order_relaxed);
+  active_.store(0, std::memory_order_relaxed);
   // The trial encoding itself contains a '|'; rejoin the tail.
-  std::string trial_enc = parts[4];
-  for (size_t i = 5; i < parts.size(); ++i) trial_enc += "|" + parts[i];
+  std::string trial_enc = parts[6];
+  for (size_t i = 7; i < parts.size(); ++i) trial_enc += "|" + parts[i];
   Result<Trial> trial = Trial::Decode(trial_enc);
   if (trial.ok()) stats_.best_trial = trial.value();
   return Status::OK();
@@ -266,7 +290,7 @@ void StudyMaster::Run(cluster::CancelToken& token) {
 
 StudyWorker::StudyWorker(std::string study_name, std::string worker_name,
                          StudyConfig config, trainer::TrainerFactory* factory,
-                         cluster::MessageBus* bus, ps::ParameterServer* ps,
+                         cluster::Bus* bus, ps::ParameterStore* ps,
                          uint64_t seed)
     : study_name_(std::move(study_name)),
       worker_name_(std::move(worker_name)),
@@ -320,9 +344,15 @@ void StudyWorker::Run(cluster::CancelToken& token) {
 
     // Wait for the assignment, honoring stray control messages from the
     // previous trial (a late kPut still publishes: we keep the last model).
+    // Bounded: if the master died between accepting the request and
+    // replying (possible across processes), re-request instead of waiting
+    // on a reply that will never come.
     std::optional<Trial> assignment;
     bool no_more = false;
+    auto assignment_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
     while (!token.cancelled() && !assignment.has_value() && !no_more) {
+      if (std::chrono::steady_clock::now() > assignment_deadline) break;
       std::optional<Message> msg = bus_->TryReceive(endpoint());
       if (!msg.has_value()) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
@@ -344,7 +374,8 @@ void StudyWorker::Run(cluster::CancelToken& token) {
       // kPut/kStop for the finished trial are ignored here; the checkpoint
       // was already published on finish if it was best.
     }
-    if (no_more || !assignment.has_value()) break;
+    if (no_more) break;
+    if (!assignment.has_value()) continue;  // deadline hit: re-request
 
     double alpha = assignment->GetDouble("__alpha", 1.0);
     Trial trial = *assignment;
@@ -472,7 +503,7 @@ void StudyWorker::Run(cluster::CancelToken& token) {
 
 StudyStats RunStudy(const std::string& study_name, StudyConfig config,
                     TrialAdvisor* advisor, trainer::TrainerFactory* factory,
-                    cluster::MessageBus* bus, ps::ParameterServer* ps,
+                    cluster::Bus* bus, ps::ParameterStore* ps,
                     storage::BlobStore* checkpoint_store, int num_workers,
                     uint64_t seed) {
   RAFIKI_CHECK_GT(num_workers, 0);

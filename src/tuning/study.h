@@ -1,15 +1,16 @@
 #ifndef RAFIKI_TUNING_STUDY_H_
 #define RAFIKI_TUNING_STUDY_H_
 
+#include <atomic>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
-#include "cluster/message_bus.h"
+#include "cluster/bus.h"
 #include "cluster/node_manager.h"
 #include "common/rng.h"
-#include "ps/parameter_server.h"
+#include "ps/parameter_store.h"
 #include "storage/blob_store.h"
 #include "trainer/trainable.h"
 #include "tuning/trial_advisor.h"
@@ -85,6 +86,20 @@ struct StudyStats {
   double sim_seconds = 0.0;
 };
 
+/// The master's trial ledger (§6.3 recovery accounting). Invariant while
+/// the master stays alive: proposed == completed + lost + active, where a
+/// trial is "lost" when its worker was killed mid-trial and re-requested
+/// work after restarting. At a clean study end, active == 0, so
+/// proposed == completed + lost — the balance smoke tests assert after
+/// injected worker kills. Checkpoint lag can under-count around a master
+/// restart (trials proposed after the last checkpoint are unaccounted).
+struct TrialLedger {
+  int64_t proposed = 0;
+  int64_t completed = 0;
+  int64_t lost = 0;
+  int64_t active = 0;
+};
+
 /// The master of Algorithms 1 and 2: an event loop over the message bus
 /// that hands trials to workers via the TrialAdvisor, collects reports,
 /// gates checkpoint publication (kPut), triggers early stops (kStop), and
@@ -93,7 +108,7 @@ class StudyMaster {
  public:
   /// `checkpoint_store` may be null (no master checkpointing).
   StudyMaster(std::string study_name, StudyConfig config,
-              TrialAdvisor* advisor, cluster::MessageBus* bus,
+              TrialAdvisor* advisor, cluster::Bus* bus,
               storage::BlobStore* checkpoint_store);
 
   /// Endpoint the workers talk to.
@@ -114,6 +129,17 @@ class StudyMaster {
   const StudyStats& stats() const { return stats_; }
   double current_alpha() const { return alpha_; }
 
+  /// Thread-safe snapshot of the trial ledger (readable while Run loops,
+  /// e.g. by the /cluster/metrics route).
+  TrialLedger ledger() const {
+    TrialLedger ledger;
+    ledger.proposed = proposed_.load(std::memory_order_relaxed);
+    ledger.completed = completed_.load(std::memory_order_relaxed);
+    ledger.lost = lost_.load(std::memory_order_relaxed);
+    ledger.active = active_.load(std::memory_order_relaxed);
+    return ledger;
+  }
+
  private:
   struct WorkerProgress {
     double best = -1.0;
@@ -131,8 +157,14 @@ class StudyMaster {
   std::string study_name_;
   StudyConfig config_;
   TrialAdvisor* advisor_;
-  cluster::MessageBus* bus_;
+  cluster::Bus* bus_;
   storage::BlobStore* checkpoint_store_;
+
+  // Ledger gauges: atomics so metrics can read them mid-run.
+  std::atomic<int64_t> proposed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> lost_{0};
+  std::atomic<int64_t> active_{0};
 
   int64_t num_finished_ = 0;
   double best_p_ = 0.0;  // CoStudy's best_p (Alg. 2 line 1)
@@ -153,8 +185,7 @@ class StudyWorker {
  public:
   StudyWorker(std::string study_name, std::string worker_name,
               StudyConfig config, trainer::TrainerFactory* factory,
-              cluster::MessageBus* bus, ps::ParameterServer* ps,
-              uint64_t seed);
+              cluster::Bus* bus, ps::ParameterStore* ps, uint64_t seed);
 
   std::string endpoint() const {
     return "study/" + study_name_ + "/worker/" + worker_name_;
@@ -175,8 +206,8 @@ class StudyWorker {
   std::string worker_name_;
   StudyConfig config_;
   trainer::TrainerFactory* factory_;
-  cluster::MessageBus* bus_;
-  ps::ParameterServer* ps_;
+  cluster::Bus* bus_;
+  ps::ParameterStore* ps_;
   Rng rng_;
   double sim_seconds_ = 0.0;
 };
@@ -185,7 +216,7 @@ class StudyWorker {
 /// containers, waits for completion, and returns the study statistics.
 StudyStats RunStudy(const std::string& study_name, StudyConfig config,
                     TrialAdvisor* advisor, trainer::TrainerFactory* factory,
-                    cluster::MessageBus* bus, ps::ParameterServer* ps,
+                    cluster::Bus* bus, ps::ParameterStore* ps,
                     storage::BlobStore* checkpoint_store, int num_workers,
                     uint64_t seed);
 

@@ -473,6 +473,32 @@ TEST_F(GatewayTest, HttpAdapters504ParitySyncVsAsync) {
   ASSERT_TRUE(rafiki_.Undeploy(*deployed).ok());
 }
 
+TEST_F(GatewayTest, ClusterMetricsRoute) {
+  // Idle facade: the route answers with zeroed worker/ledger gauges.
+  GatewayResponse idle = gateway_.Handle("GET /cluster/metrics");
+  ASSERT_EQ(idle.status, 200) << idle.body;
+  EXPECT_EQ(Field(idle.body, "workers_total"), "0");
+  EXPECT_EQ(Field(idle.body, "trials_proposed"), "0");
+  EXPECT_NE(Field(idle.body, "bus_endpoints"), "");
+  EXPECT_EQ(gateway_.Handle("POST /cluster/metrics").status, 405);
+
+  // A finished study leaves its worker containers and ledger visible.
+  GatewayResponse train = gateway_.Handle(
+      "POST /train dataset=t&trials=4&epochs=10&workers=2");
+  ASSERT_EQ(train.status, 200);
+  std::string job = Field(train.body, "job_id");
+  for (int i = 0; i < 20000; ++i) {
+    if (Field(gateway_.Handle("GET /jobs/" + job).body, "done") == "1") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  GatewayResponse after = gateway_.Handle("GET /cluster/metrics");
+  ASSERT_EQ(after.status, 200) << after.body;
+  EXPECT_EQ(Field(after.body, "workers_total"), "2");
+  EXPECT_EQ(Field(after.body, "trials_proposed"), "4");
+  EXPECT_EQ(Field(after.body, "trials_completed"), "4");
+  EXPECT_EQ(Field(after.body, "trials_active"), "0");
+}
+
 TEST_F(GatewayTest, StatusMapping) {
   // FailedPrecondition (job still training) maps to 409.
   GatewayResponse train = gateway_.Handle(

@@ -1,0 +1,133 @@
+#include "cluster/process_runner.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace rafiki::cluster {
+namespace {
+
+ProcessSpec ShellSpec(const std::string& script) {
+  ProcessSpec spec;
+  spec.binary = "/bin/sh";
+  spec.args = {"-c", script};
+  return spec;
+}
+
+// A long-lived process spawned WITHOUT a shell wrapper: this /bin/sh forks
+// (not execs) for -c, so SIGKILLing the shell would orphan the sleep and
+// leak a child that outlives the test.
+ProcessSpec SleepSpec() {
+  ProcessSpec spec;
+  spec.binary = "/bin/sleep";
+  spec.args = {"30"};
+  return spec;
+}
+
+TEST(ProcessRunnerTest, SpawnAndWaitCleanExit) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("ok", ShellSpec("exit 0")).ok());
+  auto exit = runner.Wait("ok");
+  ASSERT_TRUE(exit.ok()) << exit.status().ToString();
+  EXPECT_EQ(exit.value().name, "ok");
+  EXPECT_FALSE(exit.value().signaled);
+  EXPECT_EQ(exit.value().exit_code, 0);
+  EXPECT_FALSE(runner.IsRunning("ok"));
+}
+
+TEST(ProcessRunnerTest, NonZeroExitCodeIsReported) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("fail", ShellSpec("exit 7")).ok());
+  auto exit = runner.Wait("fail");
+  ASSERT_TRUE(exit.ok());
+  EXPECT_FALSE(exit.value().signaled);
+  EXPECT_EQ(exit.value().exit_code, 7);
+}
+
+TEST(ProcessRunnerTest, MissingBinaryExitsWith127) {
+  ProcessRunner runner;
+  ProcessSpec spec;
+  spec.binary = "/definitely/not/a/real/binary";
+  ASSERT_TRUE(runner.Spawn("missing", spec).ok());
+  auto exit = runner.Wait("missing");
+  ASSERT_TRUE(exit.ok());
+  EXPECT_EQ(exit.value().exit_code, 127);
+}
+
+TEST(ProcessRunnerTest, KillReportsSignaledExit) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("victim", SleepSpec()).ok());
+  ASSERT_TRUE(runner.IsRunning("victim"));
+  ASSERT_TRUE(runner.Kill("victim").ok());
+  EXPECT_FALSE(runner.IsRunning("victim"));
+  auto exit = runner.Wait("victim");
+  ASSERT_TRUE(exit.ok());
+  EXPECT_TRUE(exit.value().signaled);
+  EXPECT_EQ(exit.value().signal, SIGKILL);
+}
+
+TEST(ProcessRunnerTest, RestartCountsSurviveRespawns) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("w", SleepSpec()).ok());
+  EXPECT_EQ(runner.RestartCount("w"), 0);
+  ASSERT_TRUE(runner.Restart("w").ok());
+  EXPECT_EQ(runner.RestartCount("w"), 1);
+  ASSERT_TRUE(runner.Restart("w").ok());
+  EXPECT_EQ(runner.RestartCount("w"), 2);
+  EXPECT_TRUE(runner.IsRunning("w"));
+  auto pid = runner.Pid("w");
+  ASSERT_TRUE(pid.ok());
+  EXPECT_GT(pid.value(), 0);
+  ASSERT_TRUE(runner.Kill("w").ok());
+}
+
+TEST(ProcessRunnerTest, PollReapsExitsWithoutBlocking) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("a", ShellSpec("exit 3")).ok());
+  ASSERT_TRUE(runner.Spawn("b", SleepSpec()).ok());
+  // Poll until "a" is reaped; "b" keeps running and must not block Poll.
+  std::vector<ProcessExit> exits;
+  for (int i = 0; i < 2500 && exits.empty(); ++i) {
+    exits = runner.Poll();
+    if (exits.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(exits[0].name, "a");
+  EXPECT_EQ(exits[0].exit_code, 3);
+  EXPECT_TRUE(runner.IsRunning("b"));
+  ASSERT_TRUE(runner.Kill("b").ok());
+}
+
+TEST(ProcessRunnerTest, KillAlreadyExitedFailsPrecondition) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("gone", ShellSpec("exit 0")).ok());
+  ASSERT_TRUE(runner.Wait("gone").ok());
+  Status again = runner.Kill("gone");
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(ProcessRunnerTest, UnknownNameIsNotFound) {
+  ProcessRunner runner;
+  EXPECT_TRUE(runner.Kill("nobody").IsNotFound());
+  EXPECT_FALSE(runner.Wait("nobody").ok());
+  EXPECT_FALSE(runner.Pid("nobody").ok());
+  EXPECT_EQ(runner.RestartCount("nobody"), 0);
+}
+
+TEST(ProcessRunnerTest, ShutdownKillsEverything) {
+  ProcessRunner runner;
+  ASSERT_TRUE(runner.Spawn("s1", SleepSpec()).ok());
+  ASSERT_TRUE(runner.Spawn("s2", SleepSpec()).ok());
+  runner.Shutdown();
+  EXPECT_FALSE(runner.IsRunning("s1"));
+  EXPECT_FALSE(runner.IsRunning("s2"));
+}
+
+}  // namespace
+}  // namespace rafiki::cluster
