@@ -1,7 +1,6 @@
 #include "cluster/rpc_bus.h"
 
 #include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,10 +14,6 @@
 namespace rafiki::cluster {
 namespace {
 
-constexpr int kEpollBatch = 32;
-/// Safety tick: the loop re-checks outboxes and reconnect deadlines at
-/// least this often even with no socket activity.
-constexpr std::chrono::milliseconds kLoopTick{100};
 /// Once this much of an outbox has been flushed, reclaim the prefix.
 constexpr size_t kOutboxCompactBytes = 1u << 20;
 
@@ -44,91 +39,35 @@ RpcBus::RpcBus(const RpcBusOptions& options, bool is_hub)
 RpcBus::~RpcBus() { Shutdown(); }
 
 Status RpcBus::Init() {
-  int ep = epoll_create1(0);
-  if (ep < 0) {
-    return Status::Internal(
-        StrFormat("epoll_create1: %s", std::strerror(errno)));
-  }
-  epoll_ = net::Socket(ep);
-  int ev = eventfd(0, EFD_NONBLOCK);
-  if (ev < 0) {
-    return Status::Internal(StrFormat("eventfd: %s", std::strerror(errno)));
-  }
-  wake_ = net::Socket(ev);
-  epoll_event event{};
-  event.events = EPOLLIN;
-  event.data.fd = wake_.fd();
-  if (epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, wake_.fd(), &event) != 0) {
-    return Status::Internal(
-        StrFormat("epoll_ctl(wake): %s", std::strerror(errno)));
-  }
+  loop_ = std::make_unique<net::EventLoop>();
+  // Outboxes flush in the end-of-tick hook: every wakeup — readable
+  // socket, EPOLLOUT readiness, or a sender's Wake() — ends with one drain
+  // pass, exactly as each iteration of the old hand-rolled loop did.
+  loop_->SetTickEndHook([this] { FlushOutboxes(); });
 
   if (is_hub_) {
     auto listening = net::ListenTcp(options_.port, /*backlog=*/128, &port_);
     if (!listening.ok()) return listening.status();
     listen_sock_ = std::move(listening).value();
-    event.events = EPOLLIN;
-    event.data.fd = listen_sock_.fd();
-    if (epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, listen_sock_.fd(), &event) !=
-        0) {
-      return Status::Internal(
-          StrFormat("epoll_ctl(listen): %s", std::strerror(errno)));
-    }
+    Status added = loop_->AddFd(listen_sock_.fd(), /*want_read=*/true,
+                                /*want_write=*/false,
+                                [this](uint32_t) { HandleAccept(); });
+    if (!added.ok()) return added;
   } else {
     port_ = options_.port;
     auto sock = net::ConnectTcp(options_.connect_host, port_, /*timeout=*/0);
     if (sock.ok()) {
       AdoptConn(std::move(sock).value(), /*is_upstream=*/true);
     } else {
-      // Not fatal: the loop keeps dialing with backoff, so a worker may
-      // start before the master listens.
+      // Not fatal: the reconnect timer keeps dialing with backoff, so a
+      // worker may start before the master listens.
       backoff_ = options_.reconnect_initial;
-      next_dial_ = Clock::now() + backoff_;
+      ScheduleReconnect(backoff_);
     }
   }
 
-  loop_ = std::thread([this] { Loop(); });
+  loop_thread_ = std::thread([this] { loop_->Run(); });
   return Status::OK();
-}
-
-void RpcBus::Loop() {
-  epoll_event events[kEpollBatch];
-  while (!stopping_.load(std::memory_order_acquire)) {
-    auto timeout = kLoopTick;
-    if (!is_hub_ && !connected()) {
-      auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
-          next_dial_ - Clock::now());
-      timeout = std::clamp(until, std::chrono::milliseconds(0), kLoopTick);
-    }
-    int n = epoll_wait(epoll_.fd(), events, kEpollBatch,
-                       static_cast<int>(timeout.count()));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      RAFIKI_LOG(ERROR) << "rpc bus epoll_wait: " << std::strerror(errno);
-      break;
-    }
-    for (int i = 0; i < n && !stopping_.load(std::memory_order_acquire);
-         ++i) {
-      int fd = events[i].data.fd;
-      if (fd == wake_.fd()) {
-        uint64_t drained;
-        while (read(wake_.fd(), &drained, sizeof(drained)) > 0) {
-        }
-        continue;
-      }
-      if (is_hub_ && fd == listen_sock_.fd()) {
-        HandleAccept();
-        continue;
-      }
-      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
-        HandleReadable(fd);
-      }
-      // EPOLLOUT needs no per-event work: FlushOutboxes below drains every
-      // pending outbox once per wakeup.
-    }
-    FlushOutboxes();
-    MaybeReconnect();
-  }
 }
 
 void RpcBus::HandleAccept() {
@@ -146,12 +85,17 @@ void RpcBus::AdoptConn(net::Socket sock, bool is_upstream) {
   int fd = sock.fd();
   if (!net::SetNonBlocking(fd, true).ok()) return;
   (void)net::SetNoDelay(fd);  // best-effort: latency, not correctness
-  epoll_event event{};
-  event.events = EPOLLIN;
-  event.data.fd = fd;
-  if (epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &event) != 0) {
-    RAFIKI_LOG(WARNING) << "rpc bus epoll add failed: "
-                        << std::strerror(errno);
+  Status added =
+      loop_->AddFd(fd, /*want_read=*/true, /*want_write=*/false,
+                   [this, fd](uint32_t events) {
+                     if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+                       HandleReadable(fd);
+                     }
+                     // EPOLLOUT needs no per-event work: the end-of-tick
+                     // FlushOutboxes drains every pending outbox.
+                   });
+  if (!added.ok()) {
+    RAFIKI_LOG(WARNING) << "rpc bus watch add failed: " << added.ToString();
     return;  // sock closes on scope exit
   }
   auto conn = std::make_unique<Conn>();
@@ -305,13 +249,16 @@ bool RpcBus::HandleFrame(int fd, Frame frame) {
 
 void RpcBus::DeliverLocal(const std::string& to, Message message) {
   std::shared_ptr<Mailbox> box = FindMailbox(to);
+  // Counted before the push: a receiver that wakes on the push must see
+  // the delivery in Stats(). A failed push rolls the count back.
+  delivered_.fetch_add(1, std::memory_order_relaxed);
   if (box == nullptr || !box->TryPush(std::move(message))) {
+    delivered_.fetch_sub(1, std::memory_order_relaxed);
     send_errors_.fetch_add(1, std::memory_order_relaxed);
     RAFIKI_LOG(WARNING) << "rpc bus dropping wire message for '" << to
                         << "' (mailbox missing or full)";
     return;
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RpcBus::FlushOutboxes() {
@@ -337,14 +284,12 @@ void RpcBus::FlushOutboxes() {
         dead.push_back(fd);
         continue;
       }
-      epoll_event event{};
-      event.data.fd = fd;
       if (conn->outbox_pos >= conn->outbox.size()) {
         conn->outbox.clear();
         conn->outbox_pos = 0;
         if (conn->want_write) {
-          event.events = EPOLLIN;
-          epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, fd, &event);
+          (void)loop_->ModifyFd(fd, /*want_read=*/true,
+                                /*want_write=*/false);
           conn->want_write = false;
         }
       } else {
@@ -354,8 +299,8 @@ void RpcBus::FlushOutboxes() {
           conn->outbox_pos = 0;
         }
         if (!conn->want_write) {
-          event.events = EPOLLIN | EPOLLOUT;
-          epoll_ctl(epoll_.fd(), EPOLL_CTL_MOD, fd, &event);
+          (void)loop_->ModifyFd(fd, /*want_read=*/true,
+                                /*want_write=*/true);
           conn->want_write = true;
         }
       }
@@ -372,7 +317,7 @@ void RpcBus::CloseConn(int fd) {
     if (it == conns_.end()) return;
     conn = std::move(it->second);
     conns_.erase(it);
-    epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr);
+    (void)loop_->RemoveFd(fd);
     // Only endpoints still routed through this fd are lost: a restarted
     // peer may have re-announced the same names over a newer connection,
     // and those routes (and the gossip about them) must survive.
@@ -397,23 +342,28 @@ void RpcBus::CloseConn(int fd) {
     }
   }
   if (!is_hub_) {
-    // Loop-thread-only state: retry immediately, then back off.
+    // Loop-thread-only state: retry at the next tick, then back off. The
+    // wheel timer IS the deadline — no polling tick rounds it up.
     backoff_ = options_.reconnect_initial;
-    next_dial_ = Clock::now();
+    ScheduleReconnect(std::chrono::milliseconds(0));
   }
-  // `conn` destructs here: the socket closes after the epoll removal.
+  // `conn` destructs here: the socket closes after the watcher removal.
 }
 
-void RpcBus::MaybeReconnect() {
+void RpcBus::ScheduleReconnect(std::chrono::milliseconds delay) {
+  loop_->RunAfter(std::chrono::duration<double>(delay).count(),
+                  [this] { TryDial(); });
+}
+
+void RpcBus::TryDial() {
   if (is_hub_ || stopping_.load(std::memory_order_acquire)) return;
   if (connected()) return;
-  if (Clock::now() < next_dial_) return;
   auto sock = net::ConnectTcp(options_.connect_host, port_, /*timeout=*/0);
   if (!sock.ok()) {
     backoff_ = backoff_.count() == 0
                    ? options_.reconnect_initial
                    : std::min(backoff_ * 2, options_.reconnect_max);
-    next_dial_ = Clock::now() + backoff_;
+    ScheduleReconnect(backoff_);
     return;
   }
   AdoptConn(std::move(sock).value(), /*is_upstream=*/true);
@@ -436,10 +386,7 @@ Status RpcBus::EnqueueFrameLocked(Conn* conn, FrameType type,
   return Status::OK();
 }
 
-void RpcBus::Wake() {
-  uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = write(wake_.fd(), &one, sizeof(one));
-}
+void RpcBus::Wake() { loop_->Wake(); }
 
 Status RpcBus::RegisterEndpoint(const std::string& name) {
   bool wake = false;
@@ -503,14 +450,18 @@ Status RpcBus::RemoveEndpoint(const std::string& name) {
 
 Status RpcBus::Send(const std::string& to, Message message) {
   if (std::shared_ptr<Mailbox> box = FindMailbox(to)) {
+    // Same ordering as DeliverLocal: the counters lead the push so a
+    // receiver woken by it can never read a stale Stats().
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     if (!box->TryPush(std::move(message))) {
+      sent_.fetch_sub(1, std::memory_order_relaxed);
+      delivered_.fetch_sub(1, std::memory_order_relaxed);
       send_errors_.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           StrFormat("mailbox '%s' full (%zu messages)", to.c_str(),
                     box->capacity()));
     }
-    sent_.fetch_add(1, std::memory_order_relaxed);
-    delivered_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   {
@@ -617,8 +568,8 @@ bool RpcBus::connected() const {
 
 void RpcBus::Shutdown() {
   stopping_.store(true, std::memory_order_release);
-  Wake();
-  if (loop_.joinable()) loop_.join();
+  if (loop_ != nullptr) loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, box] : endpoints_) box->Close();
   conns_.clear();
@@ -628,8 +579,7 @@ void RpcBus::Shutdown() {
   // must be able to bind the same port, and a leaf redialing a shut-down
   // hub must get ECONNREFUSED instead of landing in a dead backlog.
   listen_sock_.Close();
-  epoll_.Close();
-  wake_.Close();
+  loop_.reset();
 }
 
 std::shared_ptr<RpcBus::Mailbox> RpcBus::FindMailbox(

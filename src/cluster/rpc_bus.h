@@ -18,6 +18,7 @@
 #include "cluster/message.h"
 #include "common/blocking_queue.h"
 #include "common/result.h"
+#include "net/event_loop.h"
 #include "net/socket.h"
 
 namespace rafiki::cluster {
@@ -38,7 +39,7 @@ struct RpcBusOptions {
 };
 
 /// TCP implementation of `Bus`: length-prefixed binary frames (see
-/// frame.h) over an epoll event loop, in a hub-and-leaves topology that
+/// frame.h) over a `net::EventLoop`, in a hub-and-leaves topology that
 /// mirrors the master-worker star of the tuning protocol.
 ///
 ///  * The hub (`RpcBus::Listen`) accepts leaf connections and routes
@@ -57,8 +58,11 @@ struct RpcBusOptions {
 ///    leaf send to an endpoint the cluster does not know fails NotFound at
 ///    the leaf instead of being silently dropped at the hub.
 ///
-/// All Bus methods are thread-safe; the event loop runs on one internal
-/// thread woken through an eventfd when senders enqueue outbound frames.
+/// All Bus methods are thread-safe; the reactor runs on one internal
+/// thread woken when senders enqueue outbound frames (outboxes flush in
+/// the loop's end-of-tick hook). Reconnect backoff is a one-shot wheel
+/// timer, so a downed hub is re-dialed at the exact deadline — there is no
+/// safety polling tick.
 class RpcBus : public Bus {
  public:
   /// Starts a hub listening on options.port (0 = ephemeral; see `port()`).
@@ -109,15 +113,18 @@ class RpcBus : public Bus {
 
   RpcBus(const RpcBusOptions& options, bool is_hub);
 
-  Status Init();  // epoll + eventfd + (hub) listen socket; starts the loop
-  void Loop();
+  Status Init();  // reactor + (hub) listen socket; starts the loop thread
   void HandleAccept();
   void HandleReadable(int fd);
   bool HandleFrame(int fd, Frame frame);  // false: the connection was closed
   void DeliverLocal(const std::string& to, Message message);
   void FlushOutboxes();
   void CloseConn(int fd);
-  void MaybeReconnect();
+  /// Leaf, loop thread only: arms the one-shot reconnect timer.
+  void ScheduleReconnect(std::chrono::milliseconds delay);
+  /// Leaf, loop thread only: one dial attempt; failure doubles the backoff
+  /// (capped) and re-arms the timer.
+  void TryDial();
   void AdoptConn(net::Socket sock, bool is_upstream)
       /* requires loop thread or pre-loop init */;
   Status EnqueueFrameLocked(Conn* conn, FrameType type,
@@ -132,8 +139,8 @@ class RpcBus : public Bus {
   uint16_t port_ = 0;
 
   net::Socket listen_sock_;  // hub only
-  net::Socket epoll_;
-  net::Socket wake_;  // eventfd the senders poke to wake the loop
+  /// The bus's reactor: conn/listen fd watchers plus the reconnect timer.
+  std::unique_ptr<net::EventLoop> loop_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Mailbox>> endpoints_;
@@ -142,7 +149,6 @@ class RpcBus : public Bus {
   int upstream_fd_ = -1;  // leaf: fd of the hub link, -1 while down
 
   // Reconnect state, loop thread only.
-  Clock::time_point next_dial_ = Clock::time_point::min();
   std::chrono::milliseconds backoff_{0};
 
   std::atomic<bool> stopping_{false};
@@ -153,7 +159,7 @@ class RpcBus : public Bus {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> reconnects_{0};
 
-  std::thread loop_;
+  std::thread loop_thread_;
 };
 
 }  // namespace rafiki::cluster

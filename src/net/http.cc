@@ -68,6 +68,17 @@ void AppendUint(uint64_t v, std::string* out) {
   while (n > 0) out->push_back(buf[--n]);
 }
 
+/// Appends the lowercase hex form of `v` (no leading zeros).
+void AppendHex(uint64_t v, std::string* out) {
+  char buf[16];
+  size_t n = 0;
+  do {
+    buf[n++] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  while (n > 0) out->push_back(buf[--n]);
+}
+
 /// Strict non-negative integer parse for Content-Length.
 bool ParseContentLength(const char* s, size_t n, size_t* out) {
   if (n == 0 || n > 18) return false;
@@ -184,6 +195,37 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   out += response.body;
   return out;
 }
+
+void SerializeChunkedResponseHeadersTo(const HttpResponse& response,
+                                       bool keep_alive, std::string* out) {
+  out->clear();
+  out->append("HTTP/1.1 ");
+  AppendUint(static_cast<uint64_t>(response.status), out);
+  out->push_back(' ');
+  out->append(ReasonPhrase(response.status));
+  out->append("\r\nContent-Type: ");
+  out->append(response.content_type);
+  out->append("\r\nTransfer-Encoding: chunked\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n");
+  for (const auto& [name, value] : response.headers) {
+    out->append(name);
+    out->append(": ");
+    out->append(value);
+    out->append("\r\n");
+  }
+  out->append("\r\n");
+}
+
+void AppendChunk(std::string_view data, std::string* out) {
+  if (data.empty()) return;
+  AppendHex(data.size(), out);
+  out->append("\r\n");
+  out->append(data.data(), data.size());
+  out->append("\r\n");
+}
+
+void AppendLastChunk(std::string* out) { out->append("0\r\n\r\n"); }
 
 void SerializeRequestTo(const std::string& method, const std::string& target,
                         const std::string& host, const std::string& body,
@@ -430,6 +472,14 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
       consumed = size;
       continue;
     }
+    if (state_ == State::kChunkData) {
+      size_t take = std::min(chunk_remaining_, size - consumed);
+      body_.append(data + consumed, take);
+      consumed += take;
+      chunk_remaining_ -= take;
+      if (chunk_remaining_ == 0) state_ = State::kChunkDataEnd;
+      continue;
+    }
     const char* nl = static_cast<const char*>(
         std::memchr(data + consumed, '\n', size - consumed));
     size_t take =
@@ -437,6 +487,12 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
                       : size - consumed;
     line_.append(data + consumed, take);
     consumed += take;
+    if ((state_ == State::kChunkSize || state_ == State::kTrailers) &&
+        line_.size() > limits_.max_chunk_line) {
+      state_ = State::kError;
+      error_ = "chunk framing line too long";
+      break;
+    }
     if (nl == nullptr) break;
     line_.pop_back();
     if (!line_.empty() && line_.back() == '\r') line_.pop_back();
@@ -465,9 +521,12 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
       }
       keep_alive_ = line_.compare(0, 9, "HTTP/1.0 ") != 0;
       state_ = State::kHeaders;
-    } else {  // kHeaders
+    } else if (state_ == State::kHeaders) {
       if (line_.empty()) {
-        if (have_length_) {
+        if (chunked_) {
+          // Transfer-Encoding wins over Content-Length (RFC 7230 §3.3.3).
+          state_ = State::kChunkSize;
+        } else if (have_length_) {
           state_ = content_length_ == 0 ? State::kComplete : State::kBody;
         } else if (!keep_alive_) {
           state_ = State::kBodyUntilClose;
@@ -488,6 +547,12 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
       if (NameIs(line_.data(), colon, "content-length")) {
         have_length_ =
             ParseContentLength(line_.data() + vb, ve - vb, &content_length_);
+      } else if (NameIs(line_.data(), colon, "transfer-encoding")) {
+        // The token list may end with compression codings we don't
+        // implement; only the final "chunked" framing matters here.
+        if (HasConnectionToken(line_.data() + vb, ve - vb, "chunked")) {
+          chunked_ = true;
+        }
       } else if (NameIs(line_.data(), colon, "connection")) {
         if (HasConnectionToken(line_.data() + vb, ve - vb, "close")) {
           keep_alive_ = false;
@@ -496,6 +561,44 @@ size_t HttpResponseParser::Feed(const char* data, size_t size) {
           keep_alive_ = true;
         }
       }
+    } else if (state_ == State::kChunkSize) {
+      // "<hex-size>[ \t]*[;extensions]"
+      size_t i = 0;
+      uint64_t v = 0;
+      while (i < line_.size() && HexDigit(line_[i]) >= 0) {
+        if (i >= 16) break;  // > 16 hex digits cannot pass the size check
+        v = (v << 4) | static_cast<uint64_t>(HexDigit(line_[i]));
+        ++i;
+      }
+      size_t digits = i;
+      while (i < line_.size() && (line_[i] == ' ' || line_[i] == '\t')) ++i;
+      if (digits == 0 || digits > 16 ||
+          (i < line_.size() && line_[i] != ';')) {
+        state_ = State::kError;
+        error_ = "malformed chunk size";
+        break;
+      }
+      if (v > limits_.max_body_bytes ||
+          body_.size() + v > limits_.max_body_bytes) {
+        state_ = State::kError;
+        error_ = "chunked body too large";
+        break;
+      }
+      if (v == 0) {
+        state_ = State::kTrailers;
+      } else {
+        chunk_remaining_ = static_cast<size_t>(v);
+        state_ = State::kChunkData;
+      }
+    } else if (state_ == State::kChunkDataEnd) {
+      if (!line_.empty()) {
+        state_ = State::kError;
+        error_ = "missing CRLF after chunk data";
+        break;
+      }
+      state_ = State::kChunkSize;
+    } else {  // kTrailers: skip trailer headers until the blank line
+      if (line_.empty()) state_ = State::kComplete;
     }
     line_.clear();
   }
@@ -507,6 +610,8 @@ void HttpResponseParser::Reset() {
   line_.clear();
   content_length_ = 0;
   have_length_ = false;
+  chunked_ = false;
+  chunk_remaining_ = 0;
   status_ = 0;
   keep_alive_ = true;
   body_.clear();  // capacity retained for the next response

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,22 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 /// concatenates the body.
 void SerializeResponseHeadersTo(const HttpResponse& response, bool keep_alive,
                                 std::string* out);
+
+/// Chunked Transfer-Encoding serialization (streaming responses, the wire
+/// format ROADMAP item 3's tumbling-window results ride on). The header
+/// block advertises `Transfer-Encoding: chunked` in place of
+/// Content-Length (`response.body` is ignored); the body is then streamed
+/// as AppendChunk frames and closed with AppendLastChunk.
+void SerializeChunkedResponseHeadersTo(const HttpResponse& response,
+                                       bool keep_alive, std::string* out);
+
+/// Appends one chunk frame — `<hex-size>\r\n<data>\r\n` — to `*out`.
+/// Empty `data` is a no-op: a zero-size chunk means end-of-body on the
+/// wire, which is AppendLastChunk's job.
+void AppendChunk(std::string_view data, std::string* out);
+
+/// Appends the terminating zero chunk (`0\r\n\r\n`, no trailers).
+void AppendLastChunk(std::string* out);
 
 /// Wire form of a client request (Host, Content-Length, Connection).
 std::string SerializeRequest(const std::string& method,
@@ -138,13 +155,27 @@ class HttpParser {
   HttpRequest request_;
 };
 
+/// Input-size limits for the response parser's chunked decoder; a buggy or
+/// hostile server cannot balloon the client's body buffer or feed it an
+/// unbounded chunk-size line.
+struct HttpResponseParserLimits {
+  size_t max_body_bytes = 64u << 20;  // total decoded chunked body
+  size_t max_chunk_line = 1024;       // hex size line, extensions included
+};
+
 /// Incremental HTTP/1.x response parser for the blocking client: status
-/// line, headers, then a Content-Length body (or read-until-close when the
-/// server answered Connection: close without a length).
+/// line, headers, then a Content-Length body, a chunked Transfer-Encoding
+/// body (decoded incrementally, limits above), or read-until-close when
+/// the server answered Connection: close without any framing.
 class HttpResponseParser {
  public:
   enum class State { kStatusLine, kHeaders, kBody, kBodyUntilClose,
+                     kChunkSize, kChunkData, kChunkDataEnd, kTrailers,
                      kComplete, kError };
+
+  HttpResponseParser() = default;
+  explicit HttpResponseParser(HttpResponseParserLimits limits)
+      : limits_(limits) {}
 
   size_t Feed(const char* data, size_t size);
   /// Signals EOF from the peer; completes a read-until-close body.
@@ -164,10 +195,13 @@ class HttpResponseParser {
   bool keep_alive() const { return keep_alive_; }
 
  private:
+  HttpResponseParserLimits limits_;
   State state_ = State::kStatusLine;
   std::string line_;
   size_t content_length_ = 0;
   bool have_length_ = false;
+  bool chunked_ = false;
+  size_t chunk_remaining_ = 0;  // payload bytes left in the current chunk
   int status_ = 0;
   bool keep_alive_ = true;
   std::string body_;

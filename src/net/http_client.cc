@@ -17,10 +17,19 @@ Status HttpClient::EnsureConnected() {
 }
 
 Result<int> HttpClient::RoundTrip() {
+  // One deadline spans the whole response: SO_RCVTIMEO only bounds each
+  // recv(), so a server dribbling one byte per timeout window could stall
+  // the caller indefinitely without this.
+  Deadline deadline = Deadline::After(timeout_);
   RAFIKI_RETURN_IF_ERROR(WriteFull(sock_.fd(), wire_.data(), wire_.size()));
   parser_.Reset();
   char buf[16 * 1024];
   while (!parser_.done() && !parser_.failed()) {
+    Status readable = WaitReadable(sock_.fd(), deadline);
+    if (!readable.ok()) {
+      sock_.Close();  // a half-read response cannot be kept alive
+      return readable;
+    }
     RAFIKI_ASSIGN_OR_RETURN(size_t n, RecvSome(sock_.fd(), buf, sizeof(buf)));
     if (n == 0) {
       parser_.FinishEof();
@@ -47,8 +56,12 @@ Result<int> HttpClient::RequestView(const std::string& method,
   Result<int> status = RoundTrip();
   if (status.ok()) return status;
   // A reused connection may have been closed server-side (idle timeout)
-  // between requests; retry exactly once on a fresh connection.
-  if (!was_connected) return status;
+  // between requests; retry exactly once on a fresh connection. A deadline
+  // expiry is not that case — retrying would just double the wait.
+  if (!was_connected ||
+      status.status().code() == StatusCode::kDeadlineExceeded) {
+    return status;
+  }
   sock_.Close();
   RAFIKI_RETURN_IF_ERROR(EnsureConnected());
   return RoundTrip();

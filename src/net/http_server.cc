@@ -4,7 +4,6 @@
 #include <cstring>
 #include <poll.h>
 #include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,18 +20,9 @@ namespace {
 /// EPOLLIN and TCP backpressure reaches the client.
 constexpr size_t kMaxBufferedInput = 64 * 1024;
 
-constexpr uint64_t kWakeToken = 0;  // epoll data id of the wake eventfd
-
-/// epoll_wait batch size: one syscall drains readiness for this many
-/// connections before the loop touches the mailbox or the work queue.
-constexpr int kEpollBatch = 256;
-
 /// iovec entries per sendmsg: up to 32 responses (header + body each) per
 /// flush syscall.
 constexpr int kMaxIov = 64;
-
-/// Full idle sweeps are O(connections); run them at most once a second.
-constexpr double kSweepInterval = 1.0;
 
 size_t RoundUpPow2(size_t v) {
   size_t p = 1;
@@ -233,16 +223,7 @@ Status HttpServer::Start() {
   for (int i = 0; i < opts_.num_workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->index = i;
-    w->epoll_fd = ::epoll_create1(0);
-    if (w->epoll_fd < 0) return Status::Internal("epoll_create1 failed");
-    w->wake_fd = ::eventfd(0, EFD_NONBLOCK);
-    if (w->wake_fd < 0) return Status::Internal("eventfd failed");
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = kWakeToken;
-    if (::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev) < 0) {
-      return Status::Internal("epoll_ctl(wake) failed");
-    }
+    w->loop = std::make_unique<EventLoop>();
     workers_.push_back(std::move(w));
   }
 
@@ -341,8 +322,6 @@ void HttpServer::Stop() {
     w->pending_fds.clear();
     for (ResponseSlot* s : w->slot_pool) delete s;
     w->slot_pool.clear();
-    if (w->epoll_fd >= 0) ::close(w->epoll_fd);
-    if (w->wake_fd >= 0) ::close(w->wake_fd);
   }
   workers_.clear();
   running_ = false;
@@ -396,11 +375,7 @@ void HttpServer::AcceptLoop() {
   }
 }
 
-void HttpServer::Wake(Worker& w) {
-  uint64_t one = 1;
-  ssize_t n = ::write(w.wake_fd, &one, sizeof(one));
-  (void)n;  // EAGAIN means a wakeup is already pending — fine.
-}
+void HttpServer::Wake(Worker& w) { w.loop->Wake(); }
 
 HttpServer::ResponseSlot* HttpServer::AcquireSlot(Worker& w) {
   if (w.slot_pool.empty()) {
@@ -501,7 +476,7 @@ void HttpServer::ApplyCompletion(Worker& w, const Completion& done) {
   if (!alive.want_read && !alive.peer_closed &&
       alive.inbuf.size() - alive.in_off < kMaxBufferedInput) {
     alive.want_read = true;
-    UpdateEpoll(w, alive);
+    UpdateInterest(w, alive);
   }
   // Pipelined requests already buffered: parse the next one now.
   if (!alive.close_after_write) TryParse(w, alive);
@@ -529,14 +504,49 @@ void HttpServer::AddConnection(Worker& w, int fd) {
   conn->fd = fd;
   conn->id = id;
   conn->last_activity = Now();
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = id;
-  if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+  Status st = w.loop->AddFd(
+      fd, /*want_read=*/true, /*want_write=*/false,
+      [this, &w, id](uint32_t events) { OnConnEvent(w, id, events); });
+  if (!st.ok()) {
     ::close(fd);
     return;
   }
+  conn->idle_timer = w.loop->RunAfter(
+      opts_.idle_timeout_seconds, [this, &w, id] { OnIdleTimer(w, id); });
   w.conns.emplace(id, std::move(conn));
+}
+
+void HttpServer::OnConnEvent(Worker& w, uint64_t conn_id, uint32_t events) {
+  auto it = w.conns.find(conn_id);
+  if (it == w.conns.end()) return;  // closed earlier this tick
+  if (events & EPOLLOUT) {
+    FlushWrite(w, *it->second);
+    it = w.conns.find(conn_id);  // FlushWrite may close (destroy) it
+    if (it == w.conns.end()) return;
+  }
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+    OnReadable(w, *it->second);
+  }
+}
+
+void HttpServer::OnIdleTimer(Worker& w, uint64_t conn_id) {
+  auto it = w.conns.find(conn_id);
+  if (it == w.conns.end()) return;
+  Connection& c = *it->second;
+  double idle = Now() - c.last_activity;
+  if (!c.busy() && idle >= opts_.idle_timeout_seconds) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(w, c);
+    return;
+  }
+  // Activity moved the deadline since this timer was armed (the hot path
+  // only writes last_activity — it never touches the wheel): re-arm for
+  // exactly the remaining window.
+  double remaining = std::max(opts_.idle_timeout_seconds - idle,
+                              w.loop->wheel().tick_seconds());
+  c.idle_timer = w.loop->RunAfter(remaining, [this, &w, conn_id] {
+    OnIdleTimer(w, conn_id);
+  });
 }
 
 void HttpServer::CloseConnection(Worker& w, Connection& c) {
@@ -552,16 +562,14 @@ void HttpServer::CloseConnection(Worker& w, Connection& c) {
     ReleaseSlotHold(w, c.outq.front().slot);
     c.outq.pop_front();
   }
-  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  w.loop->CancelTimer(c.idle_timer);
+  (void)w.loop->RemoveFd(c.fd);
   ::close(c.fd);
   w.conns.erase(c.id);  // destroys c
 }
 
-void HttpServer::UpdateEpoll(Worker& w, Connection& c) {
-  epoll_event ev{};
-  ev.events = (c.want_read ? EPOLLIN : 0u) | (c.want_write ? EPOLLOUT : 0u);
-  ev.data.u64 = c.id;
-  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+void HttpServer::UpdateInterest(Worker& w, Connection& c) {
+  (void)w.loop->ModifyFd(c.fd, c.want_read, c.want_write);
 }
 
 void HttpServer::OnReadable(Worker& w, Connection& c) {
@@ -578,7 +586,7 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
           c.inbuf.size() - c.in_off >= kMaxBufferedInput) {
         // Pipelining backpressure: stop reading until responses go out.
         c.want_read = false;
-        UpdateEpoll(w, c);
+        UpdateInterest(w, c);
         break;
       }
       // A short read means the socket buffer is (almost certainly) empty;
@@ -596,7 +604,7 @@ void HttpServer::OnReadable(Worker& w, Connection& c) {
     // n == 0: orderly shutdown from the peer.
     c.peer_closed = true;
     c.want_read = false;
-    UpdateEpoll(w, c);
+    UpdateInterest(w, c);
     break;
   }
   TryParse(w, c);
@@ -827,7 +835,7 @@ void HttpServer::FlushWrite(Worker& w, Connection& c) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       if (!c.want_write) {
         c.want_write = true;
-        UpdateEpoll(w, c);
+        UpdateInterest(w, c);
       }
       return;
     }
@@ -836,75 +844,44 @@ void HttpServer::FlushWrite(Worker& w, Connection& c) {
   }
   if (c.want_write) {
     c.want_write = false;
-    UpdateEpoll(w, c);
-  }
-}
-
-void HttpServer::IdleSweep(Worker& w) {
-  double now = Now();
-  if (now - w.last_sweep < kSweepInterval) return;
-  w.last_sweep = now;
-  std::vector<uint64_t> expired;
-  for (auto& [id, conn] : w.conns) {
-    if (!conn->busy() &&
-        now - conn->last_activity > opts_.idle_timeout_seconds) {
-      expired.push_back(id);
-    }
-  }
-  for (uint64_t id : expired) {
-    auto it = w.conns.find(id);
-    if (it == w.conns.end()) continue;
-    timed_out_.fetch_add(1, std::memory_order_relaxed);
-    CloseConnection(w, *it->second);
+    UpdateInterest(w, c);
   }
 }
 
 void HttpServer::WorkerLoop(int index) {
   Worker& w = *workers_[static_cast<size_t>(index)];
   t_worker_identity = &w;
-  std::vector<epoll_event> events(kEpollBatch);
-  for (;;) {
-    int n = ::epoll_wait(w.epoll_fd, events.data(), kEpollBatch,
-                         /*timeout_ms=*/50);
-    DrainMailbox(w);
-    for (int i = 0; i < n; ++i) {
-      uint64_t id = events[static_cast<size_t>(i)].data.u64;
-      if (id == kWakeToken) {
-        // eventfd reads reset the counter atomically: one read drains it.
-        uint64_t junk;
-        (void)!::read(w.wake_fd, &junk, sizeof(junk));
-        continue;
-      }
-      auto it = w.conns.find(id);
-      if (it == w.conns.end()) continue;  // closed earlier this sweep
-      Connection& c = *it->second;
-      uint32_t ev = events[static_cast<size_t>(i)].events;
-      if (ev & EPOLLOUT) {
-        FlushWrite(w, c);
-        if (w.conns.find(id) == w.conns.end()) continue;
-      }
-      if (ev & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
-        OnReadable(w, c);
-      }
-    }
+  EventLoop& loop = *w.loop;
+  // Mailbox drain (new fds, off-thread completions, returned slots) runs
+  // at the top of every tick, before fd dispatch — the same ordering the
+  // hand-rolled loop had. Connection events arrive through the per-fd
+  // callbacks registered in AddConnection; idle deadlines through wheel
+  // timers. No safety timeout remains: every wakeup is an event, a posted
+  // completion, or an exact timer deadline.
+  loop.SetTickBeginHook([this, &w] { DrainMailbox(w); });
+  loop.SetTickEndHook([this, &w, &loop] {
     // Inline handlers completed during this tick: file their responses
     // before the tick's single gather flush below.
     DrainInlineCompletions(w);
     FlushPendingWrites(w);
     // Hand the whole tick's admitted requests to the pool at once.
     FlushWorkBatch(w);
-    IdleSweep(w);
-
     Phase phase = phase_.load();
-    if (phase == Phase::kRunning) continue;
-    if (phase == Phase::kForceStop) break;
+    if (phase == Phase::kRunning) return;
+    if (phase == Phase::kForceStop) {
+      loop.Stop();
+      return;
+    }
     // Draining: leave once nothing on this worker is mid-request (which
     // includes async responses not yet completed) or mid-write. Idle
-    // keep-alive connections are simply closed.
+    // keep-alive connections are simply closed. Completions and phase
+    // flips both wake the loop, so this re-checks exactly when the answer
+    // can change.
     bool busy = false;
     for (auto& [id, conn] : w.conns) busy = busy || conn->busy();
-    if (!busy) break;
-  }
+    if (!busy) loop.Stop();
+  });
+  loop.Run();
   std::vector<uint64_t> ids;
   ids.reserve(w.conns.size());
   for (auto& [id, conn] : w.conns) ids.push_back(id);

@@ -15,6 +15,7 @@
 
 #include "common/mpsc_ring.h"
 #include "common/result.h"
+#include "net/event_loop.h"
 #include "net/http.h"
 #include "net/socket.h"
 
@@ -263,6 +264,11 @@ class HttpServer {
     /// sendmsg per completion.
     bool flush_pending = false;
     double last_activity = 0.0;
+    /// One-shot idle timer on the worker's wheel. The hot path only
+    /// refreshes `last_activity`; when the timer fires it either closes a
+    /// truly idle connection or re-arms itself for the remaining window
+    /// (lazy re-arm: zero timer churn per request).
+    TimerId idle_timer = 0;
 
     Connection(HttpParserLimits limits, size_t window_size)
         : parser(limits), window(window_size), window_mask(window_size - 1) {}
@@ -281,8 +287,12 @@ class HttpServer {
 
   struct Worker {
     int index = 0;
-    int epoll_fd = -1;
-    int wake_fd = -1;
+    /// The worker's reactor: fd watchers for its connections, the timer
+    /// wheel carrying their idle deadlines, and the wake eventfd behind
+    /// Wake(). Mailbox drain runs as the loop's tick-begin hook; the
+    /// gather flush, work-batch handoff, and drain-phase check run as the
+    /// tick-end hook.
+    std::unique_ptr<EventLoop> loop;
     std::thread thread;
     std::mutex mu;  // guards the three mailboxes below
     std::vector<int> pending_fds;
@@ -307,7 +317,6 @@ class HttpServer {
     /// Connections (by id) with staged responses awaiting the end-of-tick
     /// gather flush; guarded by the owning thread only.
     std::vector<uint64_t> flush_queue;
-    double last_sweep = 0.0;
     std::atomic<bool> exited{false};
   };
 
@@ -359,7 +368,13 @@ class HttpServer {
   void RunHandlerInline(Worker& w, const Work& work);
   void AddConnection(Worker& w, int fd);
   void CloseConnection(Worker& w, Connection& c);
-  void UpdateEpoll(Worker& w, Connection& c);
+  /// Pushes the connection's current read/write interest to the reactor.
+  void UpdateInterest(Worker& w, Connection& c);
+  /// Reactor callback for one connection's readiness events.
+  void OnConnEvent(Worker& w, uint64_t conn_id, uint32_t events);
+  /// Idle deadline fired: close if genuinely idle, else re-arm for the
+  /// time remaining since `last_activity`.
+  void OnIdleTimer(Worker& w, uint64_t conn_id);
   void OnReadable(Worker& w, Connection& c);
   void TryParse(Worker& w, Connection& c);
 
@@ -381,7 +396,6 @@ class HttpServer {
   void PumpResponses(Worker& w, Connection& c);
   void FlushPendingWrites(Worker& w);
   void FlushWrite(Worker& w, Connection& c);
-  void IdleSweep(Worker& w);
   double Now() const;
 
   AsyncHandler async_handler_;

@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,7 +19,42 @@ Status Errno(const char* what) {
   return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
 }
 
+Status WaitFor(int fd, short events, const Deadline& deadline,
+               const char* what) {
+  for (;;) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(StrFormat("%s: deadline expired", what));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    int n = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (n > 0) return Status::OK();
+    // n == 0: poll timed out; the expired() check above reports it.
+  }
+}
+
 }  // namespace
+
+int Deadline::remaining_ms() const {
+  if (!has_deadline_) return -1;
+  auto left = at_ - std::chrono::steady_clock::now();
+  if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+  auto ms = std::chrono::ceil<std::chrono::milliseconds>(left).count();
+  return ms > 2147483646 ? 2147483646 : static_cast<int>(ms);
+}
+
+Status WaitReadable(int fd, const Deadline& deadline) {
+  return WaitFor(fd, POLLIN, deadline, "read");
+}
+
+Status WaitWritable(int fd, const Deadline& deadline) {
+  return WaitFor(fd, POLLOUT, deadline, "write");
+}
 
 void Socket::Close() {
   if (fd_ >= 0) {
@@ -87,13 +123,31 @@ Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
     return Status::InvalidArgument(
         StrFormat("not an IPv4 address: '%s'", host.c_str()));
   }
-  int rc;
-  do {
-    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc < 0 && errno == EINTR);
-  if (rc < 0) return Errno("connect");
   if (timeout_seconds > 0.0) {
+    // Nonblocking connect raced against the deadline: a black-holed peer
+    // surfaces as kDeadlineExceeded here instead of minutes of kernel SYN
+    // retries.
+    Deadline deadline = Deadline::After(timeout_seconds);
+    RAFIKI_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), true));
+    int rc;
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      if (errno != EINPROGRESS) return Errno("connect");
+      RAFIKI_RETURN_IF_ERROR(WaitWritable(sock.fd(), deadline));
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+        return Errno("getsockopt(SO_ERROR)");
+      }
+      if (err != 0) {
+        errno = err;
+        return Errno("connect");
+      }
+    }
+    RAFIKI_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), false));
     timeval tv{};
     tv.tv_sec = static_cast<time_t>(timeout_seconds);
     tv.tv_usec = static_cast<suseconds_t>(
@@ -104,6 +158,13 @@ Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
             0) {
       return Errno("setsockopt(SO_RCVTIMEO)");
     }
+  } else {
+    int rc;
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return Errno("connect");
   }
   (void)SetNoDelay(sock.fd());
   return sock;

@@ -1,6 +1,7 @@
 #ifndef RAFIKI_NET_SOCKET_H_
 #define RAFIKI_NET_SOCKET_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -8,6 +9,47 @@
 #include "common/result.h"
 
 namespace rafiki::net {
+
+/// Absolute deadline for the blocking client-side paths. Default (or
+/// `After(0)`) means "no deadline"; otherwise it is a steady-clock expiry
+/// shared across every wait of one logical operation, so a peer that
+/// dribbles bytes cannot extend the total wall time the way a per-syscall
+/// SO_RCVTIMEO can.
+class Deadline {
+ public:
+  Deadline() = default;  // no deadline
+
+  /// `seconds` <= 0 yields a no-deadline Deadline.
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0.0) {
+      d.has_deadline_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  bool infinite() const { return !has_deadline_; }
+  bool expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Remaining time as a poll() timeout: -1 when infinite, else >= 0,
+  /// rounded up so a wait never spins on a sub-millisecond remainder.
+  int remaining_ms() const;
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Blocks until `fd` is readable (readable also covers EOF/error, which
+/// recv then reports) or the deadline passes: kDeadlineExceeded on expiry.
+Status WaitReadable(int fd, const Deadline& deadline);
+/// Blocks until `fd` is writable (or has a pending error, which the caller
+/// sees via SO_ERROR or the next write) — kDeadlineExceeded on expiry.
+Status WaitWritable(int fd, const Deadline& deadline);
 
 /// Move-only RAII wrapper around a file descriptor. Closing is idempotent;
 /// a default-constructed Socket holds no fd.
@@ -56,8 +98,12 @@ Status SetNoDelay(int fd);
 /// On success `*bound_port` holds the actual port.
 Result<Socket> ListenTcp(uint16_t port, int backlog, uint16_t* bound_port);
 
-/// Blocking TCP connect to an IPv4 address ("127.0.0.1") with a send/receive
-/// timeout of `timeout_seconds` applied to the connected socket (0 = none).
+/// TCP connect to an IPv4 address ("127.0.0.1"). With `timeout_seconds`
+/// > 0 the connect itself runs nonblocking under a Deadline (a black-holed
+/// peer fails kDeadlineExceeded instead of hanging in SYN retries) and the
+/// connected socket gets matching send/receive timeouts. 0 = no deadline
+/// anywhere: a fully blocking connect (the RPC bus dials this way; its
+/// reconnect timer owns the pacing).
 Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
                           double timeout_seconds);
 

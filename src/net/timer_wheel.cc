@@ -1,0 +1,259 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rafiki::net {
+
+TimerWheel::TimerWheel(double tick_seconds, double start)
+    : tick_seconds_(tick_seconds), now_seconds_(start) {
+  RAFIKI_CHECK_GT(tick_seconds_, 0.0);
+  current_tick_ = static_cast<uint64_t>(start / tick_seconds_);
+  for (auto& level : slots_) {
+    // Sentinels are self-linked circular list heads. The vector is sized
+    // once and never resized, so the intrusive pointers stay stable.
+    level.resize(kSlotsPerLevel);
+    for (Node& head : level) head.prev = head.next = &head;
+  }
+}
+
+TimerWheel::~TimerWheel() {
+  for (auto& [id, node] : nodes_) {
+    if (node->prev != nullptr) Unlink(node);
+    delete node;
+  }
+  for (Node* node : free_nodes_) delete node;
+}
+
+TimerWheel::Node* TimerWheel::AcquireNode() {
+  if (!free_nodes_.empty()) {
+    Node* node = free_nodes_.back();
+    free_nodes_.pop_back();
+    return node;
+  }
+  return new Node();
+}
+
+void TimerWheel::ReleaseNode(Node* node) {
+  node->prev = node->next = nullptr;
+  node->id = 0;
+  node->interval_ticks = 0;
+  node->cancelled = false;
+  // Keep the std::function's heap block alive for reuse? No: callbacks own
+  // captures whose lifetimes must end when the timer dies.
+  node->callback = nullptr;
+  if (free_nodes_.size() < 256) {
+    free_nodes_.push_back(node);
+  } else {
+    delete node;
+  }
+}
+
+void TimerWheel::Place(Node* node) {
+  uint64_t deadline = node->deadline_tick;
+  uint64_t delta = deadline > current_tick_ ? deadline - current_tick_ : 0;
+  int level;
+  uint64_t slot;
+  if (delta < kSlotsPerLevel) {
+    level = 0;
+    slot = deadline & kSlotMask;
+  } else if (delta < (1ull << (2 * kSlotBits))) {
+    level = 1;
+    slot = (deadline >> kSlotBits) & kSlotMask;
+  } else if (delta < (1ull << (3 * kSlotBits))) {
+    level = 2;
+    slot = (deadline >> (2 * kSlotBits)) & kSlotMask;
+  } else {
+    // Clamp deadlines beyond the wheel's horizon (~49 days at 1 ms) into
+    // the top level; they cascade back into range as time passes.
+    if (delta >= (1ull << (4 * kSlotBits))) {
+      node->deadline_tick = current_tick_ + (1ull << (4 * kSlotBits)) - 1;
+      deadline = node->deadline_tick;
+    }
+    level = 3;
+    slot = (deadline >> (3 * kSlotBits)) & kSlotMask;
+  }
+  PushBack(&slots_[level][slot], node);
+}
+
+TimerId TimerWheel::ScheduleNode(uint64_t deadline_tick,
+                                 uint64_t interval_ticks, Callback callback) {
+  RAFIKI_CHECK(callback != nullptr);
+  // Past/present deadlines fire on the next tick crossing: a tick is the
+  // wheel's quantum of "later".
+  deadline_tick = std::max(deadline_tick, current_tick_ + 1);
+  Node* node = AcquireNode();
+  node->id = next_id_++;
+  node->deadline_tick = deadline_tick;
+  node->interval_ticks = interval_ticks;
+  node->cancelled = false;
+  node->callback = std::move(callback);
+  nodes_.emplace(node->id, node);
+  Place(node);
+  ++size_;
+  if (cache_valid_) {
+    cached_next_tick_ = std::min(cached_next_tick_, deadline_tick);
+  }
+  return node->id;
+}
+
+TimerId TimerWheel::ScheduleAt(double when, Callback callback) {
+  // Round up: a timer never fires before its deadline.
+  auto tick = static_cast<uint64_t>(
+      std::ceil(std::max(when, 0.0) / tick_seconds_));
+  return ScheduleNode(tick, 0, std::move(callback));
+}
+
+TimerId TimerWheel::SchedulePeriodic(double interval, Callback callback) {
+  RAFIKI_CHECK_GT(interval, 0.0);
+  auto ticks = static_cast<uint64_t>(std::ceil(interval / tick_seconds_));
+  ticks = std::max<uint64_t>(ticks, 1);
+  return ScheduleNode(current_tick_ + ticks, ticks, std::move(callback));
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  Node* node = it->second;
+  if (node->cancelled) return false;
+  --size_;
+  if (node->prev == nullptr) {
+    // Detached: FireSlot popped it and is mid-dispatch (a periodic timer
+    // whose callback is running, or a sibling cancelled from another
+    // timer's callback). Mark it; the dispatch loop disposes of it.
+    node->cancelled = true;
+    return true;
+  }
+  Unlink(node);
+  if (cache_valid_ && node->deadline_tick == cached_next_tick_) {
+    cache_valid_ = false;
+  }
+  nodes_.erase(it);
+  ReleaseNode(node);
+  return true;
+}
+
+void TimerWheel::Cascade(int level, uint64_t slot) {
+  Node* head = &slots_[level][slot];
+  while (head->next != head) {
+    Node* node = head->next;
+    Unlink(node);
+    if (node->cancelled) {
+      nodes_.erase(node->id);
+      ReleaseNode(node);
+      continue;
+    }
+    Place(node);
+  }
+}
+
+size_t TimerWheel::FireSlot(Node* head) {
+  size_t fired = 0;
+  while (head->next != head) {
+    Node* node = head->next;
+    Unlink(node);
+    if (node->cancelled) {
+      nodes_.erase(node->id);
+      ReleaseNode(node);
+      continue;
+    }
+    if (node->interval_ticks == 0) {
+      // One-shot: the id dies before the callback runs, so a Cancel from
+      // inside it is a clean "already fired" no-op.
+      nodes_.erase(node->id);
+      --size_;
+      Callback cb = std::move(node->callback);
+      ReleaseNode(node);
+      cb();
+      ++fired;
+    } else {
+      // Periodic: stays in the id map while its callback runs so
+      // Cancel(own id) works; re-armed from the old deadline (drift-free)
+      // unless cancelled.
+      node->callback();
+      ++fired;
+      if (node->cancelled) {
+        nodes_.erase(node->id);
+        ReleaseNode(node);
+      } else {
+        node->deadline_tick += node->interval_ticks;
+        Place(node);
+      }
+    }
+  }
+  return fired;
+}
+
+size_t TimerWheel::Advance(double now) {
+  if (now <= now_seconds_) return 0;
+  now_seconds_ = now;
+  auto target = static_cast<uint64_t>(now / tick_seconds_);
+  if (target <= current_tick_) return 0;
+  if (nodes_.empty()) {
+    // Nothing scheduled: no slot can be non-empty and no cascade can move
+    // anything, so the cursor may jump.
+    current_tick_ = target;
+    return 0;
+  }
+  size_t fired = 0;
+  while (current_tick_ < target) {
+    ++current_tick_;
+    // Entering a new window at any level re-files that level's slot into
+    // finer levels, highest level first so everything lands where the
+    // level-0 expiry below can see it.
+    if ((current_tick_ & kSlotMask) == 0) {
+      if ((current_tick_ & ((1ull << (3 * kSlotBits)) - 1)) == 0) {
+        Cascade(3, (current_tick_ >> (3 * kSlotBits)) & kSlotMask);
+      }
+      if ((current_tick_ & ((1ull << (2 * kSlotBits)) - 1)) == 0) {
+        Cascade(2, (current_tick_ >> (2 * kSlotBits)) & kSlotMask);
+      }
+      Cascade(1, (current_tick_ >> kSlotBits) & kSlotMask);
+    }
+    fired += FireSlot(&slots_[0][current_tick_ & kSlotMask]);
+    if (nodes_.empty()) {
+      current_tick_ = target;
+      break;
+    }
+  }
+  if (cache_valid_ && cached_next_tick_ <= current_tick_) {
+    cache_valid_ = false;  // that deadline fired; rescan on demand
+  }
+  return fired;
+}
+
+double TimerWheel::NextDeadline() const {
+  if (nodes_.empty()) return std::numeric_limits<double>::infinity();
+  if (!cache_valid_) {
+    uint64_t best = kNoDeadline;
+    for (int level = 0; level < kLevels; ++level) {
+      uint64_t cursor = current_tick_ >> (level * kSlotBits);
+      for (uint64_t d = 1; d < kSlotsPerLevel; ++d) {
+        const Node* head = &slots_[level][(cursor + d) & kSlotMask];
+        if (head->next == head) continue;
+        // First non-empty slot in rotation order holds this level's
+        // earliest timers; the true minimum is the min deadline inside it
+        // (one slot spans 256^level ticks).
+        for (const Node* node = head->next; node != head;
+             node = node->next) {
+          if (!node->cancelled) best = std::min(best, node->deadline_tick);
+        }
+        break;
+      }
+    }
+    // The slot at each level's current index is always empty looking
+    // forward (its window was cascaded on entry), so the scan above is
+    // exhaustive.
+    cached_next_tick_ = best;
+    cache_valid_ = true;
+  }
+  if (cached_next_tick_ == kNoDeadline) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(cached_next_tick_) * tick_seconds_;
+}
+
+}  // namespace rafiki::net

@@ -1,0 +1,148 @@
+#ifndef RAFIKI_NET_TIMER_WHEEL_H_
+#define RAFIKI_NET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace rafiki::net {
+
+/// Opaque timer handle; 0 is never a live timer.
+using TimerId = uint64_t;
+
+/// Hierarchical timing wheel: 4 levels of 256 slots over a fixed tick
+/// (default 1 ms), covering ~2^32 ticks (~49 days at 1 ms). All operations
+/// the reactor's hot path performs are O(1):
+///
+///   * ScheduleAt/Schedule hash the target tick into the level whose span
+///     covers it and push the timer onto that slot's intrusive list;
+///   * Cancel unlinks the node through an id -> node map;
+///   * Advance(now) walks whole ticks, expiring level-0 slots and
+///     cascading a higher-level slot only when the level below completes a
+///     rotation (amortized O(1) per timer per level).
+///
+/// The wheel has no thread of its own and never reads a clock: the owner
+/// feeds time in through Advance(). That is the fake-clock hook — tests
+/// drive Advance() with a virtual clock and the same code paths fire, in
+/// the same order, deterministically. NextDeadline() reports the earliest
+/// pending expiry so an event loop can sleep exactly until the next real
+/// deadline instead of polling on a safety tick.
+///
+/// Timers fire in deadline order; two timers on the same tick fire in
+/// schedule order. Callbacks run inside Advance() on the caller's thread
+/// and may freely schedule or cancel timers (including their own periodic
+/// timer). Not thread-safe: confine a wheel to one thread (the event loop
+/// posts cross-thread arms through its task mailbox).
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `tick_seconds` is the firing granularity (deadlines are rounded up to
+  /// the next tick boundary); `start` is the initial time.
+  explicit TimerWheel(double tick_seconds = 1e-3, double start = 0.0);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// One-shot timer at absolute time `when` (same timeline as Advance).
+  /// Past or present deadlines fire on the next Advance that crosses a
+  /// tick boundary.
+  TimerId ScheduleAt(double when, Callback callback);
+
+  /// One-shot timer `delay` seconds from now.
+  TimerId Schedule(double delay, Callback callback) {
+    return ScheduleAt(now_seconds_ + delay, std::move(callback));
+  }
+
+  /// Periodic timer: first fires at now + interval, then every interval,
+  /// re-armed from the *scheduled* deadline (not the fire time) so late
+  /// Advances do not accumulate drift.
+  TimerId SchedulePeriodic(double interval, Callback callback);
+
+  /// O(1). Returns false when the id already fired (one-shot), was
+  /// cancelled, or never existed. Safe to call from inside any timer
+  /// callback, including the timer's own.
+  bool Cancel(TimerId id);
+
+  /// Advances the wheel to `now` (monotonically; earlier times are
+  /// ignored) and fires everything due. Returns the number of callbacks
+  /// invoked.
+  size_t Advance(double now);
+
+  /// Earliest pending deadline in seconds, or +infinity when no timers are
+  /// scheduled. Exact (to tick granularity), not a conservative bound.
+  double NextDeadline() const;
+
+  size_t size() const { return size_; }
+  double now() const { return now_seconds_; }
+  double tick_seconds() const { return tick_seconds_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr uint64_t kSlotsPerLevel = 1ull << kSlotBits;  // 256
+  static constexpr uint64_t kSlotMask = kSlotsPerLevel - 1;
+
+  /// Intrusive doubly-linked node; slots are circular lists through a
+  /// sentinel head so unlink needs no list identity.
+  struct Node {
+    Node* prev = nullptr;
+    Node* next = nullptr;
+    uint64_t id = 0;
+    uint64_t deadline_tick = 0;
+    /// Periodic interval in ticks; 0 = one-shot.
+    uint64_t interval_ticks = 0;
+    bool cancelled = false;
+    Callback callback;
+  };
+
+  static void Unlink(Node* node) {
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = node->next = nullptr;
+  }
+  static void PushBack(Node* head, Node* node) {
+    node->prev = head->prev;
+    node->next = head;
+    head->prev->next = node;
+    head->prev = node;
+  }
+
+  TimerId ScheduleNode(uint64_t deadline_tick, uint64_t interval_ticks,
+                       Callback callback);
+  /// Files `node` into the slot covering its deadline relative to
+  /// `current_tick_`.
+  void Place(Node* node);
+  /// Re-files every timer in level `level`'s slot for the current tick
+  /// into a finer level (or fires list for level 0 equivalence).
+  void Cascade(int level, uint64_t slot);
+  /// Fires every timer in `list` (a detached circular list's contents).
+  size_t FireSlot(Node* head);
+  Node* AcquireNode();
+  void ReleaseNode(Node* node);
+
+  double tick_seconds_;
+  double now_seconds_;
+  uint64_t current_tick_;
+  uint64_t next_id_ = 1;
+  size_t size_ = 0;
+
+  /// slots_[level][slot] is the sentinel of that slot's circular list.
+  std::vector<Node> slots_[kLevels];
+  std::unordered_map<uint64_t, Node*> nodes_;
+  /// Recycled nodes: steady-state schedule/fire cycles reuse them instead
+  /// of allocating.
+  std::vector<Node*> free_nodes_;
+
+  /// Cached earliest deadline tick; kUnknown forces a rescan.
+  static constexpr uint64_t kNoDeadline = ~0ull;
+  mutable uint64_t cached_next_tick_ = kNoDeadline;
+  mutable bool cache_valid_ = true;  // empty wheel: no deadline is exact
+};
+
+}  // namespace rafiki::net
+
+#endif  // RAFIKI_NET_TIMER_WHEEL_H_

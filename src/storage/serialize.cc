@@ -46,7 +46,11 @@ std::vector<uint8_t> SerializeTensor(const Tensor& tensor) {
   size_t data_bytes = static_cast<size_t>(tensor.numel()) * sizeof(float);
   size_t offset = out.size();
   out.resize(offset + data_bytes);
-  std::memcpy(out.data() + offset, tensor.data(), data_bytes);
+  // An empty tensor has a null data(); memcpy's pointers must be non-null
+  // even for a zero-length copy.
+  if (data_bytes > 0) {
+    std::memcpy(out.data() + offset, tensor.data(), data_bytes);
+  }
   return out;
 }
 
@@ -60,18 +64,26 @@ Result<Tensor> DeserializeTensor(const std::vector<uint8_t>& bytes) {
     return Status::InvalidArgument("bad tensor rank");
   }
   Shape shape(rank);
+  // The shape is untrusted input: multiply with overflow checking instead
+  // of ShapeNumel (whose overflow CHECK would crash on hostile bytes).
+  int64_t numel = rank == 0 ? 0 : 1;
   for (uint32_t i = 0; i < rank; ++i) {
     if (!ReadI64(bytes, &pos, &shape[i]) || shape[i] <= 0) {
       return Status::InvalidArgument("bad tensor shape");
     }
+    if (__builtin_mul_overflow(numel, shape[i], &numel) ||
+        static_cast<uint64_t>(numel) > bytes.size() / sizeof(float)) {
+      return Status::InvalidArgument("tensor payload size mismatch");
+    }
   }
-  int64_t numel = rank == 0 ? 0 : ShapeNumel(shape);
   size_t data_bytes = static_cast<size_t>(numel) * sizeof(float);
   if (pos + data_bytes != bytes.size()) {
     return Status::InvalidArgument("tensor payload size mismatch");
   }
   std::vector<float> values(static_cast<size_t>(numel));
-  std::memcpy(values.data(), bytes.data() + pos, data_bytes);
+  if (data_bytes > 0) {
+    std::memcpy(values.data(), bytes.data() + pos, data_bytes);
+  }
   return Tensor(std::move(shape), std::move(values));
 }
 

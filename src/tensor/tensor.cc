@@ -13,7 +13,8 @@ int64_t ShapeNumel(const Shape& shape) {
   int64_t n = 1;
   for (int64_t d : shape) {
     RAFIKI_CHECK_GT(d, 0) << "shape dims must be positive";
-    n *= d;
+    RAFIKI_CHECK(!__builtin_mul_overflow(n, d, &n))
+        << "shape numel overflows int64: " << ShapeToString(shape);
   }
   return shape.empty() ? 0 : n;
 }

@@ -230,6 +230,152 @@ TEST(HttpResponseParserTest, ContentLengthAndUntilClose) {
   }
 }
 
+TEST(HttpResponseParserTest, ChunkedBody) {
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n";
+  EXPECT_EQ(p.Feed(wire.data(), wire.size()), wire.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.status(), 200);
+  EXPECT_EQ(p.body(), "hello, world");
+  EXPECT_TRUE(p.keep_alive());
+}
+
+TEST(HttpResponseParserTest, ChunkedByteAtATime) {
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "a\r\n0123456789\r\n1\r\n!\r\n0\r\n\r\n";
+  for (char c : wire) {
+    ASSERT_FALSE(p.failed()) << p.error();
+    EXPECT_EQ(p.Feed(&c, 1), 1u);
+  }
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.body(), "0123456789!");
+}
+
+TEST(HttpResponseParserTest, ChunkedExtensionsAndTrailersIgnored) {
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;name=value\r\ndata\r\n0\r\nX-Trailer: ignored\r\n\r\n";
+  EXPECT_EQ(p.Feed(wire.data(), wire.size()), wire.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.body(), "data");
+}
+
+TEST(HttpResponseParserTest, ChunkedOverridesContentLength) {
+  // RFC 7230 §3.3.3: Transfer-Encoding wins when both are present.
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 999\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n"
+      "2\r\nok\r\n0\r\n\r\n";
+  EXPECT_EQ(p.Feed(wire.data(), wire.size()), wire.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.body(), "ok");
+}
+
+TEST(HttpResponseParserTest, ChunkedMalformedSizeFails) {
+  for (const char* frame : {"zz\r\n", "\r\n", "5 junk\r\n"}) {
+    HttpResponseParser p;
+    std::string wire = std::string(
+        "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n") + frame;
+    p.Feed(wire.data(), wire.size());
+    EXPECT_TRUE(p.failed()) << "frame: " << frame;
+  }
+}
+
+TEST(HttpResponseParserTest, ChunkedMissingCrlfAfterDataFails) {
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\ndataJUNK\r\n";
+  p.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpResponseParserTest, ChunkedBodyLimitEnforced) {
+  HttpResponseParserLimits limits;
+  limits.max_body_bytes = 8;
+  HttpResponseParser p(limits);
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "6\r\nabcdef\r\n6\r\nghijkl\r\n0\r\n\r\n";
+  p.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(p.failed());
+  EXPECT_NE(p.error().find("too large"), std::string::npos);
+}
+
+TEST(HttpResponseParserTest, ChunkedHugeSizeLineFails) {
+  HttpResponseParserLimits limits;
+  limits.max_chunk_line = 16;
+  HttpResponseParser p(limits);
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4;" + std::string(64, 'x');  // size line never ends
+  p.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpResponseParserTest, ChunkedEofMidBodyIsError) {
+  HttpResponseParser p;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhel";
+  p.Feed(wire.data(), wire.size());
+  p.FinishEof();
+  EXPECT_TRUE(p.failed());
+}
+
+TEST(HttpResponseParserTest, ChunkedResetReusesParser) {
+  HttpResponseParser p;
+  std::string chunked =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  EXPECT_EQ(p.Feed(chunked.data(), chunked.size()), chunked.size());
+  ASSERT_TRUE(p.done());
+  p.Reset();
+  // The next response on the connection is plain Content-Length framing;
+  // no chunked state may leak across Reset().
+  std::string plain = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+  EXPECT_EQ(p.Feed(plain.data(), plain.size()), plain.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.body(), "ok");
+}
+
+TEST(SerializeTest, ChunkedEncoderRoundTripsThroughDecoder) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "application/json";
+  std::string wire;
+  SerializeChunkedResponseHeadersTo(resp, /*keep_alive=*/true, &wire);
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  AppendChunk("first ", &wire);
+  AppendChunk("", &wire);  // no-op, must not terminate the stream
+  AppendChunk(std::string(300, 'z'), &wire);  // multi-hex-digit size
+  AppendLastChunk(&wire);
+
+  HttpResponseParser p;
+  EXPECT_EQ(p.Feed(wire.data(), wire.size()), wire.size());
+  ASSERT_TRUE(p.done()) << p.error();
+  EXPECT_EQ(p.body(), "first " + std::string(300, 'z'));
+  EXPECT_TRUE(p.keep_alive());
+}
+
+TEST(HttpParserTest, RequestChunkedStillRejectedWith501) {
+  // The server-side parser intentionally keeps rejecting chunked request
+  // bodies; only responses stream.
+  HttpParser p;
+  std::string wire =
+      "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  FeedAll(p, wire);
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 501);
+}
+
 TEST(SerializeTest, ResponseAndRequestRoundTrip) {
   HttpResponse resp;
   resp.status = 200;

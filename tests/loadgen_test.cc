@@ -124,5 +124,26 @@ TEST(LoadGenTest, CountsRejectionsSeparatelyFromErrors) {
   EXPECT_GT(report.rejected, 0);
 }
 
+TEST(LoadGenTest, SpinPacerSustainsFiftyThousandPerSecond) {
+  // The busy-spin pacer's contract: at spin-pacing rates the *schedule*
+  // is emitted in full — arrived tracks rate * duration even when nothing
+  // answers (the port is dead, every request errors instantly). Workers
+  // contending for the CPU must not silently depress the arrival rate.
+  LoadGenOptions opts;
+  opts.port = 1;  // no listener: connect fails immediately
+  opts.duration_seconds = 0.5;
+  opts.target_rate = 80e3;  // >= the 50e3 spin-pacing threshold
+  opts.sine_period = 0.0;
+  opts.connections = 2;
+  opts.max_backlog = 1u << 20;  // count the full schedule, don't drop it
+  LoadGenReport report = RunLoadGen(opts);
+
+  EXPECT_GE(report.arrived + report.dropped,
+            static_cast<int64_t>(0.95 * 80e3 * opts.duration_seconds))
+      << report.ToString();
+  EXPECT_GE(report.arrived, static_cast<int64_t>(50e3 * opts.duration_seconds))
+      << report.ToString();
+}
+
 }  // namespace
 }  // namespace rafiki::net
